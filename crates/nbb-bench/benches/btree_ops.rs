@@ -1,0 +1,110 @@
+//! B+Tree operation benchmarks: insert, search, scan, bulk load.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use nbb_btree::{BTree, BTreeOptions};
+use nbb_storage::{BufferPool, DiskManager, InMemoryDisk};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+fn pool(frames: usize) -> Arc<BufferPool> {
+    let disk: Arc<dyn DiskManager> = Arc::new(InMemoryDisk::new(8192));
+    Arc::new(BufferPool::new(disk, frames))
+}
+
+fn loaded_tree(n: u64) -> BTree {
+    BTree::bulk_load(
+        pool(4096),
+        8,
+        BTreeOptions::default(),
+        (0..n).map(|i| (i.to_be_bytes().to_vec(), i)),
+        0.68,
+    )
+    .unwrap()
+}
+
+fn bench_insert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("btree_insert");
+    group.sample_size(10);
+    for &n in &[10_000u64, 100_000] {
+        group.throughput(Throughput::Elements(n));
+        group.bench_function(BenchmarkId::from_parameter(n), |b| {
+            b.iter(|| {
+                let tree = BTree::create(pool(4096), 8, BTreeOptions::default()).unwrap();
+                let mut x = 0x9E3779B97F4A7C15u64;
+                for _ in 0..n {
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    tree.insert(&x.to_be_bytes(), x).unwrap();
+                }
+                black_box(tree)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_search(c: &mut Criterion) {
+    let tree = loaded_tree(100_000);
+    let mut rng = SmallRng::seed_from_u64(7);
+    c.bench_function("btree_point_get_100k", |b| {
+        b.iter(|| {
+            let k = (rng.gen::<u64>() % 100_000).to_be_bytes();
+            black_box(tree.get(black_box(&k)).unwrap())
+        })
+    });
+}
+
+fn bench_scan(c: &mut Criterion) {
+    let tree = loaded_tree(100_000);
+    c.bench_function("btree_scan_1000", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            let mut left = 1000;
+            tree.scan_from(&50_000u64.to_be_bytes(), |_, v| {
+                acc = acc.wrapping_add(v);
+                left -= 1;
+                left > 0
+            })
+            .unwrap();
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_bulk_load(c: &mut Criterion) {
+    let mut group = c.benchmark_group("btree_bulk_load");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(100_000));
+    for &fill in &[0.45f64, 0.68, 1.0] {
+        group.bench_function(BenchmarkId::from_parameter(fill), |b| {
+            b.iter(|| {
+                black_box(
+                    BTree::bulk_load(
+                        pool(4096),
+                        8,
+                        BTreeOptions::default(),
+                        (0..100_000u64).map(|i| (i.to_be_bytes().to_vec(), i)),
+                        fill,
+                    )
+                    .unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+
+fn short() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = short();
+    targets = bench_insert, bench_search, bench_scan, bench_bulk_load
+}
+criterion_main!(benches);

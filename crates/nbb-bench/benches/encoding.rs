@@ -1,0 +1,91 @@
+//! Encoding benchmarks: bit packing (fast vs reference), codecs,
+//! timestamps, and the schema analyzer.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use nbb_encoding::bitpack::{pack, pack_ref, unpack, unpack_ref};
+use nbb_encoding::timestamp::{format_epoch, to_u32};
+use nbb_encoding::{analyze_table, ColumnDef, DeclaredType, DeltaColumn, DictColumn, Schema, Value};
+
+fn bench_bitpack(c: &mut Criterion) {
+    let values: Vec<u64> = (0..100_000u64).map(|i| (i * 2_654_435_761) % 1024).collect();
+    let mut group = c.benchmark_group("bitpack_10bit_100k");
+    group.throughput(Throughput::Elements(values.len() as u64));
+    group.bench_function("pack_fast", |b| b.iter(|| black_box(pack(&values, 10))));
+    group.bench_function("pack_ref", |b| b.iter(|| black_box(pack_ref(&values, 10))));
+    let packed = pack(&values, 10);
+    group.bench_function("unpack_fast", |b| {
+        b.iter(|| black_box(unpack(&packed, 10, values.len())))
+    });
+    group.bench_function("unpack_ref", |b| {
+        b.iter(|| black_box(unpack_ref(&packed, 10, values.len())))
+    });
+    group.finish();
+}
+
+fn bench_codecs(c: &mut Criterion) {
+    let strs: Vec<String> = (0..50_000).map(|i| format!("status-{}", i % 8)).collect();
+    c.bench_function("dict_encode_50k_card8", |b| {
+        b.iter(|| black_box(DictColumn::encode(&strs)))
+    });
+    let ids: Vec<u64> = (5_000_000..5_050_000).collect();
+    c.bench_function("delta_encode_50k_sequential", |b| {
+        b.iter(|| black_box(DeltaColumn::encode(&ids)))
+    });
+}
+
+fn bench_timestamps(c: &mut Criterion) {
+    let ts: Vec<String> = (0..10_000u64).map(|i| format_epoch(i * 977)).collect();
+    let mut group = c.benchmark_group("timestamp");
+    group.throughput(Throughput::Elements(ts.len() as u64));
+    group.bench_function("parse_10k", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for t in &ts {
+                acc = acc.wrapping_add(u64::from(to_u32(t).unwrap()));
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+fn bench_analyzer(c: &mut Criterion) {
+    let schema = Schema {
+        table: "bench".into(),
+        columns: vec![
+            ColumnDef::new("id", DeclaredType::Int64),
+            ColumnDef::new("flag", DeclaredType::Bool),
+            ColumnDef::new("ts", DeclaredType::Str { width: 14 }),
+        ],
+    };
+    let rows: Vec<Vec<Value>> = (0..5_000u64)
+        .map(|i| {
+            vec![
+                Value::Int(i as i64),
+                Value::Bool(i % 2 == 0),
+                Value::Str(format_epoch(i * 31)),
+            ]
+        })
+        .collect();
+    let mut group = c.benchmark_group("schema_analyze");
+    group.throughput(Throughput::Elements(rows.len() as u64));
+    group.bench_function(BenchmarkId::from_parameter(rows.len()), |b| {
+        b.iter(|| black_box(analyze_table(&schema, &rows)))
+    });
+    group.finish();
+}
+
+
+fn short() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = short();
+    targets = bench_bitpack, bench_codecs, bench_timestamps, bench_analyzer
+}
+criterion_main!(benches);

@@ -1,0 +1,106 @@
+//! Storage substrate benchmarks: slotted pages, heap files, buffer pool.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use nbb_storage::{
+    BufferPool, DiskManager, HeapFile, InMemoryDisk, Page, SlottedPage, SlottedPageRef,
+};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+fn bench_slotted(c: &mut Criterion) {
+    c.bench_function("slotted_insert_100B_until_full", |b| {
+        b.iter(|| {
+            let mut p = Page::new(8192);
+            let mut sp = SlottedPage::init(&mut p);
+            let mut n = 0;
+            while sp.insert(&[7u8; 100]).is_ok() {
+                n += 1;
+            }
+            black_box(n)
+        })
+    });
+    let mut p = Page::new(8192);
+    let mut n = 0u16;
+    {
+        let mut sp = SlottedPage::init(&mut p);
+        while sp.insert(&[7u8; 100]).is_ok() {
+            n += 1;
+        }
+    }
+    let mut rng = SmallRng::seed_from_u64(1);
+    c.bench_function("slotted_get", |b| {
+        b.iter(|| {
+            let sp = SlottedPageRef::attach(&p).unwrap();
+            black_box(sp.get(rng.gen_range(0..n)).unwrap()[0])
+        })
+    });
+}
+
+fn bench_heap(c: &mut Criterion) {
+    let mut group = c.benchmark_group("heap");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("insert_10k_100B", |b| {
+        b.iter(|| {
+            let disk: Arc<dyn DiskManager> = Arc::new(InMemoryDisk::new(8192));
+            let heap = HeapFile::create(Arc::new(BufferPool::new(disk, 512))).unwrap();
+            for i in 0..10_000u64 {
+                heap.insert(&[i as u8; 100]).unwrap();
+            }
+            black_box(heap.page_count())
+        })
+    });
+    group.finish();
+
+    let disk: Arc<dyn DiskManager> = Arc::new(InMemoryDisk::new(8192));
+    let heap = HeapFile::create(Arc::new(BufferPool::new(disk, 512))).unwrap();
+    let rids: Vec<_> = (0..10_000u64).map(|i| heap.insert(&[i as u8; 100]).unwrap()).collect();
+    let mut rng = SmallRng::seed_from_u64(2);
+    c.bench_function("heap_get_resident", |b| {
+        b.iter(|| {
+            let rid = rids[rng.gen_range(0..rids.len())];
+            black_box(heap.with_tuple(rid, |t| t[0]).unwrap())
+        })
+    });
+}
+
+fn bench_buffer_pool(c: &mut Criterion) {
+    let disk: Arc<dyn DiskManager> = Arc::new(InMemoryDisk::new(8192));
+    let pool = Arc::new(BufferPool::new(Arc::clone(&disk), 256));
+    let ids: Vec<_> = (0..256).map(|_| pool.new_page().unwrap()).collect();
+    for id in &ids {
+        pool.with_page(*id, |_| ()).unwrap();
+    }
+    let mut rng = SmallRng::seed_from_u64(3);
+    c.bench_function("pool_hit", |b| {
+        b.iter(|| {
+            let id = ids[rng.gen_range(0..ids.len())];
+            black_box(pool.with_page(id, |p| p.bytes()[0]).unwrap())
+        })
+    });
+    // Thrashing pool: every access likely evicts.
+    let pool2 = Arc::new(BufferPool::new(disk, 8));
+    let ids2: Vec<_> = (0..256).map(|_| pool2.new_page().unwrap()).collect();
+    c.bench_function("pool_miss_evict", |b| {
+        b.iter(|| {
+            let id = ids2[rng.gen_range(0..ids2.len())];
+            black_box(pool2.with_page(id, |p| p.bytes()[0]).unwrap())
+        })
+    });
+}
+
+
+fn short() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = short();
+    targets = bench_slotted, bench_heap, bench_buffer_pool
+}
+criterion_main!(benches);

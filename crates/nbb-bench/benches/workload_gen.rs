@@ -1,0 +1,68 @@
+//! Workload-generation benchmarks: zipf sampling and trace synthesis.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use nbb_workload::{page_lookup_trace, ScrambledZipf, WikiGenerator, Zipf};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn bench_zipf(c: &mut Criterion) {
+    let mut group = c.benchmark_group("zipf_sample");
+    for &n in &[1_000u64, 1_000_000] {
+        let z = Zipf::new(n, 0.5);
+        let mut rng = SmallRng::seed_from_u64(1);
+        group.throughput(Throughput::Elements(1));
+        group.bench_function(BenchmarkId::new("plain", n), |b| {
+            b.iter(|| black_box(z.sample(&mut rng)))
+        });
+        let s = ScrambledZipf::new(n, 0.5, 7);
+        group.bench_function(BenchmarkId::new("scrambled", n), |b| {
+            b.iter(|| black_box(s.sample(&mut rng)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_wiki_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wiki_generate");
+    group.throughput(Throughput::Elements(1_000));
+    group.bench_function("pages_1k", |b| {
+        b.iter(|| {
+            let mut g = WikiGenerator::new(3);
+            black_box(g.pages(1_000))
+        })
+    });
+    group.bench_function("revisions_1k_pages_x5", |b| {
+        b.iter(|| {
+            let mut g = WikiGenerator::new(3);
+            let mut pages = g.pages(1_000);
+            black_box(g.revisions(&mut pages, 5))
+        })
+    });
+    group.finish();
+}
+
+fn bench_trace(c: &mut Criterion) {
+    let mut g = WikiGenerator::new(4);
+    let pages = g.pages(5_000);
+    let mut group = c.benchmark_group("trace_generate");
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("page_lookups_10k", |b| {
+        b.iter(|| black_box(page_lookup_trace(&pages, 10_000, 0.5, 0.01, 9)))
+    });
+    group.finish();
+}
+
+
+fn short() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = short();
+    targets = bench_zipf, bench_wiki_generation, bench_trace
+}
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Figure 2(a): index-cache hit rate vs cache size.
+//!
+//! "Each point is the average hit rate after 100k lookups and the x-axis
+//! is the percentage of the items that the cache can hold." Two curves:
+//! `Swap` (read-only) and `Shrink` (read/insert overwrites half the
+//! cache over the run).
+//!
+//! We print the paper's α = 0.5 series plus an α = 1.0 series: a literal
+//! zipf(0.5) caps ANY 25%-sized cache at the top-25% mass (= 50%), so
+//! the paper's ">90% at 25%" level is only reachable under a steeper
+//! parameterization — see EXPERIMENTS.md. The *shape* (fast rise,
+//! Shrink tracking Swap within a few points) holds for both.
+
+use nbb_bench::report::{f, print_table};
+use nbb_bench::swap_sim::{fig2a_point, Fig2aMode};
+
+fn main() {
+    let n_items = 20_000;
+    let lookups = 100_000;
+    let sizes = [1.0, 2.0, 5.0, 10.0, 15.0, 25.0, 40.0, 60.0, 80.0, 100.0];
+
+    for alpha in [0.5, 1.0] {
+        let mut rows = Vec::new();
+        for &pct in &sizes {
+            let swap = fig2a_point(n_items, pct, Fig2aMode::Swap, lookups, alpha, 42);
+            let shrink = fig2a_point(n_items, pct, Fig2aMode::Shrink, lookups, alpha, 42);
+            rows.push(vec![f(pct, 0), f(swap, 3), f(shrink, 3), f(swap - shrink, 3)]);
+        }
+        print_table(
+            &format!(
+                "Figure 2(a): hit rate vs cache size (zipf alpha={alpha}, {n_items} items, {lookups} lookups/point)"
+            ),
+            &["cache_%", "swap", "shrink", "delta"],
+            &rows,
+        );
+    }
+    println!("\npaper: Swap >90% at 25% cache; Shrink ~5 points below Swap.");
+    println!("note : alpha=0.5 information bound at 25% cache is 50% (see EXPERIMENTS.md).");
+}

@@ -1,0 +1,46 @@
+//! Figure 2(c): index-cache overhead with a 100%-hit buffer pool.
+//!
+//! Two curves in µs/lookup: `cache` (probe the leaf cache, fall back to
+//! the buffer pool on a miss) and `nocache` (straight to the buffer
+//! pool). The paper reports ~0.3 µs probe overhead at 0% hit rate, a
+//! crossover near 35%, and a 2.7× win at 100%.
+//!
+//! Run with `--release`; relative costs in debug builds are meaningless.
+
+use nbb_bench::cost_sim::{CostSim, CostSimConfig};
+use nbb_bench::report::{f, print_table};
+
+fn main() {
+    let cfg = CostSimConfig { lookups: 200_000, ..Default::default() };
+    let mut sim = CostSim::build(cfg, 13);
+    let nocache = sim.run_point(0.0, 1.0, false, 17);
+    let rates = [0.0, 0.1, 0.2, 0.35, 0.5, 0.65, 0.8, 0.9, 1.0];
+
+    let mut rows = Vec::new();
+    let mut crossover: Option<f64> = None;
+    for &ch in &rates {
+        let p = sim.run_point(ch, 1.0, true, 17);
+        if crossover.is_none() && p.total_us() <= nocache.total_us() {
+            crossover = Some(ch);
+        }
+        rows.push(vec![
+            f(ch * 100.0, 0),
+            f(p.total_us(), 3),
+            f(nocache.total_us(), 3),
+            f(p.total_us() - nocache.total_us(), 3),
+        ]);
+    }
+    print_table(
+        "Figure 2(c): cache vs nocache cost/lookup, buffer pool hit rate = 100%",
+        &["cache_hit_%", "cache_us", "nocache_us", "overhead_us"],
+        &rows,
+    );
+    let full = sim.run_point(1.0, 1.0, true, 17);
+    println!(
+        "\nmeasured: overhead at 0% = {:.3}us, crossover <= {}, speedup at 100% = {:.2}x",
+        sim.run_point(0.0, 1.0, true, 17).total_us() - nocache.total_us(),
+        crossover.map_or("none".to_string(), |c| format!("{:.0}%", c * 100.0)),
+        nocache.total_us() / full.total_us(),
+    );
+    println!("paper   : overhead 0.3us, crossover ~35%, speedup 2.7x");
+}

@@ -1,0 +1,332 @@
+//! Abstract simulation of the §2.1.1 cache-management policy — the
+//! simulator behind Figure 2(a).
+//!
+//! The paper: "We ran a simulation to study how the hit rate varies with
+//! the cache size using a zipfian distribution similar to Wikipedia
+//! (α = .5) … Each point is the average hit rate after 100k lookups and
+//! the x-axis is the percentage of the items that the cache can hold."
+//!
+//! The policy here is *identical* to the per-page implementation in
+//! `nbb_btree::cache` (random free slot on insert; evict a random item
+//! of the outermost bucket when full; on hit, swap with a random slot of
+//! the adjacent bucket closer to the stable center), lifted to a single
+//! slot array so cache size can sweep 1–100% of the item count directly.
+//!
+//! Two workload modes, as in the figure:
+//! * **Swap** — read-only: the cache size is constant;
+//! * **Shrink** — read/insert: key inserts overwrite the cache
+//!   periphery, modeled by shrinking the usable slot range at a constant
+//!   rate until half the cache is gone by the end of the run.
+
+use nbb_workload::Zipf;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Workload mode for the Figure 2(a) simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fig2aMode {
+    /// Read-only: constant cache size.
+    Swap,
+    /// Read/insert: half the slots are progressively overwritten.
+    Shrink,
+}
+
+/// One slot array implementing the paper's bucketed swap policy.
+pub struct SwapCacheSim {
+    /// slot -> cached item id (u64::MAX = empty)
+    slots: Vec<u64>,
+    /// item id -> slot (usize::MAX = not cached)
+    where_is: Vec<usize>,
+    /// bucket half-width (N/2)
+    half_bucket: usize,
+    /// usable range [lo, hi) — Shrink narrows this
+    lo: usize,
+    hi: usize,
+    /// management policy (ablation hook; default = the paper's).
+    pub policy: Policy,
+}
+
+const EMPTY: u64 = u64::MAX;
+
+impl SwapCacheSim {
+    /// A cache of `slots` slots over `n_items` items, buckets of
+    /// `bucket_slots`.
+    pub fn new(slots: usize, n_items: usize, bucket_slots: usize) -> Self {
+        assert!(slots >= 1);
+        SwapCacheSim {
+            slots: vec![EMPTY; slots],
+            where_is: vec![usize::MAX; n_items],
+            half_bucket: (bucket_slots / 2).max(1),
+            lo: 0,
+            hi: slots,
+            policy: Policy::PaperSwap,
+        }
+    }
+
+    fn center(&self) -> usize {
+        // The stable point: fixed at the array center (the page-level S,
+        // where key region and directory meet last).
+        self.slots.len() / 2
+    }
+
+    fn bucket_of(&self, slot: usize) -> usize {
+        self.center().abs_diff(slot) / self.half_bucket
+    }
+
+    /// Shrinks the usable range by one slot from the nearest edge —
+    /// models one key insert overwriting the cache periphery.
+    pub fn shrink_one(&mut self) {
+        if self.hi - self.lo <= 1 {
+            return;
+        }
+        // Alternate edges (keys and directory both grow).
+        if (self.hi + self.lo).is_multiple_of(2) {
+            self.kill_slot(self.lo);
+            self.lo += 1;
+        } else {
+            self.hi -= 1;
+            self.kill_slot(self.hi);
+        }
+    }
+
+    fn kill_slot(&mut self, slot: usize) {
+        let item = self.slots[slot];
+        if item != EMPTY {
+            self.where_is[item as usize] = usize::MAX;
+            self.slots[slot] = EMPTY;
+        }
+    }
+
+    /// Looks up `item`; on hit, promotes per the swap policy. On miss,
+    /// inserts per the placement policy. Returns hit/miss.
+    pub fn access<R: Rng>(&mut self, item: u64, rng: &mut R) -> bool {
+        let slot = self.where_is[item as usize];
+        if slot != usize::MAX && slot >= self.lo && slot < self.hi {
+            if self.policy == Policy::PaperSwap {
+                self.promote(slot, rng);
+            }
+            return true;
+        }
+        self.insert(item, rng);
+        false
+    }
+
+    fn promote<R: Rng>(&mut self, slot: usize, rng: &mut R) {
+        let b = self.bucket_of(slot);
+        if b == 0 {
+            return;
+        }
+        let h = self.half_bucket;
+        let c = self.center();
+        let (lo_d, hi_d) = ((b - 1) * h, b * h);
+        let mut candidates: Vec<usize> = Vec::with_capacity(2 * h);
+        for d in lo_d..hi_d {
+            if let Some(s) = c.checked_sub(d) {
+                if s >= self.lo && s < self.hi {
+                    candidates.push(s);
+                }
+            }
+            let s = c + d;
+            if d != 0 && s >= self.lo && s < self.hi {
+                candidates.push(s);
+            }
+        }
+        candidates.retain(|&s| s != slot);
+        if candidates.is_empty() {
+            return;
+        }
+        let target = candidates[rng.gen_range(0..candidates.len())];
+        let (a, b2) = (self.slots[slot], self.slots[target]);
+        self.slots[slot] = b2;
+        self.slots[target] = a;
+        if a != EMPTY {
+            self.where_is[a as usize] = target;
+        }
+        if b2 != EMPTY {
+            self.where_is[b2 as usize] = slot;
+        }
+    }
+
+    fn insert<R: Rng>(&mut self, item: u64, rng: &mut R) {
+        if self.hi <= self.lo {
+            return;
+        }
+        let range: Vec<usize> =
+            (self.lo..self.hi).filter(|&s| self.slots[s] == EMPTY).collect();
+        let slot = if !range.is_empty() {
+            range[rng.gen_range(0..range.len())]
+        } else if self.policy == Policy::RandomNoPromote {
+            // Ablation: evict any occupied slot uniformly.
+            let v = rng.gen_range(self.lo..self.hi);
+            self.kill_slot(v);
+            v
+        } else {
+            // Evict a random occupant of the outermost occupied bucket.
+            let max_bucket =
+                (self.lo..self.hi).map(|s| self.bucket_of(s)).max().expect("nonempty");
+            let victims: Vec<usize> =
+                (self.lo..self.hi).filter(|&s| self.bucket_of(s) == max_bucket).collect();
+            let v = victims[rng.gen_range(0..victims.len())];
+            self.kill_slot(v);
+            v
+        };
+        self.slots[slot] = item;
+        self.where_is[item as usize] = slot;
+    }
+
+    /// Occupied usable slots.
+    pub fn occupied(&self) -> usize {
+        (self.lo..self.hi).filter(|&s| self.slots[s] != EMPTY).count()
+    }
+}
+
+/// Cache-management policy variant, for ablations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Policy {
+    /// The paper's policy: swap toward S on hit, evict peripheral.
+    PaperSwap,
+    /// Ablation: no promotion, evict a uniformly random occupied slot.
+    RandomNoPromote,
+}
+
+/// One Figure 2(a) data point: mean hit rate over `lookups` zipfian
+/// accesses with a cache holding `cache_pct` percent of `n_items`.
+///
+/// The cache is first warmed with `lookups` unmeasured accesses ("the
+/// average hit rate after 100k lookups"), then measured over `lookups`
+/// more. Shrink mode overwrites half the cache at a constant rate
+/// during the measured phase.
+pub fn fig2a_point(
+    n_items: usize,
+    cache_pct: f64,
+    mode: Fig2aMode,
+    lookups: usize,
+    alpha: f64,
+    seed: u64,
+) -> f64 {
+    fig2a_point_with(n_items, cache_pct, mode, lookups, alpha, seed, 8, Policy::PaperSwap)
+}
+
+/// [`fig2a_point`] with explicit bucket size and policy (ablations).
+#[allow(clippy::too_many_arguments)]
+pub fn fig2a_point_with(
+    n_items: usize,
+    cache_pct: f64,
+    mode: Fig2aMode,
+    lookups: usize,
+    alpha: f64,
+    seed: u64,
+    bucket_slots: usize,
+    policy: Policy,
+) -> f64 {
+    let slots = ((n_items as f64 * cache_pct / 100.0) as usize).max(1);
+    let mut sim = SwapCacheSim::new(slots, n_items, bucket_slots);
+    sim.policy = policy;
+    let zipf = Zipf::new(n_items as u64, alpha);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    for _ in 0..lookups {
+        let item = zipf.sample(&mut rng) - 1;
+        sim.access(item, &mut rng);
+    }
+    // Shrink mode: overwrite half the cache at a constant rate.
+    let kills = slots / 2;
+    let kill_every = lookups.checked_div(kills).map_or(usize::MAX, |k| k.max(1));
+    let mut hits = 0usize;
+    for i in 0..lookups {
+        if mode == Fig2aMode::Shrink && kill_every != usize::MAX && i % kill_every == 0 && i > 0 {
+            sim.shrink_one();
+        }
+        let item = zipf.sample(&mut rng) - 1;
+        if sim.access(item, &mut rng) {
+            hits += 1;
+        }
+    }
+    hits as f64 / lookups as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warm_cache_of_full_size_hits_almost_always() {
+        let h = fig2a_point(2_000, 100.0, Fig2aMode::Swap, 50_000, 0.5, 1);
+        assert!(h > 0.9, "full-size cache hit rate {h}");
+    }
+
+    #[test]
+    fn hit_rate_monotone_in_cache_size() {
+        let h10 = fig2a_point(2_000, 10.0, Fig2aMode::Swap, 50_000, 0.5, 2);
+        let h50 = fig2a_point(2_000, 50.0, Fig2aMode::Swap, 50_000, 0.5, 2);
+        let h100 = fig2a_point(2_000, 100.0, Fig2aMode::Swap, 50_000, 0.5, 2);
+        assert!(h10 < h50 && h50 < h100, "{h10} {h50} {h100}");
+    }
+
+    /// Mass of the top `c` ranks under zipf(alpha) over n — the hit-rate
+    /// ceiling for ANY cache of c slots.
+    fn top_mass(n: u64, c: u64, alpha: f64) -> f64 {
+        let z = Zipf::new(n, alpha);
+        (1..=c).map(|k| z.probability(k)).sum()
+    }
+
+    #[test]
+    fn swap_approaches_the_information_bound_alpha_05() {
+        // Note (EXPERIMENTS.md): under a literal zipf α=0.5, a 25% cache
+        // cannot exceed the top-25% probability mass — √0.25 = 50% — so
+        // the paper's ">90% at 25%" figure implies a different zipf
+        // parameterization. What the policy *can* do is approach the
+        // bound, which we verify here.
+        let n = 10_000u64;
+        let c = 2_500u64;
+        let bound = top_mass(n, c, 0.5);
+        assert!((0.48..0.52).contains(&bound), "sanity: bound {bound}");
+        let h = fig2a_point(n as usize, 25.0, Fig2aMode::Swap, 200_000, 0.5, 3);
+        assert!(h > 0.6 * bound, "hit {h} too far below bound {bound}");
+    }
+
+    #[test]
+    fn paper_shape_emerges_at_alpha_1() {
+        // With α = 1.0 the top-25% mass is ≈86% and the swap cache gets
+        // close — matching the paper's Figure 2(a) absolute levels.
+        let h = fig2a_point(10_000, 25.0, Fig2aMode::Swap, 200_000, 1.0, 3);
+        assert!(h > 0.60, "alpha=1 at 25% cache should hit often, got {h}");
+    }
+
+    #[test]
+    fn shrink_close_to_swap() {
+        // "Shrink only reduces the hit rate by 5%".
+        let swap = fig2a_point(5_000, 40.0, Fig2aMode::Swap, 100_000, 0.5, 4);
+        let shrink = fig2a_point(5_000, 40.0, Fig2aMode::Shrink, 100_000, 0.5, 4);
+        assert!(swap >= shrink, "shrink cannot beat swap: {swap} vs {shrink}");
+        assert!(swap - shrink < 0.15, "shrink too far below swap: {swap} vs {shrink}");
+    }
+
+    #[test]
+    fn promotion_protects_hot_items_from_shrink() {
+        // After heavy shrinking, the hottest items should still hit.
+        let mut sim = SwapCacheSim::new(1000, 1000, 8);
+        let zipf = Zipf::new(1000, 0.5);
+        let mut rng = SmallRng::seed_from_u64(5);
+        for _ in 0..50_000 {
+            let item = zipf.sample(&mut rng) - 1;
+            sim.access(item, &mut rng);
+        }
+        for _ in 0..800 {
+            sim.shrink_one();
+        }
+        // Hot rank-1 item: sample it many times, expect mostly hits.
+        let hot_hits = (0..100).filter(|_| sim.access(0, &mut rng)).count();
+        assert!(hot_hits > 90, "hot item evicted by shrink: {hot_hits}/100");
+    }
+
+    #[test]
+    fn occupied_never_exceeds_capacity() {
+        let mut sim = SwapCacheSim::new(64, 1000, 8);
+        let mut rng = SmallRng::seed_from_u64(6);
+        for i in 0..5000u64 {
+            sim.access(i % 1000, &mut rng);
+            assert!(sim.occupied() <= 64);
+        }
+        assert_eq!(sim.occupied(), 64, "steady state should be full");
+    }
+}

@@ -1,0 +1,170 @@
+//! Order-preserving fixed-width key codecs.
+//!
+//! The paper (§2.1.1) assumes fixed-length index keys; this module maps
+//! typed values onto fixed-width byte strings whose `memcmp` order equals
+//! the natural order of the values, so the B+Tree only ever compares raw
+//! bytes:
+//!
+//! * unsigned integers — big-endian;
+//! * signed integers — big-endian with the sign bit flipped;
+//! * strings — truncated/zero-padded to a fixed width (zero pads sort
+//!   before any content byte, preserving prefix order);
+//! * composites — concatenation of fixed-width components, e.g. the
+//!   Wikipedia `name_title` key `(namespace: u32, title: char[N])`.
+
+/// Encodes a `u64` as 8 order-preserving bytes.
+#[inline]
+pub fn encode_u64(v: u64) -> [u8; 8] {
+    v.to_be_bytes()
+}
+
+/// Decodes the result of [`encode_u64`].
+#[inline]
+pub fn decode_u64(b: &[u8]) -> u64 {
+    u64::from_be_bytes(b[..8].try_into().expect("u64 key needs 8 bytes"))
+}
+
+/// Encodes a `u32` as 4 order-preserving bytes.
+#[inline]
+pub fn encode_u32(v: u32) -> [u8; 4] {
+    v.to_be_bytes()
+}
+
+/// Decodes the result of [`encode_u32`].
+#[inline]
+pub fn decode_u32(b: &[u8]) -> u32 {
+    u32::from_be_bytes(b[..4].try_into().expect("u32 key needs 4 bytes"))
+}
+
+/// Encodes an `i64` as 8 order-preserving bytes (sign bit flipped).
+#[inline]
+pub fn encode_i64(v: i64) -> [u8; 8] {
+    ((v as u64) ^ (1 << 63)).to_be_bytes()
+}
+
+/// Decodes the result of [`encode_i64`].
+#[inline]
+pub fn decode_i64(b: &[u8]) -> i64 {
+    (u64::from_be_bytes(b[..8].try_into().expect("i64 key needs 8 bytes")) ^ (1 << 63)) as i64
+}
+
+/// Encodes a string into exactly `width` bytes: UTF-8 bytes truncated at
+/// `width`, zero-padded on the right.
+///
+/// Zero padding keeps `memcmp` order consistent with prefix order
+/// (`"ab" < "ab0"`); distinct strings sharing a `width`-byte prefix
+/// collapse to the same key, which callers must tolerate (the Wikipedia
+/// workload uses widths comfortably above real title lengths).
+pub fn encode_str(s: &str, width: usize) -> Vec<u8> {
+    let mut out = vec![0u8; width];
+    let bytes = s.as_bytes();
+    let n = bytes.len().min(width);
+    out[..n].copy_from_slice(&bytes[..n]);
+    out
+}
+
+/// Decodes the result of [`encode_str`], trimming zero padding.
+pub fn decode_str(b: &[u8]) -> String {
+    let end = b.iter().position(|&c| c == 0).unwrap_or(b.len());
+    String::from_utf8_lossy(&b[..end]).into_owned()
+}
+
+/// Builder for fixed-width composite keys.
+///
+/// ```
+/// use nbb_btree::key::CompositeKey;
+/// // Wikipedia name_title key: (namespace: u32, title: 28 bytes) = 32 bytes
+/// let key = CompositeKey::new().u32(0).str("Main_Page", 28).finish();
+/// assert_eq!(key.len(), 32);
+/// ```
+#[derive(Debug, Default)]
+pub struct CompositeKey {
+    buf: Vec<u8>,
+}
+
+impl CompositeKey {
+    /// Starts an empty composite key.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an order-preserving `u32` component.
+    pub fn u32(mut self, v: u32) -> Self {
+        self.buf.extend_from_slice(&encode_u32(v));
+        self
+    }
+
+    /// Appends an order-preserving `u64` component.
+    pub fn u64(mut self, v: u64) -> Self {
+        self.buf.extend_from_slice(&encode_u64(v));
+        self
+    }
+
+    /// Appends an order-preserving `i64` component.
+    pub fn i64(mut self, v: i64) -> Self {
+        self.buf.extend_from_slice(&encode_i64(v));
+        self
+    }
+
+    /// Appends a fixed-width string component.
+    pub fn str(mut self, s: &str, width: usize) -> Self {
+        self.buf.extend_from_slice(&encode_str(s, width));
+        self
+    }
+
+    /// Finishes the key.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u64_order_preserved() {
+        let pairs = [(0u64, 1u64), (1, 2), (255, 256), (u64::MAX - 1, u64::MAX)];
+        for (a, b) in pairs {
+            assert!(encode_u64(a) < encode_u64(b), "{a} vs {b}");
+        }
+        assert_eq!(decode_u64(&encode_u64(123_456_789)), 123_456_789);
+    }
+
+    #[test]
+    fn i64_order_preserved_across_zero() {
+        let vals = [i64::MIN, -1_000_000, -1, 0, 1, 1_000_000, i64::MAX];
+        for w in vals.windows(2) {
+            assert!(encode_i64(w[0]) < encode_i64(w[1]), "{} vs {}", w[0], w[1]);
+        }
+        for v in vals {
+            assert_eq!(decode_i64(&encode_i64(v)), v);
+        }
+    }
+
+    #[test]
+    fn str_round_trip_and_order() {
+        assert_eq!(decode_str(&encode_str("hello", 16)), "hello");
+        assert!(encode_str("abc", 8) < encode_str("abd", 8));
+        assert!(encode_str("ab", 8) < encode_str("abc", 8));
+        // truncation at width
+        assert_eq!(decode_str(&encode_str("abcdefgh", 4)), "abcd");
+    }
+
+    #[test]
+    fn composite_orders_lexicographically_by_component() {
+        let k1 = CompositeKey::new().u32(0).str("zebra", 16).finish();
+        let k2 = CompositeKey::new().u32(1).str("apple", 16).finish();
+        assert!(k1 < k2, "first component dominates");
+        let k3 = CompositeKey::new().u32(1).str("banana", 16).finish();
+        assert!(k2 < k3, "second component breaks ties");
+        assert_eq!(k1.len(), 20);
+    }
+
+    #[test]
+    fn u32_round_trip() {
+        for v in [0u32, 1, 65_535, u32::MAX] {
+            assert_eq!(decode_u32(&encode_u32(v)), v);
+        }
+    }
+}

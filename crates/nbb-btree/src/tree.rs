@@ -1,0 +1,950 @@
+//! The B+Tree: search/insert/delete/scan plus the §2.1 index-cache
+//! protocol (probe on lookup, populate on miss, promote on hit,
+//! predicate-driven invalidation).
+//!
+//! Concurrency model: a coarse tree-level `RwLock` serializes structural
+//! modifications against each other while allowing concurrent readers;
+//! page-level physical latching is delegated to the buffer pool's frame
+//! locks. Cache writes use the pool's try-latch, non-dirtying access
+//! ([`nbb_storage::BufferPool::with_page_cache_write`]) and are simply
+//! skipped under contention, per §2.1.3.
+
+use crate::cache::{CacheConfig, CacheView, CacheViewMut, StoreOutcome};
+use crate::invalidation::{InvalidateOutcome, InvalidationState};
+use crate::node::{node_capacity, InsertOutcome, Node, NodeMut};
+use nbb_storage::buffer::BufferPool;
+use nbb_storage::error::{Result, StorageError};
+use nbb_storage::page::PageId;
+use parking_lot::{Mutex, RwLock};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Tree construction options.
+#[derive(Debug, Clone, Default)]
+pub struct BTreeOptions {
+    /// Enable the index cache with this configuration.
+    pub cache: Option<CacheConfig>,
+    /// Seed for the cache's randomized placement (fixed default for
+    /// reproducibility).
+    pub cache_seed: u64,
+}
+
+/// Aggregated index-cache counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Cached lookups attempted (key found in the index).
+    pub lookups: u64,
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to go to the heap.
+    pub misses: u64,
+    /// Entries stored by [`BTree::cache_populate`].
+    pub populates: u64,
+    /// Stores that overwrote a peripheral victim.
+    pub evictions: u64,
+    /// On-hit swaps toward the stable point.
+    pub promotions: u64,
+    /// Cache writes abandoned because the page latch was contended.
+    pub latch_giveups: u64,
+    /// Page caches zeroed by predicate matches.
+    pub zeroings: u64,
+    /// Populates skipped because an invalidation raced the heap read.
+    pub stale_skips: u64,
+}
+
+impl CacheStats {
+    /// Cache hit rate over attempted lookups.
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups as f64
+        }
+    }
+}
+
+#[derive(Default)]
+struct CacheStatsAtomic {
+    lookups: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    populates: AtomicU64,
+    evictions: AtomicU64,
+    promotions: AtomicU64,
+    latch_giveups: AtomicU64,
+    zeroings: AtomicU64,
+    stale_skips: AtomicU64,
+}
+
+/// Consistency token captured at lookup time; [`BTree::cache_populate`]
+/// refuses to store a payload if any invalidation happened after it was
+/// issued (the heap value read in between may be stale).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvToken {
+    csn: u64,
+    newest_seq: u64,
+}
+
+/// Result of a cache-aware point lookup.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CachedLookup {
+    /// The value stored for the key (tuple pointer), if the key exists.
+    pub value: Option<u64>,
+    /// The cached payload, present on a cache hit.
+    pub payload: Option<Vec<u8>>,
+    /// The leaf that owns the key — pass to [`BTree::cache_populate`].
+    pub leaf: PageId,
+    /// Consistency token for populating after a heap fetch.
+    pub token: InvToken,
+}
+
+/// A disk-style B+Tree with fixed-width keys and `u64` values.
+pub struct BTree {
+    pool: Arc<BufferPool>,
+    key_size: usize,
+    root: RwLock<PageId>,
+    opts: BTreeOptions,
+    inv: InvalidationState,
+    rng: Mutex<SmallRng>,
+    stats: CacheStatsAtomic,
+    structure: RwLock<()>,
+}
+
+impl BTree {
+    /// Creates an empty tree.
+    pub fn create(pool: Arc<BufferPool>, key_size: usize, opts: BTreeOptions) -> Result<Self> {
+        assert!(key_size >= 1, "key size must be positive");
+        if let Some(c) = &opts.cache {
+            c.validate();
+        }
+        let page_size = pool.disk().page_size();
+        assert!(
+            node_capacity(page_size, key_size) >= 4,
+            "page size {page_size} too small for key size {key_size}"
+        );
+        let (root, ()) = pool.new_page_with(|p| {
+            NodeMut::init_leaf(p, key_size);
+        })?;
+        let threshold = opts.cache.map(|c| c.log_threshold).unwrap_or(64);
+        let seed = opts.cache_seed;
+        Ok(BTree {
+            pool,
+            key_size,
+            root: RwLock::new(root),
+            opts,
+            inv: InvalidationState::new(threshold),
+            rng: Mutex::new(SmallRng::seed_from_u64(seed ^ 0x006e_6262_7472_6565)),
+            stats: CacheStatsAtomic::default(),
+            structure: RwLock::new(()),
+        })
+    }
+
+    /// Reattaches a tree persisted on `pool`'s disk, rooted at `root`
+    /// (the caller's catalog records the root page id and key size).
+    ///
+    /// This is the restart/recovery path (§2.1.2): the reopened tree
+    /// starts a fresh CSN epoch, so any cache bytes that survived on
+    /// disk are invalid until repopulated — "to support full index
+    /// invalidation … we can efficiently invalidate the entire cache by
+    /// incrementing CSNidx".
+    pub fn open(
+        pool: Arc<BufferPool>,
+        key_size: usize,
+        root: PageId,
+        opts: BTreeOptions,
+    ) -> Result<Self> {
+        assert!(key_size >= 1, "key size must be positive");
+        if let Some(c) = &opts.cache {
+            c.validate();
+        }
+        // Sanity: the root must parse as a node of this key size.
+        pool.with_page(root, |p| {
+            let n = Node::new(p, key_size);
+            let _ = n.nkeys();
+        })?;
+        let threshold = opts.cache.map(|c| c.log_threshold).unwrap_or(64);
+        let seed = opts.cache_seed;
+        let tree = BTree {
+            pool,
+            key_size,
+            root: RwLock::new(root),
+            opts,
+            inv: InvalidationState::new(threshold),
+            rng: Mutex::new(SmallRng::seed_from_u64(seed ^ 0x006e_6262_7472_6565)),
+            stats: CacheStatsAtomic::default(),
+            structure: RwLock::new(()),
+        };
+        // Fresh epoch strictly above every persisted CSNp, so cache
+        // bytes surviving on disk can never false-validate.
+        let mut max_csn = 0u64;
+        tree.for_each_leaf(|n| max_csn = max_csn.max(n.csn()))?;
+        tree.inv.advance_epoch_beyond(max_csn);
+        Ok(tree)
+    }
+
+    /// The current root page id (persist it in a catalog to reopen the
+    /// tree later with [`BTree::open`]).
+    pub fn root_page(&self) -> PageId {
+        *self.root.read()
+    }
+
+    /// Bulk-loads a tree from strictly ascending `(key, value)` pairs,
+    /// filling each node to `fill` of capacity (the paper's fill-factor
+    /// knob: 0.68 typical, 1.0 compacted, 0.45 churned).
+    pub fn bulk_load(
+        pool: Arc<BufferPool>,
+        key_size: usize,
+        opts: BTreeOptions,
+        entries: impl IntoIterator<Item = (Vec<u8>, u64)>,
+        fill: f64,
+    ) -> Result<Self> {
+        assert!((0.0..=1.0).contains(&fill), "fill must be in (0, 1]");
+        if let Some(c) = &opts.cache {
+            c.validate();
+        }
+        let page_size = pool.disk().page_size();
+        let cap = node_capacity(page_size, key_size);
+        assert!(cap >= 4, "page size {page_size} too small for key size {key_size}");
+        let per_node = ((cap as f64 * fill) as usize).clamp(1, cap);
+
+        // Level 0: leaves.
+        let mut level_nodes: Vec<(Vec<u8>, PageId)> = Vec::new();
+        let mut current: Option<PageId> = None;
+        let mut count_in_node = 0usize;
+        let mut prev_key: Option<Vec<u8>> = None;
+        let mut prev_leaf: Option<PageId> = None;
+        for (key, value) in entries {
+            assert_eq!(key.len(), key_size, "bulk_load key width mismatch");
+            if let Some(pk) = &prev_key {
+                assert!(*pk < key, "bulk_load requires strictly ascending keys");
+            }
+            prev_key = Some(key.clone());
+            if current.is_none() || count_in_node >= per_node {
+                let (pid, ()) = pool.new_page_with(|p| {
+                    NodeMut::init_leaf(p, key_size);
+                })?;
+                if let Some(prev) = prev_leaf {
+                    pool.with_page_mut(prev, |p| {
+                        NodeMut::new(p, key_size).set_next_leaf(pid);
+                    })?;
+                }
+                prev_leaf = Some(pid);
+                level_nodes.push((key.clone(), pid));
+                current = Some(pid);
+                count_in_node = 0;
+            }
+            let pid = current.expect("set above");
+            pool.with_page_mut(pid, |p| {
+                let r = NodeMut::new(p, key_size).append_sorted(&key, value);
+                debug_assert_eq!(r, InsertOutcome::Inserted);
+            })?;
+            count_in_node += 1;
+        }
+        if level_nodes.is_empty() {
+            return Self::create(pool, key_size, opts);
+        }
+
+        // Upper levels.
+        let mut level = 1u16;
+        while level_nodes.len() > 1 {
+            let group = per_node.max(2);
+            let mut next_level: Vec<(Vec<u8>, PageId)> = Vec::new();
+            for chunk in level_nodes.chunks(group + 1) {
+                let leftmost = chunk[0].1;
+                let (pid, ()) = pool.new_page_with(|p| {
+                    NodeMut::init_internal(p, key_size, level, leftmost);
+                })?;
+                for (sep, child) in &chunk[1..] {
+                    pool.with_page_mut(pid, |p| {
+                        let r = NodeMut::new(p, key_size).append_sorted(sep, child.0);
+                        debug_assert_eq!(r, InsertOutcome::Inserted);
+                    })?;
+                }
+                next_level.push((chunk[0].0.clone(), pid));
+            }
+            level_nodes = next_level;
+            level += 1;
+        }
+
+        let threshold = opts.cache.map(|c| c.log_threshold).unwrap_or(64);
+        let seed = opts.cache_seed;
+        Ok(BTree {
+            pool,
+            key_size,
+            root: RwLock::new(level_nodes[0].1),
+            opts,
+            inv: InvalidationState::new(threshold),
+            rng: Mutex::new(SmallRng::seed_from_u64(seed ^ 0x006e_6262_7472_6565)),
+            stats: CacheStatsAtomic::default(),
+            structure: RwLock::new(()),
+        })
+    }
+
+    /// Key width in bytes.
+    pub fn key_size(&self) -> usize {
+        self.key_size
+    }
+
+    /// The buffer pool backing this tree.
+    pub fn pool(&self) -> &Arc<BufferPool> {
+        &self.pool
+    }
+
+    /// Cache configuration, if caching is enabled.
+    pub fn cache_config(&self) -> Option<&CacheConfig> {
+        self.opts.cache.as_ref()
+    }
+
+    fn check_key(&self, key: &[u8]) -> Result<()> {
+        if key.len() != self.key_size {
+            return Err(StorageError::Corrupt(format!(
+                "key width {} does not match index width {}",
+                key.len(),
+                self.key_size
+            )));
+        }
+        Ok(())
+    }
+
+    fn find_leaf(&self, key: &[u8]) -> Result<PageId> {
+        let mut cur = *self.root.read();
+        loop {
+            let next = self.pool.with_page(cur, |p| {
+                let n = Node::new(p, self.key_size);
+                if n.is_leaf() {
+                    None
+                } else {
+                    Some(n.child_for(key))
+                }
+            })?;
+            match next {
+                Some(child) => cur = child,
+                None => return Ok(cur),
+            }
+        }
+    }
+
+    /// Point lookup without cache interaction.
+    pub fn get(&self, key: &[u8]) -> Result<Option<u64>> {
+        self.check_key(key)?;
+        let _g = self.structure.read_recursive();
+        let leaf = self.find_leaf(key)?;
+        self.pool.with_page(leaf, |p| {
+            let n = Node::new(p, self.key_size);
+            Ok(n.search(key).ok().map(|i| n.value_at(i)))
+        })?
+    }
+
+    /// Inserts `key → value`; returns the previous value when overwriting.
+    pub fn insert(&self, key: &[u8], value: u64) -> Result<Option<u64>> {
+        self.check_key(key)?;
+        let _g = self.structure.write();
+        let root = *self.root.read();
+        let (old, split) = self.insert_rec(root, key, value)?;
+        if let Some((sep, right)) = split {
+            let level = self.pool.with_page(root, |p| Node::new(p, self.key_size).level())?;
+            let (new_root, ()) = self.pool.new_page_with(|p| {
+                let mut n = NodeMut::init_internal(p, self.key_size, level + 1, root);
+                let r = n.insert(&sep, right.0);
+                debug_assert_eq!(r, InsertOutcome::Inserted);
+            })?;
+            *self.root.write() = new_root;
+        }
+        if let Some(old_value) = old {
+            // Overwriting an existing pointer may strand a cached entry
+            // for the old tuple id; a predicate flushes it lazily.
+            self.inv.invalidate(key, old_value.wrapping_add(1));
+        }
+        Ok(old)
+    }
+
+    /// Recursive insert; returns `(old_value, Some((separator, new_right)))`
+    /// when `page` split.
+    #[allow(clippy::type_complexity)]
+    fn insert_rec(
+        &self,
+        page: PageId,
+        key: &[u8],
+        value: u64,
+    ) -> Result<(Option<u64>, Option<(Vec<u8>, PageId)>)> {
+        let is_leaf = self.pool.with_page(page, |p| Node::new(p, self.key_size).is_leaf())?;
+        if is_leaf {
+            let (outcome, old) = self.pool.with_page_mut(page, |p| {
+                let mut n = NodeMut::new(p, self.key_size);
+                let old = n.as_ref().search(key).ok().map(|i| n.as_ref().value_at(i));
+                (n.insert(key, value), old)
+            })?;
+            if outcome != InsertOutcome::NeedSplit {
+                return Ok((old, None));
+            }
+            let (sep, right) = self.split_page(page)?;
+            let target = if key >= sep.as_slice() { right } else { page };
+            let outcome = self.pool.with_page_mut(target, |p| {
+                NodeMut::new(p, self.key_size).insert(key, value)
+            })?;
+            assert_ne!(outcome, InsertOutcome::NeedSplit, "post-split insert must fit");
+            return Ok((None, Some((sep, right))));
+        }
+        let child = self.pool.with_page(page, |p| Node::new(p, self.key_size).child_for(key))?;
+        let (old, child_split) = self.insert_rec(child, key, value)?;
+        let Some((csep, cright)) = child_split else {
+            return Ok((old, None));
+        };
+        let outcome = self.pool.with_page_mut(page, |p| {
+            NodeMut::new(p, self.key_size).insert(&csep, cright.0)
+        })?;
+        if outcome != InsertOutcome::NeedSplit {
+            return Ok((old, None));
+        }
+        let (sep, right) = self.split_page(page)?;
+        let target = if csep.as_slice() >= sep.as_slice() { right } else { page };
+        let outcome = self.pool.with_page_mut(target, |p| {
+            NodeMut::new(p, self.key_size).insert(&csep, cright.0)
+        })?;
+        assert_ne!(outcome, InsertOutcome::NeedSplit, "post-split insert must fit");
+        Ok((old, Some((sep, right))))
+    }
+
+    /// Splits `page` in half, returning `(separator, new_right_page)`.
+    fn split_page(&self, page: PageId) -> Result<(Vec<u8>, PageId)> {
+        let (entries, level, next) = self.pool.with_page(page, |p| {
+            let n = Node::new(p, self.key_size);
+            (n.entries(), n.level(), n.next_leaf())
+        })?;
+        let n = entries.len();
+        debug_assert!(n >= 2, "cannot split a node with < 2 entries");
+        let mid = n / 2;
+        let is_leaf = level == 0;
+        let (sep, left_entries, right_entries, right_leftmost) = if is_leaf {
+            (entries[mid].0.clone(), &entries[..mid], &entries[mid..], None)
+        } else {
+            (entries[mid].0.clone(), &entries[..mid], &entries[mid + 1..], Some(entries[mid].1))
+        };
+        let (right, ()) = self.pool.new_page_with(|p| {
+            let mut node = if is_leaf {
+                NodeMut::init_leaf(p, self.key_size)
+            } else {
+                NodeMut::init_internal(p, self.key_size, level, PageId(right_leftmost.unwrap()))
+            };
+            for (k, v) in right_entries {
+                let r = node.append_sorted(k, *v);
+                debug_assert_eq!(r, InsertOutcome::Inserted);
+            }
+            if is_leaf {
+                node.set_next_leaf(next);
+            }
+        })?;
+        self.pool.with_page_mut(page, |p| {
+            let mut node = NodeMut::new(p, self.key_size);
+            node.rebuild_with(left_entries);
+            if is_leaf {
+                node.set_next_leaf(right);
+            }
+        })?;
+        Ok((sep, right))
+    }
+
+    /// Removes `key`; returns its value if it was present.
+    ///
+    /// Underflowing nodes are left as-is (no merging) — the unused space
+    /// this leaves behind is precisely what the index cache recycles.
+    pub fn delete(&self, key: &[u8]) -> Result<Option<u64>> {
+        self.check_key(key)?;
+        let _g = self.structure.write();
+        let leaf = self.find_leaf(key)?;
+        self.pool.with_page_mut(leaf, |p| {
+            Ok(NodeMut::new(p, self.key_size).delete(key))
+        })?
+    }
+
+    /// Updates the value of an existing key; returns false if absent.
+    /// Logs an invalidation predicate for the old pointer.
+    pub fn update_value(&self, key: &[u8], value: u64) -> Result<bool> {
+        self.check_key(key)?;
+        let _g = self.structure.read_recursive();
+        let leaf = self.find_leaf(key)?;
+        let old = self.pool.with_page_mut(leaf, |p| {
+            let mut n = NodeMut::new(p, self.key_size);
+            match n.as_ref().search(key) {
+                Ok(i) => {
+                    let old = n.as_ref().value_at(i);
+                    let r = n.insert(key, value);
+                    debug_assert_eq!(r, InsertOutcome::Updated);
+                    Some(old)
+                }
+                Err(_) => None,
+            }
+        })?;
+        if let Some(old) = old {
+            self.inv.invalidate(key, old.wrapping_add(1));
+            Ok(true)
+        } else {
+            Ok(false)
+        }
+    }
+
+    /// Visits `(key, value)` pairs in ascending key order starting at the
+    /// first key ≥ `start`; stops when `f` returns false.
+    pub fn scan_from(&self, start: &[u8], mut f: impl FnMut(&[u8], u64) -> bool) -> Result<()> {
+        self.check_key(start)?;
+        let _g = self.structure.read_recursive();
+        let mut leaf = self.find_leaf(start)?;
+        let mut first_page = true;
+        loop {
+            let (cont, next) = self.pool.with_page(leaf, |p| {
+                let n = Node::new(p, self.key_size);
+                let from = if first_page {
+                    match n.search(start) {
+                        Ok(i) | Err(i) => i,
+                    }
+                } else {
+                    0
+                };
+                for i in from..n.nkeys() {
+                    if !f(n.key_at(i), n.value_at(i)) {
+                        return (false, PageId::INVALID);
+                    }
+                }
+                (true, n.next_leaf())
+            })?;
+            if !cont || !next.is_valid() {
+                return Ok(());
+            }
+            first_page = false;
+            leaf = next;
+        }
+    }
+
+    /// Number of keys in the tree (walks every leaf).
+    pub fn len(&self) -> Result<usize> {
+        let mut n = 0usize;
+        self.for_each_leaf(|node| n += node.nkeys())?;
+        Ok(n)
+    }
+
+    /// True when the tree holds no keys.
+    pub fn is_empty(&self) -> Result<bool> {
+        Ok(self.len()? == 0)
+    }
+
+    // ---------------------------------------------------------------
+    // Index cache protocol (§2.1)
+    // ---------------------------------------------------------------
+
+    /// Cache id for an index value: values are tuple pointers, and 0 is
+    /// reserved for "empty slot", so ids are `value + 1`.
+    #[inline]
+    fn tuple_id(value: u64) -> u64 {
+        value.wrapping_add(1)
+    }
+
+    /// Cache-aware point lookup. On a hit, `payload` carries the cached
+    /// fields and the entry is promoted toward the stable point. On a
+    /// miss, fetch the tuple from the heap and call
+    /// [`BTree::cache_populate`] with the returned leaf and token.
+    pub fn lookup_cached(&self, key: &[u8]) -> Result<CachedLookup> {
+        self.check_key(key)?;
+        let _g = self.structure.read_recursive();
+        let leaf = self.find_leaf(key)?;
+        let token = InvToken { csn: self.inv.csn(), newest_seq: self.inv.newest_seq() };
+        let Some(cfg) = self.opts.cache else {
+            let value = self.pool.with_page(leaf, |p| {
+                let n = Node::new(p, self.key_size);
+                n.search(key).ok().map(|i| n.value_at(i))
+            })?;
+            return Ok(CachedLookup { value, payload: None, leaf, token });
+        };
+
+        struct ReadOut {
+            value: Option<u64>,
+            verdict: crate::invalidation::PageVerdict,
+            probe: Option<(usize, Vec<u8>)>,
+        }
+        let out = self.pool.with_page(leaf, |p| {
+            let n = Node::new(p, self.key_size);
+            let value = n.search(key).ok().map(|i| n.value_at(i));
+            let range = n.first_key().zip(n.last_key());
+            let verdict = self.inv.check_page(n.csn(), n.log_watermark(), range);
+            let probe = if verdict.cache_valid {
+                value.and_then(|v| {
+                    CacheView::new(p, self.key_size, &cfg)
+                        .probe(Self::tuple_id(v))
+                        .map(|(slot, pl)| (slot, pl.to_vec()))
+                })
+            } else {
+                None
+            };
+            ReadOut { value, verdict, probe }
+        })?;
+
+        if out.verdict.must_zero {
+            self.stats.zeroings.fetch_add(1, Ordering::Relaxed);
+            let wm = out.verdict.advance_watermark_to;
+            let wrote = self.pool.with_page_cache_write(leaf, |p| {
+                let mut n = NodeMut::new(p, self.key_size);
+                if let Some(wm) = wm {
+                    if wm > n.as_ref().log_watermark() {
+                        n.set_log_watermark(wm);
+                    }
+                }
+                CacheViewMut::new(n.page_mut(), self.key_size, &cfg).zero();
+            })?;
+            if wrote.is_none() {
+                self.stats.latch_giveups.fetch_add(1, Ordering::Relaxed);
+            }
+        } else if let Some(wm) = out.verdict.advance_watermark_to {
+            // No match, but advance the watermark so the pending
+            // predicates are not rescanned for this page.
+            let wrote = self.pool.with_page_cache_write(leaf, |p| {
+                let mut n = NodeMut::new(p, self.key_size);
+                if wm > n.as_ref().log_watermark() {
+                    n.set_log_watermark(wm);
+                }
+            })?;
+            if wrote.is_none() {
+                self.stats.latch_giveups.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+
+        if out.value.is_some() {
+            self.stats.lookups.fetch_add(1, Ordering::Relaxed);
+        }
+        if let Some((slot, payload)) = out.probe {
+            self.stats.hits.fetch_add(1, Ordering::Relaxed);
+            let value = out.value.expect("probe implies value");
+            let promoted = self.pool.with_page_cache_write(leaf, |p| {
+                let mut rng = self.rng.lock();
+                let mut n = NodeMut::new(p, self.key_size);
+                CacheViewMut::new(n.page_mut(), self.key_size, &cfg)
+                    .promote(slot, Self::tuple_id(value), &mut *rng)
+                    .is_some()
+            })?;
+            match promoted {
+                Some(true) => {
+                    self.stats.promotions.fetch_add(1, Ordering::Relaxed);
+                }
+                Some(false) => {}
+                None => {
+                    self.stats.latch_giveups.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            return Ok(CachedLookup { value: out.value, payload: Some(payload), leaf, token });
+        }
+        if out.value.is_some() {
+            self.stats.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(CachedLookup { value: out.value, payload: None, leaf, token })
+    }
+
+    /// Stores the payload fetched from the heap after a cache miss.
+    ///
+    /// `leaf`, `value` and `token` come from the preceding
+    /// [`BTree::lookup_cached`]. The store is skipped (returning `false`)
+    /// if any invalidation occurred since the token was issued, if the
+    /// latch is contended, or if the leaf has no cache room.
+    pub fn cache_populate(
+        &self,
+        leaf: PageId,
+        value: u64,
+        payload: &[u8],
+        token: InvToken,
+    ) -> Result<bool> {
+        let Some(cfg) = self.opts.cache else { return Ok(false) };
+        if payload.len() != cfg.payload_size {
+            return Err(StorageError::Corrupt(format!(
+                "cache payload width {} != configured {}",
+                payload.len(),
+                cfg.payload_size
+            )));
+        }
+        let _g = self.structure.read_recursive();
+        // Any invalidation after the token means the heap read may be
+        // stale; skip rather than risk caching old bytes.
+        if self.inv.csn() != token.csn || self.inv.newest_seq() != token.newest_seq {
+            self.stats.stale_skips.fetch_add(1, Ordering::Relaxed);
+            return Ok(false);
+        }
+        let stored = self.pool.with_page_cache_write(leaf, |p| {
+            // Re-check the token under the latch: invalidations serialize
+            // with this closure via the predicate log's own lock, and the
+            // page cannot be probed while we hold the write latch.
+            if self.inv.csn() != token.csn || self.inv.newest_seq() != token.newest_seq {
+                return StoreOutcome::NoRoom;
+            }
+            let mut n = NodeMut::new(p, self.key_size);
+            if !n.as_ref().is_leaf() {
+                return StoreOutcome::NoRoom;
+            }
+            if n.as_ref().csn() != token.csn {
+                // Stale epoch: lazily reset this page's cache.
+                let wm = self.inv.newest_seq();
+                n.set_csn(token.csn);
+                n.set_log_watermark(wm);
+                CacheViewMut::new(n.page_mut(), self.key_size, &cfg).zero();
+            }
+            let mut rng = self.rng.lock();
+            CacheViewMut::new(n.page_mut(), self.key_size, &cfg).store(
+                Self::tuple_id(value),
+                payload,
+                &mut *rng,
+            )
+        })?;
+        match stored {
+            Some(StoreOutcome::Stored) => {
+                self.stats.populates.fetch_add(1, Ordering::Relaxed);
+                Ok(true)
+            }
+            Some(StoreOutcome::StoredEvicting) => {
+                self.stats.populates.fetch_add(1, Ordering::Relaxed);
+                self.stats.evictions.fetch_add(1, Ordering::Relaxed);
+                Ok(true)
+            }
+            Some(StoreOutcome::NoRoom) => Ok(false),
+            None => {
+                self.stats.latch_giveups.fetch_add(1, Ordering::Relaxed);
+                Ok(false)
+            }
+        }
+    }
+
+    /// Logs an invalidation for a tuple whose cached fields changed in
+    /// the heap (§2.1.2). `value` is the index pointer for `key`.
+    pub fn invalidate(&self, key: &[u8], value: u64) -> Result<InvalidateOutcome> {
+        self.check_key(key)?;
+        Ok(self.inv.invalidate(key, Self::tuple_id(value)))
+    }
+
+    /// Invalidates every page cache at once (`CSNidx += 1`) — the crash
+    /// recovery path.
+    pub fn invalidate_all_caches(&self) {
+        self.inv.invalidate_all();
+    }
+
+    /// Cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        CacheStats {
+            lookups: self.stats.lookups.load(Ordering::Relaxed),
+            hits: self.stats.hits.load(Ordering::Relaxed),
+            misses: self.stats.misses.load(Ordering::Relaxed),
+            populates: self.stats.populates.load(Ordering::Relaxed),
+            evictions: self.stats.evictions.load(Ordering::Relaxed),
+            promotions: self.stats.promotions.load(Ordering::Relaxed),
+            latch_giveups: self.stats.latch_giveups.load(Ordering::Relaxed),
+            zeroings: self.stats.zeroings.load(Ordering::Relaxed),
+            stale_skips: self.stats.stale_skips.load(Ordering::Relaxed),
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Introspection
+    // ---------------------------------------------------------------
+
+    /// Tree height (1 = root is a leaf).
+    pub fn height(&self) -> Result<usize> {
+        let mut h = 1;
+        let mut cur = *self.root.read();
+        loop {
+            let next = self.pool.with_page(cur, |p| {
+                let n = Node::new(p, self.key_size);
+                if n.is_leaf() {
+                    None
+                } else {
+                    Some(n.leftmost_child())
+                }
+            })?;
+            match next {
+                Some(c) => {
+                    h += 1;
+                    cur = c;
+                }
+                None => return Ok(h),
+            }
+        }
+    }
+
+    /// Leftmost leaf page.
+    pub fn first_leaf(&self) -> Result<PageId> {
+        let mut cur = *self.root.read();
+        loop {
+            let next = self.pool.with_page(cur, |p| {
+                let n = Node::new(p, self.key_size);
+                if n.is_leaf() {
+                    None
+                } else {
+                    Some(n.leftmost_child())
+                }
+            })?;
+            match next {
+                Some(c) => cur = c,
+                None => return Ok(cur),
+            }
+        }
+    }
+
+    fn for_each_leaf(&self, mut f: impl FnMut(Node<'_>)) -> Result<()> {
+        let _g = self.structure.read_recursive();
+        let mut leaf = self.first_leaf()?;
+        loop {
+            let next = self.pool.with_page(leaf, |p| {
+                let n = Node::new(p, self.key_size);
+                f(n);
+                n.next_leaf()
+            })?;
+            if !next.is_valid() {
+                return Ok(());
+            }
+            leaf = next;
+        }
+    }
+
+    /// Aggregate index statistics: leaves, total keys, mean fill factor,
+    /// total/occupied cache slots.
+    pub fn index_stats(&self) -> Result<IndexStats> {
+        let mut s = IndexStats::default();
+        let cfg = self.opts.cache;
+        self.for_each_leaf(|n| {
+            s.leaf_pages += 1;
+            s.keys += n.nkeys();
+            s.fill_sum += n.fill_factor();
+            s.free_bytes += n.free_bytes();
+            if let Some(cfg) = cfg.as_ref() {
+                let v = CacheView::new_from_node(&n, cfg);
+                s.cache_slots += v.capacity();
+                s.cache_occupied += v.occupied();
+            }
+        })?;
+        Ok(s)
+    }
+
+    /// Verifies structural invariants; returns a description of the first
+    /// violation. Intended for tests.
+    pub fn check_invariants(&self) -> Result<std::result::Result<(), String>> {
+        let _g = self.structure.read_recursive();
+        let root = *self.root.read();
+        let mut leaf_depth: Option<usize> = None;
+        let r = self.check_node(root, None, None, 0, &mut leaf_depth)?;
+        if r.is_err() {
+            return Ok(r);
+        }
+        // Leaf chain must be ascending and cover all leaves.
+        let mut prev_last: Option<Vec<u8>> = None;
+        let mut chain_ok = Ok(());
+        self.for_each_leaf(|n| {
+            if chain_ok.is_err() {
+                return;
+            }
+            if let (Some(prev), Some(first)) = (&prev_last, n.first_key()) {
+                if prev.as_slice() >= first {
+                    chain_ok = Err(format!(
+                        "leaf chain out of order: {:?} >= {:?}",
+                        prev, first
+                    ));
+                }
+            }
+            if let Some(last) = n.last_key() {
+                prev_last = Some(last.to_vec());
+            }
+        })?;
+        Ok(chain_ok)
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn check_node(
+        &self,
+        page: PageId,
+        lower: Option<&[u8]>,
+        upper: Option<&[u8]>,
+        depth: usize,
+        leaf_depth: &mut Option<usize>,
+    ) -> Result<std::result::Result<(), String>> {
+        let (entries, is_leaf, leftmost) = self.pool.with_page(page, |p| {
+            let n = Node::new(p, self.key_size);
+            let lm = if n.is_leaf() { None } else { Some(n.leftmost_child()) };
+            (n.entries(), n.is_leaf(), lm)
+        })?;
+        for w in entries.windows(2) {
+            if w[0].0 >= w[1].0 {
+                return Ok(Err(format!("{page}: keys not strictly ascending")));
+            }
+        }
+        if let Some(lo) = lower {
+            if let Some((k, _)) = entries.first() {
+                if k.as_slice() < lo {
+                    return Ok(Err(format!("{page}: key below lower bound")));
+                }
+            }
+        }
+        if let Some(hi) = upper {
+            if let Some((k, _)) = entries.last() {
+                if k.as_slice() >= hi {
+                    return Ok(Err(format!("{page}: key at/above upper bound")));
+                }
+            }
+        }
+        if is_leaf {
+            match leaf_depth {
+                Some(d) if *d != depth => {
+                    return Ok(Err(format!("{page}: leaf depth {depth} != {d}")))
+                }
+                None => *leaf_depth = Some(depth),
+                _ => {}
+            }
+            return Ok(Ok(()));
+        }
+        // Internal: recurse with refined bounds.
+        let lm = leftmost.expect("internal node has leftmost");
+        let first_sep = entries.first().map(|(k, _)| k.as_slice());
+        let r = self.check_node(lm, lower, first_sep, depth + 1, leaf_depth)?;
+        if r.is_err() {
+            return Ok(r);
+        }
+        for (i, (sep, child)) in entries.iter().enumerate() {
+            let next_sep = entries.get(i + 1).map(|(k, _)| k.as_slice());
+            let r =
+                self.check_node(PageId(*child), Some(sep.as_slice()), next_sep, depth + 1, leaf_depth)?;
+            if r.is_err() {
+                return Ok(r);
+            }
+        }
+        Ok(Ok(()))
+    }
+}
+
+
+/// Aggregate statistics over a tree's leaves.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct IndexStats {
+    /// Number of leaf pages.
+    pub leaf_pages: usize,
+    /// Total keys across leaves.
+    pub keys: usize,
+    /// Sum of per-leaf fill factors (divide by `leaf_pages` for the mean).
+    pub fill_sum: f64,
+    /// Total free bytes across leaves — the recyclable cache area.
+    pub free_bytes: usize,
+    /// Total usable cache slots.
+    pub cache_slots: usize,
+    /// Occupied cache slots.
+    pub cache_occupied: usize,
+}
+
+impl IndexStats {
+    /// Mean leaf fill factor.
+    pub fn avg_fill(&self) -> f64 {
+        if self.leaf_pages == 0 {
+            0.0
+        } else {
+            self.fill_sum / self.leaf_pages as f64
+        }
+    }
+}
+
+impl<'a> CacheView<'a> {
+    /// Builds a cache view from an existing node view (avoids re-parsing
+    /// the header in aggregate walks).
+    pub fn new_from_node(node: &Node<'a>, cfg: &CacheConfig) -> Self {
+        CacheView::new(node.page(), node.key_size_of(), cfg)
+    }
+}

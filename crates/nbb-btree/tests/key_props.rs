@@ -1,0 +1,52 @@
+//! Property tests for the order-preserving key codecs: memcmp order on
+//! encoded bytes must equal natural order on values, for all values.
+
+use nbb_btree::key::{
+    decode_i64, decode_str, decode_u32, decode_u64, encode_i64, encode_str, encode_u32,
+    encode_u64, CompositeKey,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn u64_order(a in any::<u64>(), b in any::<u64>()) {
+        prop_assert_eq!(a.cmp(&b), encode_u64(a).cmp(&encode_u64(b)));
+        prop_assert_eq!(decode_u64(&encode_u64(a)), a);
+    }
+
+    #[test]
+    fn u32_order(a in any::<u32>(), b in any::<u32>()) {
+        prop_assert_eq!(a.cmp(&b), encode_u32(a).cmp(&encode_u32(b)));
+        prop_assert_eq!(decode_u32(&encode_u32(a)), a);
+    }
+
+    #[test]
+    fn i64_order(a in any::<i64>(), b in any::<i64>()) {
+        prop_assert_eq!(a.cmp(&b), encode_i64(a).cmp(&encode_i64(b)));
+        prop_assert_eq!(decode_i64(&encode_i64(a)), a);
+    }
+
+    #[test]
+    fn str_order_matches_for_unpadded(a in "[a-z]{0,12}", b in "[a-z]{0,12}") {
+        // For strings within the width, zero padding preserves order.
+        let (ea, eb) = (encode_str(&a, 16), encode_str(&b, 16));
+        prop_assert_eq!(a.cmp(&b), ea.cmp(&eb), "{:?} vs {:?}", a, b);
+        prop_assert_eq!(decode_str(&ea), a);
+    }
+
+    #[test]
+    fn composite_component_order(
+        ns_a in 0u32..16, ns_b in 0u32..16,
+        t_a in "[a-z]{1,8}", t_b in "[a-z]{1,8}",
+    ) {
+        let ka = CompositeKey::new().u32(ns_a).str(&t_a, 12).finish();
+        let kb = CompositeKey::new().u32(ns_b).str(&t_b, 12).finish();
+        let expect = (ns_a, t_a.clone()).cmp(&(ns_b, t_b.clone()));
+        prop_assert_eq!(expect, ka.cmp(&kb));
+    }
+
+    #[test]
+    fn encoded_width_is_constant(s in ".{0,40}", w in 1usize..64) {
+        prop_assert_eq!(encode_str(&s, w).len(), w);
+    }
+}

@@ -1,0 +1,601 @@
+//! Integration tests for the B+Tree: structure, scans, bulk load, and
+//! the full §2.1 index-cache protocol.
+
+use nbb_btree::{BTree, BTreeOptions, CacheConfig};
+use nbb_storage::{BufferPool, DiskManager, InMemoryDisk, SimulatedDisk, DiskModel};
+use std::sync::Arc;
+
+fn pool_with(page_size: usize, frames: usize) -> Arc<BufferPool> {
+    let disk: Arc<dyn DiskManager> = Arc::new(InMemoryDisk::new(page_size));
+    Arc::new(BufferPool::new(disk, frames))
+}
+
+fn pool() -> Arc<BufferPool> {
+    pool_with(4096, 256)
+}
+
+fn k(v: u64) -> [u8; 8] {
+    v.to_be_bytes()
+}
+
+fn cached_opts(payload: usize) -> BTreeOptions {
+    BTreeOptions {
+        cache: Some(CacheConfig { payload_size: payload, bucket_slots: 8, log_threshold: 32 }),
+        cache_seed: 7,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Structure
+// ---------------------------------------------------------------------
+
+#[test]
+fn insert_search_thousands_with_splits() {
+    let tree = BTree::create(pool(), 8, BTreeOptions::default()).unwrap();
+    let n = 5000u64;
+    // Insert in a scrambled order to exercise mid-node inserts.
+    let mut order: Vec<u64> = (0..n).collect();
+    let mut x = 0xDEADBEEFu64;
+    for i in (1..order.len()).rev() {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        order.swap(i, (x % (i as u64 + 1)) as usize);
+    }
+    for v in &order {
+        tree.insert(&k(*v), v * 3).unwrap();
+    }
+    assert!(tree.height().unwrap() >= 2, "5000 keys must split the root");
+    tree.check_invariants().unwrap().unwrap();
+    for v in 0..n {
+        assert_eq!(tree.get(&k(v)).unwrap(), Some(v * 3), "key {v}");
+    }
+    assert_eq!(tree.get(&k(n + 1)).unwrap(), None);
+    assert_eq!(tree.len().unwrap(), n as usize);
+}
+
+#[test]
+fn overwrite_returns_old_value() {
+    let tree = BTree::create(pool(), 8, BTreeOptions::default()).unwrap();
+    assert_eq!(tree.insert(&k(1), 10).unwrap(), None);
+    assert_eq!(tree.insert(&k(1), 20).unwrap(), Some(10));
+    assert_eq!(tree.get(&k(1)).unwrap(), Some(20));
+    assert_eq!(tree.len().unwrap(), 1);
+}
+
+#[test]
+fn delete_then_reinsert() {
+    let tree = BTree::create(pool(), 8, BTreeOptions::default()).unwrap();
+    for v in 0..1000 {
+        tree.insert(&k(v), v).unwrap();
+    }
+    for v in (0..1000).step_by(3) {
+        assert_eq!(tree.delete(&k(v)).unwrap(), Some(v), "delete {v}");
+    }
+    for v in 0..1000 {
+        let expect = if v % 3 == 0 { None } else { Some(v) };
+        assert_eq!(tree.get(&k(v)).unwrap(), expect, "get {v}");
+    }
+    for v in (0..1000).step_by(3) {
+        tree.insert(&k(v), v + 7).unwrap();
+    }
+    for v in (0..1000).step_by(3) {
+        assert_eq!(tree.get(&k(v)).unwrap(), Some(v + 7));
+    }
+    tree.check_invariants().unwrap().unwrap();
+}
+
+#[test]
+fn scan_from_walks_in_order_across_leaves() {
+    let tree = BTree::create(pool(), 8, BTreeOptions::default()).unwrap();
+    for v in (0..2000u64).rev() {
+        tree.insert(&k(v), v).unwrap();
+    }
+    let mut seen = Vec::new();
+    tree.scan_from(&k(500), |key, value| {
+        seen.push((key.to_vec(), value));
+        seen.len() < 100
+    })
+    .unwrap();
+    assert_eq!(seen.len(), 100);
+    for (i, (key, value)) in seen.iter().enumerate() {
+        assert_eq!(key.as_slice(), &k(500 + i as u64));
+        assert_eq!(*value, 500 + i as u64);
+    }
+}
+
+#[test]
+fn scan_to_end_visits_everything() {
+    let tree = BTree::create(pool(), 8, BTreeOptions::default()).unwrap();
+    for v in 0..777u64 {
+        tree.insert(&k(v), v).unwrap();
+    }
+    let mut count = 0u64;
+    tree.scan_from(&k(0), |key, _| {
+        assert_eq!(key, &k(count)[..]);
+        count += 1;
+        true
+    })
+    .unwrap();
+    assert_eq!(count, 777);
+}
+
+#[test]
+fn bulk_load_equivalent_to_inserts() {
+    let entries: Vec<(Vec<u8>, u64)> = (0..3000u64).map(|v| (k(v).to_vec(), v * 2)).collect();
+    let tree = BTree::bulk_load(pool(), 8, BTreeOptions::default(), entries, 0.68).unwrap();
+    tree.check_invariants().unwrap().unwrap();
+    assert_eq!(tree.len().unwrap(), 3000);
+    for v in (0..3000u64).step_by(97) {
+        assert_eq!(tree.get(&k(v)).unwrap(), Some(v * 2));
+    }
+    // Mean fill factor should be near the requested 68%.
+    let stats = tree.index_stats().unwrap();
+    let fill = stats.avg_fill();
+    assert!((0.55..0.80).contains(&fill), "fill {fill}");
+}
+
+#[test]
+fn bulk_load_full_fill_leaves_no_cache_room() {
+    let entries: Vec<(Vec<u8>, u64)> = (0..2000u64).map(|v| (k(v).to_vec(), v)).collect();
+    let tree = BTree::bulk_load(pool(), 8, cached_opts(16), entries, 1.0).unwrap();
+    let stats = tree.index_stats().unwrap();
+    // 100% fill: nearly zero free bytes per leaf (the paper's compacted
+    // read-only configuration).
+    let per_leaf = stats.free_bytes as f64 / stats.leaf_pages as f64;
+    assert!(per_leaf < 64.0, "full leaves should have ~no free space, got {per_leaf}");
+    assert!(tree.index_stats().unwrap().cache_slots <= stats.leaf_pages * 2);
+}
+
+#[test]
+fn bulk_load_45_percent_fill_has_big_caches() {
+    // The CarTel observation: churned indexes run at 45% fill — which
+    // means *more* cache capacity.
+    let entries: Vec<(Vec<u8>, u64)> = (0..2000u64).map(|v| (k(v).to_vec(), v)).collect();
+    let t45 = BTree::bulk_load(pool(), 8, cached_opts(16), entries.clone(), 0.45).unwrap();
+    let t90 = BTree::bulk_load(pool(), 8, cached_opts(16), entries, 0.90).unwrap();
+    let s45 = t45.index_stats().unwrap();
+    let s90 = t90.index_stats().unwrap();
+    assert!(
+        s45.cache_slots > s90.cache_slots,
+        "45% fill must expose more cache slots ({} vs {})",
+        s45.cache_slots,
+        s90.cache_slots
+    );
+}
+
+#[test]
+fn bulk_load_empty_and_single() {
+    let tree =
+        BTree::bulk_load(pool(), 8, BTreeOptions::default(), Vec::<(Vec<u8>, u64)>::new(), 0.68)
+            .unwrap();
+    assert!(tree.is_empty().unwrap());
+    let tree = BTree::bulk_load(
+        pool(),
+        8,
+        BTreeOptions::default(),
+        vec![(k(9).to_vec(), 99u64)],
+        0.68,
+    )
+    .unwrap();
+    assert_eq!(tree.get(&k(9)).unwrap(), Some(99));
+}
+
+#[test]
+fn wrong_key_width_is_an_error() {
+    let tree = BTree::create(pool(), 8, BTreeOptions::default()).unwrap();
+    assert!(tree.get(b"short").is_err());
+    assert!(tree.insert(b"toolongtoolong", 1).is_err());
+    assert!(tree.delete(b"x").is_err());
+}
+
+#[test]
+fn works_under_memory_pressure() {
+    // Buffer pool far smaller than the index: every descent faults pages.
+    let pool = pool_with(4096, 4);
+    let tree = BTree::create(pool, 8, BTreeOptions::default()).unwrap();
+    for v in 0..3000u64 {
+        tree.insert(&k(v), v).unwrap();
+    }
+    for v in (0..3000u64).step_by(61) {
+        assert_eq!(tree.get(&k(v)).unwrap(), Some(v));
+    }
+    tree.check_invariants().unwrap().unwrap();
+}
+
+#[test]
+fn update_value_changes_pointer() {
+    let tree = BTree::create(pool(), 8, BTreeOptions::default()).unwrap();
+    tree.insert(&k(5), 50).unwrap();
+    assert!(tree.update_value(&k(5), 51).unwrap());
+    assert_eq!(tree.get(&k(5)).unwrap(), Some(51));
+    assert!(!tree.update_value(&k(404), 1).unwrap());
+}
+
+// ---------------------------------------------------------------------
+// Index cache protocol
+// ---------------------------------------------------------------------
+
+#[test]
+fn cache_miss_populate_hit_cycle() {
+    let tree = BTree::create(pool(), 8, cached_opts(16)).unwrap();
+    tree.insert(&k(1), 100).unwrap();
+    let m = tree.lookup_cached(&k(1)).unwrap();
+    assert_eq!(m.value, Some(100));
+    assert!(m.payload.is_none());
+    assert!(tree.cache_populate(m.leaf, 100, &[9u8; 16], m.token).unwrap());
+    let h = tree.lookup_cached(&k(1)).unwrap();
+    assert_eq!(h.payload.as_deref(), Some(&[9u8; 16][..]));
+    let s = tree.cache_stats();
+    assert_eq!(s.lookups, 2);
+    assert_eq!(s.hits, 1);
+    assert_eq!(s.misses, 1);
+    assert_eq!(s.populates, 1);
+}
+
+#[test]
+fn cache_answers_match_heap_under_mixed_workload() {
+    // Ground truth: a HashMap of current payloads. Every cache hit must
+    // equal ground truth at all times.
+    use std::collections::HashMap;
+    let tree = BTree::create(pool(), 8, cached_opts(8)).unwrap();
+    let mut truth: HashMap<u64, u64> = HashMap::new(); // key -> payload word
+    let n = 400u64;
+    for v in 0..n {
+        tree.insert(&k(v), v).unwrap();
+        truth.insert(v, v * 7);
+    }
+    let mut x = 12345u64;
+    for step in 0..20_000u64 {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let key = x % n;
+        if step % 25 == 24 {
+            // Update the "heap" payload and invalidate.
+            let nv = truth[&key].wrapping_add(1);
+            truth.insert(key, nv);
+            let ptr = tree.get(&k(key)).unwrap().unwrap();
+            tree.invalidate(&k(key), ptr).unwrap();
+        } else {
+            let m = tree.lookup_cached(&k(key)).unwrap();
+            let ptr = m.value.expect("key exists");
+            if let Some(pl) = &m.payload {
+                let got = u64::from_le_bytes(pl[..8].try_into().unwrap());
+                assert_eq!(got, truth[&key], "stale cache hit for {key} at step {step}");
+            } else {
+                let payload = truth[&key].to_le_bytes();
+                tree.cache_populate(m.leaf, ptr, &payload, m.token).unwrap();
+            }
+        }
+    }
+    let s = tree.cache_stats();
+    assert!(s.hits > 500, "expected plenty of cache hits, got {:?}", s);
+    assert!(s.zeroings > 0 || s.stale_skips > 0, "invalidation paths must fire: {s:?}");
+}
+
+#[test]
+fn invalidate_all_drops_every_cache() {
+    let tree = BTree::create(pool(), 8, cached_opts(8)).unwrap();
+    for v in 0..50u64 {
+        tree.insert(&k(v), v).unwrap();
+    }
+    for v in 0..50u64 {
+        let m = tree.lookup_cached(&k(v)).unwrap();
+        tree.cache_populate(m.leaf, v, &v.to_le_bytes(), m.token).unwrap();
+    }
+    // Everything hits now.
+    let m = tree.lookup_cached(&k(10)).unwrap();
+    assert!(m.payload.is_some());
+    // Simulated crash: CSNidx bump.
+    tree.invalidate_all_caches();
+    for v in 0..50u64 {
+        let m = tree.lookup_cached(&k(v)).unwrap();
+        assert!(m.payload.is_none(), "cache must be invalid after CSN bump (key {v})");
+    }
+}
+
+#[test]
+fn predicate_log_overflow_invalidates_everything() {
+    let opts = BTreeOptions {
+        cache: Some(CacheConfig { payload_size: 8, bucket_slots: 8, log_threshold: 4 }),
+        cache_seed: 3,
+    };
+    let tree = BTree::create(pool(), 8, opts).unwrap();
+    for v in 0..100u64 {
+        tree.insert(&k(v), v).unwrap();
+    }
+    let m = tree.lookup_cached(&k(0)).unwrap();
+    tree.cache_populate(m.leaf, 0, &0u64.to_le_bytes(), m.token).unwrap();
+    assert!(tree.lookup_cached(&k(0)).unwrap().payload.is_some());
+    // Overflow the tiny log with unrelated invalidations.
+    for v in 50..60u64 {
+        tree.invalidate(&k(v), v).unwrap();
+    }
+    // CSN must have bumped at least once -> key 0's cache is gone too.
+    assert!(tree.lookup_cached(&k(0)).unwrap().payload.is_none());
+}
+
+#[test]
+fn stale_token_populate_is_skipped() {
+    let tree = BTree::create(pool(), 8, cached_opts(8)).unwrap();
+    tree.insert(&k(1), 10).unwrap();
+    let m = tree.lookup_cached(&k(1)).unwrap();
+    // Invalidation races the heap read.
+    tree.invalidate(&k(1), 10).unwrap();
+    assert!(
+        !tree.cache_populate(m.leaf, 10, &7u64.to_le_bytes(), m.token).unwrap(),
+        "populate with a stale token must be refused"
+    );
+    assert_eq!(tree.cache_stats().stale_skips, 1);
+    assert!(tree.lookup_cached(&k(1)).unwrap().payload.is_none());
+}
+
+#[test]
+fn cache_lost_on_eviction_but_reads_stay_correct() {
+    // Non-dirtying cache writes disappear when the frame is reclaimed;
+    // lookups must degrade to misses, never wrong answers.
+    let disk: Arc<dyn DiskManager> =
+        Arc::new(SimulatedDisk::new(4096, DiskModel::free()));
+    let pool = Arc::new(BufferPool::new(disk, 3));
+    let tree = BTree::create(pool, 8, cached_opts(8)).unwrap();
+    for v in 0..500u64 {
+        tree.insert(&k(v), v).unwrap();
+    }
+    for v in 0..500u64 {
+        let m = tree.lookup_cached(&k(v)).unwrap();
+        if m.payload.is_none() {
+            tree.cache_populate(m.leaf, v, &(v * 2).to_le_bytes(), m.token).unwrap();
+        }
+    }
+    // Sweep again: hits may be rare (pool is tiny) but must be correct.
+    let mut hits = 0;
+    for v in 0..500u64 {
+        let m = tree.lookup_cached(&k(v)).unwrap();
+        assert_eq!(m.value, Some(v));
+        if let Some(pl) = m.payload {
+            assert_eq!(u64::from_le_bytes(pl[..8].try_into().unwrap()), v * 2);
+            hits += 1;
+        }
+    }
+    // With 3 frames and dozens of leaves, most caches were evicted.
+    assert!(hits < 450, "expected eviction losses, got {hits} hits");
+}
+
+#[test]
+fn splits_drop_affected_page_caches_only() {
+    let tree = BTree::create(pool(), 8, cached_opts(8)).unwrap();
+    // Two distant key clusters, each large enough to own whole leaves.
+    for v in 0..300u64 {
+        tree.insert(&k(v), v).unwrap();
+    }
+    for v in 10_000..10_300u64 {
+        tree.insert(&k(v), v).unwrap();
+    }
+    for v in (0..300u64).chain(10_000..10_300) {
+        let m = tree.lookup_cached(&k(v)).unwrap();
+        tree.cache_populate(m.leaf, v, &v.to_le_bytes(), m.token).unwrap();
+    }
+    // Force splits in the low cluster only.
+    for v in 300..600u64 {
+        tree.insert(&k(v), v).unwrap();
+    }
+    tree.check_invariants().unwrap().unwrap();
+    // All lookups remain correct; hits for the untouched high cluster
+    // should largely survive.
+    let mut high_hits = 0;
+    for v in 10_000..10_300u64 {
+        let m = tree.lookup_cached(&k(v)).unwrap();
+        assert_eq!(m.value, Some(v));
+        if m.payload.is_some() {
+            high_hits += 1;
+        }
+    }
+    assert!(high_hits > 0, "distant leaf caches should survive unrelated splits");
+}
+
+#[test]
+fn cached_tree_without_cache_config_behaves_plain() {
+    let tree = BTree::create(pool(), 8, BTreeOptions::default()).unwrap();
+    tree.insert(&k(1), 10).unwrap();
+    let m = tree.lookup_cached(&k(1)).unwrap();
+    assert_eq!(m.value, Some(10));
+    assert!(m.payload.is_none());
+    assert!(!tree.cache_populate(m.leaf, 10, &[0u8; 16], m.token).unwrap());
+    assert_eq!(tree.cache_stats().lookups, 0, "no cache, no cache accounting");
+}
+
+#[test]
+fn wrong_payload_width_rejected() {
+    let tree = BTree::create(pool(), 8, cached_opts(16)).unwrap();
+    tree.insert(&k(1), 10).unwrap();
+    let m = tree.lookup_cached(&k(1)).unwrap();
+    assert!(tree.cache_populate(m.leaf, 10, &[0u8; 4], m.token).is_err());
+}
+
+#[test]
+fn hot_keys_survive_cache_pressure() {
+    // Fill one leaf's cache well beyond capacity with cold keys while
+    // repeatedly hitting a hot key: promotion must keep the hot entry.
+    let tree = BTree::create(pool_with(8192, 256), 8, cached_opts(16)).unwrap();
+    let n = 200u64; // all in a handful of leaves
+    for v in 0..n {
+        tree.insert(&k(v), v).unwrap();
+    }
+    let hot = 5u64;
+    let m = tree.lookup_cached(&k(hot)).unwrap();
+    tree.cache_populate(m.leaf, hot, &[1u8; 16], m.token).unwrap();
+    let mut x = 999u64;
+    for _ in 0..5_000 {
+        // Hot hit (promotes toward S)…
+        let h = tree.lookup_cached(&k(hot)).unwrap();
+        if h.payload.is_none() {
+            tree.cache_populate(h.leaf, hot, &[1u8; 16], h.token).unwrap();
+        }
+        // …plus two cold misses that insert (eviction pressure).
+        for _ in 0..2 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let c = x % n;
+            let m = tree.lookup_cached(&k(c)).unwrap();
+            if m.payload.is_none() {
+                tree.cache_populate(m.leaf, m.value.unwrap(), &[2u8; 16], m.token).unwrap();
+            }
+        }
+    }
+    let s = tree.cache_stats();
+    assert!(s.promotions > 100, "hot key should be promoted: {s:?}");
+    // The hot key should hit far more often than the base rate.
+    let h = tree.lookup_cached(&k(hot)).unwrap();
+    assert!(h.payload.is_some(), "hot key must still be cached after churn");
+}
+
+#[test]
+fn concurrent_cached_reads_and_invalidations_stay_consistent() {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    let tree = Arc::new(BTree::create(pool_with(8192, 512), 8, cached_opts(8)).unwrap());
+    let n = 128u64;
+    // Shared "heap": versioned payloads.
+    let heap: Arc<Vec<AtomicU64>> = Arc::new((0..n).map(AtomicU64::new).collect());
+    for v in 0..n {
+        tree.insert(&k(v), v).unwrap();
+    }
+    let mut handles = Vec::new();
+    for t in 0..4 {
+        let tree = Arc::clone(&tree);
+        let heap = Arc::clone(&heap);
+        handles.push(std::thread::spawn(move || {
+            let mut x = 7777u64 + t;
+            for _ in 0..5_000 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let key = x % n;
+                if x.is_multiple_of(17) {
+                    // writer: bump heap version then invalidate
+                    heap[key as usize].fetch_add(1, Ordering::SeqCst);
+                    tree.invalidate(&k(key), key).unwrap();
+                } else {
+                    let m = tree.lookup_cached(&k(key)).unwrap();
+                    if let Some(pl) = &m.payload {
+                        let got = u64::from_le_bytes(pl[..8].try_into().unwrap());
+                        let now = heap[key as usize].load(Ordering::SeqCst);
+                        // A cached value may lag only if an invalidation
+                        // is still in flight; it must never exceed the
+                        // heap version and never be older than the value
+                        // at the instant the entry was stored. The strong
+                        // check: after our own invalidate barrier below,
+                        // reads converge. Here: monotone sanity.
+                        assert!(got <= now, "cache ahead of heap?! {got} > {now}");
+                    } else {
+                        let now = heap[key as usize].load(Ordering::SeqCst);
+                        let _ = tree.cache_populate(
+                            m.leaf,
+                            m.value.unwrap(),
+                            &now.to_le_bytes(),
+                            m.token,
+                        );
+                    }
+                }
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    // Quiesce: invalidate everything, then every hit must be fresh.
+    tree.invalidate_all_caches();
+    for v in 0..n {
+        let m = tree.lookup_cached(&k(v)).unwrap();
+        assert!(m.payload.is_none());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Property tests
+// ---------------------------------------------------------------------
+
+mod properties {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn tree_matches_btreemap(ops in prop::collection::vec(
+            (0u8..3, 0u64..300, 0u64..1000), 1..400))
+        {
+            let tree = BTree::create(pool(), 8, BTreeOptions::default()).unwrap();
+            let mut model = std::collections::BTreeMap::new();
+            for (op, key, val) in ops {
+                match op {
+                    0 => {
+                        let old = tree.insert(&k(key), val).unwrap();
+                        prop_assert_eq!(old, model.insert(key, val));
+                    }
+                    1 => {
+                        let got = tree.delete(&k(key)).unwrap();
+                        prop_assert_eq!(got, model.remove(&key));
+                    }
+                    _ => {
+                        let got = tree.get(&k(key)).unwrap();
+                        prop_assert_eq!(got, model.get(&key).copied());
+                    }
+                }
+            }
+            prop_assert_eq!(tree.len().unwrap(), model.len());
+            tree.check_invariants().unwrap().unwrap();
+            // Full scan equals the model's iteration order.
+            let mut pairs = Vec::new();
+            tree.scan_from(&k(0), |key, value| {
+                pairs.push((u64::from_be_bytes(key.try_into().unwrap()), value));
+                true
+            }).unwrap();
+            let expect: Vec<(u64, u64)> = model.into_iter().collect();
+            prop_assert_eq!(pairs, expect);
+        }
+
+        #[test]
+        fn cached_lookups_never_lie(
+            seed in 0u64..u64::MAX,
+            nkeys in 50u64..200,
+            steps in 100usize..600)
+        {
+            let tree = BTree::create(pool(), 8, cached_opts(8)).unwrap();
+            let mut truth = std::collections::HashMap::new();
+            for v in 0..nkeys {
+                tree.insert(&k(v), v).unwrap();
+                truth.insert(v, v);
+            }
+            let mut x = seed | 1;
+            for _ in 0..steps {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let key = x % nkeys;
+                match x % 5 {
+                    0 => {
+                        let nv = truth[&key].wrapping_add(x);
+                        truth.insert(key, nv);
+                        tree.invalidate(&k(key), key).unwrap();
+                    }
+                    _ => {
+                        let m = tree.lookup_cached(&k(key)).unwrap();
+                        if let Some(pl) = &m.payload {
+                            let got = u64::from_le_bytes(pl[..8].try_into().unwrap());
+                            prop_assert_eq!(got, truth[&key]);
+                        } else {
+                            let payload = truth[&key].to_le_bytes();
+                            tree.cache_populate(m.leaf, key, &payload, m.token).unwrap();
+                        }
+                    }
+                }
+            }
+        }
+
+        #[test]
+        fn bulk_load_any_fill_is_sound(fill in 0.05f64..1.0, n in 1u64..2000) {
+            let entries: Vec<(Vec<u8>, u64)> =
+                (0..n).map(|v| (k(v).to_vec(), v)).collect();
+            let tree = BTree::bulk_load(pool(), 8, BTreeOptions::default(), entries, fill).unwrap();
+            tree.check_invariants().unwrap().unwrap();
+            prop_assert_eq!(tree.len().unwrap(), n as usize);
+            // Spot check lookups.
+            for v in (0..n).step_by((n as usize / 13).max(1)) {
+                prop_assert_eq!(tree.get(&k(v)).unwrap(), Some(v));
+            }
+        }
+    }
+}

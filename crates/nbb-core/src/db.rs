@@ -1,0 +1,324 @@
+//! Database facade: pools, disks, and named tables in one place.
+
+use crate::table::Table;
+use nbb_storage::disk::{DiskManager, DiskModel, InMemoryDisk, SimulatedDisk};
+use nbb_storage::error::{Result, StorageError};
+use nbb_storage::stats::{IoStats, PoolStats};
+use nbb_storage::BufferPool;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Configuration for a [`Database`].
+#[derive(Debug, Clone)]
+pub struct DbConfig {
+    /// Page size for both data and index pages.
+    pub page_size: usize,
+    /// Buffer-pool frames for data pages.
+    pub heap_frames: usize,
+    /// Buffer-pool frames for index pages (separate pool: the Figure 3
+    /// experiments size this independently).
+    pub index_frames: usize,
+    /// Disk latency model; `None` = plain in-memory disk.
+    pub disk_model: Option<DiskModel>,
+}
+
+impl Default for DbConfig {
+    fn default() -> Self {
+        DbConfig { page_size: 8192, heap_frames: 1024, index_frames: 1024, disk_model: None }
+    }
+}
+
+/// A small database: two buffer pools over two disks, named tables.
+pub struct Database {
+    config: DbConfig,
+    heap_pool: Arc<BufferPool>,
+    index_pool: Arc<BufferPool>,
+    heap_disk: Arc<dyn DiskManager>,
+    index_disk: Arc<dyn DiskManager>,
+    tables: RwLock<HashMap<String, Arc<Table>>>,
+}
+
+impl Database {
+    /// Opens an empty database per `config`.
+    pub fn open(config: DbConfig) -> Self {
+        let mk = |frames: usize| -> (Arc<dyn DiskManager>, Arc<BufferPool>) {
+            let disk: Arc<dyn DiskManager> = match config.disk_model {
+                Some(model) => Arc::new(SimulatedDisk::new(config.page_size, model)),
+                None => Arc::new(InMemoryDisk::new(config.page_size)),
+            };
+            let pool = Arc::new(BufferPool::new(Arc::clone(&disk), frames));
+            (disk, pool)
+        };
+        let (heap_disk, heap_pool) = mk(config.heap_frames);
+        let (index_disk, index_pool) = mk(config.index_frames);
+        Self::with_disks_internal(config, heap_disk, heap_pool, index_disk, index_pool)
+    }
+
+    /// Opens an empty database over caller-supplied disks (e.g.
+    /// [`nbb_storage::FileDisk`]s for real persistence). The disks must
+    /// be empty; use [`Database::reopen`] for populated ones.
+    pub fn with_disks(
+        config: DbConfig,
+        heap_disk: Arc<dyn DiskManager>,
+        index_disk: Arc<dyn DiskManager>,
+    ) -> Result<Self> {
+        if heap_disk.num_pages() != 0 || index_disk.num_pages() != 0 {
+            return Err(StorageError::Corrupt(
+                "with_disks requires empty disks; use Database::reopen".into(),
+            ));
+        }
+        let heap_pool = Arc::new(BufferPool::new(Arc::clone(&heap_disk), config.heap_frames));
+        let index_pool = Arc::new(BufferPool::new(Arc::clone(&index_disk), config.index_frames));
+        Ok(Self::with_disks_internal(config, heap_disk, heap_pool, index_disk, index_pool))
+    }
+
+    fn with_disks_internal(
+        config: DbConfig,
+        heap_disk: Arc<dyn DiskManager>,
+        heap_pool: Arc<BufferPool>,
+        index_disk: Arc<dyn DiskManager>,
+        index_pool: Arc<BufferPool>,
+    ) -> Self {
+        // Reserve heap page 0 as the catalog header (see catalog.rs).
+        if heap_disk.num_pages() == 0 {
+            heap_disk.allocate().expect("reserve catalog header page");
+        }
+        Database {
+            config,
+            heap_pool,
+            index_pool,
+            heap_disk,
+            index_disk,
+            tables: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// Persists the catalog (all table/index metadata) and flushes both
+    /// pools, so [`Database::reopen`] over the same disks restores every
+    /// table. Each persist writes fresh payload chunks; superseded
+    /// chunks become dead pages.
+    pub fn persist(&self) -> Result<()> {
+        use crate::catalog::{encode, Catalog, TableEntry};
+        let tables = self.tables.read();
+        let mut entries: Vec<TableEntry> = tables
+            .values()
+            .map(|t| TableEntry {
+                name: t.name().to_string(),
+                tuple_width: t.tuple_width() as u32,
+                heap_pages: t.heap().page_ids(),
+                indexes: t.index_specs(),
+            })
+            .collect();
+        entries.sort_by(|a, b| a.name.cmp(&b.name));
+        let payload = encode(&Catalog { tables: entries });
+
+        // Write payload chunks to freshly-allocated heap-disk pages.
+        let page_size = self.config.page_size;
+        let nchunks = payload.len().div_ceil(page_size).max(1);
+        let mut first_chunk = None;
+        for i in 0..nchunks {
+            let pid = self.heap_disk.allocate()?;
+            if first_chunk.is_none() {
+                first_chunk = Some(pid);
+            }
+            let mut page = nbb_storage::Page::new(page_size);
+            let start = i * page_size;
+            let end = (start + page_size).min(payload.len());
+            page.bytes_mut()[..end - start].copy_from_slice(&payload[start..end]);
+            self.heap_disk.write(pid, &page)?;
+        }
+        // Header page 0: magic | len | first_chunk | nchunks.
+        let mut header = nbb_storage::Page::new(page_size);
+        header.write_u32(0, 0x6E62_6200);
+        header.write_u64(4, payload.len() as u64);
+        header.write_u64(12, first_chunk.expect("at least one chunk").0);
+        header.write_u32(20, nchunks as u32);
+        self.heap_disk.write(nbb_storage::PageId(0), &header)?;
+
+        self.heap_pool.flush_all()?;
+        self.index_pool.flush_all()?;
+        Ok(())
+    }
+
+    /// Reopens a persisted database: reads the catalog from the heap
+    /// disk and reattaches every table (heaps via page lists, indexes
+    /// via [`nbb_btree::BTree::open`], which invalidates persisted
+    /// cache bytes by starting a fresh CSN epoch).
+    pub fn reopen(
+        config: DbConfig,
+        heap_disk: Arc<dyn DiskManager>,
+        index_disk: Arc<dyn DiskManager>,
+    ) -> Result<Self> {
+        let page_size = config.page_size;
+        if heap_disk.page_size() != page_size || index_disk.page_size() != page_size {
+            return Err(StorageError::Corrupt("page size mismatch on reopen".into()));
+        }
+        // Read the catalog directly from disk (bypassing pools).
+        let mut header = nbb_storage::Page::new(page_size);
+        heap_disk.read(nbb_storage::PageId(0), &mut header)?;
+        if header.read_u32(0) != 0x6E62_6200 {
+            return Err(StorageError::Corrupt("no catalog on this disk".into()));
+        }
+        let len = header.read_u64(4) as usize;
+        let first_chunk = header.read_u64(12);
+        let nchunks = header.read_u32(20) as usize;
+        let mut payload = Vec::with_capacity(len);
+        let mut buf = nbb_storage::Page::new(page_size);
+        for i in 0..nchunks {
+            heap_disk.read(nbb_storage::PageId(first_chunk + i as u64), &mut buf)?;
+            let take = (len - payload.len()).min(page_size);
+            payload.extend_from_slice(&buf.bytes()[..take]);
+        }
+        let catalog = crate::catalog::decode(&payload)?;
+
+        let heap_pool = Arc::new(BufferPool::new(Arc::clone(&heap_disk), config.heap_frames));
+        let index_pool = Arc::new(BufferPool::new(Arc::clone(&index_disk), config.index_frames));
+        let db = Database {
+            config,
+            heap_pool,
+            index_pool,
+            heap_disk,
+            index_disk,
+            tables: RwLock::new(HashMap::new()),
+        };
+        for entry in catalog.tables {
+            let heap = nbb_storage::HeapFile::attach(
+                Arc::clone(&db.heap_pool),
+                entry.heap_pages,
+            )?;
+            let table = Table::attach(
+                &entry.name,
+                entry.tuple_width as usize,
+                heap,
+                Arc::clone(&db.index_pool),
+                entry.indexes,
+            )?;
+            db.tables.write().insert(entry.name, Arc::new(table));
+        }
+        Ok(db)
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &DbConfig {
+        &self.config
+    }
+
+    /// Creates a table of fixed-width tuples.
+    pub fn create_table(&self, name: &str, tuple_width: usize) -> Result<Arc<Table>> {
+        let mut tables = self.tables.write();
+        if tables.contains_key(name) {
+            return Err(StorageError::Corrupt(format!("table {name} already exists")));
+        }
+        let t = Arc::new(Table::create(
+            name,
+            tuple_width,
+            Arc::clone(&self.heap_pool),
+            Arc::clone(&self.index_pool),
+        )?);
+        tables.insert(name.to_string(), Arc::clone(&t));
+        Ok(t)
+    }
+
+    /// Looks up a table.
+    pub fn table(&self, name: &str) -> Result<Arc<Table>> {
+        self.tables
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| StorageError::Corrupt(format!("no table named {name}")))
+    }
+
+    /// Table names, sorted.
+    pub fn table_names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.tables.read().keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// The data-page buffer pool.
+    pub fn heap_pool(&self) -> &Arc<BufferPool> {
+        &self.heap_pool
+    }
+
+    /// The index-page buffer pool.
+    pub fn index_pool(&self) -> &Arc<BufferPool> {
+        &self.index_pool
+    }
+
+    /// `(heap, index)` buffer pool counters.
+    pub fn pool_stats(&self) -> (PoolStats, PoolStats) {
+        (self.heap_pool.stats(), self.index_pool.stats())
+    }
+
+    /// `(heap, index)` disk counters (simulated time lives here).
+    pub fn io_stats(&self) -> (IoStats, IoStats) {
+        (self.heap_disk.stats(), self.index_disk.stats())
+    }
+
+    /// Zeroes all pool and disk counters (between experiment phases).
+    pub fn reset_stats(&self) {
+        self.heap_pool.reset_stats();
+        self.index_pool.reset_stats();
+        self.heap_disk.reset_stats();
+        self.index_disk.reset_stats();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::{FieldSpec, IndexSpec};
+
+    #[test]
+    fn create_and_fetch_tables() {
+        let db = Database::open(DbConfig::default());
+        db.create_table("a", 16).unwrap();
+        db.create_table("b", 32).unwrap();
+        assert_eq!(db.table_names(), vec!["a", "b"]);
+        assert_eq!(db.table("a").unwrap().tuple_width(), 16);
+        assert!(db.table("c").is_err());
+        assert!(db.create_table("a", 8).is_err(), "duplicate name");
+    }
+
+    #[test]
+    fn simulated_disk_accumulates_cost() {
+        let db = Database::open(DbConfig {
+            page_size: 4096,
+            heap_frames: 2,
+            index_frames: 2,
+            disk_model: Some(DiskModel { read_ns: 1000, write_ns: 10 }),
+        });
+        let t = db.create_table("t", 64).unwrap();
+        t.create_index(IndexSpec::plain("pk", FieldSpec::new(0, 8))).unwrap();
+        for i in 0..500u64 {
+            let mut tu = i.to_be_bytes().to_vec();
+            tu.extend_from_slice(&[0u8; 56]);
+            t.insert(&tu).unwrap();
+        }
+        db.reset_stats();
+        for i in (0..500u64).step_by(7) {
+            t.get_via_index("pk", &i.to_be_bytes()).unwrap().unwrap();
+        }
+        let (heap_io, index_io) = db.io_stats();
+        // Tiny pools force disk reads with simulated latency.
+        assert!(heap_io.reads + index_io.reads > 0);
+        assert!(heap_io.sim_total_ns() + index_io.sim_total_ns() > 0);
+    }
+
+    #[test]
+    fn stats_reset_clears_everything() {
+        let db = Database::open(DbConfig {
+            heap_frames: 2,
+            ..DbConfig::default()
+        });
+        let t = db.create_table("t", 16).unwrap();
+        for i in 0..100u64 {
+            t.insert(&[i as u8; 16]).unwrap();
+        }
+        db.reset_stats();
+        let (h, i) = db.pool_stats();
+        assert_eq!(h, PoolStats::default());
+        assert_eq!(i, PoolStats::default());
+    }
+}

@@ -1,0 +1,268 @@
+//! Data-page join caches — the §2.2 "additional direction" made real.
+//!
+//! "Data pages can cache the results of foreign key joins, to avoid
+//! additional disk accesses for join queries." Here each *referencing*
+//! data page gets a cache of `fk → joined payload` entries whose byte
+//! budget equals the page's measured free space — the cache only ever
+//! recycles bytes the page already wastes, mirroring the index-cache
+//! philosophy. (Entries live beside the frame rather than inside the
+//! page image; the budget, keying, and invalidation behave as §2.2
+//! sketches.)
+//!
+//! Eviction is LRU within a page. Updating a referenced row invalidates
+//! by foreign key across all pages.
+
+use nbb_storage::page::PageId;
+use std::collections::HashMap;
+
+/// Per-page join-result cache with a free-space-derived byte budget.
+#[derive(Debug, Default)]
+pub struct JoinCache {
+    pages: HashMap<PageId, PageCache>,
+    hits: u64,
+    misses: u64,
+    insertions: u64,
+    evictions: u64,
+    invalidations: u64,
+}
+
+#[derive(Debug, Default)]
+struct PageCache {
+    budget: usize,
+    used: usize,
+    clock: u64,
+    /// fk -> (payload, last-use tick)
+    entries: HashMap<u64, (Vec<u8>, u64)>,
+}
+
+impl PageCache {
+    fn evict_lru(&mut self) -> bool {
+        let Some((&victim, _)) = self.entries.iter().min_by_key(|(_, (_, t))| *t) else {
+            return false;
+        };
+        let (payload, _) = self.entries.remove(&victim).expect("present");
+        self.used -= entry_cost(&payload);
+        true
+    }
+}
+
+fn entry_cost(payload: &[u8]) -> usize {
+    8 + payload.len() // fk key + payload bytes
+}
+
+/// Counters for the join cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JoinCacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Entries stored.
+    pub insertions: u64,
+    /// Entries evicted for space.
+    pub evictions: u64,
+    /// Entries dropped by invalidation.
+    pub invalidations: u64,
+}
+
+impl JoinCache {
+    /// Empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets page `pid`'s byte budget (callers pass the page's measured
+    /// free bytes; shrinking the budget evicts down to fit).
+    pub fn set_budget(&mut self, pid: PageId, budget: usize) {
+        let pc = self.pages.entry(pid).or_default();
+        pc.budget = budget;
+        while pc.used > pc.budget {
+            if !pc.evict_lru() {
+                break;
+            }
+            self.evictions += 1;
+        }
+    }
+
+    /// Looks up the joined payload for `fk` cached on page `pid`.
+    pub fn lookup(&mut self, pid: PageId, fk: u64) -> Option<Vec<u8>> {
+        let pc = self.pages.get_mut(&pid)?;
+        pc.clock += 1;
+        let clock = pc.clock;
+        match pc.entries.get_mut(&fk) {
+            Some((payload, tick)) => {
+                *tick = clock;
+                self.hits += 1;
+                Some(payload.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Caches `fk → payload` on page `pid`, evicting LRU entries to fit.
+    /// Returns false when the payload exceeds the whole budget.
+    pub fn insert(&mut self, pid: PageId, fk: u64, payload: &[u8]) -> bool {
+        let pc = self.pages.entry(pid).or_default();
+        let cost = entry_cost(payload);
+        if cost > pc.budget {
+            return false;
+        }
+        if let Some((old, _)) = pc.entries.remove(&fk) {
+            pc.used -= entry_cost(&old);
+        }
+        while pc.used + cost > pc.budget {
+            if !pc.evict_lru() {
+                break;
+            }
+            self.evictions += 1;
+        }
+        pc.clock += 1;
+        let clock = pc.clock;
+        pc.entries.insert(fk, (payload.to_vec(), clock));
+        pc.used += cost;
+        self.insertions += 1;
+        true
+    }
+
+    /// Invalidates every cached join result for `fk` (the referenced row
+    /// changed) across all pages.
+    pub fn invalidate_fk(&mut self, fk: u64) {
+        for pc in self.pages.values_mut() {
+            if let Some((payload, _)) = pc.entries.remove(&fk) {
+                pc.used -= entry_cost(&payload);
+                self.invalidations += 1;
+            }
+        }
+    }
+
+    /// Drops page `pid`'s cache entirely (page rewritten/compacted).
+    pub fn invalidate_page(&mut self, pid: PageId) {
+        if let Some(pc) = self.pages.get_mut(&pid) {
+            self.invalidations += pc.entries.len() as u64;
+            pc.entries.clear();
+            pc.used = 0;
+        }
+    }
+
+    /// Bytes cached on page `pid`.
+    pub fn used_bytes(&self, pid: PageId) -> usize {
+        self.pages.get(&pid).map_or(0, |p| p.used)
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> JoinCacheStats {
+        JoinCacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            insertions: self.insertions,
+            evictions: self.evictions,
+            invalidations: self.invalidations,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pid(n: u64) -> PageId {
+        PageId(n)
+    }
+
+    #[test]
+    fn miss_insert_hit_cycle() {
+        let mut jc = JoinCache::new();
+        jc.set_budget(pid(1), 1024);
+        assert!(jc.lookup(pid(1), 42).is_none());
+        assert!(jc.insert(pid(1), 42, b"joined-row"));
+        assert_eq!(jc.lookup(pid(1), 42).unwrap(), b"joined-row");
+        let s = jc.stats();
+        assert_eq!((s.hits, s.misses, s.insertions), (1, 1, 1));
+    }
+
+    #[test]
+    fn budget_enforced_with_lru_eviction() {
+        let mut jc = JoinCache::new();
+        // Budget fits exactly 2 entries of cost 8+8=16.
+        jc.set_budget(pid(1), 32);
+        assert!(jc.insert(pid(1), 1, &[1u8; 8]));
+        assert!(jc.insert(pid(1), 2, &[2u8; 8]));
+        // Touch 1 so 2 becomes LRU.
+        jc.lookup(pid(1), 1);
+        assert!(jc.insert(pid(1), 3, &[3u8; 8]));
+        assert!(jc.lookup(pid(1), 1).is_some(), "recently used must survive");
+        assert!(jc.lookup(pid(1), 2).is_none(), "LRU must be evicted");
+        assert!(jc.lookup(pid(1), 3).is_some());
+        assert_eq!(jc.stats().evictions, 1);
+        assert!(jc.used_bytes(pid(1)) <= 32);
+    }
+
+    #[test]
+    fn oversized_payload_rejected() {
+        let mut jc = JoinCache::new();
+        jc.set_budget(pid(1), 16);
+        assert!(!jc.insert(pid(1), 1, &[0u8; 64]));
+        assert_eq!(jc.used_bytes(pid(1)), 0);
+    }
+
+    #[test]
+    fn shrinking_budget_evicts() {
+        let mut jc = JoinCache::new();
+        jc.set_budget(pid(1), 64);
+        for k in 0..4u64 {
+            jc.insert(pid(1), k, &[k as u8; 8]);
+        }
+        assert_eq!(jc.used_bytes(pid(1)), 64);
+        // A key insert consumed the page's free space: budget shrinks.
+        jc.set_budget(pid(1), 16);
+        assert!(jc.used_bytes(pid(1)) <= 16);
+    }
+
+    #[test]
+    fn fk_invalidation_spans_pages() {
+        let mut jc = JoinCache::new();
+        jc.set_budget(pid(1), 128);
+        jc.set_budget(pid(2), 128);
+        jc.insert(pid(1), 7, b"a");
+        jc.insert(pid(2), 7, b"a");
+        jc.insert(pid(2), 8, b"b");
+        jc.invalidate_fk(7);
+        assert!(jc.lookup(pid(1), 7).is_none());
+        assert!(jc.lookup(pid(2), 7).is_none());
+        assert_eq!(jc.lookup(pid(2), 8).unwrap(), b"b");
+        assert_eq!(jc.stats().invalidations, 2);
+    }
+
+    #[test]
+    fn page_invalidation_clears_one_page() {
+        let mut jc = JoinCache::new();
+        jc.set_budget(pid(1), 128);
+        jc.set_budget(pid(2), 128);
+        jc.insert(pid(1), 1, b"x");
+        jc.insert(pid(2), 2, b"y");
+        jc.invalidate_page(pid(1));
+        assert!(jc.lookup(pid(1), 1).is_none());
+        assert!(jc.lookup(pid(2), 2).is_some());
+    }
+
+    #[test]
+    fn reinsert_same_key_replaces() {
+        let mut jc = JoinCache::new();
+        jc.set_budget(pid(1), 64);
+        jc.insert(pid(1), 1, b"old");
+        jc.insert(pid(1), 1, b"new");
+        assert_eq!(jc.lookup(pid(1), 1).unwrap(), b"new");
+        assert_eq!(jc.used_bytes(pid(1)), 8 + 3);
+    }
+
+    #[test]
+    fn zero_budget_page_caches_nothing() {
+        let mut jc = JoinCache::new();
+        jc.set_budget(pid(1), 0);
+        assert!(!jc.insert(pid(1), 1, b"x"));
+        assert!(jc.lookup(pid(1), 1).is_none());
+    }
+}

@@ -1,0 +1,53 @@
+//! # nbb-core — the *No Bits Left Behind* system facade
+//!
+//! Ties the substrates into the system the paper envisions:
+//!
+//! * [`db`] — a small database: separate data/index buffer pools over
+//!   (optionally latency-modeled) disks, named tables;
+//! * [`table`] — fixed-width-tuple tables with cached secondary
+//!   indexes: [`table::Table::project_via_index`] is the paper's §2.1
+//!   hot path (index-cache hit → no heap access), and updates/deletes
+//!   carry the §2.1.2 invalidation duties automatically;
+//! * [`waste`] — the §1 vision of "tools that automate waste
+//!   detection": one audit spanning unused space, locality, and
+//!   encoding waste;
+//! * [`joincache`] — the §2.2 data-page join-result cache extension.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use nbb_core::db::{Database, DbConfig};
+//! use nbb_core::table::{FieldSpec, IndexSpec};
+//!
+//! let db = Database::open(DbConfig::default());
+//! let t = db.create_table("pages", 24).unwrap();
+//! // tuple: id(8) | views(8) | flags(8); index on id, caching views.
+//! t.create_index(IndexSpec::cached(
+//!     "by_id",
+//!     FieldSpec::new(0, 8),
+//!     vec![FieldSpec::new(8, 8)],
+//! )).unwrap();
+//! let mut tuple = 7u64.to_be_bytes().to_vec();
+//! tuple.extend_from_slice(&123u64.to_le_bytes());
+//! tuple.extend_from_slice(&[0u8; 8]);
+//! t.insert(&tuple).unwrap();
+//!
+//! let first = t.project_via_index("by_id", &7u64.to_be_bytes()).unwrap().unwrap();
+//! assert!(!first.index_only);          // cold: heap fetch + populate
+//! let second = t.project_via_index("by_id", &7u64.to_be_bytes()).unwrap().unwrap();
+//! assert!(second.index_only);          // hot: answered from index free space
+//! assert_eq!(second.payload, 123u64.to_le_bytes());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod db;
+pub mod joincache;
+pub mod table;
+pub mod waste;
+
+pub use db::{Database, DbConfig};
+pub use joincache::{JoinCache, JoinCacheStats};
+pub use table::{FieldSpec, IndexSpec, Projection, Table, TableStats};
+pub use waste::{audit, audit_encoding, audit_locality, audit_unused, WasteReport};

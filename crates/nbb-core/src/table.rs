@@ -1,0 +1,659 @@
+//! Tables: fixed-width tuples on a heap, with cached secondary indexes.
+//!
+//! A [`Table`] composes the substrates into the paper's system: a heap
+//! file for tuples, any number of B+Tree indexes whose leaf free space
+//! caches hot tuples' projected fields (§2.1), and the bookkeeping that
+//! keeps caches consistent under updates (§2.1.2).
+//!
+//! Field geometry is declared, not parsed: a [`FieldSpec`] names a byte
+//! range of the fixed-width tuple; an [`IndexSpec`] says which range is
+//! the key and which ranges ride in the index cache. The paper's
+//! `name_title` example: key = (namespace, title), cached payload =
+//! 4 projected fields, 25-byte cache items.
+
+use nbb_btree::{BTree, BTreeOptions, CacheConfig};
+use nbb_storage::error::{Result, StorageError};
+use nbb_storage::heap::HeapFile;
+use nbb_storage::rid::RecordId;
+use nbb_storage::BufferPool;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A byte range within the fixed-width tuple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FieldSpec {
+    /// Byte offset within the tuple.
+    pub offset: usize,
+    /// Field width in bytes.
+    pub len: usize,
+}
+
+impl FieldSpec {
+    /// Shorthand constructor.
+    pub fn new(offset: usize, len: usize) -> Self {
+        FieldSpec { offset, len }
+    }
+
+    fn extract<'a>(&self, tuple: &'a [u8]) -> &'a [u8] {
+        &tuple[self.offset..self.offset + self.len]
+    }
+}
+
+/// Declaration of a secondary index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexSpec {
+    /// Index name (unique within the table).
+    pub name: String,
+    /// Which tuple bytes form the key (must be unique per tuple for
+    /// point lookups to be meaningful).
+    pub key: FieldSpec,
+    /// Fields cached in leaf free space; empty = caching disabled.
+    pub cached_fields: Vec<FieldSpec>,
+    /// Cache tuning (bucket size, log threshold); payload size is
+    /// derived from `cached_fields`.
+    pub bucket_slots: usize,
+    /// Predicate-log threshold before full invalidation.
+    pub log_threshold: usize,
+}
+
+impl IndexSpec {
+    /// A plain (uncached) index on `key`.
+    pub fn plain(name: &str, key: FieldSpec) -> Self {
+        IndexSpec {
+            name: name.to_string(),
+            key,
+            cached_fields: Vec::new(),
+            bucket_slots: 8,
+            log_threshold: 64,
+        }
+    }
+
+    /// A cached index on `key`, caching `fields` (§2.1).
+    pub fn cached(name: &str, key: FieldSpec, fields: Vec<FieldSpec>) -> Self {
+        IndexSpec {
+            name: name.to_string(),
+            key,
+            cached_fields: fields,
+            bucket_slots: 8,
+            log_threshold: 64,
+        }
+    }
+
+    /// Total cached payload width.
+    pub fn payload_size(&self) -> usize {
+        self.cached_fields.iter().map(|f| f.len).sum()
+    }
+}
+
+struct Index {
+    spec: IndexSpec,
+    tree: BTree,
+}
+
+impl Index {
+    fn extract_payload(&self, tuple: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.spec.payload_size());
+        for f in &self.spec.cached_fields {
+            out.extend_from_slice(f.extract(tuple));
+        }
+        out
+    }
+}
+
+/// Result of a cache-aware projection query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Projection {
+    /// The concatenated cached fields.
+    pub payload: Vec<u8>,
+    /// True when answered from the index cache without touching the heap.
+    pub index_only: bool,
+}
+
+/// Per-table access counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TableStats {
+    /// Point queries answered entirely from an index cache.
+    pub index_only_answers: u64,
+    /// Point queries that had to fetch the heap tuple.
+    pub heap_fetches: u64,
+    /// Tuples inserted.
+    pub inserts: u64,
+    /// Tuples updated.
+    pub updates: u64,
+    /// Tuples deleted.
+    pub deletes: u64,
+}
+
+/// A fixed-width-tuple table with cached secondary indexes.
+pub struct Table {
+    name: String,
+    tuple_width: usize,
+    heap: HeapFile,
+    indexes: RwLock<HashMap<String, Arc<Index>>>,
+    index_pool: Arc<BufferPool>,
+    index_only_answers: AtomicU64,
+    heap_fetches: AtomicU64,
+    inserts: AtomicU64,
+    updates: AtomicU64,
+    deletes: AtomicU64,
+}
+
+impl Table {
+    /// Creates a table of `tuple_width`-byte tuples.
+    ///
+    /// `heap_pool` backs the data pages, `index_pool` the index pages —
+    /// separating them lets experiments give indexes dedicated RAM, the
+    /// knob behind Figure 3's `Partition` result.
+    pub fn create(
+        name: &str,
+        tuple_width: usize,
+        heap_pool: Arc<BufferPool>,
+        index_pool: Arc<BufferPool>,
+    ) -> Result<Self> {
+        assert!(tuple_width > 0, "tuple width must be positive");
+        Ok(Table {
+            name: name.to_string(),
+            tuple_width,
+            heap: HeapFile::create(heap_pool)?,
+            indexes: RwLock::new(HashMap::new()),
+            index_pool,
+            index_only_answers: AtomicU64::new(0),
+            heap_fetches: AtomicU64::new(0),
+            inserts: AtomicU64::new(0),
+            updates: AtomicU64::new(0),
+            deletes: AtomicU64::new(0),
+        })
+    }
+
+    /// Reattaches a persisted table: an existing heap plus indexes
+    /// reopened from their catalog entries `(spec, root page)`. No
+    /// backfill happens — the trees already contain the entries.
+    pub fn attach(
+        name: &str,
+        tuple_width: usize,
+        heap: HeapFile,
+        index_pool: Arc<BufferPool>,
+        indexes: Vec<(IndexSpec, nbb_storage::PageId)>,
+    ) -> Result<Self> {
+        assert!(tuple_width > 0, "tuple width must be positive");
+        let t = Table {
+            name: name.to_string(),
+            tuple_width,
+            heap,
+            indexes: RwLock::new(HashMap::new()),
+            index_pool,
+            index_only_answers: AtomicU64::new(0),
+            heap_fetches: AtomicU64::new(0),
+            inserts: AtomicU64::new(0),
+            updates: AtomicU64::new(0),
+            deletes: AtomicU64::new(0),
+        };
+        for (spec, root) in indexes {
+            t.check_spec(&spec)?;
+            let cache = (!spec.cached_fields.is_empty()).then(|| CacheConfig {
+                payload_size: spec.payload_size(),
+                bucket_slots: spec.bucket_slots,
+                log_threshold: spec.log_threshold,
+            });
+            let tree = BTree::open(
+                Arc::clone(&t.index_pool),
+                spec.key.len,
+                root,
+                BTreeOptions { cache, cache_seed: 0x5eed },
+            )?;
+            t.indexes.write().insert(spec.name.clone(), Arc::new(Index { spec, tree }));
+        }
+        Ok(t)
+    }
+
+    /// Every index's declaration and current root page — the catalog
+    /// entry needed to [`Table::attach`] later.
+    pub fn index_specs(&self) -> Vec<(IndexSpec, nbb_storage::PageId)> {
+        let mut v: Vec<(IndexSpec, nbb_storage::PageId)> = self
+            .indexes
+            .read()
+            .values()
+            .map(|i| (i.spec.clone(), i.tree.root_page()))
+            .collect();
+        v.sort_by(|a, b| a.0.name.cmp(&b.0.name));
+        v
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Fixed tuple width in bytes.
+    pub fn tuple_width(&self) -> usize {
+        self.tuple_width
+    }
+
+    /// The underlying heap.
+    pub fn heap(&self) -> &HeapFile {
+        &self.heap
+    }
+
+    /// Declares an index. Existing tuples are indexed immediately.
+    pub fn create_index(&self, spec: IndexSpec) -> Result<()> {
+        self.check_spec(&spec)?;
+        let cache = (!spec.cached_fields.is_empty()).then(|| CacheConfig {
+            payload_size: spec.payload_size(),
+            bucket_slots: spec.bucket_slots,
+            log_threshold: spec.log_threshold,
+        });
+        let tree = BTree::create(
+            Arc::clone(&self.index_pool),
+            spec.key.len,
+            BTreeOptions { cache, cache_seed: 0x5eed },
+        )?;
+        // Backfill.
+        let mut pending = Vec::new();
+        self.heap.scan(|rid, tuple| {
+            pending.push((spec.key.extract(tuple).to_vec(), rid));
+        })?;
+        for (key, rid) in pending {
+            tree.insert(&key, rid.to_u64())?;
+        }
+        let name = spec.name.clone();
+        self.indexes.write().insert(name, Arc::new(Index { spec, tree }));
+        Ok(())
+    }
+
+    fn check_spec(&self, spec: &IndexSpec) -> Result<()> {
+        let check = |f: &FieldSpec| {
+            if f.offset + f.len > self.tuple_width {
+                Err(StorageError::Corrupt(format!(
+                    "field {}..{} exceeds tuple width {}",
+                    f.offset,
+                    f.offset + f.len,
+                    self.tuple_width
+                )))
+            } else {
+                Ok(())
+            }
+        };
+        check(&spec.key)?;
+        for f in &spec.cached_fields {
+            check(f)?;
+        }
+        Ok(())
+    }
+
+    fn index(&self, name: &str) -> Result<Arc<Index>> {
+        self.indexes
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| StorageError::Corrupt(format!("no index named {name}")))
+    }
+
+    /// Access to an index's tree (stats, fill factors).
+    pub fn index_tree(&self, name: &str) -> Result<Arc<IndexHandle>> {
+        let idx = self.index(name)?;
+        Ok(Arc::new(IndexHandle { idx }))
+    }
+
+    fn check_tuple(&self, tuple: &[u8]) -> Result<()> {
+        if tuple.len() != self.tuple_width {
+            return Err(StorageError::Corrupt(format!(
+                "tuple width {} != declared {}",
+                tuple.len(),
+                self.tuple_width
+            )));
+        }
+        Ok(())
+    }
+
+    /// Inserts a tuple, maintaining every index.
+    pub fn insert(&self, tuple: &[u8]) -> Result<RecordId> {
+        self.check_tuple(tuple)?;
+        let rid = self.heap.insert(tuple)?;
+        for idx in self.indexes.read().values() {
+            idx.tree.insert(idx.spec.key.extract(tuple), rid.to_u64())?;
+        }
+        self.inserts.fetch_add(1, Ordering::Relaxed);
+        Ok(rid)
+    }
+
+    /// Full-tuple point lookup through an index (index → heap).
+    pub fn get_via_index(&self, index: &str, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        let idx = self.index(index)?;
+        let Some(ptr) = idx.tree.get(key)? else { return Ok(None) };
+        self.heap_fetches.fetch_add(1, Ordering::Relaxed);
+        Ok(Some(self.heap.get(RecordId::from_u64(ptr))?))
+    }
+
+    /// Projection query over the cached fields (§2.1's hot path):
+    /// answered from the index cache when possible, otherwise fetches
+    /// the heap tuple and populates the cache.
+    pub fn project_via_index(&self, index: &str, key: &[u8]) -> Result<Option<Projection>> {
+        let idx = self.index(index)?;
+        if idx.spec.cached_fields.is_empty() {
+            // No cache: plain index -> heap -> project.
+            let Some(tuple) = self.get_via_index(index, key)? else { return Ok(None) };
+            return Ok(Some(Projection { payload: idx.extract_payload(&tuple), index_only: false }));
+        }
+        let m = idx.tree.lookup_cached(key)?;
+        let Some(ptr) = m.value else { return Ok(None) };
+        if let Some(payload) = m.payload {
+            self.index_only_answers.fetch_add(1, Ordering::Relaxed);
+            return Ok(Some(Projection { payload, index_only: true }));
+        }
+        let tuple = self.heap.get(RecordId::from_u64(ptr))?;
+        self.heap_fetches.fetch_add(1, Ordering::Relaxed);
+        let payload = idx.extract_payload(&tuple);
+        idx.tree.cache_populate(m.leaf, ptr, &payload, m.token)?;
+        Ok(Some(Projection { payload, index_only: false }))
+    }
+
+    /// Updates the tuple with index key `key` (via `index`) to `tuple`.
+    ///
+    /// Handles the §2.1.2 consistency duties: indexes whose cached
+    /// fields changed get an invalidation predicate; indexes whose key
+    /// bytes changed get a delete+insert.
+    pub fn update_via_index(&self, index: &str, key: &[u8], tuple: &[u8]) -> Result<bool> {
+        self.check_tuple(tuple)?;
+        let idx = self.index(index)?;
+        let Some(ptr) = idx.tree.get(key)? else { return Ok(false) };
+        let rid = RecordId::from_u64(ptr);
+        let old = self.heap.get(rid)?;
+        self.heap.update(rid, tuple)?;
+        for other in self.indexes.read().values() {
+            let old_key = other.spec.key.extract(&old);
+            let new_key = other.spec.key.extract(tuple);
+            if old_key != new_key {
+                other.tree.delete(old_key)?;
+                other.tree.insert(new_key, ptr)?;
+                continue;
+            }
+            if !other.spec.cached_fields.is_empty()
+                && other.extract_payload(&old) != other.extract_payload(tuple)
+            {
+                other.tree.invalidate(new_key, ptr)?;
+            }
+        }
+        self.updates.fetch_add(1, Ordering::Relaxed);
+        Ok(true)
+    }
+
+    /// Deletes the tuple with index key `key` (via `index`).
+    pub fn delete_via_index(&self, index: &str, key: &[u8]) -> Result<bool> {
+        let idx = self.index(index)?;
+        let Some(ptr) = idx.tree.get(key)? else { return Ok(false) };
+        let rid = RecordId::from_u64(ptr);
+        let tuple = self.heap.get(rid)?;
+        for other in self.indexes.read().values() {
+            let k = other.spec.key.extract(&tuple);
+            other.tree.delete(k)?;
+            // Drop any cached entry for this pointer (RID reuse safety).
+            other.tree.invalidate(k, ptr)?;
+        }
+        self.heap.delete(rid)?;
+        self.deletes.fetch_add(1, Ordering::Relaxed);
+        Ok(true)
+    }
+
+    /// Relocates the tuple at `rid` to the heap tail (the §3.1
+    /// clustering primitive), patching every index.
+    pub fn relocate(&self, rid: RecordId) -> Result<RecordId> {
+        let tuple = self.heap.get(rid)?;
+        let new_rid = self.heap.relocate(rid)?;
+        for idx in self.indexes.read().values() {
+            let k = idx.spec.key.extract(&tuple);
+            idx.tree.update_value(k, new_rid.to_u64())?;
+        }
+        Ok(new_rid)
+    }
+
+    /// Visits every live tuple.
+    pub fn scan(&self, f: impl FnMut(RecordId, &[u8])) -> Result<()> {
+        self.heap.scan(f)
+    }
+
+    /// Access counters.
+    pub fn stats(&self) -> TableStats {
+        TableStats {
+            index_only_answers: self.index_only_answers.load(Ordering::Relaxed),
+            heap_fetches: self.heap_fetches.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
+            updates: self.updates.load(Ordering::Relaxed),
+            deletes: self.deletes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Borrow-friendly handle exposing an index's tree.
+pub struct IndexHandle {
+    idx: Arc<Index>,
+}
+
+impl IndexHandle {
+    /// The underlying B+Tree.
+    pub fn tree(&self) -> &BTree {
+        &self.idx.tree
+    }
+
+    /// The index declaration.
+    pub fn spec(&self) -> &IndexSpec {
+        &self.idx.spec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nbb_storage::{DiskManager, InMemoryDisk};
+
+    fn pools() -> (Arc<BufferPool>, Arc<BufferPool>) {
+        let d1: Arc<dyn DiskManager> = Arc::new(InMemoryDisk::new(4096));
+        let d2: Arc<dyn DiskManager> = Arc::new(InMemoryDisk::new(4096));
+        (Arc::new(BufferPool::new(d1, 128)), Arc::new(BufferPool::new(d2, 128)))
+    }
+
+    /// 32-byte tuple: id(8) | group(8) | value(8) | blob(8)
+    fn tuple(id: u64, group: u64, value: u64) -> Vec<u8> {
+        let mut t = Vec::with_capacity(32);
+        t.extend_from_slice(&id.to_be_bytes());
+        t.extend_from_slice(&group.to_be_bytes());
+        t.extend_from_slice(&value.to_le_bytes());
+        t.extend_from_slice(&[0xAB; 8]);
+        t
+    }
+
+    fn table_with_cached_index() -> Table {
+        let (hp, ip) = pools();
+        let t = Table::create("t", 32, hp, ip).unwrap();
+        t.create_index(IndexSpec::cached(
+            "by_id",
+            FieldSpec::new(0, 8),
+            vec![FieldSpec::new(16, 8)], // cache `value`
+        ))
+        .unwrap();
+        t
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let t = table_with_cached_index();
+        t.insert(&tuple(1, 10, 100)).unwrap();
+        t.insert(&tuple(2, 20, 200)).unwrap();
+        let got = t.get_via_index("by_id", &1u64.to_be_bytes()).unwrap().unwrap();
+        assert_eq!(got, tuple(1, 10, 100));
+        assert!(t.get_via_index("by_id", &3u64.to_be_bytes()).unwrap().is_none());
+    }
+
+    #[test]
+    fn projection_becomes_index_only_on_second_access() {
+        let t = table_with_cached_index();
+        t.insert(&tuple(1, 10, 100)).unwrap();
+        let p1 = t.project_via_index("by_id", &1u64.to_be_bytes()).unwrap().unwrap();
+        assert!(!p1.index_only, "first access must fetch the heap");
+        assert_eq!(p1.payload, 100u64.to_le_bytes());
+        let p2 = t.project_via_index("by_id", &1u64.to_be_bytes()).unwrap().unwrap();
+        assert!(p2.index_only, "second access must be answered by the cache");
+        assert_eq!(p2.payload, 100u64.to_le_bytes());
+        let s = t.stats();
+        assert_eq!(s.heap_fetches, 1);
+        assert_eq!(s.index_only_answers, 1);
+    }
+
+    #[test]
+    fn update_invalidates_cached_projection() {
+        let t = table_with_cached_index();
+        t.insert(&tuple(1, 10, 100)).unwrap();
+        // warm the cache
+        t.project_via_index("by_id", &1u64.to_be_bytes()).unwrap();
+        t.project_via_index("by_id", &1u64.to_be_bytes()).unwrap();
+        // update the cached field
+        assert!(t.update_via_index("by_id", &1u64.to_be_bytes(), &tuple(1, 10, 999)).unwrap());
+        let p = t.project_via_index("by_id", &1u64.to_be_bytes()).unwrap().unwrap();
+        assert_eq!(p.payload, 999u64.to_le_bytes(), "must never serve the stale 100");
+    }
+
+    #[test]
+    fn update_of_uncached_field_keeps_cache_warm() {
+        let t = table_with_cached_index();
+        t.insert(&tuple(1, 10, 100)).unwrap();
+        t.project_via_index("by_id", &1u64.to_be_bytes()).unwrap();
+        assert!(t
+            .project_via_index("by_id", &1u64.to_be_bytes())
+            .unwrap()
+            .unwrap()
+            .index_only);
+        // group (uncached) changes; value stays.
+        t.update_via_index("by_id", &1u64.to_be_bytes(), &tuple(1, 77, 100)).unwrap();
+        let p = t.project_via_index("by_id", &1u64.to_be_bytes()).unwrap().unwrap();
+        assert!(p.index_only, "unrelated updates must not invalidate the cache");
+        assert_eq!(p.payload, 100u64.to_le_bytes());
+    }
+
+    #[test]
+    fn delete_then_rid_reuse_never_serves_stale_cache() {
+        let t = table_with_cached_index();
+        t.insert(&tuple(1, 10, 100)).unwrap();
+        t.project_via_index("by_id", &1u64.to_be_bytes()).unwrap();
+        t.project_via_index("by_id", &1u64.to_be_bytes()).unwrap();
+        assert!(t.delete_via_index("by_id", &1u64.to_be_bytes()).unwrap());
+        assert!(t.project_via_index("by_id", &1u64.to_be_bytes()).unwrap().is_none());
+        // New tuple reuses the heap slot (same rid) with a new id.
+        t.insert(&tuple(2, 20, 222)).unwrap();
+        let p = t.project_via_index("by_id", &2u64.to_be_bytes()).unwrap().unwrap();
+        assert_eq!(p.payload, 222u64.to_le_bytes());
+        assert!(t.project_via_index("by_id", &1u64.to_be_bytes()).unwrap().is_none());
+    }
+
+    #[test]
+    fn multiple_indexes_stay_consistent() {
+        let (hp, ip) = pools();
+        let t = Table::create("t", 32, hp, ip).unwrap();
+        t.create_index(IndexSpec::cached(
+            "by_id",
+            FieldSpec::new(0, 8),
+            vec![FieldSpec::new(16, 8)],
+        ))
+        .unwrap();
+        t.create_index(IndexSpec::plain("by_group", FieldSpec::new(8, 8))).unwrap();
+        t.insert(&tuple(1, 10, 100)).unwrap();
+        assert_eq!(
+            t.get_via_index("by_group", &10u64.to_be_bytes()).unwrap().unwrap(),
+            tuple(1, 10, 100)
+        );
+        // Key change on the group index via an update through by_id.
+        t.update_via_index("by_id", &1u64.to_be_bytes(), &tuple(1, 33, 100)).unwrap();
+        assert!(t.get_via_index("by_group", &10u64.to_be_bytes()).unwrap().is_none());
+        assert_eq!(
+            t.get_via_index("by_group", &33u64.to_be_bytes()).unwrap().unwrap(),
+            tuple(1, 33, 100)
+        );
+    }
+
+    #[test]
+    fn backfill_indexes_existing_tuples() {
+        let (hp, ip) = pools();
+        let t = Table::create("t", 32, hp, ip).unwrap();
+        for i in 0..200u64 {
+            t.insert(&tuple(i, i % 5, i * 2)).unwrap();
+        }
+        t.create_index(IndexSpec::plain("late", FieldSpec::new(0, 8))).unwrap();
+        for i in (0..200u64).step_by(17) {
+            assert_eq!(
+                t.get_via_index("late", &i.to_be_bytes()).unwrap().unwrap(),
+                tuple(i, i % 5, i * 2)
+            );
+        }
+    }
+
+    #[test]
+    fn relocate_patches_indexes() {
+        let t = table_with_cached_index();
+        let rid = t.insert(&tuple(1, 10, 100)).unwrap();
+        // Enough tuples that the heap spans several pages and the tail
+        // is a different page from `rid`'s.
+        for i in 2..400u64 {
+            t.insert(&tuple(i, 0, 0)).unwrap();
+        }
+        let new_rid = t.relocate(rid).unwrap();
+        assert_ne!(rid, new_rid);
+        assert_eq!(
+            t.get_via_index("by_id", &1u64.to_be_bytes()).unwrap().unwrap(),
+            tuple(1, 10, 100)
+        );
+    }
+
+    #[test]
+    fn bad_specs_rejected() {
+        let (hp, ip) = pools();
+        let t = Table::create("t", 32, hp, ip).unwrap();
+        assert!(t.create_index(IndexSpec::plain("oob", FieldSpec::new(30, 8))).is_err());
+        assert!(t.insert(&[0u8; 10]).is_err());
+        assert!(t.get_via_index("nope", &[0u8; 8]).is_err());
+    }
+
+    #[test]
+    fn stress_mixed_workload_against_model() {
+        use std::collections::HashMap;
+        let t = table_with_cached_index();
+        let mut model: HashMap<u64, u64> = HashMap::new();
+        let mut x = 42u64;
+        for step in 0..8000u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let id = x % 300;
+            match x % 7 {
+                0 => {
+                    if model.contains_key(&id) {
+                        let v = x % 10_000;
+                        t.update_via_index("by_id", &id.to_be_bytes(), &tuple(id, 0, v))
+                            .unwrap();
+                        model.insert(id, v);
+                    }
+                }
+                1 => {
+                    let existed = t.delete_via_index("by_id", &id.to_be_bytes()).unwrap();
+                    assert_eq!(existed, model.remove(&id).is_some(), "step {step}");
+                }
+                2 => {
+                    model.entry(id).or_insert_with(|| {
+                        let v = x % 10_000;
+                        t.insert(&tuple(id, 0, v)).unwrap();
+                        v
+                    });
+                }
+                _ => {
+                    let got = t.project_via_index("by_id", &id.to_be_bytes()).unwrap();
+                    match (got, model.get(&id)) {
+                        (Some(p), Some(v)) => {
+                            assert_eq!(p.payload, v.to_le_bytes(), "step {step} id {id}")
+                        }
+                        (None, None) => {}
+                        (g, m) => panic!("step {step} id {id}: {g:?} vs {m:?}"),
+                    }
+                }
+            }
+        }
+        let s = t.stats();
+        assert!(s.index_only_answers > 0, "cache must contribute: {s:?}");
+    }
+}

@@ -1,0 +1,115 @@
+//! Model check for the §2.2 join cache: under arbitrary op sequences,
+//! lookups only ever return the most recently inserted payload for that
+//! (page, fk), and per-page budgets are never exceeded.
+
+use nbb_core::joincache::JoinCache;
+use nbb_storage::PageId;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn join_cache_matches_model(
+        ops in prop::collection::vec((0u8..5, 0u64..4, 0u64..20, 0usize..40), 1..300)
+    ) {
+        let mut jc = JoinCache::new();
+        // Model: only what we *know* must hold — a hit's payload equals
+        // the last insert for that key; evicted keys simply miss.
+        let mut last_insert: HashMap<(u64, u64), Vec<u8>> = HashMap::new();
+        let mut budgets: HashMap<u64, usize> = HashMap::new();
+        for (op, page, fk, len) in ops {
+            let pid = PageId(page);
+            match op {
+                0 => {
+                    let budget = len * 4;
+                    jc.set_budget(pid, budget);
+                    budgets.insert(page, budget);
+                }
+                1 => {
+                    let payload = vec![(fk as u8).wrapping_add(len as u8); len];
+                    if jc.insert(pid, fk, &payload) {
+                        last_insert.insert((page, fk), payload);
+                    } else {
+                        // Rejected: oversized for the budget.
+                        prop_assert!(8 + len > budgets.get(&page).copied().unwrap_or(0));
+                    }
+                }
+                2 => {
+                    if let Some(got) = jc.lookup(pid, fk) {
+                        let expect = last_insert.get(&(page, fk));
+                        prop_assert_eq!(Some(&got), expect,
+                            "hit returned bytes that were never the last insert");
+                    }
+                }
+                3 => {
+                    jc.invalidate_fk(fk);
+                    for p in 0u64..4 {
+                        last_insert.remove(&(p, fk));
+                    }
+                }
+                _ => {
+                    jc.invalidate_page(pid);
+                    last_insert.retain(|(p, _), _| *p != page);
+                }
+            }
+            // Budget invariant.
+            for (p, b) in &budgets {
+                prop_assert!(jc.used_bytes(PageId(*p)) <= *b,
+                    "page {} over budget: {} > {}", p, jc.used_bytes(PageId(*p)), b);
+            }
+        }
+    }
+}
+
+#[test]
+fn join_cache_realistic_fk_join_flow() {
+    // Simulate a small FK join: referencing rows on 3 pages join a
+    // 10-row inner table; inner row 5 gets updated mid-stream.
+    let mut jc = JoinCache::new();
+    let inner: Vec<String> = (0..10).map(|i| format!("dim-row-{i}")).collect();
+    for p in 0..3u64 {
+        jc.set_budget(PageId(p), 256);
+    }
+    let mut inner_fetches = 0;
+    fn join(
+        jc: &mut JoinCache,
+        fetches: &mut u32,
+        page: u64,
+        fk: u64,
+        inner: &[String],
+    ) -> String {
+        if let Some(hit) = jc.lookup(PageId(page), fk) {
+            return String::from_utf8(hit).unwrap();
+        }
+        *fetches += 1;
+        let row = inner[fk as usize].clone();
+        jc.insert(PageId(page), fk, row.as_bytes());
+        row
+    }
+    // First pass: all misses.
+    for page in 0..3u64 {
+        for fk in 0..10u64 {
+            assert_eq!(join(&mut jc, &mut inner_fetches, page, fk, &inner), inner[fk as usize]);
+        }
+    }
+    assert_eq!(inner_fetches, 30);
+    // Second pass: all hits (no inner fetches).
+    for page in 0..3u64 {
+        for fk in 0..10u64 {
+            assert_eq!(join(&mut jc, &mut inner_fetches, page, fk, &inner), inner[fk as usize]);
+        }
+    }
+    assert_eq!(inner_fetches, 30, "second pass must be answered by the cache");
+    // Update inner row 5 -> invalidate across pages -> refetches only it.
+    let mut inner2 = inner.clone();
+    inner2[5] = "dim-row-5-v2".to_string();
+    jc.invalidate_fk(5);
+    for page in 0..3u64 {
+        for fk in 0..10u64 {
+            assert_eq!(join(&mut jc, &mut inner_fetches, page, fk, &inner2), inner2[fk as usize]);
+        }
+    }
+    assert_eq!(inner_fetches, 33, "only the invalidated fk refetches");
+}

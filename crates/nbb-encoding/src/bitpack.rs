@@ -1,0 +1,297 @@
+//! Bit-level packing of fixed-width unsigned integers.
+//!
+//! §4.1: "we found a large number of int fields that store small value
+//! ranges which can easily be encoded in 8, or even 4 bits". This module
+//! packs `n`-bit values (1 ≤ n ≤ 64) densely, with random access.
+//!
+//! Two implementations share the format:
+//! * a safe, obviously-correct reference ([`pack_ref`]/[`unpack_ref`]);
+//! * a word-window fast path ([`pack`]/[`unpack`]) that reads/writes
+//!   unaligned 64-bit windows with `unsafe` pointer ops — the only
+//!   `unsafe` in the workspace, property-tested against the reference.
+//!
+//! Values are stored little-endian-bit-order: value `i` occupies bits
+//! `[i*n, (i+1)*n)` of the stream, low bits first.
+
+/// Minimum bits needed to represent `max_value` (at least 1).
+#[inline]
+pub fn min_bits(max_value: u64) -> u32 {
+    (64 - max_value.leading_zeros()).max(1)
+}
+
+fn mask(bits: u32) -> u64 {
+    if bits >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << bits) - 1
+    }
+}
+
+fn packed_len(count: usize, bits: u32) -> usize {
+    (count * bits as usize).div_ceil(8)
+}
+
+/// Reference packer: bit-by-bit, no `unsafe`.
+pub fn pack_ref(values: &[u64], bits: u32) -> Vec<u8> {
+    assert!((1..=64).contains(&bits));
+    let mut out = vec![0u8; packed_len(values.len(), bits)];
+    for (i, &v) in values.iter().enumerate() {
+        assert!(v <= mask(bits), "value {v} exceeds {bits} bits");
+        let base = i * bits as usize;
+        for b in 0..bits as usize {
+            if (v >> b) & 1 == 1 {
+                out[(base + b) / 8] |= 1 << ((base + b) % 8);
+            }
+        }
+    }
+    out
+}
+
+/// Reference unpacker: bit-by-bit, no `unsafe`.
+pub fn unpack_ref(packed: &[u8], bits: u32, count: usize) -> Vec<u64> {
+    assert!((1..=64).contains(&bits));
+    assert!(packed.len() >= packed_len(count, bits), "packed buffer too short");
+    let mut out = Vec::with_capacity(count);
+    for i in 0..count {
+        let base = i * bits as usize;
+        let mut v = 0u64;
+        for b in 0..bits as usize {
+            if (packed[(base + b) / 8] >> ((base + b) % 8)) & 1 == 1 {
+                v |= 1 << b;
+            }
+        }
+        out.push(v);
+    }
+    out
+}
+
+/// Packs `values` at `bits` bits each (word-window fast path).
+///
+/// # Panics
+/// Panics if any value needs more than `bits` bits.
+pub fn pack(values: &[u64], bits: u32) -> Vec<u8> {
+    assert!((1..=64).contains(&bits));
+    // 56+ bit windows cannot be written through a single unaligned u64
+    // store once the bit offset exceeds 0; fall back to the reference.
+    if bits > 56 {
+        return pack_ref(values, bits);
+    }
+    let len = packed_len(values.len(), bits);
+    // Overallocate 8 bytes so every window store stays in-bounds.
+    let mut out = vec![0u8; len + 8];
+    let m = mask(bits);
+    for (i, &v) in values.iter().enumerate() {
+        assert!(v <= m, "value {v} exceeds {bits} bits");
+        let bit = i * bits as usize;
+        let byte = bit / 8;
+        let shift = (bit % 8) as u32;
+        // SAFETY: `byte + 8 <= out.len()` because out has 8 spare bytes
+        // beyond the last touched payload byte; unaligned access is done
+        // via read_unaligned/write_unaligned.
+        unsafe {
+            let p = out.as_mut_ptr().add(byte) as *mut u64;
+            let w = p.read_unaligned().to_le();
+            let w = w | (v << shift);
+            p.write_unaligned(u64::from_le(w));
+        }
+    }
+    out.truncate(len);
+    out
+}
+
+/// Unpacks `count` values of `bits` bits each (word-window fast path).
+pub fn unpack(packed: &[u8], bits: u32, count: usize) -> Vec<u64> {
+    assert!((1..=64).contains(&bits));
+    if bits > 56 {
+        return unpack_ref(packed, bits, count);
+    }
+    assert!(packed.len() >= packed_len(count, bits), "packed buffer too short");
+    let m = mask(bits);
+    let mut out = Vec::with_capacity(count);
+    // Copy into a padded buffer so window reads never go out of bounds.
+    let mut padded = Vec::with_capacity(packed.len() + 8);
+    padded.extend_from_slice(packed);
+    padded.extend_from_slice(&[0u8; 8]);
+    for i in 0..count {
+        let bit = i * bits as usize;
+        let byte = bit / 8;
+        let shift = (bit % 8) as u32;
+        // SAFETY: `byte + 8 <= padded.len()` by construction.
+        let w = unsafe {
+            let p = padded.as_ptr().add(byte) as *const u64;
+            u64::from_le(p.read_unaligned())
+        };
+        out.push((w >> shift) & m);
+    }
+    out
+}
+
+/// An owned bit-packed vector with O(1) random access.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitPacked {
+    bits: u32,
+    len: usize,
+    data: Vec<u8>,
+}
+
+impl BitPacked {
+    /// Packs `values` at the smallest width that fits their maximum.
+    pub fn from_values(values: &[u64]) -> Self {
+        let bits = min_bits(values.iter().copied().max().unwrap_or(0));
+        Self::with_bits(values, bits)
+    }
+
+    /// Packs `values` at an explicit width.
+    pub fn with_bits(values: &[u64], bits: u32) -> Self {
+        BitPacked { bits, len: values.len(), data: pack(values, bits) }
+    }
+
+    /// Bits per value.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Number of values.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Packed size in bytes.
+    pub fn byte_len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Random access to value `i`.
+    pub fn get(&self, i: usize) -> u64 {
+        assert!(i < self.len, "index {i} out of bounds ({})", self.len);
+        let bit = i * self.bits as usize;
+        let m = mask(self.bits);
+        let mut v = 0u64;
+        // Safe byte-by-byte gather (hot paths use `unpack`).
+        let mut got = 0u32;
+        let mut byte = bit / 8;
+        let mut shift = (bit % 8) as u32;
+        while got < self.bits {
+            let chunk = u64::from(self.data[byte]) >> shift;
+            v |= chunk << got;
+            got += 8 - shift;
+            shift = 0;
+            byte += 1;
+        }
+        v & m
+    }
+
+    /// Unpacks everything.
+    pub fn to_vec(&self) -> Vec<u64> {
+        unpack(&self.data, self.bits, self.len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn min_bits_edges() {
+        assert_eq!(min_bits(0), 1);
+        assert_eq!(min_bits(1), 1);
+        assert_eq!(min_bits(2), 2);
+        assert_eq!(min_bits(255), 8);
+        assert_eq!(min_bits(256), 9);
+        assert_eq!(min_bits(u64::MAX), 64);
+    }
+
+    #[test]
+    fn round_trip_simple() {
+        let vals = [0u64, 1, 2, 3, 7, 6, 5, 4];
+        let packed = pack(&vals, 3);
+        assert_eq!(packed.len(), 3); // 8*3 bits = 24 bits = 3 bytes
+        assert_eq!(unpack(&packed, 3, 8), vals);
+    }
+
+    #[test]
+    fn bool_as_one_bit() {
+        let vals: Vec<u64> = (0..100).map(|i| (i % 3 == 0) as u64).collect();
+        let packed = pack(&vals, 1);
+        assert_eq!(packed.len(), 13);
+        assert_eq!(unpack(&packed, 1, 100), vals);
+    }
+
+    #[test]
+    fn full_64_bit_values() {
+        let vals = [u64::MAX, 0, 1, u64::MAX - 1];
+        let packed = pack(&vals, 64);
+        assert_eq!(unpack(&packed, 64, 4), vals);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn overflow_value_panics() {
+        pack(&[8], 3);
+    }
+
+    #[test]
+    fn bitpacked_random_access() {
+        let vals: Vec<u64> = (0..500).map(|i| (i * 37) % 1000).collect();
+        let bp = BitPacked::from_values(&vals);
+        assert_eq!(bp.bits(), 10);
+        assert_eq!(bp.len(), 500);
+        for (i, &v) in vals.iter().enumerate() {
+            assert_eq!(bp.get(i), v, "index {i}");
+        }
+        assert_eq!(bp.to_vec(), vals);
+        // 500 * 10 bits = 625 bytes vs 4000 for u64s
+        assert_eq!(bp.byte_len(), 625);
+    }
+
+    #[test]
+    fn empty_input() {
+        let bp = BitPacked::from_values(&[]);
+        assert!(bp.is_empty());
+        assert_eq!(bp.to_vec(), Vec::<u64>::new());
+        assert_eq!(pack(&[], 7), Vec::<u8>::new());
+    }
+
+    proptest! {
+        #[test]
+        fn fast_pack_matches_reference(
+            bits in 1u32..=64,
+            raw in prop::collection::vec(any::<u64>(), 0..200))
+        {
+            let m = mask(bits);
+            let vals: Vec<u64> = raw.iter().map(|v| v & m).collect();
+            prop_assert_eq!(pack(&vals, bits), pack_ref(&vals, bits));
+        }
+
+        #[test]
+        fn fast_unpack_matches_reference_and_round_trips(
+            bits in 1u32..=64,
+            raw in prop::collection::vec(any::<u64>(), 0..200))
+        {
+            let m = mask(bits);
+            let vals: Vec<u64> = raw.iter().map(|v| v & m).collect();
+            let packed = pack(&vals, bits);
+            prop_assert_eq!(&unpack(&packed, bits, vals.len()), &vals);
+            prop_assert_eq!(
+                unpack_ref(&packed, bits, vals.len()),
+                unpack(&packed, bits, vals.len())
+            );
+        }
+
+        #[test]
+        fn bitpacked_get_agrees_with_unpack(
+            raw in prop::collection::vec(0u64..100_000, 1..100))
+        {
+            let bp = BitPacked::from_values(&raw);
+            for (i, &v) in raw.iter().enumerate() {
+                prop_assert_eq!(bp.get(i), v);
+            }
+        }
+    }
+}

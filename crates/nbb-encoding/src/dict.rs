@@ -1,0 +1,147 @@
+//! Dictionary encoding for low-cardinality columns.
+//!
+//! §4.1 flags "large fields that are either never accessed or only
+//! projected or accessed through equality predicates" as compression
+//! candidates — equality predicates only need code comparison, never
+//! decompression. A [`DictColumn`] stores each distinct value once and
+//! bit-packs per-row codes at `ceil(log2(cardinality))` bits.
+
+use crate::bitpack::{min_bits, BitPacked};
+use std::collections::HashMap;
+
+/// A dictionary-encoded column of byte-string values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DictColumn {
+    dict: Vec<Vec<u8>>,
+    codes: BitPacked,
+}
+
+impl DictColumn {
+    /// Encodes `values`, preserving order of first appearance in the
+    /// dictionary.
+    pub fn encode<T: AsRef<[u8]>>(values: &[T]) -> Self {
+        let mut dict: Vec<Vec<u8>> = Vec::new();
+        let mut index: HashMap<Vec<u8>, u64> = HashMap::new();
+        let mut codes = Vec::with_capacity(values.len());
+        for v in values {
+            let v = v.as_ref();
+            let code = match index.get(v) {
+                Some(&c) => c,
+                None => {
+                    let c = dict.len() as u64;
+                    dict.push(v.to_vec());
+                    index.insert(v.to_vec(), c);
+                    c
+                }
+            };
+            codes.push(code);
+        }
+        let bits = min_bits(dict.len().saturating_sub(1) as u64);
+        DictColumn { dict, codes: BitPacked::with_bits(&codes, bits) }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// True if the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.codes.is_empty()
+    }
+
+    /// Number of distinct values.
+    pub fn cardinality(&self) -> usize {
+        self.dict.len()
+    }
+
+    /// Value of row `i`.
+    pub fn get(&self, i: usize) -> &[u8] {
+        &self.dict[self.codes.get(i) as usize]
+    }
+
+    /// Decodes the whole column.
+    pub fn to_vec(&self) -> Vec<Vec<u8>> {
+        (0..self.len()).map(|i| self.get(i).to_vec()).collect()
+    }
+
+    /// Row indices whose value equals `needle` — the equality-predicate
+    /// path that never touches the dictionary values per row.
+    pub fn find_equal(&self, needle: &[u8]) -> Vec<usize> {
+        let Some(code) = self.dict.iter().position(|d| d == needle) else {
+            return Vec::new();
+        };
+        let code = code as u64;
+        self.codes
+            .to_vec()
+            .into_iter()
+            .enumerate()
+            .filter_map(|(i, c)| (c == code).then_some(i))
+            .collect()
+    }
+
+    /// Encoded size: dictionary bytes + packed codes + lengths.
+    pub fn byte_len(&self) -> usize {
+        let dict_bytes: usize = self.dict.iter().map(|d| d.len() + 4).sum();
+        dict_bytes + self.codes.byte_len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let vals = vec!["red", "green", "red", "blue", "red", "green"];
+        let col = DictColumn::encode(&vals);
+        assert_eq!(col.cardinality(), 3);
+        assert_eq!(col.len(), 6);
+        for (i, v) in vals.iter().enumerate() {
+            assert_eq!(col.get(i), v.as_bytes());
+        }
+    }
+
+    #[test]
+    fn find_equal_returns_matching_rows() {
+        let vals = vec!["a", "b", "a", "c", "a"];
+        let col = DictColumn::encode(&vals);
+        assert_eq!(col.find_equal(b"a"), vec![0, 2, 4]);
+        assert_eq!(col.find_equal(b"c"), vec![3]);
+        assert_eq!(col.find_equal(b"zz"), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn compresses_repetitive_data() {
+        // 10k rows, 4 distinct 50-byte values: raw 500 KB, dict ~2.7 KB.
+        let vals: Vec<String> =
+            (0..10_000).map(|i| format!("{:<50}", format!("value-{}", i % 4))).collect();
+        let col = DictColumn::encode(&vals);
+        let raw: usize = vals.iter().map(|v| v.len()).sum();
+        assert!(col.byte_len() * 50 < raw, "dict {} vs raw {raw}", col.byte_len());
+    }
+
+    #[test]
+    fn single_value_column_uses_one_bit_codes() {
+        let vals = vec!["x"; 1000];
+        let col = DictColumn::encode(&vals);
+        assert_eq!(col.cardinality(), 1);
+        assert!(col.byte_len() < 1000 / 8 + 16);
+    }
+
+    #[test]
+    fn empty_column() {
+        let col = DictColumn::encode(&Vec::<&str>::new());
+        assert!(col.is_empty());
+        assert_eq!(col.cardinality(), 0);
+        assert_eq!(col.to_vec(), Vec::<Vec<u8>>::new());
+    }
+
+    #[test]
+    fn high_cardinality_still_correct() {
+        let vals: Vec<String> = (0..300).map(|i| format!("unique-{i}")).collect();
+        let col = DictColumn::encode(&vals);
+        assert_eq!(col.cardinality(), 300);
+        assert_eq!(col.to_vec(), vals.iter().map(|s| s.as_bytes().to_vec()).collect::<Vec<_>>());
+    }
+}

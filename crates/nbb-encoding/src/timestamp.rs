@@ -1,0 +1,108 @@
+//! MediaWiki-style string timestamps and their compact encoding.
+//!
+//! Wikipedia's `revision` table "uses a 14 byte string to represent a
+//! timestamp that can easily be encoded into a 4 byte timestamp" (§4.1).
+//! This module provides the string format (`YYYYMMDDHHMMSS`), a
+//! simplified epoch (seconds since 2011-01-01 on a 12×30-day civil
+//! calendar — the experiments only need order and range, not Gregorian
+//! precision), and the 4-byte round trip.
+
+/// Formats an epoch second counter as a 14-char `YYYYMMDDHHMMSS` string.
+pub fn format_epoch(epoch_s: u64) -> String {
+    let s = epoch_s % 60;
+    let m = (epoch_s / 60) % 60;
+    let h = (epoch_s / 3600) % 24;
+    let day_idx = epoch_s / 86_400;
+    let day = day_idx % 30 + 1;
+    let month = (day_idx / 30) % 12 + 1;
+    let year = 2011 + day_idx / 360;
+    format!("{year:04}{month:02}{day:02}{h:02}{m:02}{s:02}")
+}
+
+/// Parses a [`format_epoch`] string back to the epoch counter.
+pub fn parse_epoch(ts: &str) -> Option<u64> {
+    if !looks_like_timestamp(ts) {
+        return None;
+    }
+    let num = |r: std::ops::Range<usize>| ts[r].parse::<u64>().ok();
+    let year = num(0..4)?;
+    let month = num(4..6)?;
+    let day = num(6..8)?;
+    let h = num(8..10)?;
+    let m = num(10..12)?;
+    let s = num(12..14)?;
+    let day_idx = (year.checked_sub(2011)?) * 360 + (month - 1) * 30 + (day - 1);
+    Some(day_idx * 86_400 + h * 3600 + m * 60 + s)
+}
+
+/// Structural check: 14 ASCII digits with plausible date/time fields.
+pub fn looks_like_timestamp(ts: &str) -> bool {
+    if ts.len() != 14 || !ts.bytes().all(|b| b.is_ascii_digit()) {
+        return false;
+    }
+    let num = |r: std::ops::Range<usize>| ts[r].parse::<u64>().unwrap_or(u64::MAX);
+    let year = num(0..4);
+    let month = num(4..6);
+    let day = num(6..8);
+    let h = num(8..10);
+    let m = num(10..12);
+    let s = num(12..14);
+    (1970..2200).contains(&year)
+        && (1..=12).contains(&month)
+        && (1..=31).contains(&day)
+        && h < 24
+        && m < 60
+        && s < 60
+}
+
+/// Encodes a valid timestamp string into 4 bytes (the §4.1 fix).
+///
+/// Returns `None` when the string is not a valid timestamp or the epoch
+/// exceeds 32 bits (year ≈ 2147, beyond the experiments' range).
+pub fn to_u32(ts: &str) -> Option<u32> {
+    let e = parse_epoch(ts)?;
+    u32::try_from(e).ok()
+}
+
+/// Decodes [`to_u32`] output back to the 14-char string.
+pub fn from_u32(v: u32) -> String {
+    format_epoch(u64::from(v))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_epoch() {
+        for e in [0u64, 1, 59, 3600, 86_399, 86_400 * 359, 86_400 * 3599] {
+            assert_eq!(parse_epoch(&format_epoch(e)), Some(e));
+        }
+    }
+
+    #[test]
+    fn four_byte_round_trip() {
+        for e in [0u32, 12_345, 1_000_000_000, u32::MAX] {
+            let ts = from_u32(e);
+            assert_eq!(to_u32(&ts), Some(e), "epoch {e} -> {ts}");
+        }
+    }
+
+    #[test]
+    fn validation_rejects_bad_shapes() {
+        assert!(!looks_like_timestamp(""));
+        assert!(!looks_like_timestamp("2011010100000")); // 13 chars
+        assert!(!looks_like_timestamp("2011010100000x"));
+        assert!(!looks_like_timestamp("20111301000000")); // month 13
+        assert!(!looks_like_timestamp("20110100000000")); // day 0
+        assert!(!looks_like_timestamp("20110101250000")); // hour 25
+        assert!(looks_like_timestamp("20110115103000"));
+    }
+
+    #[test]
+    fn ordering_preserved() {
+        let a = format_epoch(1000);
+        let b = format_epoch(2000);
+        assert!(a < b, "string order must match epoch order");
+    }
+}

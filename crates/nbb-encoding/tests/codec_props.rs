@@ -1,0 +1,68 @@
+//! Property tests for the §4.1 codecs beyond the in-module unit tests:
+//! arbitrary data must round-trip, and size accounting must never lie.
+
+use nbb_encoding::{BitPacked, DeltaColumn, DictColumn};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn delta_round_trips_arbitrary_u64(vals in prop::collection::vec(any::<u64>(), 0..500)) {
+        let col = DeltaColumn::encode(&vals);
+        prop_assert_eq!(col.to_vec(), vals.clone());
+        prop_assert_eq!(col.len(), vals.len());
+        for (i, v) in vals.iter().enumerate() {
+            prop_assert_eq!(col.get(i), *v);
+        }
+    }
+
+    #[test]
+    fn delta_never_exceeds_raw_plus_headers(vals in prop::collection::vec(any::<u64>(), 1..500)) {
+        let col = DeltaColumn::encode(&vals);
+        // Worst case (adversarial data): 64-bit offsets + per-block header.
+        let worst = vals.len() * 8 + vals.len().div_ceil(128) * 9 + 16;
+        prop_assert!(col.byte_len() <= worst, "{} > {}", col.byte_len(), worst);
+    }
+
+    #[test]
+    fn delta_compresses_clustered_data(base in 0u64..1_000_000, n in 100usize..400) {
+        let vals: Vec<u64> = (0..n as u64).map(|i| base + i * 3).collect();
+        let col = DeltaColumn::encode(&vals);
+        prop_assert!(
+            col.byte_len() * 3 < vals.len() * 8,
+            "clustered data should compress >2.6x: {} vs {}",
+            col.byte_len(),
+            vals.len() * 8
+        );
+    }
+
+    #[test]
+    fn dict_round_trips_arbitrary_byte_strings(
+        vals in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..24), 0..200)
+    ) {
+        let col = DictColumn::encode(&vals);
+        prop_assert_eq!(col.to_vec(), vals.clone());
+        prop_assert!(col.cardinality() <= vals.len().max(1));
+        // find_equal returns exactly the matching positions.
+        if let Some(needle) = vals.first() {
+            let expect: Vec<usize> = vals
+                .iter()
+                .enumerate()
+                .filter_map(|(i, v)| (v == needle).then_some(i))
+                .collect();
+            prop_assert_eq!(col.find_equal(needle), expect);
+        }
+    }
+
+    #[test]
+    fn bitpacked_width_is_tight(vals in prop::collection::vec(0u64..u64::MAX, 1..300)) {
+        let bp = BitPacked::from_values(&vals);
+        let max = vals.iter().max().copied().unwrap_or(0);
+        // The chosen width fits the max and one bit less would not.
+        let capacity = if bp.bits() >= 64 { u64::MAX } else { (1u64 << bp.bits()) - 1 };
+        prop_assert!(max <= capacity);
+        if bp.bits() > 1 {
+            let smaller_max = (1u64 << (bp.bits() - 1)) - 1;
+            prop_assert!(max > smaller_max, "width {} not tight for max {}", bp.bits(), max);
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! Forwarding tables: redirecting stale physical pointers after
+//! relocation.
+//!
+//! §3.1: moving a tuple "does require updating foreign key pointers
+//! and/or using forwarding tables to redirect queries using old ids to
+//! the new tuples". A [`ForwardingTable`] maps old packed RIDs to new
+//! ones, chases chains (a tuple moved twice), and supports path
+//! compression.
+
+use nbb_storage::rid::RecordId;
+use std::collections::HashMap;
+
+/// Old-address → new-address redirection map.
+#[derive(Debug, Default, Clone)]
+pub struct ForwardingTable {
+    map: HashMap<u64, u64>,
+}
+
+impl ForwardingTable {
+    /// Empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records that the tuple at `from` now lives at `to`.
+    pub fn forward(&mut self, from: RecordId, to: RecordId) {
+        assert_ne!(from, to, "self-forwarding loop");
+        self.map.insert(from.to_u64(), to.to_u64());
+    }
+
+    /// Resolves an address, chasing forwarding chains to the terminal
+    /// location. Addresses never forwarded resolve to themselves.
+    pub fn resolve(&self, rid: RecordId) -> RecordId {
+        let mut cur = rid.to_u64();
+        let mut hops = 0;
+        while let Some(&next) = self.map.get(&cur) {
+            cur = next;
+            hops += 1;
+            assert!(hops <= self.map.len(), "forwarding cycle detected");
+        }
+        RecordId::from_u64(cur)
+    }
+
+    /// Number of hops needed to resolve `rid` (0 = direct).
+    pub fn chain_length(&self, rid: RecordId) -> usize {
+        let mut cur = rid.to_u64();
+        let mut hops = 0;
+        while let Some(&next) = self.map.get(&cur) {
+            cur = next;
+            hops += 1;
+        }
+        hops
+    }
+
+    /// Path-compresses every chain to a single hop.
+    pub fn compress(&mut self) {
+        let keys: Vec<u64> = self.map.keys().copied().collect();
+        for k in keys {
+            let terminal = self.resolve(RecordId::from_u64(k)).to_u64();
+            self.map.insert(k, terminal);
+        }
+    }
+
+    /// Number of forwarding entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no redirections exist.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Drops entries whose source address has been reused or reconciled
+    /// (caller decides which old addresses are dead).
+    pub fn retire(&mut self, from: RecordId) {
+        self.map.remove(&from.to_u64());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nbb_storage::page::PageId;
+
+    fn rid(p: u64, s: u16) -> RecordId {
+        RecordId::new(PageId(p), s)
+    }
+
+    #[test]
+    fn unforwarded_resolves_to_self() {
+        let t = ForwardingTable::new();
+        assert_eq!(t.resolve(rid(1, 2)), rid(1, 2));
+        assert_eq!(t.chain_length(rid(1, 2)), 0);
+    }
+
+    #[test]
+    fn single_hop() {
+        let mut t = ForwardingTable::new();
+        t.forward(rid(1, 0), rid(9, 4));
+        assert_eq!(t.resolve(rid(1, 0)), rid(9, 4));
+        assert_eq!(t.chain_length(rid(1, 0)), 1);
+    }
+
+    #[test]
+    fn chains_chase_to_terminal() {
+        let mut t = ForwardingTable::new();
+        t.forward(rid(1, 0), rid(2, 0));
+        t.forward(rid(2, 0), rid(3, 0));
+        t.forward(rid(3, 0), rid(4, 0));
+        assert_eq!(t.resolve(rid(1, 0)), rid(4, 0));
+        assert_eq!(t.chain_length(rid(1, 0)), 3);
+    }
+
+    #[test]
+    fn compress_flattens_chains() {
+        let mut t = ForwardingTable::new();
+        t.forward(rid(1, 0), rid(2, 0));
+        t.forward(rid(2, 0), rid(3, 0));
+        t.compress();
+        assert_eq!(t.chain_length(rid(1, 0)), 1);
+        assert_eq!(t.resolve(rid(1, 0)), rid(3, 0));
+        assert_eq!(t.resolve(rid(2, 0)), rid(3, 0));
+    }
+
+    #[test]
+    fn retire_removes_entry() {
+        let mut t = ForwardingTable::new();
+        t.forward(rid(1, 0), rid(2, 0));
+        t.retire(rid(1, 0));
+        assert!(t.is_empty());
+        assert_eq!(t.resolve(rid(1, 0)), rid(1, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "self-forwarding")]
+    fn self_loop_rejected() {
+        let mut t = ForwardingTable::new();
+        t.forward(rid(1, 0), rid(1, 0));
+    }
+}

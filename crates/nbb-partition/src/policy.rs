@@ -1,0 +1,151 @@
+//! Hot-set policies: deciding which tuples are hot (§3.1).
+//!
+//! "The properties of the workload dictate how to identify hot tuples
+//! and move tuples between the hot and cold partitions." Three policies
+//! cover the paper's cases:
+//!
+//! * [`SetPolicy`] — an application-defined hot set (Wikipedia: "hot
+//!   revision tuples are those that are pointed to from the page table");
+//! * [`TopKPolicy`] — the `k` most accessed keys per a
+//!   [`crate::tracker::Tracker`] snapshot;
+//! * [`ThresholdPolicy`] — any key with at least `min_count` accesses.
+
+use crate::tracker::Tracker;
+use std::collections::HashSet;
+
+/// Decides whether a (logical) key is hot.
+pub trait HotPolicy {
+    /// True if the key belongs in the hot partition.
+    fn is_hot(&self, key: u64) -> bool;
+}
+
+/// Explicit application-defined hot set.
+#[derive(Debug, Clone, Default)]
+pub struct SetPolicy {
+    hot: HashSet<u64>,
+}
+
+impl SetPolicy {
+    /// Builds from any key iterator.
+    pub fn new(keys: impl IntoIterator<Item = u64>) -> Self {
+        SetPolicy { hot: keys.into_iter().collect() }
+    }
+
+    /// Marks a key hot (e.g. a page's new latest revision).
+    pub fn promote(&mut self, key: u64) {
+        self.hot.insert(key);
+    }
+
+    /// Unmarks a key (the superseded revision).
+    pub fn demote(&mut self, key: u64) {
+        self.hot.remove(&key);
+    }
+
+    /// Replaces `old` with `new` in one step — the Wikipedia policy on a
+    /// new revision insert.
+    pub fn replace(&mut self, old: u64, new: u64) {
+        self.demote(old);
+        self.promote(new);
+    }
+
+    /// Size of the hot set.
+    pub fn len(&self) -> usize {
+        self.hot.len()
+    }
+
+    /// True when no key is hot.
+    pub fn is_empty(&self) -> bool {
+        self.hot.is_empty()
+    }
+}
+
+impl HotPolicy for SetPolicy {
+    fn is_hot(&self, key: u64) -> bool {
+        self.hot.contains(&key)
+    }
+}
+
+/// Hot = among the top `k` keys of a tracker snapshot.
+pub struct TopKPolicy {
+    hot: HashSet<u64>,
+}
+
+impl TopKPolicy {
+    /// Snapshots the tracker's current top `k`.
+    pub fn from_tracker(tracker: &dyn Tracker, k: usize) -> Self {
+        TopKPolicy { hot: tracker.top(k).into_iter().map(|(key, _)| key).collect() }
+    }
+}
+
+impl HotPolicy for TopKPolicy {
+    fn is_hot(&self, key: u64) -> bool {
+        self.hot.contains(&key)
+    }
+}
+
+/// Hot = estimated count ≥ `min_count`.
+pub struct ThresholdPolicy<'a> {
+    tracker: &'a dyn Tracker,
+    min_count: u64,
+}
+
+impl<'a> ThresholdPolicy<'a> {
+    /// Builds over a live tracker.
+    pub fn new(tracker: &'a dyn Tracker, min_count: u64) -> Self {
+        ThresholdPolicy { tracker, min_count }
+    }
+}
+
+impl HotPolicy for ThresholdPolicy<'_> {
+    fn is_hot(&self, key: u64) -> bool {
+        self.tracker.estimate(key) >= self.min_count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tracker::ExactTracker;
+
+    #[test]
+    fn set_policy_replace_models_new_revision() {
+        let mut p = SetPolicy::new([10, 20, 30]);
+        assert!(p.is_hot(10));
+        p.replace(10, 11); // new revision supersedes 10
+        assert!(!p.is_hot(10));
+        assert!(p.is_hot(11));
+        assert_eq!(p.len(), 3);
+    }
+
+    #[test]
+    fn topk_policy_tracks_hottest() {
+        let mut t = ExactTracker::new();
+        for _ in 0..10 {
+            t.record(1);
+        }
+        for _ in 0..5 {
+            t.record(2);
+        }
+        t.record(3);
+        let p = TopKPolicy::from_tracker(&t, 2);
+        assert!(p.is_hot(1));
+        assert!(p.is_hot(2));
+        assert!(!p.is_hot(3));
+    }
+
+    #[test]
+    fn threshold_policy_uses_live_counts() {
+        let mut t = ExactTracker::new();
+        for _ in 0..4 {
+            t.record(7);
+        }
+        {
+            let p = ThresholdPolicy::new(&t, 5);
+            assert!(!p.is_hot(7));
+        }
+        t.record(7);
+        let p = ThresholdPolicy::new(&t, 5);
+        assert!(p.is_hot(7));
+        assert!(!p.is_hot(8));
+    }
+}

@@ -1,0 +1,197 @@
+//! Access-frequency tracking: identifying hot tuples.
+//!
+//! §3.1: "Other applications may have different policies, or require
+//! automated tools to keep track of access patterns." Two trackers share
+//! one interface: an exact counter (ground truth, O(distinct) memory)
+//! and a Space-Saving top-k sketch (Metwally et al.) with bounded
+//! memory, suitable for production-sized key spaces.
+
+use std::collections::HashMap;
+
+/// Common interface for access trackers.
+pub trait Tracker {
+    /// Records one access to `key`.
+    fn record(&mut self, key: u64);
+    /// Estimated access count for `key` (0 when unknown/untracked).
+    fn estimate(&self, key: u64) -> u64;
+    /// The `n` hottest keys with estimated counts, hottest first.
+    fn top(&self, n: usize) -> Vec<(u64, u64)>;
+    /// Total recorded accesses.
+    fn total(&self) -> u64;
+}
+
+/// Exact per-key counting.
+#[derive(Debug, Default, Clone)]
+pub struct ExactTracker {
+    counts: HashMap<u64, u64>,
+    total: u64,
+}
+
+impl ExactTracker {
+    /// Empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Tracker for ExactTracker {
+    fn record(&mut self, key: u64) {
+        *self.counts.entry(key).or_insert(0) += 1;
+        self.total += 1;
+    }
+
+    fn estimate(&self, key: u64) -> u64 {
+        self.counts.get(&key).copied().unwrap_or(0)
+    }
+
+    fn top(&self, n: usize) -> Vec<(u64, u64)> {
+        let mut v: Vec<(u64, u64)> = self.counts.iter().map(|(k, c)| (*k, *c)).collect();
+        v.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v.truncate(n);
+        v
+    }
+
+    fn total(&self) -> u64 {
+        self.total
+    }
+}
+
+/// Space-Saving sketch: at most `capacity` counters; on overflow the
+/// minimum counter is reassigned to the new key (inheriting its count,
+/// which upper-bounds the true count).
+#[derive(Debug, Clone)]
+pub struct SpaceSavingTracker {
+    capacity: usize,
+    counts: HashMap<u64, u64>,
+    total: u64,
+}
+
+impl SpaceSavingTracker {
+    /// Tracker with at most `capacity` monitored keys.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1);
+        SpaceSavingTracker { capacity, counts: HashMap::with_capacity(capacity), total: 0 }
+    }
+
+    /// Number of currently monitored keys.
+    pub fn monitored(&self) -> usize {
+        self.counts.len()
+    }
+}
+
+impl Tracker for SpaceSavingTracker {
+    fn record(&mut self, key: u64) {
+        self.total += 1;
+        if let Some(c) = self.counts.get_mut(&key) {
+            *c += 1;
+            return;
+        }
+        if self.counts.len() < self.capacity {
+            self.counts.insert(key, 1);
+            return;
+        }
+        // Evict the minimum; the newcomer inherits min+1.
+        let (&min_key, &min_count) =
+            self.counts.iter().min_by_key(|(k, c)| (**c, **k)).expect("nonempty");
+        self.counts.remove(&min_key);
+        self.counts.insert(key, min_count + 1);
+    }
+
+    fn estimate(&self, key: u64) -> u64 {
+        self.counts.get(&key).copied().unwrap_or(0)
+    }
+
+    fn top(&self, n: usize) -> Vec<(u64, u64)> {
+        let mut v: Vec<(u64, u64)> = self.counts.iter().map(|(k, c)| (*k, *c)).collect();
+        v.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v.truncate(n);
+        v
+    }
+
+    fn total(&self) -> u64 {
+        self.total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn exact_counts_exactly() {
+        let mut t = ExactTracker::new();
+        for _ in 0..5 {
+            t.record(1);
+        }
+        for _ in 0..3 {
+            t.record(2);
+        }
+        t.record(3);
+        assert_eq!(t.estimate(1), 5);
+        assert_eq!(t.estimate(2), 3);
+        assert_eq!(t.estimate(99), 0);
+        assert_eq!(t.total(), 9);
+        assert_eq!(t.top(2), vec![(1, 5), (2, 3)]);
+    }
+
+    #[test]
+    fn space_saving_within_capacity_is_exact() {
+        let mut t = SpaceSavingTracker::new(10);
+        for k in 0..5u64 {
+            for _ in 0..=k {
+                t.record(k);
+            }
+        }
+        for k in 0..5u64 {
+            assert_eq!(t.estimate(k), k + 1);
+        }
+        assert_eq!(t.monitored(), 5);
+    }
+
+    #[test]
+    fn space_saving_finds_heavy_hitters_under_pressure() {
+        // 4 heavy keys among 1000 light ones, capacity 32.
+        let mut t = SpaceSavingTracker::new(32);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let heavy = [10u64, 20, 30, 40];
+        for _ in 0..50_000 {
+            if rng.gen_bool(0.6) {
+                t.record(heavy[rng.gen_range(0..4)]);
+            } else {
+                t.record(rng.gen_range(1000..2000));
+            }
+        }
+        let top: Vec<u64> = t.top(4).into_iter().map(|(k, _)| k).collect();
+        for h in heavy {
+            assert!(top.contains(&h), "heavy hitter {h} missing from {top:?}");
+        }
+    }
+
+    #[test]
+    fn space_saving_overestimates_only() {
+        let mut exact = ExactTracker::new();
+        let mut sketch = SpaceSavingTracker::new(16);
+        let mut rng = SmallRng::seed_from_u64(6);
+        for _ in 0..10_000 {
+            let k = rng.gen_range(0..200u64);
+            exact.record(k);
+            sketch.record(k);
+        }
+        for (k, est) in sketch.top(16) {
+            assert!(est >= exact.estimate(k), "space-saving must overestimate ({k})");
+        }
+        assert_eq!(sketch.total(), exact.total());
+    }
+
+    #[test]
+    fn top_is_deterministic_on_ties() {
+        let mut t = ExactTracker::new();
+        t.record(5);
+        t.record(3);
+        t.record(9);
+        // counts all equal: ties break by key
+        assert_eq!(t.top(3), vec![(3, 1), (5, 1), (9, 1)]);
+    }
+}

@@ -1,0 +1,369 @@
+//! Disk managers: the page-granular backing stores under the buffer pool.
+//!
+//! Three implementations:
+//!
+//! * [`InMemoryDisk`] — plain page store, zero simulated cost. The
+//!   baseline substrate for unit tests.
+//! * [`SimulatedDisk`] — page store plus an explicit latency model.
+//!   Every read/write is charged a configurable number of simulated
+//!   nanoseconds, accumulated in [`IoStats`]. This is the substitution
+//!   for the paper's real disk (see DESIGN.md §4): Figures 2(b) and 3
+//!   depend on the *ratio* between memory and disk access costs, which
+//!   the model makes explicit and reproducible.
+//! * [`FileDisk`] — a real file on the local filesystem, for runs that
+//!   want actual I/O syscalls.
+
+use crate::error::{Result, StorageError};
+use crate::page::{Page, PageId};
+use crate::stats::{AtomicIoStats, IoStats};
+use parking_lot::Mutex;
+use std::fs::{File, OpenOptions};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Abstract page-granular backing store.
+///
+/// All methods take `&self`; implementations are internally synchronized
+/// so a single disk can sit under a shared buffer pool.
+pub trait DiskManager: Send + Sync {
+    /// Size in bytes of every page on this disk.
+    fn page_size(&self) -> usize;
+
+    /// Allocates a fresh zeroed page and returns its id.
+    fn allocate(&self) -> Result<PageId>;
+
+    /// Reads page `id` into `buf`.
+    ///
+    /// `buf` must have been created with this disk's page size.
+    fn read(&self, id: PageId, buf: &mut Page) -> Result<()>;
+
+    /// Writes `page` to page `id`.
+    fn write(&self, id: PageId, page: &Page) -> Result<()>;
+
+    /// Number of allocated pages.
+    fn num_pages(&self) -> u64;
+
+    /// I/O counters (reads, writes, simulated time).
+    fn stats(&self) -> IoStats;
+
+    /// Zeroes the I/O counters.
+    fn reset_stats(&self);
+}
+
+/// Latency model for [`SimulatedDisk`].
+///
+/// Defaults approximate a 2011-era SATA drive, the hardware class behind
+/// the paper's measurements: ~10 ms per random page read, ~10 ms writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DiskModel {
+    /// Simulated nanoseconds charged per page read.
+    pub read_ns: u64,
+    /// Simulated nanoseconds charged per page write.
+    pub write_ns: u64,
+}
+
+impl Default for DiskModel {
+    fn default() -> Self {
+        DiskModel { read_ns: 10_000_000, write_ns: 10_000_000 }
+    }
+}
+
+impl DiskModel {
+    /// A model approximating a modern NVMe device (~80 µs random read).
+    pub fn nvme() -> Self {
+        DiskModel { read_ns: 80_000, write_ns: 20_000 }
+    }
+
+    /// A model with zero cost (useful to isolate CPU effects).
+    pub fn free() -> Self {
+        DiskModel { read_ns: 0, write_ns: 0 }
+    }
+}
+
+/// In-memory page store with no cost model.
+pub struct InMemoryDisk {
+    page_size: usize,
+    pages: Mutex<Vec<Box<[u8]>>>,
+    stats: AtomicIoStats,
+}
+
+impl InMemoryDisk {
+    /// Creates an empty disk with the given page size.
+    pub fn new(page_size: usize) -> Self {
+        InMemoryDisk { page_size, pages: Mutex::new(Vec::new()), stats: AtomicIoStats::new() }
+    }
+}
+
+impl DiskManager for InMemoryDisk {
+    fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    fn allocate(&self) -> Result<PageId> {
+        let mut pages = self.pages.lock();
+        pages.push(vec![0u8; self.page_size].into_boxed_slice());
+        Ok(PageId(pages.len() as u64 - 1))
+    }
+
+    fn read(&self, id: PageId, buf: &mut Page) -> Result<()> {
+        let pages = self.pages.lock();
+        let src = pages.get(id.0 as usize).ok_or(StorageError::PageNotFound(id.0))?;
+        buf.bytes_mut().copy_from_slice(src);
+        self.stats.record_read(0);
+        Ok(())
+    }
+
+    fn write(&self, id: PageId, page: &Page) -> Result<()> {
+        let mut pages = self.pages.lock();
+        let dst = pages.get_mut(id.0 as usize).ok_or(StorageError::PageNotFound(id.0))?;
+        dst.copy_from_slice(page.bytes());
+        self.stats.record_write(0);
+        Ok(())
+    }
+
+    fn num_pages(&self) -> u64 {
+        self.pages.lock().len() as u64
+    }
+
+    fn stats(&self) -> IoStats {
+        self.stats.snapshot()
+    }
+
+    fn reset_stats(&self) {
+        self.stats.reset();
+    }
+}
+
+/// In-memory page store that charges a [`DiskModel`] per operation.
+///
+/// The simulated clock only accumulates; nothing sleeps. Harnesses add
+/// `stats().sim_total_ns()` to measured CPU time to produce end-to-end
+/// cost figures (see `nbb-bench`).
+pub struct SimulatedDisk {
+    inner: InMemoryDisk,
+    model: DiskModel,
+    stats: AtomicIoStats,
+}
+
+impl SimulatedDisk {
+    /// Creates a simulated disk with the given page size and cost model.
+    pub fn new(page_size: usize, model: DiskModel) -> Self {
+        SimulatedDisk { inner: InMemoryDisk::new(page_size), model, stats: AtomicIoStats::new() }
+    }
+
+    /// The cost model in effect.
+    pub fn model(&self) -> DiskModel {
+        self.model
+    }
+}
+
+impl DiskManager for SimulatedDisk {
+    fn page_size(&self) -> usize {
+        self.inner.page_size()
+    }
+
+    fn allocate(&self) -> Result<PageId> {
+        self.inner.allocate()
+    }
+
+    fn read(&self, id: PageId, buf: &mut Page) -> Result<()> {
+        self.inner.read(id, buf)?;
+        self.stats.record_read(self.model.read_ns);
+        Ok(())
+    }
+
+    fn write(&self, id: PageId, page: &Page) -> Result<()> {
+        self.inner.write(id, page)?;
+        self.stats.record_write(self.model.write_ns);
+        Ok(())
+    }
+
+    fn num_pages(&self) -> u64 {
+        self.inner.num_pages()
+    }
+
+    fn stats(&self) -> IoStats {
+        self.stats.snapshot()
+    }
+
+    fn reset_stats(&self) {
+        self.stats.reset();
+    }
+}
+
+/// File-backed page store issuing real positioned I/O.
+pub struct FileDisk {
+    page_size: usize,
+    file: File,
+    next_page: AtomicU64,
+    stats: AtomicIoStats,
+    #[cfg_attr(unix, allow(dead_code))] // only used by the non-unix seek path
+    io_lock: Mutex<()>,
+}
+
+impl FileDisk {
+    /// Creates (truncating) a disk file at `path`.
+    pub fn create<P: AsRef<Path>>(path: P, page_size: usize) -> Result<Self> {
+        let file =
+            OpenOptions::new().read(true).write(true).create(true).truncate(true).open(path)?;
+        Ok(FileDisk {
+            page_size,
+            file,
+            next_page: AtomicU64::new(0),
+            stats: AtomicIoStats::new(),
+            io_lock: Mutex::new(()),
+        })
+    }
+
+    #[cfg(unix)]
+    fn pread(&self, off: u64, buf: &mut [u8]) -> Result<()> {
+        use std::os::unix::fs::FileExt;
+        self.file.read_exact_at(buf, off)?;
+        Ok(())
+    }
+
+    #[cfg(unix)]
+    fn pwrite(&self, off: u64, buf: &[u8]) -> Result<()> {
+        use std::os::unix::fs::FileExt;
+        self.file.write_all_at(buf, off)?;
+        Ok(())
+    }
+
+    #[cfg(not(unix))]
+    fn pread(&self, off: u64, buf: &mut [u8]) -> Result<()> {
+        use std::io::{Read, Seek, SeekFrom};
+        let _g = self.io_lock.lock();
+        let mut f = &self.file;
+        f.seek(SeekFrom::Start(off))?;
+        f.read_exact(buf)?;
+        Ok(())
+    }
+
+    #[cfg(not(unix))]
+    fn pwrite(&self, off: u64, buf: &[u8]) -> Result<()> {
+        use std::io::{Seek, SeekFrom, Write};
+        let _g = self.io_lock.lock();
+        let mut f = &self.file;
+        f.seek(SeekFrom::Start(off))?;
+        f.write_all(buf)?;
+        Ok(())
+    }
+}
+
+impl DiskManager for FileDisk {
+    fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    fn allocate(&self) -> Result<PageId> {
+        let id = self.next_page.fetch_add(1, Ordering::SeqCst);
+        // Extend the file with a zeroed page so reads of fresh pages work.
+        let zeroes = vec![0u8; self.page_size];
+        self.pwrite(id * self.page_size as u64, &zeroes)?;
+        Ok(PageId(id))
+    }
+
+    fn read(&self, id: PageId, buf: &mut Page) -> Result<()> {
+        if id.0 >= self.next_page.load(Ordering::SeqCst) {
+            return Err(StorageError::PageNotFound(id.0));
+        }
+        self.pread(id.0 * self.page_size as u64, buf.bytes_mut())?;
+        self.stats.record_read(0);
+        Ok(())
+    }
+
+    fn write(&self, id: PageId, page: &Page) -> Result<()> {
+        if id.0 >= self.next_page.load(Ordering::SeqCst) {
+            return Err(StorageError::PageNotFound(id.0));
+        }
+        self.pwrite(id.0 * self.page_size as u64, page.bytes())?;
+        self.stats.record_write(0);
+        Ok(())
+    }
+
+    fn num_pages(&self) -> u64 {
+        self.next_page.load(Ordering::SeqCst)
+    }
+
+    fn stats(&self) -> IoStats {
+        self.stats.snapshot()
+    }
+
+    fn reset_stats(&self) {
+        self.stats.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(disk: &dyn DiskManager) {
+        let a = disk.allocate().unwrap();
+        let b = disk.allocate().unwrap();
+        assert_ne!(a, b);
+        let mut p = Page::new(disk.page_size());
+        p.bytes_mut()[0] = 0xAA;
+        p.bytes_mut()[disk.page_size() - 1] = 0xBB;
+        disk.write(b, &p).unwrap();
+        let mut out = Page::new(disk.page_size());
+        disk.read(b, &mut out).unwrap();
+        assert_eq!(out.bytes()[0], 0xAA);
+        assert_eq!(out.bytes()[disk.page_size() - 1], 0xBB);
+        // page `a` still zeroed
+        disk.read(a, &mut out).unwrap();
+        assert!(out.bytes().iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn in_memory_round_trip() {
+        round_trip(&InMemoryDisk::new(512));
+    }
+
+    #[test]
+    fn simulated_round_trip_and_cost() {
+        let d = SimulatedDisk::new(512, DiskModel { read_ns: 100, write_ns: 10 });
+        round_trip(&d);
+        let s = d.stats();
+        assert_eq!(s.reads, 2);
+        assert_eq!(s.writes, 1);
+        assert_eq!(s.sim_read_ns, 200);
+        assert_eq!(s.sim_write_ns, 10);
+    }
+
+    #[test]
+    fn file_disk_round_trip() {
+        let dir = std::env::temp_dir().join(format!("nbb_disk_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("pages.db");
+        let d = FileDisk::create(&path, 512).unwrap();
+        round_trip(&d);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn read_of_unallocated_page_fails() {
+        let d = InMemoryDisk::new(512);
+        let mut p = Page::new(512);
+        assert!(matches!(d.read(PageId(0), &mut p), Err(StorageError::PageNotFound(0))));
+    }
+
+    #[test]
+    fn default_model_is_hdd_scale() {
+        let m = DiskModel::default();
+        assert_eq!(m.read_ns, 10_000_000);
+        assert!(DiskModel::nvme().read_ns < m.read_ns);
+        assert_eq!(DiskModel::free().read_ns, 0);
+    }
+
+    #[test]
+    fn reset_stats_works() {
+        let d = SimulatedDisk::new(512, DiskModel::default());
+        let id = d.allocate().unwrap();
+        let mut p = Page::new(512);
+        d.read(id, &mut p).unwrap();
+        assert_eq!(d.stats().reads, 1);
+        d.reset_stats();
+        assert_eq!(d.stats().reads, 0);
+    }
+}

@@ -1,0 +1,93 @@
+//! Error types for the storage layer.
+
+use std::fmt;
+
+/// Errors produced by the storage substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// The requested page does not exist on the backing store.
+    PageNotFound(u64),
+    /// A page-level operation did not have enough free space.
+    PageFull {
+        /// Bytes requested by the operation.
+        needed: usize,
+        /// Bytes actually available.
+        available: usize,
+    },
+    /// A slot index was out of range or referred to a deleted tuple.
+    InvalidSlot {
+        /// Page that was addressed.
+        page: u64,
+        /// Slot within the page.
+        slot: u16,
+    },
+    /// A tuple exceeded the maximum size storable in a page.
+    TupleTooLarge {
+        /// Size of the offending tuple.
+        size: usize,
+        /// Maximum size a page can hold.
+        max: usize,
+    },
+    /// The buffer pool had no evictable frame (all pages pinned).
+    BufferPoolExhausted,
+    /// The backing file could not be read or written.
+    Io(String),
+    /// Page contents failed a structural sanity check.
+    Corrupt(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::PageNotFound(id) => write!(f, "page {id} not found"),
+            StorageError::PageFull { needed, available } => {
+                write!(f, "page full: needed {needed} bytes, {available} available")
+            }
+            StorageError::InvalidSlot { page, slot } => {
+                write!(f, "invalid slot {slot} on page {page}")
+            }
+            StorageError::TupleTooLarge { size, max } => {
+                write!(f, "tuple of {size} bytes exceeds page capacity {max}")
+            }
+            StorageError::BufferPoolExhausted => {
+                write!(f, "buffer pool exhausted: every frame is pinned")
+            }
+            StorageError::Io(msg) => write!(f, "I/O error: {msg}"),
+            StorageError::Corrupt(msg) => write!(f, "corrupt page: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+impl From<std::io::Error> for StorageError {
+    fn from(e: std::io::Error) -> Self {
+        StorageError::Io(e.to_string())
+    }
+}
+
+/// Convenience alias used across the storage crate.
+pub type Result<T> = std::result::Result<T, StorageError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_human_readable() {
+        let e = StorageError::PageFull { needed: 100, available: 10 };
+        assert_eq!(e.to_string(), "page full: needed 100 bytes, 10 available");
+        let e = StorageError::PageNotFound(7);
+        assert_eq!(e.to_string(), "page 7 not found");
+        let e = StorageError::InvalidSlot { page: 3, slot: 9 };
+        assert_eq!(e.to_string(), "invalid slot 9 on page 3");
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::other("boom");
+        let e: StorageError = io.into();
+        assert!(matches!(e, StorageError::Io(_)));
+        assert!(e.to_string().contains("boom"));
+    }
+}

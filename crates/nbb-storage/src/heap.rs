@@ -1,0 +1,303 @@
+//! Heap files: unordered tuple storage over slotted pages.
+//!
+//! Placement is *append-oriented* (new tuples go to the tail page), which
+//! is exactly the strategy whose locality waste §3.1 analyses: hot tuples
+//! end up scattered across the whole file. The hot/cold clustering in
+//! `nbb-partition` is implemented as delete-then-append on this API, the
+//! same mechanism the paper uses ("relocates hot tuples by deleting then
+//! appending them to the end of the table").
+
+use crate::buffer::BufferPool;
+use crate::error::{Result, StorageError};
+use crate::page::PageId;
+use crate::rid::RecordId;
+use crate::slotted::{SlottedPage, SlottedPageRef};
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+/// An unordered collection of tuples with stable [`RecordId`]s.
+pub struct HeapFile {
+    pool: Arc<BufferPool>,
+    pages: RwLock<Vec<PageId>>,
+}
+
+impl HeapFile {
+    /// Creates an empty heap file on `pool`.
+    pub fn create(pool: Arc<BufferPool>) -> Result<Self> {
+        let heap = HeapFile { pool, pages: RwLock::new(Vec::new()) };
+        heap.grow()?;
+        Ok(heap)
+    }
+
+    /// Reattaches a heap persisted on `pool`'s disk from its page list
+    /// (the caller's catalog records [`HeapFile::page_ids`] at shutdown).
+    /// Every page is validated as a slotted page.
+    pub fn attach(pool: Arc<BufferPool>, pages: Vec<PageId>) -> Result<Self> {
+        if pages.is_empty() {
+            return Self::create(pool);
+        }
+        for pid in &pages {
+            pool.with_page(*pid, |p| {
+                SlottedPageRef::attach(p).map(|_| ())
+            })??;
+        }
+        Ok(HeapFile { pool, pages: RwLock::new(pages) })
+    }
+
+    fn grow(&self) -> Result<PageId> {
+        let (id, ()) = self.pool.new_page_with(|p| {
+            SlottedPage::init(p);
+        })?;
+        self.pages.write().push(id);
+        Ok(id)
+    }
+
+    /// The buffer pool this heap lives on.
+    pub fn pool(&self) -> &Arc<BufferPool> {
+        &self.pool
+    }
+
+    /// Page ids belonging to this heap, in allocation (append) order.
+    pub fn page_ids(&self) -> Vec<PageId> {
+        self.pages.read().clone()
+    }
+
+    /// Number of pages in the heap.
+    pub fn page_count(&self) -> usize {
+        self.pages.read().len()
+    }
+
+    /// Appends a tuple, returning its address.
+    ///
+    /// Tries the tail page first; allocates a new tail when full.
+    pub fn insert(&self, tuple: &[u8]) -> Result<RecordId> {
+        let tail = *self.pages.read().last().expect("heap always has >= 1 page");
+        let res = self.pool.with_page_mut(tail, |p| {
+            let mut sp = SlottedPage::attach(p)?;
+            sp.insert(tuple)
+        })?;
+        match res {
+            Ok(slot) => Ok(RecordId::new(tail, slot)),
+            Err(StorageError::PageFull { .. }) | Err(StorageError::TupleTooLarge { .. }) => {
+                let fresh = self.grow()?;
+                let slot = self.pool.with_page_mut(fresh, |p| {
+                    let mut sp = SlottedPage::attach(p)?;
+                    sp.insert(tuple)
+                })??;
+                Ok(RecordId::new(fresh, slot))
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Copies the tuple at `rid` out of the page.
+    pub fn get(&self, rid: RecordId) -> Result<Vec<u8>> {
+        self.with_tuple(rid, |t| t.to_vec())
+    }
+
+    /// Runs `f` over the tuple bytes at `rid` without copying.
+    pub fn with_tuple<R>(&self, rid: RecordId, f: impl FnOnce(&[u8]) -> R) -> Result<R> {
+        self.pool.with_page(rid.page, |p| {
+            let sp = SlottedPageRef::attach(p)?;
+            let t = sp.get(rid.slot).map_err(|_| StorageError::InvalidSlot {
+                page: rid.page.0,
+                slot: rid.slot,
+            })?;
+            Ok(f(t))
+        })?
+    }
+
+    /// Deletes the tuple at `rid`.
+    pub fn delete(&self, rid: RecordId) -> Result<()> {
+        self.pool.with_page_mut(rid.page, |p| {
+            let mut sp = SlottedPage::attach(p)?;
+            sp.delete(rid.slot).map_err(|_| StorageError::InvalidSlot {
+                page: rid.page.0,
+                slot: rid.slot,
+            })
+        })?
+    }
+
+    /// Overwrites the tuple at `rid` in place (same RID afterwards).
+    pub fn update(&self, rid: RecordId, tuple: &[u8]) -> Result<()> {
+        self.pool.with_page_mut(rid.page, |p| {
+            let mut sp = SlottedPage::attach(p)?;
+            match sp.update(rid.slot, tuple) {
+                Err(StorageError::PageFull { .. }) => {
+                    // Compact and retry once: dead bytes may suffice.
+                    sp.compact();
+                    sp.update(rid.slot, tuple)
+                }
+                other => other,
+            }
+        })?
+    }
+
+    /// Moves a tuple to the tail of the heap (delete + append), returning
+    /// its new address. This is the paper's clustering primitive.
+    pub fn relocate(&self, rid: RecordId) -> Result<RecordId> {
+        let bytes = self.get(rid)?;
+        self.delete(rid)?;
+        self.insert(&bytes)
+    }
+
+    /// Visits every live tuple as `(rid, bytes)` in page order.
+    pub fn scan(&self, mut f: impl FnMut(RecordId, &[u8])) -> Result<()> {
+        for pid in self.page_ids() {
+            self.pool.with_page(pid, |p| -> Result<()> {
+                let sp = SlottedPageRef::attach(p)?;
+                for (slot, tuple) in sp.iter() {
+                    f(RecordId::new(pid, slot), tuple);
+                }
+                Ok(())
+            })??;
+        }
+        Ok(())
+    }
+
+    /// Total live tuples across all pages.
+    pub fn live_tuple_count(&self) -> Result<usize> {
+        let mut n = 0;
+        for pid in self.page_ids() {
+            n += self.pool.with_page(pid, |p| {
+                SlottedPageRef::attach(p).map(|sp| sp.live_count())
+            })??;
+        }
+        Ok(n)
+    }
+
+    /// Mean fill factor across the heap's pages — the §3.1 utilization
+    /// metric ("heap pages that contain as little as 2% of frequently
+    /// queried data").
+    pub fn avg_fill_factor(&self) -> Result<f64> {
+        let pages = self.page_ids();
+        if pages.is_empty() {
+            return Ok(0.0);
+        }
+        let mut total = 0.0;
+        for pid in &pages {
+            total += self.pool.with_page(*pid, |p| {
+                SlottedPageRef::attach(p).map(|sp| sp.fill_factor())
+            })??;
+        }
+        Ok(total / pages.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::{DiskManager, InMemoryDisk};
+
+    fn heap() -> HeapFile {
+        let disk: Arc<dyn DiskManager> = Arc::new(InMemoryDisk::new(512));
+        let pool = Arc::new(BufferPool::new(disk, 16));
+        HeapFile::create(pool).unwrap()
+    }
+
+    #[test]
+    fn insert_get_round_trip() {
+        let h = heap();
+        let rid = h.insert(b"tuple-one").unwrap();
+        assert_eq!(h.get(rid).unwrap(), b"tuple-one");
+    }
+
+    #[test]
+    fn spills_to_new_pages() {
+        let h = heap();
+        let mut rids = Vec::new();
+        for i in 0..100u32 {
+            rids.push(h.insert(&i.to_le_bytes()).unwrap());
+        }
+        assert!(h.page_count() > 1, "100 tuples should not fit one 512B page");
+        for (i, rid) in rids.iter().enumerate() {
+            assert_eq!(h.get(*rid).unwrap(), (i as u32).to_le_bytes());
+        }
+        assert_eq!(h.live_tuple_count().unwrap(), 100);
+    }
+
+    #[test]
+    fn delete_then_get_fails() {
+        let h = heap();
+        let rid = h.insert(b"x").unwrap();
+        h.delete(rid).unwrap();
+        assert!(h.get(rid).is_err());
+        assert_eq!(h.live_tuple_count().unwrap(), 0);
+    }
+
+    #[test]
+    fn update_in_place_preserves_rid() {
+        let h = heap();
+        let rid = h.insert(b"aaaaaaaa").unwrap();
+        h.update(rid, b"bb").unwrap();
+        assert_eq!(h.get(rid).unwrap(), b"bb");
+        h.update(rid, b"cccccccccccc").unwrap();
+        assert_eq!(h.get(rid).unwrap(), b"cccccccccccc");
+    }
+
+    #[test]
+    fn relocate_moves_to_tail() {
+        let h = heap();
+        let first = h.insert(b"hot-tuple").unwrap();
+        for i in 0..80u32 {
+            h.insert(&i.to_le_bytes()).unwrap();
+        }
+        let moved = h.relocate(first).unwrap();
+        assert_ne!(first, moved);
+        assert!(moved.page >= first.page);
+        assert_eq!(h.get(moved).unwrap(), b"hot-tuple");
+        assert!(h.get(first).is_err(), "old rid must be dead");
+    }
+
+    #[test]
+    fn scan_visits_everything_once() {
+        let h = heap();
+        let mut expect = std::collections::HashSet::new();
+        for i in 0..50u32 {
+            let rid = h.insert(&i.to_le_bytes()).unwrap();
+            expect.insert(rid);
+        }
+        let mut seen = std::collections::HashSet::new();
+        h.scan(|rid, _| {
+            assert!(seen.insert(rid), "duplicate rid {rid}");
+        })
+        .unwrap();
+        assert_eq!(seen, expect);
+    }
+
+    #[test]
+    fn avg_fill_factor_rises_with_content() {
+        let h = heap();
+        let empty = h.avg_fill_factor().unwrap();
+        for i in 0..40u64 {
+            h.insert(&i.to_le_bytes()).unwrap();
+        }
+        let filled = h.avg_fill_factor().unwrap();
+        assert!(filled > empty);
+    }
+
+    #[test]
+    fn works_under_memory_pressure() {
+        // Pool smaller than the heap: every op may trigger eviction.
+        let disk: Arc<dyn DiskManager> = Arc::new(InMemoryDisk::new(512));
+        let pool = Arc::new(BufferPool::new(disk, 2));
+        let h = HeapFile::create(pool).unwrap();
+        let mut rids = Vec::new();
+        for i in 0..200u32 {
+            rids.push(h.insert(&i.to_le_bytes()).unwrap());
+        }
+        for (i, rid) in rids.iter().enumerate() {
+            assert_eq!(h.get(*rid).unwrap(), (i as u32).to_le_bytes());
+        }
+    }
+
+    #[test]
+    fn oversized_tuple_errors_cleanly() {
+        let h = heap();
+        let big = vec![1u8; 1000];
+        assert!(matches!(h.insert(&big), Err(StorageError::TupleTooLarge { .. })));
+        // heap still usable
+        let rid = h.insert(b"ok").unwrap();
+        assert_eq!(h.get(rid).unwrap(), b"ok");
+    }
+}

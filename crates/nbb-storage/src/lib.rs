@@ -1,0 +1,39 @@
+//! # nbb-storage — storage substrate for *No Bits Left Behind*
+//!
+//! The page-level machinery every technique in the paper manipulates:
+//!
+//! * [`page`] — raw fixed-size page buffers and [`page::PageId`]s.
+//! * [`slotted`] — slotted data pages with a slot directory and a
+//!   measurable *fill factor* (the paper's "unused space" metric).
+//! * [`heap`] — append-oriented heap files with stable [`rid::RecordId`]s
+//!   and the delete-then-append relocation primitive §3.1 clusters with.
+//! * [`disk`] — in-memory, simulated-latency, and file-backed disks with
+//!   I/O accounting ([`stats::IoStats`]).
+//! * [`buffer`] — a clock-eviction buffer pool whose
+//!   [`buffer::BufferPool::with_page_cache_write`] provides the paper's
+//!   §2.1.1 contract: page writes that never dirty the frame and give up
+//!   under latch contention, so index caching adds zero I/O.
+//!
+//! Everything is synchronous and internally synchronized; a single
+//! [`buffer::BufferPool`] can be shared by heaps and B+Trees across
+//! threads.
+
+#![warn(missing_docs)]
+
+pub mod buffer;
+pub mod disk;
+pub mod error;
+pub mod heap;
+pub mod page;
+pub mod rid;
+pub mod slotted;
+pub mod stats;
+
+pub use buffer::BufferPool;
+pub use disk::{DiskManager, DiskModel, FileDisk, InMemoryDisk, SimulatedDisk};
+pub use error::{Result, StorageError};
+pub use heap::HeapFile;
+pub use page::{Page, PageId, DEFAULT_PAGE_SIZE};
+pub use rid::RecordId;
+pub use slotted::{SlottedPage, SlottedPageRef};
+pub use stats::{IoStats, PoolStats};

@@ -1,0 +1,79 @@
+//! Record identifiers: the physical address of a tuple.
+
+use crate::page::PageId;
+use std::fmt;
+
+/// Physical address of a tuple: `(page, slot)`.
+///
+/// A `RecordId` packs into a `u64` as `page << 16 | slot`, which is the
+/// representation stored inside B+Tree leaves and forwarding tables. The
+/// paper's §4.2 "semantic ID" technique relies on exactly this property:
+/// a tuple's physical address can stand in for — or be embedded inside —
+/// its application-visible identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RecordId {
+    /// Page holding the tuple.
+    pub page: PageId,
+    /// Slot within the page's slot directory.
+    pub slot: u16,
+}
+
+impl RecordId {
+    /// Creates a record id from parts.
+    #[inline]
+    pub fn new(page: PageId, slot: u16) -> Self {
+        RecordId { page, slot }
+    }
+
+    /// Packs into a `u64` (`page << 16 | slot`).
+    ///
+    /// # Panics
+    /// Panics if the page id needs more than 48 bits.
+    #[inline]
+    pub fn to_u64(self) -> u64 {
+        assert!(self.page.0 < (1 << 48), "page id {} exceeds 48 bits", self.page.0);
+        (self.page.0 << 16) | u64::from(self.slot)
+    }
+
+    /// Unpacks from the `u64` representation produced by [`RecordId::to_u64`].
+    #[inline]
+    pub fn from_u64(v: u64) -> Self {
+        RecordId { page: PageId(v >> 16), slot: (v & 0xFFFF) as u16 }
+    }
+}
+
+impl fmt::Display for RecordId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.page, self.slot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_round_trip() {
+        let rid = RecordId::new(PageId(123_456), 789);
+        assert_eq!(RecordId::from_u64(rid.to_u64()), rid);
+    }
+
+    #[test]
+    fn pack_is_order_preserving_within_page() {
+        let a = RecordId::new(PageId(5), 1).to_u64();
+        let b = RecordId::new(PageId(5), 2).to_u64();
+        let c = RecordId::new(PageId(6), 0).to_u64();
+        assert!(a < b && b < c);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(RecordId::new(PageId(3), 4).to_string(), "P3:4");
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds 48 bits")]
+    fn oversized_page_id_panics() {
+        let _ = RecordId::new(PageId(1 << 50), 0).to_u64();
+    }
+}

@@ -1,0 +1,131 @@
+//! Shared I/O and buffer-pool statistics counters.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Snapshot of disk-level I/O activity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IoStats {
+    /// Number of page reads served by the disk.
+    pub reads: u64,
+    /// Number of page writes applied to the disk.
+    pub writes: u64,
+    /// Simulated time spent in reads, in nanoseconds (0 for unmodeled disks).
+    pub sim_read_ns: u64,
+    /// Simulated time spent in writes, in nanoseconds.
+    pub sim_write_ns: u64,
+}
+
+impl IoStats {
+    /// Total simulated I/O time in nanoseconds.
+    pub fn sim_total_ns(&self) -> u64 {
+        self.sim_read_ns + self.sim_write_ns
+    }
+}
+
+/// Thread-safe accumulator behind every disk implementation.
+#[derive(Debug, Default)]
+pub struct AtomicIoStats {
+    reads: AtomicU64,
+    writes: AtomicU64,
+    sim_read_ns: AtomicU64,
+    sim_write_ns: AtomicU64,
+}
+
+impl AtomicIoStats {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one read costing `sim_ns` simulated nanoseconds.
+    #[inline]
+    pub fn record_read(&self, sim_ns: u64) {
+        self.reads.fetch_add(1, Ordering::Relaxed);
+        self.sim_read_ns.fetch_add(sim_ns, Ordering::Relaxed);
+    }
+
+    /// Records one write costing `sim_ns` simulated nanoseconds.
+    #[inline]
+    pub fn record_write(&self, sim_ns: u64) {
+        self.writes.fetch_add(1, Ordering::Relaxed);
+        self.sim_write_ns.fetch_add(sim_ns, Ordering::Relaxed);
+    }
+
+    /// Returns a consistent-enough snapshot for reporting.
+    pub fn snapshot(&self) -> IoStats {
+        IoStats {
+            reads: self.reads.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            sim_read_ns: self.sim_read_ns.load(Ordering::Relaxed),
+            sim_write_ns: self.sim_write_ns.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Zeroes all counters.
+    pub fn reset(&self) {
+        self.reads.store(0, Ordering::Relaxed);
+        self.writes.store(0, Ordering::Relaxed);
+        self.sim_read_ns.store(0, Ordering::Relaxed);
+        self.sim_write_ns.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Snapshot of buffer-pool behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PoolStats {
+    /// Page requests satisfied without disk access.
+    pub hits: u64,
+    /// Page requests that had to read from disk.
+    pub misses: u64,
+    /// Frames reclaimed to make room.
+    pub evictions: u64,
+    /// Dirty pages written back during eviction or flush.
+    pub writebacks: u64,
+}
+
+impl PoolStats {
+    /// Hit rate in `[0, 1]`; 0 when no requests were made.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_snapshot() {
+        let s = AtomicIoStats::new();
+        s.record_read(100);
+        s.record_read(50);
+        s.record_write(7);
+        let snap = s.snapshot();
+        assert_eq!(snap.reads, 2);
+        assert_eq!(snap.writes, 1);
+        assert_eq!(snap.sim_read_ns, 150);
+        assert_eq!(snap.sim_write_ns, 7);
+        assert_eq!(snap.sim_total_ns(), 157);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let s = AtomicIoStats::new();
+        s.record_read(1);
+        s.reset();
+        assert_eq!(s.snapshot(), IoStats::default());
+    }
+
+    #[test]
+    fn hit_rate_edges() {
+        let z = PoolStats::default();
+        assert_eq!(z.hit_rate(), 0.0);
+        let p = PoolStats { hits: 3, misses: 1, ..Default::default() };
+        assert!((p.hit_rate() - 0.75).abs() < 1e-12);
+    }
+}

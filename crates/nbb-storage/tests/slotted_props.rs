@@ -1,0 +1,127 @@
+//! Model-checking property tests for slotted pages and heap files.
+
+use nbb_storage::{BufferPool, DiskManager, HeapFile, InMemoryDisk, Page, SlottedPage};
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Slotted page vs an in-memory model under arbitrary op sequences.
+    #[test]
+    fn slotted_page_matches_model(
+        ops in prop::collection::vec((0u8..4, any::<u8>(), 1usize..120), 1..200)
+    ) {
+        let mut page = Page::new(2048);
+        let mut model: HashMap<u16, Vec<u8>> = HashMap::new();
+        {
+            let mut sp = SlottedPage::init(&mut page);
+            let mut slots: Vec<u16> = Vec::new();
+            for (op, byte, len) in ops {
+                match op {
+                    0 => {
+                        let tuple = vec![byte; len];
+                        if let Ok(slot) = sp.insert(&tuple) {
+                            model.insert(slot, tuple);
+                            if !slots.contains(&slot) {
+                                slots.push(slot);
+                            }
+                        }
+                    }
+                    1 => {
+                        if let Some(&slot) = slots.get(len % slots.len().max(1)) {
+                            let had = model.remove(&slot).is_some();
+                            prop_assert_eq!(sp.delete(slot).is_ok(), had);
+                        }
+                    }
+                    2 => {
+                        if let Some(&slot) = slots.get(len % slots.len().max(1)) {
+                            if let std::collections::hash_map::Entry::Occupied(mut e) = model.entry(slot) {
+                                let tuple = vec![byte.wrapping_add(1); len];
+                                if sp.update(slot, &tuple).is_ok() {
+                                    e.insert(tuple);
+                                }
+                            }
+                        }
+                    }
+                    _ => {
+                        sp.compact();
+                    }
+                }
+                // Full-state comparison after every op.
+                prop_assert_eq!(sp.live_count(), model.len());
+                for (slot, tuple) in &model {
+                    prop_assert_eq!(sp.get(*slot).unwrap(), tuple.as_slice());
+                }
+            }
+        }
+    }
+
+    /// Heap file round trip with interleaved deletes and relocations.
+    #[test]
+    fn heap_matches_model(
+        ops in prop::collection::vec((0u8..3, any::<u8>(), 1usize..60), 1..150)
+    ) {
+        let disk: Arc<dyn DiskManager> = Arc::new(InMemoryDisk::new(1024));
+        let heap = HeapFile::create(Arc::new(BufferPool::new(disk, 64))).unwrap();
+        let mut model: HashMap<nbb_storage::RecordId, Vec<u8>> = HashMap::new();
+        let mut rids: Vec<nbb_storage::RecordId> = Vec::new();
+        for (op, byte, len) in ops {
+            match op {
+                0 => {
+                    let tuple = vec![byte; len];
+                    if let Ok(rid) = heap.insert(&tuple) {
+                        model.insert(rid, tuple);
+                        rids.push(rid);
+                    }
+                }
+                1 => {
+                    if !rids.is_empty() {
+                        let rid = rids[len % rids.len()];
+                        let had = model.remove(&rid).is_some();
+                        prop_assert_eq!(heap.delete(rid).is_ok(), had);
+                    }
+                }
+                _ => {
+                    if !rids.is_empty() {
+                        let rid = rids[len % rids.len()];
+                        if model.contains_key(&rid) {
+                            let new_rid = heap.relocate(rid).unwrap();
+                            let tuple = model.remove(&rid).unwrap();
+                            model.insert(new_rid, tuple);
+                            rids.push(new_rid);
+                        }
+                    }
+                }
+            }
+            for (rid, tuple) in &model {
+                prop_assert_eq!(&heap.get(*rid).unwrap(), tuple);
+            }
+            prop_assert_eq!(heap.live_tuple_count().unwrap(), model.len());
+        }
+    }
+
+    /// Scans visit exactly the live set, in page order, once each.
+    #[test]
+    fn heap_scan_is_exact(n in 1usize..300, delete_every in 2usize..7) {
+        let disk: Arc<dyn DiskManager> = Arc::new(InMemoryDisk::new(1024));
+        let heap = HeapFile::create(Arc::new(BufferPool::new(disk, 64))).unwrap();
+        let mut expect = std::collections::HashSet::new();
+        let mut all = Vec::new();
+        for i in 0..n {
+            let rid = heap.insert(&(i as u64).to_le_bytes()).unwrap();
+            all.push(rid);
+            expect.insert(rid);
+        }
+        for rid in all.iter().step_by(delete_every) {
+            heap.delete(*rid).unwrap();
+            expect.remove(rid);
+        }
+        let mut seen = std::collections::HashSet::new();
+        heap.scan(|rid, _| {
+            assert!(seen.insert(rid), "duplicate {rid}");
+        }).unwrap();
+        prop_assert_eq!(seen, expect);
+    }
+}

@@ -1,0 +1,312 @@
+//! Zipfian sampling — the paper's workload skew model.
+//!
+//! §2.1.4 simulates the Wikipedia page workload with "a zipfian
+//! distribution similar to Wikipedia (α = .5)": rank `k` is drawn with
+//! probability proportional to `1/k^α`.
+//!
+//! [`Zipf`] implements rejection-inversion sampling (Hörmann &
+//! Derflinger, 1996): O(1) per sample with no per-element tables, so the
+//! harness can model millions of items. [`ScrambledZipf`] composes it
+//! with a fixed pseudo-random permutation so that *popularity* is
+//! zipfian while hot items are scattered uniformly through the id space
+//! (as they are in Wikipedia, where popular pages are not adjacent ids).
+
+use rand::Rng;
+
+/// Zipfian distribution over ranks `1..=n` with exponent `alpha ≥ 0`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    n: u64,
+    alpha: f64,
+    h_x1: f64,
+    h_n: f64,
+    s: f64,
+}
+
+impl Zipf {
+    /// Creates a sampler over `1..=n` with `P(k) ∝ 1/k^alpha`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `alpha < 0` or `alpha == 1` exactly is fine;
+    /// the harmonic special case is handled internally.
+    pub fn new(n: u64, alpha: f64) -> Self {
+        assert!(n >= 1, "zipf needs at least one element");
+        assert!(alpha >= 0.0, "alpha must be non-negative");
+        let h_x1 = Self::h_integral(1.5, alpha) - 1.0;
+        let h_n = Self::h_integral(n as f64 + 0.5, alpha);
+        let s = 2.0
+            - Self::h_integral_inverse(
+                Self::h_integral(2.5, alpha) - Self::h(2.0, alpha),
+                alpha,
+            );
+        Zipf { n, alpha, h_x1, h_n, s }
+    }
+
+    /// Number of elements.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// The exponent α.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// `H(x) = ∫ 1/t^α dt`, the integral of the unnormalized density.
+    fn h_integral(x: f64, alpha: f64) -> f64 {
+        let log_x = x.ln();
+        helper2((1.0 - alpha) * log_x) * log_x
+    }
+
+    fn h(x: f64, alpha: f64) -> f64 {
+        (-alpha * x.ln()).exp()
+    }
+
+    fn h_integral_inverse(x: f64, alpha: f64) -> f64 {
+        let mut t = x * (1.0 - alpha);
+        if t < -1.0 {
+            t = -1.0;
+        }
+        (helper1(t) * x).exp()
+    }
+
+    /// Draws a rank in `1..=n` (1 is the most popular).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        loop {
+            let u = self.h_n + rng.gen::<f64>() * (self.h_x1 - self.h_n);
+            let x = Self::h_integral_inverse(u, self.alpha);
+            let k = (x + 0.5).floor().clamp(1.0, self.n as f64);
+            if k - x <= self.s
+                || u >= Self::h_integral(k + 0.5, self.alpha) - Self::h(k, self.alpha)
+            {
+                return k as u64;
+            }
+        }
+    }
+
+    /// Exact probability of rank `k` (for tests and analytics).
+    pub fn probability(&self, k: u64) -> f64 {
+        assert!(k >= 1 && k <= self.n);
+        let norm: f64 = (1..=self.n).map(|i| 1.0 / (i as f64).powf(self.alpha)).sum();
+        1.0 / (k as f64).powf(self.alpha) / norm
+    }
+
+    /// Number of top ranks needed to cover `fraction` of the probability
+    /// mass — e.g. "the 5% of tuples that receive 99.9% of accesses".
+    pub fn ranks_covering(&self, fraction: f64) -> u64 {
+        let norm: f64 = (1..=self.n).map(|i| 1.0 / (i as f64).powf(self.alpha)).sum();
+        let mut acc = 0.0;
+        for k in 1..=self.n {
+            acc += 1.0 / (k as f64).powf(self.alpha) / norm;
+            if acc >= fraction {
+                return k;
+            }
+        }
+        self.n
+    }
+}
+
+/// `ln(1 + x) / x` with the x→0 limit handled.
+fn helper1(x: f64) -> f64 {
+    if x.abs() > 1e-8 {
+        x.ln_1p() / x
+    } else {
+        1.0 - x * (0.5 - x * (1.0 / 3.0 - 0.25 * x))
+    }
+}
+
+/// `(exp(x) - 1) / x` for `h_integral`.
+fn helper2(x: f64) -> f64 {
+    if x.abs() > 1e-8 {
+        x.exp_m1() / x
+    } else {
+        1.0 + x * 0.5 * (1.0 + x * (1.0 / 3.0) * (1.0 + 0.25 * x))
+    }
+}
+
+/// Zipfian popularity over a *scrambled* id space: rank `r` maps to item
+/// `perm(r)` under a fixed Feistel-style permutation of `0..n`.
+#[derive(Debug, Clone)]
+pub struct ScrambledZipf {
+    zipf: Zipf,
+    seed: u64,
+}
+
+impl ScrambledZipf {
+    /// Creates a scrambled sampler over items `0..n`.
+    pub fn new(n: u64, alpha: f64, seed: u64) -> Self {
+        ScrambledZipf { zipf: Zipf::new(n, alpha), seed }
+    }
+
+    /// Number of items.
+    pub fn n(&self) -> u64 {
+        self.zipf.n()
+    }
+
+    /// Draws an item id in `0..n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let rank = self.zipf.sample(rng) - 1; // 0-based
+        self.permute(rank)
+    }
+
+    /// The item id holding popularity rank `rank` (0 = hottest).
+    pub fn item_of_rank(&self, rank: u64) -> u64 {
+        assert!(rank < self.zipf.n());
+        self.permute(rank)
+    }
+
+    /// Cycle-walking 4-round xorshift-multiply permutation of `0..n`.
+    fn permute(&self, x: u64) -> u64 {
+        let n = self.zipf.n();
+        // Smallest power-of-two domain >= n, cycle-walk until in range.
+        let bits = 64 - (n - 1).leading_zeros();
+        let bits = bits.max(1);
+        let mask = (1u64 << bits) - 1;
+        let mut v = x;
+        loop {
+            v = self.mix(v, bits) & mask;
+            if v < n {
+                return v;
+            }
+        }
+    }
+
+    fn mix(&self, mut v: u64, bits: u32) -> u64 {
+        let mask = (1u64 << bits) - 1;
+        for round in 0..4u64 {
+            v ^= self.seed.rotate_left(round as u32 * 16 + 1);
+            v = v.wrapping_mul(0x9E37_79B9_7F4A_7C15) & mask;
+            v ^= v >> (bits / 2).max(1);
+            v &= mask;
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn histogram(z: &Zipf, samples: usize, seed: u64) -> Vec<u64> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut h = vec![0u64; z.n() as usize + 1];
+        for _ in 0..samples {
+            h[z.sample(&mut rng) as usize] += 1;
+        }
+        h
+    }
+
+    #[test]
+    fn ranks_stay_in_range() {
+        let z = Zipf::new(100, 0.5);
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let k = z.sample(&mut rng);
+            assert!((1..=100).contains(&k));
+        }
+    }
+
+    #[test]
+    fn empirical_matches_exact_probabilities_alpha_05() {
+        let z = Zipf::new(50, 0.5);
+        let n_samples = 200_000;
+        let h = histogram(&z, n_samples, 42);
+        for k in [1u64, 2, 5, 10, 25, 50] {
+            let expect = z.probability(k);
+            let got = h[k as usize] as f64 / n_samples as f64;
+            assert!(
+                (got - expect).abs() < 0.01 + expect * 0.15,
+                "rank {k}: got {got:.4}, expect {expect:.4}"
+            );
+        }
+    }
+
+    #[test]
+    fn alpha_one_harmonic_case() {
+        let z = Zipf::new(100, 1.0);
+        let h = histogram(&z, 100_000, 7);
+        // P(1)/P(10) = 10 under alpha=1
+        let ratio = h[1] as f64 / h[10] as f64;
+        assert!((6.0..16.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn alpha_zero_is_uniform() {
+        let z = Zipf::new(10, 0.0);
+        let h = histogram(&z, 100_000, 3);
+        for (k, count) in h.iter().enumerate().skip(1) {
+            let f = *count as f64 / 100_000.0;
+            assert!((f - 0.1).abs() < 0.02, "rank {k} freq {f}");
+        }
+    }
+
+    #[test]
+    fn rank_one_dominates() {
+        let z = Zipf::new(1000, 0.99);
+        let h = histogram(&z, 100_000, 9);
+        let max = h.iter().enumerate().max_by_key(|(_, c)| **c).unwrap().0;
+        assert_eq!(max, 1, "rank 1 must be the most frequent");
+    }
+
+    #[test]
+    fn single_element_always_returns_it() {
+        let z = Zipf::new(1, 0.5);
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(z.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn probability_sums_to_one() {
+        let z = Zipf::new(200, 0.5);
+        let total: f64 = (1..=200).map(|k| z.probability(k)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ranks_covering_small_head_for_high_alpha() {
+        let z = Zipf::new(10_000, 1.2);
+        let head = z.ranks_covering(0.5);
+        assert!(head < 500, "high skew should concentrate mass, head={head}");
+        let z0 = Zipf::new(10_000, 0.0);
+        assert!(z0.ranks_covering(0.5) >= 4_999);
+    }
+
+    #[test]
+    fn scrambled_is_a_permutation() {
+        let s = ScrambledZipf::new(1000, 0.5, 99);
+        let mut seen = std::collections::HashSet::new();
+        for r in 0..1000 {
+            assert!(seen.insert(s.item_of_rank(r)), "duplicate at rank {r}");
+        }
+        assert_eq!(seen.len(), 1000);
+        assert!(seen.iter().all(|&v| v < 1000));
+    }
+
+    #[test]
+    fn scrambled_scatters_hot_items() {
+        // The 10 hottest items should not be clustered in id space.
+        let s = ScrambledZipf::new(10_000, 0.5, 5);
+        let hot: Vec<u64> = (0..10).map(|r| s.item_of_rank(r)).collect();
+        let mut sorted = hot.clone();
+        sorted.sort_unstable();
+        let span = sorted.last().unwrap() - sorted.first().unwrap();
+        assert!(span > 1000, "hot items clustered: {sorted:?}");
+    }
+
+    #[test]
+    fn scrambled_samples_follow_rank_popularity() {
+        let s = ScrambledZipf::new(100, 1.0, 11);
+        let mut rng = SmallRng::seed_from_u64(12);
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..100_000 {
+            *counts.entry(s.sample(&mut rng)).or_insert(0u64) += 1;
+        }
+        let hottest_item = s.item_of_rank(0);
+        let max_item = *counts.iter().max_by_key(|(_, c)| **c).unwrap().0;
+        assert_eq!(max_item, hottest_item);
+    }
+}

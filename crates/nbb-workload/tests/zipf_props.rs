@@ -1,0 +1,69 @@
+//! Property tests for the workload generators.
+
+use nbb_workload::{ScrambledZipf, WikiGenerator, Zipf};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+proptest! {
+    /// The scrambled sampler's rank→item map is a bijection on 0..n for
+    /// arbitrary n and seed (not just powers of two).
+    #[test]
+    fn scramble_is_bijective(n in 1u64..3_000, seed in any::<u64>()) {
+        let s = ScrambledZipf::new(n, 0.5, seed);
+        let mut seen = vec![false; n as usize];
+        for r in 0..n {
+            let item = s.item_of_rank(r);
+            prop_assert!(item < n, "item {} out of range {}", item, n);
+            prop_assert!(!seen[item as usize], "duplicate item {}", item);
+            seen[item as usize] = true;
+        }
+    }
+
+    /// Probabilities are monotone non-increasing in rank for any alpha.
+    #[test]
+    fn zipf_probability_monotone(n in 2u64..500, alpha in 0.0f64..2.5) {
+        let z = Zipf::new(n, alpha);
+        let mut prev = f64::INFINITY;
+        for k in 1..=n.min(50) {
+            let p = z.probability(k);
+            prop_assert!(p <= prev + 1e-12, "p({k})={p} > p({})={prev}", k - 1);
+            prop_assert!(p >= 0.0);
+            prev = p;
+        }
+    }
+
+    /// Samples always land in 1..=n.
+    #[test]
+    fn zipf_samples_in_range(n in 1u64..10_000, alpha in 0.0f64..2.0, seed in any::<u64>()) {
+        let z = Zipf::new(n, alpha);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for _ in 0..200 {
+            let k = z.sample(&mut rng);
+            prop_assert!((1..=n).contains(&k));
+        }
+    }
+
+    /// Wiki generation invariants for arbitrary shapes: ids dense from 1,
+    /// each page's latest_rev actually belongs to it, timestamps sorted.
+    #[test]
+    fn wiki_invariants(n_pages in 1u64..80, revs in 1usize..12, seed in any::<u64>()) {
+        let mut g = WikiGenerator::new(seed);
+        let mut pages = g.pages(n_pages);
+        let revisions = g.revisions(&mut pages, revs);
+        prop_assert!(!revisions.is_empty());
+        for (i, r) in revisions.iter().enumerate() {
+            prop_assert_eq!(r.id, i as u64 + 1, "rev ids must be dense");
+        }
+        for w in revisions.windows(2) {
+            prop_assert!(w[0].timestamp <= w[1].timestamp);
+        }
+        for p in &pages {
+            let latest = revisions.iter().find(|r| r.id == p.latest_rev)
+                .expect("latest_rev exists");
+            prop_assert_eq!(latest.page_id, p.id);
+            // Nothing newer for this page.
+            prop_assert!(!revisions.iter().any(|r| r.page_id == p.id && r.id > p.latest_rev));
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! The §4.1 schema advisor: treat declared types as hints, measure what
+//! the data actually needs, and materialize the optimized encoding.
+//!
+//! ```sh
+//! cargo run --release --example schema_advisor
+//! ```
+//!
+//! Analyzes a synthetic Wikipedia revision table, prints the per-column
+//! verdicts (the "automated tools [that] infer true field types"), then
+//! proves the recommended encodings are lossless by materializing and
+//! round-tripping every column.
+
+use nbb::encoding::{
+    analyze_table, decode_column, encode_column, ColumnDef, DeclaredType, Schema, Value,
+};
+use nbb::workload::WikiGenerator;
+
+fn main() {
+    let mut gen = WikiGenerator::new(99);
+    let mut pages = gen.pages(2_000);
+    let revisions = gen.revisions(&mut pages, 10);
+
+    let schema = Schema {
+        table: "revision".into(),
+        columns: vec![
+            ColumnDef::new("rev_id", DeclaredType::Int64),
+            ColumnDef::new("rev_page", DeclaredType::Int64),
+            ColumnDef::new("rev_comment", DeclaredType::Str { width: 40 }),
+            ColumnDef::new("rev_timestamp", DeclaredType::Str { width: 14 }),
+            ColumnDef::new("rev_minor_edit", DeclaredType::Bool),
+            ColumnDef::new("rev_deleted", DeclaredType::Bool),
+            ColumnDef::new("rev_len", DeclaredType::Int64),
+        ],
+    };
+    let rows: Vec<Vec<Value>> = revisions
+        .iter()
+        .map(|r| {
+            vec![
+                Value::Int(r.id as i64),
+                Value::Int(r.page_id as i64),
+                Value::Str(r.comment.clone()),
+                Value::Str(r.timestamp.clone()),
+                Value::Bool(r.minor_edit),
+                Value::Bool(r.deleted),
+                Value::Int(r.len as i64),
+            ]
+        })
+        .collect();
+
+    let report = analyze_table(&schema, &rows);
+    print!("{}", report.render());
+
+    println!("\nmaterializing the optimized encodings (lossless round trip):");
+    let mut declared_bytes = 0f64;
+    let mut measured_bytes = 0usize;
+    for (ci, analysis) in report.columns.iter().enumerate() {
+        let values: Vec<Value> = rows.iter().map(|r| r[ci].clone()).collect();
+        let encoded = encode_column(&values, &analysis.recommended);
+        let decoded = decode_column(&encoded);
+        assert_eq!(decoded, values, "column {} must round-trip", analysis.name);
+        declared_bytes += analysis.declared_bits * values.len() as f64 / 8.0;
+        measured_bytes += encoded.byte_len();
+        println!(
+            "  {:<16} {:>8} bytes measured (declared {:>8.0})  ok",
+            analysis.name,
+            encoded.byte_len(),
+            analysis.declared_bits * values.len() as f64 / 8.0
+        );
+    }
+    println!(
+        "\ntotal: {:.0} KB declared -> {:.0} KB optimized = {:.1}% measured waste (paper: 16-83% per table)",
+        declared_bytes / 1024.0,
+        measured_bytes as f64 / 1024.0,
+        (1.0 - measured_bytes as f64 / declared_bytes) * 100.0
+    );
+}

@@ -1,0 +1,79 @@
+//! §4.2 semantic IDs: embedding a tuple's partition in its surrogate
+//! key, so distributed routing needs no routing table.
+//!
+//! ```sh
+//! cargo run --release --example semantic_routing
+//! ```
+//!
+//! Compares routing-table lookups against bit-shift routing for a
+//! Schism-style partitioned workload, reports the routing table's
+//! memory footprint (the scalability bottleneck §4.2 identifies), and
+//! shows re-homing: moving a tuple hot→cold by rewriting its id.
+
+use nbb::encoding::{RoutingTable, SemanticIdAllocator, SemanticIdLayout};
+use std::time::Instant;
+
+fn main() {
+    let partitions = 16u32;
+    let tuples_per_partition = 200_000u64;
+    let layout = SemanticIdLayout::new(8); // up to 256 partitions
+    let mut alloc = SemanticIdAllocator::new(layout, partitions);
+
+    // Baseline: explicit routing table (id -> partition).
+    let mut table = RoutingTable::new();
+    let mut ids = Vec::new();
+    for p in 0..partitions {
+        for _ in 0..tuples_per_partition {
+            let id = alloc.allocate(p);
+            table.insert(id, p);
+            ids.push(id);
+        }
+    }
+    println!(
+        "{} tuples across {} partitions",
+        ids.len(),
+        partitions
+    );
+    println!(
+        "routing table: {} entries, ~{:.1} MB resident",
+        table.len(),
+        table.approx_bytes() as f64 / 1e6
+    );
+    println!("semantic ids : 0 bytes of routing state");
+
+    // Route every id both ways; results must agree.
+    let start = Instant::now();
+    let mut acc = 0u64;
+    for id in &ids {
+        acc = acc.wrapping_add(u64::from(table.route(*id).expect("routed")));
+    }
+    let table_time = start.elapsed();
+    let start = Instant::now();
+    let mut acc2 = 0u64;
+    for id in &ids {
+        acc2 = acc2.wrapping_add(u64::from(layout.partition_of(*id)));
+    }
+    let shift_time = start.elapsed();
+    assert_eq!(acc, acc2, "both mechanisms must agree");
+    println!(
+        "routing {} ids: table {:?} vs semantic {:?} ({:.1}x faster)",
+        ids.len(),
+        table_time,
+        shift_time,
+        table_time.as_nanos() as f64 / shift_time.as_nanos().max(1) as f64
+    );
+
+    // Re-homing: the §3.1 connection — moving a tuple is an id update.
+    let id = ids[0];
+    let moved = layout.rehome(id, 9);
+    println!(
+        "\nrehome: id {:#018x} (partition {}) -> {:#018x} (partition {}), sequence preserved: {}",
+        id,
+        layout.partition_of(id),
+        moved,
+        layout.partition_of(moved),
+        layout.seq_of(id) == layout.seq_of(moved)
+    );
+    assert_eq!(layout.partition_of(moved), 9);
+    println!("\ndone: uniqueness preserved, placement embedded, no routing table.");
+}

@@ -1,0 +1,29 @@
+//! # nbb — *No Bits Left Behind* (CIDR 2011) in Rust
+//!
+//! A from-scratch reproduction of Wu, Curino & Madden's CIDR 2011 vision
+//! paper: reclaiming the three classes of waste in database systems.
+//!
+//! | Waste class | Technique | Entry point |
+//! |-------------|-----------|-------------|
+//! | Unused space (§2) | B+Tree index caches in leaf free space | [`btree::BTree::lookup_cached`] |
+//! | Locality (§3) | Hot/cold clustering & partitioning | [`partition::cluster_hot_tuples`], [`partition::HotColdStore`] |
+//! | Encoding (§4) | Schema-as-hint optimization, semantic IDs | [`encoding::analyze_table`], [`encoding::SemanticIdLayout`] |
+//!
+//! The crates re-exported here are usable independently:
+//!
+//! * [`storage`] — pages, heaps, buffer pool, disks (with latency models);
+//! * [`btree`] — the Figure-1 B+Tree with the index cache;
+//! * [`encoding`] — §4 codecs, analyzer, semantic ids;
+//! * [`partition`] — §3 trackers, policies, clustering, vertical splits;
+//! * [`workload`] — zipfian samplers and the synthetic Wikipedia;
+//! * [`core`] — the table/database facade and the waste audit.
+//!
+//! See `examples/quickstart.rs` for a 5-minute tour, and the `nbb-bench`
+//! crate for the binaries that regenerate every figure in the paper.
+
+pub use nbb_btree as btree;
+pub use nbb_core as core;
+pub use nbb_encoding as encoding;
+pub use nbb_partition as partition;
+pub use nbb_storage as storage;
+pub use nbb_workload as workload;

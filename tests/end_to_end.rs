@@ -1,0 +1,180 @@
+//! End-to-end integration: the full stack from synthetic Wikipedia
+//! through cached indexes, clustering, and the waste audit.
+
+use nbb::core::db::{Database, DbConfig};
+use nbb::core::table::{FieldSpec, IndexSpec};
+use nbb::core::waste;
+use nbb::storage::DiskModel;
+use nbb::workload::{WikiGenerator, REVISION_ROW_WIDTH};
+
+fn be_key(id: u64) -> [u8; 8] {
+    id.to_be_bytes()
+}
+
+/// Builds the revision table with a big-endian rev_id key prefix.
+fn load_revisions(
+    db: &Database,
+    n_pages: u64,
+    revs: usize,
+    seed: u64,
+) -> (std::sync::Arc<nbb::core::table::Table>, Vec<u64>, usize) {
+    let mut gen = WikiGenerator::new(seed);
+    let mut pages = gen.pages(n_pages);
+    let revisions = gen.revisions(&mut pages, revs);
+    let t = db.create_table("revision", REVISION_ROW_WIDTH).unwrap();
+    for r in &revisions {
+        let mut row = r.encode();
+        row[..8].copy_from_slice(&be_key(r.id));
+        t.insert(&row).unwrap();
+    }
+    t.create_index(IndexSpec::cached(
+        "by_rev_id",
+        FieldSpec::new(0, 8),
+        vec![FieldSpec::new(8, 8)], // cache rev_page
+    ))
+    .unwrap();
+    let hot: Vec<u64> = pages.iter().map(|p| p.latest_rev).collect();
+    (t, hot, revisions.len())
+}
+
+#[test]
+fn full_stack_lookup_correctness() {
+    let db = Database::open(DbConfig::default());
+    let (t, hot, total) = load_revisions(&db, 200, 10, 1);
+    // Every revision resolvable; payload equals the stored field.
+    for id in 1..=total as u64 {
+        let tuple = t.get_via_index("by_rev_id", &be_key(id)).unwrap().unwrap();
+        let page_id = u64::from_le_bytes(tuple[8..16].try_into().unwrap());
+        let proj = t.project_via_index("by_rev_id", &be_key(id)).unwrap().unwrap();
+        assert_eq!(proj.payload, page_id.to_le_bytes());
+    }
+    // Second pass over the hot set: mostly index-only now.
+    let before = t.stats().index_only_answers;
+    for id in &hot {
+        t.project_via_index("by_rev_id", &be_key(*id)).unwrap().unwrap();
+    }
+    let after = t.stats().index_only_answers;
+    assert!(
+        after - before > hot.len() as u64 / 2,
+        "warm hot set should answer index-only ({} of {})",
+        after - before,
+        hot.len()
+    );
+}
+
+#[test]
+fn clustering_plus_partitioning_cut_io_in_order() {
+    // The Figure 3 shape through the public API at test scale.
+    let run = |cluster: bool, partition: bool| -> u64 {
+        let db = Database::open(DbConfig {
+            page_size: 8192,
+            heap_frames: 12,
+            index_frames: 6,
+            disk_model: Some(DiskModel { read_ns: 1000, write_ns: 1000 }),
+        });
+        if partition {
+            let mut gen = WikiGenerator::new(5);
+            let mut pages = gen.pages(400);
+            let revisions = gen.revisions(&mut pages, 10);
+            let hotset: std::collections::HashSet<u64> =
+                pages.iter().map(|p| p.latest_rev).collect();
+            let hot_t = db.create_table("hot", REVISION_ROW_WIDTH).unwrap();
+            let cold_t = db.create_table("cold", REVISION_ROW_WIDTH).unwrap();
+            for r in &revisions {
+                let mut row = r.encode();
+                row[..8].copy_from_slice(&be_key(r.id));
+                if hotset.contains(&r.id) {
+                    hot_t.insert(&row).unwrap();
+                } else {
+                    cold_t.insert(&row).unwrap();
+                }
+            }
+            hot_t
+                .create_index(IndexSpec::plain("by_rev_id", FieldSpec::new(0, 8)))
+                .unwrap();
+            db.reset_stats();
+            for id in &hotset {
+                hot_t.get_via_index("by_rev_id", &be_key(*id)).unwrap().unwrap();
+            }
+            let (h, i) = db.io_stats();
+            return h.reads + i.reads;
+        }
+        let (t, hot, _) = load_revisions(&db, 400, 10, 5);
+        if cluster {
+            let idx = t.index_tree("by_rev_id").unwrap();
+            for id in &hot {
+                let ptr = idx.tree().get(&be_key(*id)).unwrap().unwrap();
+                t.relocate(nbb::storage::RecordId::from_u64(ptr)).unwrap();
+            }
+        }
+        db.reset_stats();
+        for id in &hot {
+            t.get_via_index("by_rev_id", &be_key(*id)).unwrap().unwrap();
+        }
+        let (h, i) = db.io_stats();
+        h.reads + i.reads
+    };
+    let baseline = run(false, false);
+    let clustered = run(true, false);
+    let partitioned = run(false, true);
+    assert!(clustered < baseline, "clustering must cut I/O: {clustered} vs {baseline}");
+    assert!(partitioned < clustered, "partitioning must cut more: {partitioned} vs {clustered}");
+}
+
+#[test]
+fn waste_audit_covers_all_three_classes() {
+    use nbb::encoding::{ColumnDef, DeclaredType, Schema, Value};
+    let db = Database::open(DbConfig::default());
+    let (t, hot, _) = load_revisions(&db, 100, 10, 9);
+    let idx = t.index_tree("by_rev_id").unwrap();
+    let hot_rids: Vec<_> = hot
+        .iter()
+        .map(|id| {
+            nbb::storage::RecordId::from_u64(idx.tree().get(&be_key(*id)).unwrap().unwrap())
+        })
+        .collect();
+    let schema = Schema {
+        table: "revision".into(),
+        columns: vec![ColumnDef::new("rev_id", DeclaredType::Int64)],
+    };
+    let decode: &dyn Fn(&[u8]) -> Vec<Value> =
+        &|b| vec![Value::Int(i64::from_be_bytes(b[..8].try_into().unwrap()))];
+    let report =
+        waste::audit(&t, &["by_rev_id"], Some(&hot_rids), Some((&schema, decode, 500))).unwrap();
+    // Unused space: a real index with measurable free bytes.
+    assert!(report.unused.indexes[0].free_bytes > 0);
+    // Locality: scattered hot set -> low utilization.
+    let loc = report.locality.as_ref().unwrap();
+    assert!(loc.hot_utilization < 0.5, "{loc:?}");
+    // Encoding: ids fit far fewer bits than declared.
+    let enc = report.encoding.as_ref().unwrap();
+    assert!(enc.waste_fraction() > 0.5);
+    // Render shows everything.
+    let text = report.render();
+    assert!(text.contains("[unused space]") && text.contains("[locality]"));
+}
+
+#[test]
+fn simulated_crash_invalidates_caches_but_preserves_data() {
+    let db = Database::open(DbConfig::default());
+    let (t, hot, total) = load_revisions(&db, 100, 10, 13);
+    for id in &hot {
+        t.project_via_index("by_rev_id", &be_key(*id)).unwrap();
+        t.project_via_index("by_rev_id", &be_key(*id)).unwrap();
+    }
+    let idx = t.index_tree("by_rev_id").unwrap();
+    assert!(idx.tree().cache_stats().hits > 0);
+    // "Crash": all page caches become invalid via the CSN bump.
+    idx.tree().invalidate_all_caches();
+    let hits_before = idx.tree().cache_stats().hits;
+    for id in 1..=total as u64 {
+        assert!(
+            t.get_via_index("by_rev_id", &be_key(id)).unwrap().is_some(),
+            "data must survive the crash"
+        );
+    }
+    // First post-crash cached lookup for each key misses.
+    let m = idx.tree().lookup_cached(&be_key(hot[0])).unwrap();
+    assert!(m.payload.is_none());
+    assert_eq!(idx.tree().cache_stats().hits, hits_before);
+}
