@@ -111,7 +111,6 @@ fn bench_probe_by_entry_size(c: &mut Criterion) {
     group.finish();
 }
 
-
 fn short() -> Criterion {
     Criterion::default()
         .sample_size(20)

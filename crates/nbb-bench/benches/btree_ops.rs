@@ -94,7 +94,6 @@ fn bench_bulk_load(c: &mut Criterion) {
     group.finish();
 }
 
-
 fn short() -> Criterion {
     Criterion::default()
         .sample_size(20)

@@ -4,7 +4,9 @@
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use nbb_encoding::bitpack::{pack, pack_ref, unpack, unpack_ref};
 use nbb_encoding::timestamp::{format_epoch, to_u32};
-use nbb_encoding::{analyze_table, ColumnDef, DeclaredType, DeltaColumn, DictColumn, Schema, Value};
+use nbb_encoding::{
+    analyze_table, ColumnDef, DeclaredType, DeltaColumn, DictColumn, Schema, Value,
+};
 
 fn bench_bitpack(c: &mut Criterion) {
     let values: Vec<u64> = (0..100_000u64).map(|i| (i * 2_654_435_761) % 1024).collect();
@@ -13,9 +15,8 @@ fn bench_bitpack(c: &mut Criterion) {
     group.bench_function("pack_fast", |b| b.iter(|| black_box(pack(&values, 10))));
     group.bench_function("pack_ref", |b| b.iter(|| black_box(pack_ref(&values, 10))));
     let packed = pack(&values, 10);
-    group.bench_function("unpack_fast", |b| {
-        b.iter(|| black_box(unpack(&packed, 10, values.len())))
-    });
+    group
+        .bench_function("unpack_fast", |b| b.iter(|| black_box(unpack(&packed, 10, values.len()))));
     group.bench_function("unpack_ref", |b| {
         b.iter(|| black_box(unpack_ref(&packed, 10, values.len())))
     });
@@ -24,9 +25,7 @@ fn bench_bitpack(c: &mut Criterion) {
 
 fn bench_codecs(c: &mut Criterion) {
     let strs: Vec<String> = (0..50_000).map(|i| format!("status-{}", i % 8)).collect();
-    c.bench_function("dict_encode_50k_card8", |b| {
-        b.iter(|| black_box(DictColumn::encode(&strs)))
-    });
+    c.bench_function("dict_encode_50k_card8", |b| b.iter(|| black_box(DictColumn::encode(&strs))));
     let ids: Vec<u64> = (5_000_000..5_050_000).collect();
     c.bench_function("delta_encode_50k_sequential", |b| {
         b.iter(|| black_box(DeltaColumn::encode(&ids)))
@@ -60,11 +59,7 @@ fn bench_analyzer(c: &mut Criterion) {
     };
     let rows: Vec<Vec<Value>> = (0..5_000u64)
         .map(|i| {
-            vec![
-                Value::Int(i as i64),
-                Value::Bool(i % 2 == 0),
-                Value::Str(format_epoch(i * 31)),
-            ]
+            vec![Value::Int(i as i64), Value::Bool(i % 2 == 0), Value::Str(format_epoch(i * 31))]
         })
         .collect();
     let mut group = c.benchmark_group("schema_analyze");
@@ -74,7 +69,6 @@ fn bench_analyzer(c: &mut Criterion) {
     });
     group.finish();
 }
-
 
 fn short() -> Criterion {
     Criterion::default()

@@ -119,7 +119,6 @@ fn bench_tree_lookup_paths(c: &mut Criterion) {
     group.finish();
 }
 
-
 fn short() -> Criterion {
     Criterion::default()
         .sample_size(20)

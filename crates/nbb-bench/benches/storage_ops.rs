@@ -90,7 +90,6 @@ fn bench_buffer_pool(c: &mut Criterion) {
     });
 }
 
-
 fn short() -> Criterion {
     Criterion::default()
         .sample_size(20)

@@ -52,7 +52,6 @@ fn bench_trace(c: &mut Criterion) {
     group.finish();
 }
 
-
 fn short() -> Criterion {
     Criterion::default()
         .sample_size(20)

@@ -21,10 +21,24 @@ fn main() {
     let mut rows = Vec::new();
     for &pct in &[5.0, 10.0, 25.0, 50.0] {
         let paper = fig2a_point_with(
-            n_items, pct, Fig2aMode::Shrink, lookups, alpha, 3, 8, Policy::PaperSwap,
+            n_items,
+            pct,
+            Fig2aMode::Shrink,
+            lookups,
+            alpha,
+            3,
+            8,
+            Policy::PaperSwap,
         );
         let random = fig2a_point_with(
-            n_items, pct, Fig2aMode::Shrink, lookups, alpha, 3, 8, Policy::RandomNoPromote,
+            n_items,
+            pct,
+            Fig2aMode::Shrink,
+            lookups,
+            alpha,
+            3,
+            8,
+            Policy::RandomNoPromote,
         );
         rows.push(vec![f(pct, 0), f(paper, 3), f(random, 3), f(paper - random, 3)]);
     }
@@ -38,10 +52,24 @@ fn main() {
     let mut rows = Vec::new();
     for &n in &[2usize, 4, 8, 16, 32, 64] {
         let swap = fig2a_point_with(
-            n_items, 25.0, Fig2aMode::Swap, lookups, alpha, 3, n, Policy::PaperSwap,
+            n_items,
+            25.0,
+            Fig2aMode::Swap,
+            lookups,
+            alpha,
+            3,
+            n,
+            Policy::PaperSwap,
         );
         let shrink = fig2a_point_with(
-            n_items, 25.0, Fig2aMode::Shrink, lookups, alpha, 3, n, Policy::PaperSwap,
+            n_items,
+            25.0,
+            Fig2aMode::Shrink,
+            lookups,
+            alpha,
+            3,
+            n,
+            Policy::PaperSwap,
         );
         rows.push(vec![n.to_string(), f(swap, 3), f(shrink, 3)]);
     }

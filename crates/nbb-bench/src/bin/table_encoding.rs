@@ -7,8 +7,8 @@
 //! (20%) of waste in the tables we inspected."
 
 use nbb_bench::report::{f, print_table};
-use nbb_encoding::{analyze_table, ColumnDef, DeclaredType, Schema, SchemaReport, Value};
 use nbb_encoding::timestamp::format_epoch;
+use nbb_encoding::{analyze_table, ColumnDef, DeclaredType, Schema, SchemaReport, Value};
 use nbb_workload::WikiGenerator;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};

@@ -21,10 +21,10 @@ use nbb_storage::buffer::BufferPool;
 use nbb_storage::disk::{DiskManager, DiskModel, InMemoryDisk};
 use nbb_storage::page::{Page, PageId};
 use nbb_storage::slotted::{SlottedPage, SlottedPageRef};
-use std::sync::Arc;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::hint::black_box;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Shared configuration for the Figure 2(b)/(c) harness.
@@ -129,8 +129,7 @@ impl CostSim {
             // Fill the cache completely with known ids: exactly
             // `capacity` stores land in free slots (no evictions, so
             // every recorded id stays probeable).
-            let capacity =
-                CacheView::new(&page, cfg.key_size, &cache_cfg).capacity();
+            let capacity = CacheView::new(&page, cfg.key_size, &cache_cfg).capacity();
             let mut ids = Vec::with_capacity(capacity);
             {
                 let mut cv = CacheViewMut::new(&mut page, cfg.key_size, &cache_cfg);
@@ -198,9 +197,7 @@ impl CostSim {
     fn disk_read(&mut self, rng: &mut SmallRng) {
         let pages = self.disk_bytes.len() / self.cfg.page_size;
         let off = rng.gen_range(0..pages) * self.cfg.page_size;
-        self.frame
-            .bytes_mut()
-            .copy_from_slice(&self.disk_bytes[off..off + self.cfg.page_size]);
+        self.frame.bytes_mut().copy_from_slice(&self.disk_bytes[off..off + self.cfg.page_size]);
     }
 
     /// Runs one point with exact hit-rate control.

@@ -151,6 +151,7 @@ pub fn run_variant(cfg: &Fig3Config, variant: Fig3Variant) -> Result<Fig3Result>
         heap_frames: cfg.heap_frames,
         index_frames: cfg.index_frames,
         disk_model: Some(cfg.disk),
+        ..DbConfig::default()
     });
     let (rows, hot_ids) = build_rows(cfg);
     let ops = trace(cfg);
@@ -277,10 +278,7 @@ mod tests {
         let c0 = results[0].cost_ms;
         let c100 = results[2].cost_ms;
         let part = results[3].cost_ms;
-        assert!(
-            c100 < c0,
-            "full clustering must beat baseline: {c100:.3} vs {c0:.3}"
-        );
+        assert!(c100 < c0, "full clustering must beat baseline: {c100:.3} vs {c0:.3}");
         assert!(part < c100, "partition must beat clustering: {part:.3} vs {c100:.3}");
         assert!(part * 2.0 < c0, "partition should win big: {part:.3} vs {c0:.3}");
     }

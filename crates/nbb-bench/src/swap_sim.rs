@@ -151,8 +151,7 @@ impl SwapCacheSim {
         if self.hi <= self.lo {
             return;
         }
-        let range: Vec<usize> =
-            (self.lo..self.hi).filter(|&s| self.slots[s] == EMPTY).collect();
+        let range: Vec<usize> = (self.lo..self.hi).filter(|&s| self.slots[s] == EMPTY).collect();
         let slot = if !range.is_empty() {
             range[rng.gen_range(0..range.len())]
         } else if self.policy == Policy::RandomNoPromote {
@@ -162,8 +161,7 @@ impl SwapCacheSim {
             v
         } else {
             // Evict a random occupant of the outermost occupied bucket.
-            let max_bucket =
-                (self.lo..self.hi).map(|s| self.bucket_of(s)).max().expect("nonempty");
+            let max_bucket = (self.lo..self.hi).map(|s| self.bucket_of(s)).max().expect("nonempty");
             let victims: Vec<usize> =
                 (self.lo..self.hi).filter(|&s| self.bucket_of(s) == max_bucket).collect();
             let v = victims[rng.gen_range(0..victims.len())];

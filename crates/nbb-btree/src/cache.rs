@@ -221,12 +221,7 @@ impl<'a> CacheViewMut<'a> {
     /// a random free slot, else evict a random item in the outermost
     /// occupied bucket. If `tuple_id` is already cached, its payload is
     /// refreshed in place.
-    pub fn store<R: Rng>(
-        &mut self,
-        tuple_id: u64,
-        payload: &[u8],
-        rng: &mut R,
-    ) -> StoreOutcome {
+    pub fn store<R: Rng>(&mut self, tuple_id: u64, payload: &[u8], rng: &mut R) -> StoreOutcome {
         debug_assert_ne!(tuple_id, 0, "tuple id 0 is the empty sentinel");
         let (first, last) = self.ro().slot_range();
         if first == last {
@@ -237,8 +232,7 @@ impl<'a> CacheViewMut<'a> {
             self.write_entry(slot, tuple_id, payload);
             return StoreOutcome::Stored;
         }
-        let free: Vec<usize> =
-            (first..last).filter(|&s| self.ro().tuple_id_at(s) == 0).collect();
+        let free: Vec<usize> = (first..last).filter(|&s| self.ro().tuple_id_at(s) == 0).collect();
         if !free.is_empty() {
             let slot = free[rng.gen_range(0..free.len())];
             self.write_entry(slot, tuple_id, payload);

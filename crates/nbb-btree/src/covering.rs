@@ -49,8 +49,13 @@ impl CoveringIndex {
             k.extend_from_slice(&fields);
             (k, value)
         });
-        let tree =
-            BTree::bulk_load(pool, key_size + field_size, BTreeOptions::default(), composite, fill)?;
+        let tree = BTree::bulk_load(
+            pool,
+            key_size + field_size,
+            BTreeOptions::default(),
+            composite,
+            fill,
+        )?;
         Ok(CoveringIndex { tree, key_size, field_size })
     }
 
@@ -125,8 +130,7 @@ mod tests {
 
     #[test]
     fn bulk_load_and_lookup_many() {
-        let entries =
-            (0..500u64).map(|i| (i.to_be_bytes().to_vec(), vec![i as u8; 16], i * 2));
+        let entries = (0..500u64).map(|i| (i.to_be_bytes().to_vec(), vec![i as u8; 16], i * 2));
         let ci = CoveringIndex::bulk_load(pool(), 8, 16, entries, 0.68).unwrap();
         for i in (0..500u64).step_by(37) {
             let (fields, v) = ci.get(&i.to_be_bytes()).unwrap().unwrap();

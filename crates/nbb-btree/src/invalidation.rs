@@ -140,7 +140,11 @@ impl InvalidationState {
         if page_csn != csn {
             // Stale epoch: cache unusable regardless of the log. Zeroing
             // and re-stamping happen lazily on the next cache store.
-            return PageVerdict { cache_valid: false, must_zero: false, advance_watermark_to: None };
+            return PageVerdict {
+                cache_valid: false,
+                must_zero: false,
+                advance_watermark_to: None,
+            };
         }
         let log = self.log.lock();
         let newest = log.last().map(|p| p.seq);
@@ -149,16 +153,12 @@ impl InvalidationState {
             return PageVerdict { cache_valid: true, must_zero: false, advance_watermark_to: None };
         }
         let matched = match range {
-            Some((first, last)) => pending
-                .iter()
-                .any(|p| p.key.as_slice() >= first && p.key.as_slice() <= last),
+            Some((first, last)) => {
+                pending.iter().any(|p| p.key.as_slice() >= first && p.key.as_slice() <= last)
+            }
             None => false,
         };
-        PageVerdict {
-            cache_valid: !matched,
-            must_zero: matched,
-            advance_watermark_to: newest,
-        }
+        PageVerdict { cache_valid: !matched, must_zero: matched, advance_watermark_to: newest }
     }
 
     /// Number of predicates currently pending.

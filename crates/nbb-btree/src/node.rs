@@ -628,8 +628,7 @@ mod tests {
                 n.insert(&k(v), v);
             }
         }
-        let entries: Vec<_> =
-            Node::new(&p, KS).entries().into_iter().take(3).collect();
+        let entries: Vec<_> = Node::new(&p, KS).entries().into_iter().take(3).collect();
         let mut n = NodeMut::new(&mut p, KS);
         n.rebuild_with(&entries);
         let view = n.as_ref();

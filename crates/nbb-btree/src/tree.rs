@@ -2,12 +2,20 @@
 //! protocol (probe on lookup, populate on miss, promote on hit,
 //! predicate-driven invalidation).
 //!
-//! Concurrency model: a coarse tree-level `RwLock` serializes structural
-//! modifications against each other while allowing concurrent readers;
-//! page-level physical latching is delegated to the buffer pool's frame
-//! locks. Cache writes use the pool's try-latch, non-dirtying access
+//! Concurrency model: one tree-level `RwLock<PageId>` guards the tree's
+//! *shape* and holds the current root as its value. Read-only operations
+//! (`get`, `lookup_cached`, `scan_from`, the stats walks) take the read
+//! side — they never block each other, and with the sharded buffer pool
+//! they proceed in parallel down to the frame latches. Structural
+//! writers (`insert`, `delete`) take the write side and stay serialized
+//! for now; in-place value updates (`update_value`) only take the read
+//! side because they change no shape, relying on the frame write latch
+//! for physical exclusion. Page-level physical latching is delegated to
+//! the buffer pool's frame locks. Cache writes use the pool's try-latch,
+//! non-dirtying access
 //! ([`nbb_storage::BufferPool::with_page_cache_write`]) and are simply
-//! skipped under contention, per §2.1.3.
+//! skipped under contention, per §2.1.3. Follow-on (ROADMAP): per-leaf
+//! latching so writers stop excluding each other.
 
 use crate::cache::{CacheConfig, CacheView, CacheViewMut, StoreOutcome};
 use crate::invalidation::{InvalidateOutcome, InvalidationState};
@@ -104,12 +112,15 @@ pub struct CachedLookup {
 pub struct BTree {
     pool: Arc<BufferPool>,
     key_size: usize,
+    /// The structure lock. Guards the tree's shape (splits, root swaps)
+    /// and carries the current root page id as its value, so readers
+    /// snapshot the root and protect the shape with a single shared
+    /// acquisition.
     root: RwLock<PageId>,
     opts: BTreeOptions,
     inv: InvalidationState,
     rng: Mutex<SmallRng>,
     stats: CacheStatsAtomic,
-    structure: RwLock<()>,
 }
 
 impl BTree {
@@ -137,7 +148,6 @@ impl BTree {
             inv: InvalidationState::new(threshold),
             rng: Mutex::new(SmallRng::seed_from_u64(seed ^ 0x006e_6262_7472_6565)),
             stats: CacheStatsAtomic::default(),
-            structure: RwLock::new(()),
         })
     }
 
@@ -174,7 +184,6 @@ impl BTree {
             inv: InvalidationState::new(threshold),
             rng: Mutex::new(SmallRng::seed_from_u64(seed ^ 0x006e_6262_7472_6565)),
             stats: CacheStatsAtomic::default(),
-            structure: RwLock::new(()),
         };
         // Fresh epoch strictly above every persisted CSNp, so cache
         // bytes surviving on disk can never false-validate.
@@ -278,7 +287,6 @@ impl BTree {
             inv: InvalidationState::new(threshold),
             rng: Mutex::new(SmallRng::seed_from_u64(seed ^ 0x006e_6262_7472_6565)),
             stats: CacheStatsAtomic::default(),
-            structure: RwLock::new(()),
         })
     }
 
@@ -308,8 +316,11 @@ impl BTree {
         Ok(())
     }
 
-    fn find_leaf(&self, key: &[u8]) -> Result<PageId> {
-        let mut cur = *self.root.read();
+    /// Descends from `root` to the leaf owning `key`. The caller must
+    /// hold the structure lock (either side) so the path cannot change
+    /// underfoot.
+    fn find_leaf(&self, root: PageId, key: &[u8]) -> Result<PageId> {
+        let mut cur = root;
         loop {
             let next = self.pool.with_page(cur, |p| {
                 let n = Node::new(p, self.key_size);
@@ -329,8 +340,8 @@ impl BTree {
     /// Point lookup without cache interaction.
     pub fn get(&self, key: &[u8]) -> Result<Option<u64>> {
         self.check_key(key)?;
-        let _g = self.structure.read_recursive();
-        let leaf = self.find_leaf(key)?;
+        let root = self.root.read();
+        let leaf = self.find_leaf(*root, key)?;
         self.pool.with_page(leaf, |p| {
             let n = Node::new(p, self.key_size);
             Ok(n.search(key).ok().map(|i| n.value_at(i)))
@@ -340,8 +351,8 @@ impl BTree {
     /// Inserts `key → value`; returns the previous value when overwriting.
     pub fn insert(&self, key: &[u8], value: u64) -> Result<Option<u64>> {
         self.check_key(key)?;
-        let _g = self.structure.write();
-        let root = *self.root.read();
+        let mut guard = self.root.write();
+        let root = *guard;
         let (old, split) = self.insert_rec(root, key, value)?;
         if let Some((sep, right)) = split {
             let level = self.pool.with_page(root, |p| Node::new(p, self.key_size).level())?;
@@ -350,7 +361,7 @@ impl BTree {
                 let r = n.insert(&sep, right.0);
                 debug_assert_eq!(r, InsertOutcome::Inserted);
             })?;
-            *self.root.write() = new_root;
+            *guard = new_root;
         }
         if let Some(old_value) = old {
             // Overwriting an existing pointer may strand a cached entry
@@ -381,9 +392,9 @@ impl BTree {
             }
             let (sep, right) = self.split_page(page)?;
             let target = if key >= sep.as_slice() { right } else { page };
-            let outcome = self.pool.with_page_mut(target, |p| {
-                NodeMut::new(p, self.key_size).insert(key, value)
-            })?;
+            let outcome = self
+                .pool
+                .with_page_mut(target, |p| NodeMut::new(p, self.key_size).insert(key, value))?;
             assert_ne!(outcome, InsertOutcome::NeedSplit, "post-split insert must fit");
             return Ok((None, Some((sep, right))));
         }
@@ -392,17 +403,17 @@ impl BTree {
         let Some((csep, cright)) = child_split else {
             return Ok((old, None));
         };
-        let outcome = self.pool.with_page_mut(page, |p| {
-            NodeMut::new(p, self.key_size).insert(&csep, cright.0)
-        })?;
+        let outcome = self
+            .pool
+            .with_page_mut(page, |p| NodeMut::new(p, self.key_size).insert(&csep, cright.0))?;
         if outcome != InsertOutcome::NeedSplit {
             return Ok((old, None));
         }
         let (sep, right) = self.split_page(page)?;
         let target = if csep.as_slice() >= sep.as_slice() { right } else { page };
-        let outcome = self.pool.with_page_mut(target, |p| {
-            NodeMut::new(p, self.key_size).insert(&csep, cright.0)
-        })?;
+        let outcome = self
+            .pool
+            .with_page_mut(target, |p| NodeMut::new(p, self.key_size).insert(&csep, cright.0))?;
         assert_ne!(outcome, InsertOutcome::NeedSplit, "post-split insert must fit");
         Ok((old, Some((sep, right))))
     }
@@ -452,19 +463,17 @@ impl BTree {
     /// this leaves behind is precisely what the index cache recycles.
     pub fn delete(&self, key: &[u8]) -> Result<Option<u64>> {
         self.check_key(key)?;
-        let _g = self.structure.write();
-        let leaf = self.find_leaf(key)?;
-        self.pool.with_page_mut(leaf, |p| {
-            Ok(NodeMut::new(p, self.key_size).delete(key))
-        })?
+        let guard = self.root.write();
+        let leaf = self.find_leaf(*guard, key)?;
+        self.pool.with_page_mut(leaf, |p| Ok(NodeMut::new(p, self.key_size).delete(key)))?
     }
 
     /// Updates the value of an existing key; returns false if absent.
     /// Logs an invalidation predicate for the old pointer.
     pub fn update_value(&self, key: &[u8], value: u64) -> Result<bool> {
         self.check_key(key)?;
-        let _g = self.structure.read_recursive();
-        let leaf = self.find_leaf(key)?;
+        let root = self.root.read();
+        let leaf = self.find_leaf(*root, key)?;
         let old = self.pool.with_page_mut(leaf, |p| {
             let mut n = NodeMut::new(p, self.key_size);
             match n.as_ref().search(key) {
@@ -489,8 +498,8 @@ impl BTree {
     /// first key ≥ `start`; stops when `f` returns false.
     pub fn scan_from(&self, start: &[u8], mut f: impl FnMut(&[u8], u64) -> bool) -> Result<()> {
         self.check_key(start)?;
-        let _g = self.structure.read_recursive();
-        let mut leaf = self.find_leaf(start)?;
+        let root = self.root.read();
+        let mut leaf = self.find_leaf(*root, start)?;
         let mut first_page = true;
         loop {
             let (cont, next) = self.pool.with_page(leaf, |p| {
@@ -546,8 +555,8 @@ impl BTree {
     /// [`BTree::cache_populate`] with the returned leaf and token.
     pub fn lookup_cached(&self, key: &[u8]) -> Result<CachedLookup> {
         self.check_key(key)?;
-        let _g = self.structure.read_recursive();
-        let leaf = self.find_leaf(key)?;
+        let _root = self.root.read();
+        let leaf = self.find_leaf(*_root, key)?;
         let token = InvToken { csn: self.inv.csn(), newest_seq: self.inv.newest_seq() };
         let Some(cfg) = self.opts.cache else {
             let value = self.pool.with_page(leaf, |p| {
@@ -659,7 +668,7 @@ impl BTree {
                 cfg.payload_size
             )));
         }
-        let _g = self.structure.read_recursive();
+        let _root = self.root.read();
         // Any invalidation after the token means the heap read may be
         // stale; skip rather than risk caching old bytes.
         if self.inv.csn() != token.csn || self.inv.newest_seq() != token.newest_seq {
@@ -743,8 +752,9 @@ impl BTree {
 
     /// Tree height (1 = root is a leaf).
     pub fn height(&self) -> Result<usize> {
+        let root = self.root.read();
         let mut h = 1;
-        let mut cur = *self.root.read();
+        let mut cur = *root;
         loop {
             let next = self.pool.with_page(cur, |p| {
                 let n = Node::new(p, self.key_size);
@@ -766,7 +776,13 @@ impl BTree {
 
     /// Leftmost leaf page.
     pub fn first_leaf(&self) -> Result<PageId> {
-        let mut cur = *self.root.read();
+        let root = self.root.read();
+        self.first_leaf_from(*root)
+    }
+
+    /// Leftmost-leaf descent; the caller holds the structure lock.
+    fn first_leaf_from(&self, root: PageId) -> Result<PageId> {
+        let mut cur = root;
         loop {
             let next = self.pool.with_page(cur, |p| {
                 let n = Node::new(p, self.key_size);
@@ -783,9 +799,15 @@ impl BTree {
         }
     }
 
-    fn for_each_leaf(&self, mut f: impl FnMut(Node<'_>)) -> Result<()> {
-        let _g = self.structure.read_recursive();
-        let mut leaf = self.first_leaf()?;
+    /// Visits every leaf under the structure lock's read side.
+    fn for_each_leaf(&self, f: impl FnMut(Node<'_>)) -> Result<()> {
+        let root = self.root.read();
+        self.for_each_leaf_from(*root, f)
+    }
+
+    /// Leaf-chain walk; the caller holds the structure lock.
+    fn for_each_leaf_from(&self, root: PageId, mut f: impl FnMut(Node<'_>)) -> Result<()> {
+        let mut leaf = self.first_leaf_from(root)?;
         loop {
             let next = self.pool.with_page(leaf, |p| {
                 let n = Node::new(p, self.key_size);
@@ -821,8 +843,8 @@ impl BTree {
     /// Verifies structural invariants; returns a description of the first
     /// violation. Intended for tests.
     pub fn check_invariants(&self) -> Result<std::result::Result<(), String>> {
-        let _g = self.structure.read_recursive();
-        let root = *self.root.read();
+        let guard = self.root.read();
+        let root = *guard;
         let mut leaf_depth: Option<usize> = None;
         let r = self.check_node(root, None, None, 0, &mut leaf_depth)?;
         if r.is_err() {
@@ -831,16 +853,13 @@ impl BTree {
         // Leaf chain must be ascending and cover all leaves.
         let mut prev_last: Option<Vec<u8>> = None;
         let mut chain_ok = Ok(());
-        self.for_each_leaf(|n| {
+        self.for_each_leaf_from(root, |n| {
             if chain_ok.is_err() {
                 return;
             }
             if let (Some(prev), Some(first)) = (&prev_last, n.first_key()) {
                 if prev.as_slice() >= first {
-                    chain_ok = Err(format!(
-                        "leaf chain out of order: {:?} >= {:?}",
-                        prev, first
-                    ));
+                    chain_ok = Err(format!("leaf chain out of order: {:?} >= {:?}", prev, first));
                 }
             }
             if let Some(last) = n.last_key() {
@@ -902,8 +921,13 @@ impl BTree {
         }
         for (i, (sep, child)) in entries.iter().enumerate() {
             let next_sep = entries.get(i + 1).map(|(k, _)| k.as_slice());
-            let r =
-                self.check_node(PageId(*child), Some(sep.as_slice()), next_sep, depth + 1, leaf_depth)?;
+            let r = self.check_node(
+                PageId(*child),
+                Some(sep.as_slice()),
+                next_sep,
+                depth + 1,
+                leaf_depth,
+            )?;
             if r.is_err() {
                 return Ok(r);
             }
@@ -911,7 +935,6 @@ impl BTree {
         Ok(Ok(()))
     }
 }
-
 
 /// Aggregate statistics over a tree's leaves.
 #[derive(Debug, Clone, Default, PartialEq)]

@@ -2,8 +2,8 @@
 //! encoded bytes must equal natural order on values, for all values.
 
 use nbb_btree::key::{
-    decode_i64, decode_str, decode_u32, decode_u64, encode_i64, encode_str, encode_u32,
-    encode_u64, CompositeKey,
+    decode_i64, decode_str, decode_u32, decode_u64, encode_i64, encode_str, encode_u32, encode_u64,
+    CompositeKey,
 };
 use proptest::prelude::*;
 

@@ -2,7 +2,7 @@
 //! the full §2.1 index-cache protocol.
 
 use nbb_btree::{BTree, BTreeOptions, CacheConfig};
-use nbb_storage::{BufferPool, DiskManager, InMemoryDisk, SimulatedDisk, DiskModel};
+use nbb_storage::{BufferPool, DiskManager, DiskModel, InMemoryDisk, SimulatedDisk};
 use std::sync::Arc;
 
 fn pool_with(page_size: usize, frames: usize) -> Arc<BufferPool> {
@@ -168,14 +168,9 @@ fn bulk_load_empty_and_single() {
         BTree::bulk_load(pool(), 8, BTreeOptions::default(), Vec::<(Vec<u8>, u64)>::new(), 0.68)
             .unwrap();
     assert!(tree.is_empty().unwrap());
-    let tree = BTree::bulk_load(
-        pool(),
-        8,
-        BTreeOptions::default(),
-        vec![(k(9).to_vec(), 99u64)],
-        0.68,
-    )
-    .unwrap();
+    let tree =
+        BTree::bulk_load(pool(), 8, BTreeOptions::default(), vec![(k(9).to_vec(), 99u64)], 0.68)
+            .unwrap();
     assert_eq!(tree.get(&k(9)).unwrap(), Some(99));
 }
 
@@ -331,8 +326,7 @@ fn stale_token_populate_is_skipped() {
 fn cache_lost_on_eviction_but_reads_stay_correct() {
     // Non-dirtying cache writes disappear when the frame is reclaimed;
     // lookups must degrade to misses, never wrong answers.
-    let disk: Arc<dyn DiskManager> =
-        Arc::new(SimulatedDisk::new(4096, DiskModel::free()));
+    let disk: Arc<dyn DiskManager> = Arc::new(SimulatedDisk::new(4096, DiskModel::free()));
     let pool = Arc::new(BufferPool::new(disk, 3));
     let tree = BTree::create(pool, 8, cached_opts(8)).unwrap();
     for v in 0..500u64 {

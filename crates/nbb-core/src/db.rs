@@ -19,13 +19,36 @@ pub struct DbConfig {
     /// Buffer-pool frames for index pages (separate pool: the Figure 3
     /// experiments size this independently).
     pub index_frames: usize,
+    /// Target lock-stripe shard count for each buffer pool. Clamped so
+    /// every shard keeps at least
+    /// [`nbb_storage::MIN_FRAMES_PER_SHARD`] frames — tiny experiment
+    /// pools degrade gracefully to a single stripe while production
+    /// pools fan out. Concurrent readers of distinct pages contend only
+    /// within a stripe.
+    pub pool_shards: usize,
     /// Disk latency model; `None` = plain in-memory disk.
     pub disk_model: Option<DiskModel>,
 }
 
 impl Default for DbConfig {
     fn default() -> Self {
-        DbConfig { page_size: 8192, heap_frames: 1024, index_frames: 1024, disk_model: None }
+        DbConfig {
+            page_size: 8192,
+            heap_frames: 1024,
+            index_frames: 1024,
+            pool_shards: nbb_storage::DEFAULT_POOL_SHARDS,
+            disk_model: None,
+        }
+    }
+}
+
+impl DbConfig {
+    /// Builds a pool of `frames` frames over `disk` with this config's
+    /// shard target, clamped by the pool's own headroom policy
+    /// ([`nbb_storage::clamp_shards`]).
+    fn build_pool(&self, disk: &Arc<dyn DiskManager>, frames: usize) -> Arc<BufferPool> {
+        let shards = nbb_storage::clamp_shards(frames, self.pool_shards);
+        Arc::new(BufferPool::new_sharded(Arc::clone(disk), frames, shards))
     }
 }
 
@@ -42,17 +65,19 @@ pub struct Database {
 impl Database {
     /// Opens an empty database per `config`.
     pub fn open(config: DbConfig) -> Self {
-        let mk = |frames: usize| -> (Arc<dyn DiskManager>, Arc<BufferPool>) {
-            let disk: Arc<dyn DiskManager> = match config.disk_model {
-                Some(model) => Arc::new(SimulatedDisk::new(config.page_size, model)),
-                None => Arc::new(InMemoryDisk::new(config.page_size)),
-            };
-            let pool = Arc::new(BufferPool::new(Arc::clone(&disk), frames));
-            (disk, pool)
-        };
-        let (heap_disk, heap_pool) = mk(config.heap_frames);
-        let (index_disk, index_pool) = mk(config.index_frames);
-        Self::with_disks_internal(config, heap_disk, heap_pool, index_disk, index_pool)
+        let heap_disk = Self::fresh_disk(&config);
+        let index_disk = Self::fresh_disk(&config);
+        let db = Self::attach_disks(config, heap_disk, index_disk)
+            .expect("fresh in-memory disks are always attachable");
+        db.reserve_catalog_header().expect("fresh in-memory disks always allocate");
+        db
+    }
+
+    fn fresh_disk(config: &DbConfig) -> Arc<dyn DiskManager> {
+        match config.disk_model {
+            Some(model) => Arc::new(SimulatedDisk::new(config.page_size, model)),
+            None => Arc::new(InMemoryDisk::new(config.page_size)),
+        }
     }
 
     /// Opens an empty database over caller-supplied disks (e.g.
@@ -63,35 +88,66 @@ impl Database {
         heap_disk: Arc<dyn DiskManager>,
         index_disk: Arc<dyn DiskManager>,
     ) -> Result<Self> {
-        if heap_disk.num_pages() != 0 || index_disk.num_pages() != 0 {
-            return Err(StorageError::Corrupt(
-                "with_disks requires empty disks; use Database::reopen".into(),
-            ));
+        for (name, disk) in [("heap", &heap_disk), ("index", &index_disk)] {
+            if disk.num_pages() != 0 {
+                return Err(StorageError::Corrupt(format!(
+                    "with_disks requires empty disks, but the {name} disk holds {} page(s); \
+                     use Database::reopen for populated disks",
+                    disk.num_pages()
+                )));
+            }
         }
-        let heap_pool = Arc::new(BufferPool::new(Arc::clone(&heap_disk), config.heap_frames));
-        let index_pool = Arc::new(BufferPool::new(Arc::clone(&index_disk), config.index_frames));
-        Ok(Self::with_disks_internal(config, heap_disk, heap_pool, index_disk, index_pool))
+        let db = Self::attach_disks(config, heap_disk, index_disk)?;
+        db.reserve_catalog_header()?;
+        Ok(db)
     }
 
-    fn with_disks_internal(
+    /// The one construction path: validates page sizes and builds both
+    /// pools per `config`. `open`, `with_disks`, and `reopen` all
+    /// funnel through here. Side-effect free on the disks — probing a
+    /// populated (or wrong) disk via `reopen` must not mutate it.
+    fn attach_disks(
         config: DbConfig,
         heap_disk: Arc<dyn DiskManager>,
-        heap_pool: Arc<BufferPool>,
         index_disk: Arc<dyn DiskManager>,
-        index_pool: Arc<BufferPool>,
-    ) -> Self {
-        // Reserve heap page 0 as the catalog header (see catalog.rs).
-        if heap_disk.num_pages() == 0 {
-            heap_disk.allocate().expect("reserve catalog header page");
-        }
-        Database {
+    ) -> Result<Self> {
+        Self::check_page_sizes(&config, &heap_disk, &index_disk)?;
+        let heap_pool = config.build_pool(&heap_disk, config.heap_frames);
+        let index_pool = config.build_pool(&index_disk, config.index_frames);
+        Ok(Database {
             config,
             heap_pool,
             index_pool,
             heap_disk,
             index_disk,
             tables: RwLock::new(HashMap::new()),
+        })
+    }
+
+    fn check_page_sizes(
+        config: &DbConfig,
+        heap_disk: &Arc<dyn DiskManager>,
+        index_disk: &Arc<dyn DiskManager>,
+    ) -> Result<()> {
+        if heap_disk.page_size() != config.page_size || index_disk.page_size() != config.page_size {
+            return Err(StorageError::Corrupt(format!(
+                "disk page sizes (heap {}, index {}) do not match config page size {}",
+                heap_disk.page_size(),
+                index_disk.page_size(),
+                config.page_size
+            )));
         }
+        Ok(())
+    }
+
+    /// Reserves heap page 0 as the catalog header (see catalog.rs) on a
+    /// fresh heap disk. Only the fresh-disk paths (`open`, `with_disks`)
+    /// call this; `reopen` expects the header to already exist.
+    fn reserve_catalog_header(&self) -> Result<()> {
+        if self.heap_disk.num_pages() == 0 {
+            self.heap_disk.allocate()?;
+        }
+        Ok(())
     }
 
     /// Persists the catalog (all table/index metadata) and flushes both
@@ -150,11 +206,11 @@ impl Database {
         heap_disk: Arc<dyn DiskManager>,
         index_disk: Arc<dyn DiskManager>,
     ) -> Result<Self> {
+        // Validate the catalog before attach_disks allocates two full
+        // frame sets — a failed probe should cost a header read, not
+        // megabytes of zeroed pool pages.
         let page_size = config.page_size;
-        if heap_disk.page_size() != page_size || index_disk.page_size() != page_size {
-            return Err(StorageError::Corrupt("page size mismatch on reopen".into()));
-        }
-        // Read the catalog directly from disk (bypassing pools).
+        Self::check_page_sizes(&config, &heap_disk, &index_disk)?;
         let mut header = nbb_storage::Page::new(page_size);
         heap_disk.read(nbb_storage::PageId(0), &mut header)?;
         if header.read_u32(0) != 0x6E62_6200 {
@@ -171,22 +227,9 @@ impl Database {
             payload.extend_from_slice(&buf.bytes()[..take]);
         }
         let catalog = crate::catalog::decode(&payload)?;
-
-        let heap_pool = Arc::new(BufferPool::new(Arc::clone(&heap_disk), config.heap_frames));
-        let index_pool = Arc::new(BufferPool::new(Arc::clone(&index_disk), config.index_frames));
-        let db = Database {
-            config,
-            heap_pool,
-            index_pool,
-            heap_disk,
-            index_disk,
-            tables: RwLock::new(HashMap::new()),
-        };
+        let db = Self::attach_disks(config, heap_disk, index_disk)?;
         for entry in catalog.tables {
-            let heap = nbb_storage::HeapFile::attach(
-                Arc::clone(&db.heap_pool),
-                entry.heap_pages,
-            )?;
+            let heap = nbb_storage::HeapFile::attach(Arc::clone(&db.heap_pool), entry.heap_pages)?;
             let table = Table::attach(
                 &entry.name,
                 entry.tuple_width as usize,
@@ -288,6 +331,7 @@ mod tests {
             heap_frames: 2,
             index_frames: 2,
             disk_model: Some(DiskModel { read_ns: 1000, write_ns: 10 }),
+            ..DbConfig::default()
         });
         let t = db.create_table("t", 64).unwrap();
         t.create_index(IndexSpec::plain("pk", FieldSpec::new(0, 8))).unwrap();
@@ -307,11 +351,38 @@ mod tests {
     }
 
     #[test]
-    fn stats_reset_clears_everything() {
+    fn reopen_probe_does_not_mutate_an_empty_disk() {
+        use nbb_storage::InMemoryDisk;
+        let heap: Arc<dyn DiskManager> = Arc::new(InMemoryDisk::new(8192));
+        let index: Arc<dyn DiskManager> = Arc::new(InMemoryDisk::new(8192));
+        // Probing an empty disk for a catalog fails...
+        assert!(
+            Database::reopen(DbConfig::default(), Arc::clone(&heap), Arc::clone(&index)).is_err()
+        );
+        // ...and must leave the disk untouched, so with_disks still works.
+        assert_eq!(heap.num_pages(), 0, "reopen must not allocate on failure");
+        let db = Database::with_disks(DbConfig::default(), heap, index).unwrap();
+        db.create_table("t", 8).unwrap();
+    }
+
+    #[test]
+    fn pool_shards_knob_applies_with_clamping() {
+        let db = Database::open(DbConfig { pool_shards: 4, ..DbConfig::default() });
+        assert_eq!(db.heap_pool().shards(), 4);
+        assert_eq!(db.index_pool().shards(), 4);
+        // Tiny pools clamp to one stripe regardless of the knob.
         let db = Database::open(DbConfig {
-            heap_frames: 2,
+            heap_frames: 8,
+            index_frames: 8,
+            pool_shards: 8,
             ..DbConfig::default()
         });
+        assert_eq!(db.heap_pool().shards(), 1);
+    }
+
+    #[test]
+    fn stats_reset_clears_everything() {
+        let db = Database::open(DbConfig { heap_frames: 2, ..DbConfig::default() });
         let t = db.create_table("t", 16).unwrap();
         for i in 0..100u64 {
             t.insert(&[i as u8; 16]).unwrap();

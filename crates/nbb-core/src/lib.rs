@@ -3,11 +3,17 @@
 //! Ties the substrates into the system the paper envisions:
 //!
 //! * [`db`] — a small database: separate data/index buffer pools over
-//!   (optionally latency-modeled) disks, named tables;
+//!   (optionally latency-modeled) disks, named tables. Each pool is
+//!   lock-striped; the [`db::DbConfig::pool_shards`] knob sizes the
+//!   stripe count (clamped so tiny experiment pools stay single-stripe);
 //! * [`table`] — fixed-width-tuple tables with cached secondary
 //!   indexes: [`table::Table::project_via_index`] is the paper's §2.1
 //!   hot path (index-cache hit → no heap access), and updates/deletes
-//!   carry the §2.1.2 invalidation duties automatically;
+//!   carry the §2.1.2 invalidation duties automatically. Reads are
+//!   fully concurrent (index→heap chases re-verify the fetched key, so
+//!   racing deletes read as absent); table-level mutators assume a
+//!   single writer per table, with index-structure writes serialized
+//!   per tree underneath;
 //! * [`waste`] — the §1 vision of "tools that automate waste
 //!   detection": one audit spanning unused space, locality, and
 //!   encoding waste;

@@ -211,12 +211,8 @@ impl Table {
     /// Every index's declaration and current root page — the catalog
     /// entry needed to [`Table::attach`] later.
     pub fn index_specs(&self) -> Vec<(IndexSpec, nbb_storage::PageId)> {
-        let mut v: Vec<(IndexSpec, nbb_storage::PageId)> = self
-            .indexes
-            .read()
-            .values()
-            .map(|i| (i.spec.clone(), i.tree.root_page()))
-            .collect();
+        let mut v: Vec<(IndexSpec, nbb_storage::PageId)> =
+            self.indexes.read().values().map(|i| (i.spec.clone(), i.tree.root_page())).collect();
         v.sort_by(|a, b| a.0.name.cmp(&b.0.name));
         v
     }
@@ -236,7 +232,24 @@ impl Table {
         &self.heap
     }
 
-    /// Declares an index. Existing tuples are indexed immediately.
+    /// The buffer pool backing this table's indexes. Its shard count
+    /// (see [`BufferPool::shards`]) bounds how many index readers can
+    /// proceed without contending on a pool stripe.
+    pub fn index_pool(&self) -> &Arc<BufferPool> {
+        &self.index_pool
+    }
+
+    /// Fill factor used when backfilling an index over existing tuples.
+    ///
+    /// Matches the ~50% fill that incremental mid-point splits converge
+    /// to, but applies it uniformly — with N ascending inserts the
+    /// rightmost leaf ends nearly full, leaving the newest (usually
+    /// hottest) key range with almost no recyclable cache space.
+    const BACKFILL_FILL: f64 = 0.5;
+
+    /// Declares an index. Existing tuples are indexed immediately: via a
+    /// single-pass [`BTree::bulk_load`] when the extracted keys are
+    /// unique, falling back to one-by-one inserts for duplicate keys.
     pub fn create_index(&self, spec: IndexSpec) -> Result<()> {
         self.check_spec(&spec)?;
         let cache = (!spec.cached_fields.is_empty()).then(|| CacheConfig {
@@ -244,19 +257,28 @@ impl Table {
             bucket_slots: spec.bucket_slots,
             log_threshold: spec.log_threshold,
         });
-        let tree = BTree::create(
-            Arc::clone(&self.index_pool),
-            spec.key.len,
-            BTreeOptions { cache, cache_seed: 0x5eed },
-        )?;
-        // Backfill.
+        let opts = BTreeOptions { cache, cache_seed: 0x5eed };
         let mut pending = Vec::new();
         self.heap.scan(|rid, tuple| {
             pending.push((spec.key.extract(tuple).to_vec(), rid));
         })?;
-        for (key, rid) in pending {
-            tree.insert(&key, rid.to_u64())?;
-        }
+        pending.sort_by(|a, b| a.0.cmp(&b.0));
+        let unique = pending.windows(2).all(|w| w[0].0 < w[1].0);
+        let tree = if !pending.is_empty() && unique {
+            BTree::bulk_load(
+                Arc::clone(&self.index_pool),
+                spec.key.len,
+                opts,
+                pending.into_iter().map(|(k, rid)| (k, rid.to_u64())),
+                Self::BACKFILL_FILL,
+            )?
+        } else {
+            let tree = BTree::create(Arc::clone(&self.index_pool), spec.key.len, opts)?;
+            for (key, rid) in pending {
+                tree.insert(&key, rid.to_u64())?;
+            }
+            tree
+        };
         let name = spec.name.clone();
         self.indexes.write().insert(name, Arc::new(Index { spec, tree }));
         Ok(())
@@ -318,12 +340,30 @@ impl Table {
         Ok(rid)
     }
 
+    /// Fetches the heap tuple behind an index hit, tolerating the
+    /// index→heap race window: between resolving the pointer and
+    /// reading the slot, a concurrent deleter may free it
+    /// (`InvalidSlot`) or a re-insert may recycle it for a different
+    /// key. Both read as "gone" — the lookup then reflects the delete
+    /// having happened first. The returned tuple is verified to carry
+    /// `key`, so callers may cache fields extracted from it.
+    fn fetch_verified(&self, idx: &Index, key: &[u8], ptr: u64) -> Result<Option<Vec<u8>>> {
+        // Count every heap access, not just verified ones — a chase
+        // that lands on a recycled or freed slot still did the I/O.
+        self.heap_fetches.fetch_add(1, Ordering::Relaxed);
+        match self.heap.get(RecordId::from_u64(ptr)) {
+            Ok(tuple) if idx.spec.key.extract(&tuple) == key => Ok(Some(tuple)),
+            Ok(_) => Ok(None),
+            Err(StorageError::InvalidSlot { .. }) => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
     /// Full-tuple point lookup through an index (index → heap).
     pub fn get_via_index(&self, index: &str, key: &[u8]) -> Result<Option<Vec<u8>>> {
         let idx = self.index(index)?;
         let Some(ptr) = idx.tree.get(key)? else { return Ok(None) };
-        self.heap_fetches.fetch_add(1, Ordering::Relaxed);
-        Ok(Some(self.heap.get(RecordId::from_u64(ptr))?))
+        self.fetch_verified(&idx, key, ptr)
     }
 
     /// Projection query over the cached fields (§2.1's hot path):
@@ -334,7 +374,10 @@ impl Table {
         if idx.spec.cached_fields.is_empty() {
             // No cache: plain index -> heap -> project.
             let Some(tuple) = self.get_via_index(index, key)? else { return Ok(None) };
-            return Ok(Some(Projection { payload: idx.extract_payload(&tuple), index_only: false }));
+            return Ok(Some(Projection {
+                payload: idx.extract_payload(&tuple),
+                index_only: false,
+            }));
         }
         let m = idx.tree.lookup_cached(key)?;
         let Some(ptr) = m.value else { return Ok(None) };
@@ -342,8 +385,7 @@ impl Table {
             self.index_only_answers.fetch_add(1, Ordering::Relaxed);
             return Ok(Some(Projection { payload, index_only: true }));
         }
-        let tuple = self.heap.get(RecordId::from_u64(ptr))?;
-        self.heap_fetches.fetch_add(1, Ordering::Relaxed);
+        let Some(tuple) = self.fetch_verified(&idx, key, ptr)? else { return Ok(None) };
         let payload = idx.extract_payload(&tuple);
         idx.tree.cache_populate(m.leaf, ptr, &payload, m.token)?;
         Ok(Some(Projection { payload, index_only: false }))
@@ -518,11 +560,7 @@ mod tests {
         let t = table_with_cached_index();
         t.insert(&tuple(1, 10, 100)).unwrap();
         t.project_via_index("by_id", &1u64.to_be_bytes()).unwrap();
-        assert!(t
-            .project_via_index("by_id", &1u64.to_be_bytes())
-            .unwrap()
-            .unwrap()
-            .index_only);
+        assert!(t.project_via_index("by_id", &1u64.to_be_bytes()).unwrap().unwrap().index_only);
         // group (uncached) changes; value stays.
         t.update_via_index("by_id", &1u64.to_be_bytes(), &tuple(1, 77, 100)).unwrap();
         let p = t.project_via_index("by_id", &1u64.to_be_bytes()).unwrap().unwrap();
@@ -625,8 +663,7 @@ mod tests {
                 0 => {
                     if model.contains_key(&id) {
                         let v = x % 10_000;
-                        t.update_via_index("by_id", &id.to_be_bytes(), &tuple(id, 0, v))
-                            .unwrap();
+                        t.update_via_index("by_id", &id.to_be_bytes(), &tuple(id, 0, v)).unwrap();
                         model.insert(id, v);
                     }
                 }

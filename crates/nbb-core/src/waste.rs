@@ -148,12 +148,7 @@ pub fn audit_locality(table: &Table, hot: &[RecordId]) -> Result<LocalityReport>
         per_page.values().map(|&n| n as f64 * width / page_size as f64).sum::<f64>()
             / pages_with_hot as f64
     };
-    Ok(LocalityReport {
-        hot_tuples: hot.len(),
-        pages_with_hot,
-        hot_per_page,
-        hot_utilization,
-    })
+    Ok(LocalityReport { hot_tuples: hot.len(), pages_with_hot, hot_per_page, hot_utilization })
 }
 
 /// Audits encoding waste by decoding up to `sample_limit` tuples with
@@ -192,9 +187,7 @@ pub fn audit(
             None => None,
         },
         encoding: match encoding {
-            Some((schema, decode, limit)) => {
-                Some(audit_encoding(table, schema, decode, limit)?)
-            }
+            Some((schema, decode, limit)) => Some(audit_encoding(table, schema, decode, limit)?),
             None => None,
         },
     })
@@ -218,12 +211,8 @@ mod tests {
             Arc::new(BufferPool::new(d2, 64)),
         )
         .unwrap();
-        t.create_index(IndexSpec::cached(
-            "pk",
-            FieldSpec::new(0, 8),
-            vec![FieldSpec::new(8, 8)],
-        ))
-        .unwrap();
+        t.create_index(IndexSpec::cached("pk", FieldSpec::new(0, 8), vec![FieldSpec::new(8, 8)]))
+            .unwrap();
         for i in 0..500u64 {
             let mut tu = Vec::new();
             tu.extend_from_slice(&i.to_be_bytes());
@@ -257,10 +246,7 @@ mod tests {
         // Clustered hot set: a contiguous run.
         let clustered: Vec<_> = all[..25].to_vec();
         let r2 = audit_locality(&t, &clustered).unwrap();
-        assert!(
-            r2.hot_per_page > r1.hot_per_page,
-            "clustered {r2:?} vs scattered {r1:?}"
-        );
+        assert!(r2.hot_per_page > r1.hot_per_page, "clustered {r2:?} vs scattered {r1:?}");
         assert!(r2.hot_utilization > r1.hot_utilization);
     }
 

@@ -73,13 +73,7 @@ fn join_cache_realistic_fk_join_flow() {
         jc.set_budget(PageId(p), 256);
     }
     let mut inner_fetches = 0;
-    fn join(
-        jc: &mut JoinCache,
-        fetches: &mut u32,
-        page: u64,
-        fk: u64,
-        inner: &[String],
-    ) -> String {
+    fn join(jc: &mut JoinCache, fetches: &mut u32, page: u64, fk: u64, inner: &[String]) -> String {
         if let Some(hit) = jc.lookup(PageId(page), fk) {
             return String::from_utf8(hit).unwrap();
         }

@@ -192,9 +192,9 @@ fn infer(present: &[&Value]) -> (PhysicalType, String) {
         return (PhysicalType::Constant, "single distinct value".into());
     }
     // All booleans, or ints confined to {0,1}?
-    let all_bool = present.iter().all(|v| {
-        matches!(v, Value::Bool(_)) || matches!(v, Value::Int(0) | Value::Int(1))
-    });
+    let all_bool = present
+        .iter()
+        .all(|v| matches!(v, Value::Bool(_)) || matches!(v, Value::Int(0) | Value::Int(1)));
     if all_bool {
         return (PhysicalType::Bit, "boolean content stored wider than 1 bit".into());
     }
@@ -287,9 +287,7 @@ mod tests {
 
     #[test]
     fn detects_string_timestamps() {
-        let vals: Vec<Value> = (0..50)
-            .map(|i| Value::Str(nbb_timestamp(i * 1000)))
-            .collect();
+        let vals: Vec<Value> = (0..50).map(|i| Value::Str(nbb_timestamp(i * 1000))).collect();
         let a = analyze_column("rev_timestamp", DeclaredType::Str { width: 14 }, &vals);
         assert_eq!(a.recommended, PhysicalType::Timestamp32);
         // 14 bytes (112 bits) -> 32 bits: waste ≈ 71%.

@@ -35,5 +35,7 @@ pub use bitpack::{min_bits, pack, unpack, BitPacked};
 pub use delta::DeltaColumn;
 pub use dict::DictColumn;
 pub use inference::{analyze_column, ColumnAnalysis, DeclaredType, PhysicalType, Value};
-pub use schema::{analyze_table, decode_column, encode_column, ColumnDef, EncodedColumn, Schema, SchemaReport};
+pub use schema::{
+    analyze_table, decode_column, encode_column, ColumnDef, EncodedColumn, Schema, SchemaReport,
+};
 pub use semantic_id::{RoutingTable, SemanticIdAllocator, SemanticIdLayout};

@@ -201,9 +201,7 @@ pub fn encode_column(values: &[Value], ty: &PhysicalType) -> EncodedColumn {
             let epochs: Vec<u64> = values
                 .iter()
                 .map(|v| match v {
-                    Value::Str(s) => {
-                        u64::from(timestamp::to_u32(s).expect("validated timestamp"))
-                    }
+                    Value::Str(s) => u64::from(timestamp::to_u32(s).expect("validated timestamp")),
                     _ => panic!("Timestamp encoding over non-string"),
                 })
                 .collect();
@@ -246,16 +244,12 @@ pub fn decode_column(col: &EncodedColumn) -> Vec<Value> {
     match col {
         EncodedColumn::Constant { value, rows } => vec![(**value).clone(); *rows],
         EncodedColumn::Bits(b) => b.to_vec().into_iter().map(|v| Value::Bool(v != 0)).collect(),
-        EncodedColumn::Ints { base, packed } => packed
-            .to_vec()
-            .into_iter()
-            .map(|o| Value::Int(base.wrapping_add(o as i64)))
-            .collect(),
-        EncodedColumn::Timestamps(b) => b
-            .to_vec()
-            .into_iter()
-            .map(|e| Value::Str(timestamp::from_u32(e as u32)))
-            .collect(),
+        EncodedColumn::Ints { base, packed } => {
+            packed.to_vec().into_iter().map(|o| Value::Int(base.wrapping_add(o as i64))).collect()
+        }
+        EncodedColumn::Timestamps(b) => {
+            b.to_vec().into_iter().map(|e| Value::Str(timestamp::from_u32(e as u32))).collect()
+        }
         EncodedColumn::NumericStrings(b) => {
             b.to_vec().into_iter().map(|n| Value::Str(n.to_string())).collect()
         }
@@ -351,8 +345,7 @@ mod tests {
 
     #[test]
     fn dict_round_trip() {
-        let vals: Vec<Value> =
-            (0..100).map(|i| Value::str(["a", "bb", "ccc"][i % 3])).collect();
+        let vals: Vec<Value> = (0..100).map(|i| Value::str(["a", "bb", "ccc"][i % 3])).collect();
         let a = analyze_column_helper(&vals);
         let enc = encode_column(&vals, &a);
         assert_eq!(decode_column(&enc), vals);

@@ -173,12 +173,10 @@ mod tests {
         }
         // 1 hot tuple per ~10 → scattered across many pages.
         let hot: Vec<_> = rids.iter().copied().step_by(10).collect();
-        let pages_before: std::collections::HashSet<_> =
-            hot.iter().map(|r| r.page).collect();
+        let pages_before: std::collections::HashSet<_> = hot.iter().map(|r| r.page).collect();
         let mut new_rids = Vec::new();
         cluster_hot_tuples(&h, &hot, 1.0, |_, n| new_rids.push(n)).unwrap();
-        let pages_after: std::collections::HashSet<_> =
-            new_rids.iter().map(|r| r.page).collect();
+        let pages_after: std::collections::HashSet<_> = new_rids.iter().map(|r| r.page).collect();
         assert!(
             pages_after.len() < pages_before.len() / 2,
             "clustering must densify: {} pages -> {}",

@@ -55,11 +55,7 @@ pub fn evaluate(
 /// Greedy partitioner: begin fully decomposed, merge the pair of groups
 /// whose union lowers workload cost the most, repeat until no merge
 /// helps.
-pub fn optimize(
-    col_widths: &[usize],
-    workload: &[QueryClass],
-    merge_penalty: f64,
-) -> Partitioning {
+pub fn optimize(col_widths: &[usize], workload: &[QueryClass], merge_penalty: f64) -> Partitioning {
     let ncols = col_widths.len();
     for q in workload {
         for &c in &q.columns {
@@ -73,8 +69,7 @@ pub fn optimize(
         for i in 0..parts.len() {
             for j in i + 1..parts.len() {
                 let mut trial = parts.clone();
-                let merged: Vec<usize> =
-                    trial[i].iter().chain(trial[j].iter()).copied().collect();
+                let merged: Vec<usize> = trial[i].iter().chain(trial[j].iter()).copied().collect();
                 trial[i] = merged;
                 trial.remove(j);
                 let c = evaluate(&trial, col_widths, workload, merge_penalty);
@@ -159,13 +154,7 @@ impl VerticalTable {
             col_offsets.push(off);
             off += w;
         }
-        VerticalTable {
-            partitioning,
-            col_offsets,
-            col_widths,
-            heaps,
-            rows: Default::default(),
-        }
+        VerticalTable { partitioning, col_offsets, col_widths, heaps, rows: Default::default() }
     }
 
     /// Full row width in bytes.
@@ -191,7 +180,9 @@ impl VerticalTable {
     fn project(&self, row: &[u8], group: &[usize]) -> Vec<u8> {
         let mut out = Vec::with_capacity(group.iter().map(|&c| self.col_widths[c]).sum());
         for &c in group {
-            out.extend_from_slice(&row[self.col_offsets[c]..self.col_offsets[c] + self.col_widths[c]]);
+            out.extend_from_slice(
+                &row[self.col_offsets[c]..self.col_offsets[c] + self.col_widths[c]],
+            );
         }
         out
     }
@@ -278,9 +269,7 @@ mod tests {
         let wl = [QueryClass { columns: vec![0], weight: 1.0 }];
         let together: Partitioning = vec![vec![0, 1]];
         let apart: Partitioning = vec![vec![0], vec![1]];
-        assert!(
-            evaluate(&apart, &widths, &wl, 10.0) < evaluate(&together, &widths, &wl, 10.0)
-        );
+        assert!(evaluate(&apart, &widths, &wl, 10.0) < evaluate(&together, &widths, &wl, 10.0));
     }
 
     #[test]

@@ -1,4 +1,5 @@
-//! Buffer pool: fixed set of frames over a [`DiskManager`], clock eviction.
+//! Buffer pool: fixed set of frames over a [`DiskManager`], split into
+//! lock-striped shards with per-shard clock eviction.
 //!
 //! Two properties are load-bearing for the paper's index cache (§2.1.1):
 //!
@@ -10,6 +11,25 @@
 //! 2. **Try-latch access.** The same method gives up immediately if the
 //!    frame latch is contended (§2.1.3: "we can give up a write operation
 //!    if the latch is not immediately available").
+//!
+//! # Sharding
+//!
+//! The pool is partitioned into `shards` independent stripes, each with
+//! its own frame table, free list, clock hand, and statistics. A page id
+//! maps to exactly one shard (`page_id % shards`), so concurrent
+//! accesses to distinct pages contend only when they collide on a
+//! stripe — the §2 index-cache read path scales with readers instead of
+//! funneling through one global mutex. Sequential page ids stripe
+//! round-robin, which spreads both heap scans and B+Tree levels evenly.
+//!
+//! Frames are divided as evenly as possible across shards, and a shard
+//! can only evict among its own frames. [`BufferPool::new`] therefore
+//! caps the default shard count so each shard keeps at least
+//! [`MIN_FRAMES_PER_SHARD`] frames: tiny pools (as used by eviction
+//! tests and memory-pressure harnesses) behave exactly like the old
+//! single-mutex pool, while production-sized pools get
+//! [`DEFAULT_POOL_SHARDS`] stripes. [`BufferPool::new_sharded`] gives
+//! callers (benches, experiments) exact control.
 
 use crate::disk::DiskManager;
 use crate::error::{Result, StorageError};
@@ -20,6 +40,15 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 
+/// Default shard count for pools large enough to support it.
+pub const DEFAULT_POOL_SHARDS: usize = 8;
+
+/// Minimum frames per shard before [`BufferPool::new`] reduces the
+/// default shard count. Keeps clock eviction meaningful (a one-frame
+/// shard degenerates to direct replacement) and leaves headroom for
+/// nested pins of pages that happen to collide on a shard.
+pub const MIN_FRAMES_PER_SHARD: usize = 16;
+
 struct Frame {
     data: RwLock<Page>,
     pin: AtomicU32,
@@ -27,61 +56,109 @@ struct Frame {
     refbit: AtomicBool,
 }
 
-struct Inner {
-    /// page id -> frame index
+/// Mutable residency state of one shard, behind the shard's mutex.
+struct ShardMap {
+    /// page id -> local frame index
     table: HashMap<PageId, usize>,
-    /// frame index -> resident page (None = free frame)
+    /// local frame index -> resident page (None = free frame)
     resident: Vec<Option<PageId>>,
+    /// Stack of free local frame indexes (avoids O(n) scans on miss).
+    free: Vec<usize>,
     clock_hand: usize,
 }
 
-/// Fixed-capacity page cache over a shared disk.
-pub struct BufferPool {
-    disk: Arc<dyn DiskManager>,
-    frames: Vec<Arc<Frame>>,
-    inner: Mutex<Inner>,
+/// Per-shard counters. Relaxed atomics on their own cache line so the
+/// hot path never contends with stats collection or a neighbor shard.
+#[repr(align(64))]
+#[derive(Default)]
+struct ShardStats {
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
     writebacks: AtomicU64,
 }
 
+struct Shard {
+    frames: Vec<Arc<Frame>>,
+    map: Mutex<ShardMap>,
+    stats: ShardStats,
+}
+
+/// Fixed-capacity page cache over a shared disk, striped into shards.
+pub struct BufferPool {
+    disk: Arc<dyn DiskManager>,
+    shards: Box<[Shard]>,
+}
+
 impl BufferPool {
-    /// Creates a pool of `capacity` frames over `disk`.
+    /// Creates a pool of `capacity` frames over `disk` with an
+    /// automatically sized shard count: [`DEFAULT_POOL_SHARDS`], reduced
+    /// so every shard keeps at least [`MIN_FRAMES_PER_SHARD`] frames
+    /// (small pools fall back to a single shard).
     ///
     /// # Panics
     /// Panics if `capacity == 0`.
     pub fn new(disk: Arc<dyn DiskManager>, capacity: usize) -> Self {
-        assert!(capacity > 0, "buffer pool needs at least one frame");
-        let page_size = disk.page_size();
-        let frames = (0..capacity)
-            .map(|_| {
-                Arc::new(Frame {
-                    data: RwLock::new(Page::new(page_size)),
-                    pin: AtomicU32::new(0),
-                    dirty: AtomicBool::new(false),
-                    refbit: AtomicBool::new(false),
-                })
-            })
-            .collect();
-        BufferPool {
-            disk,
-            frames,
-            inner: Mutex::new(Inner {
-                table: HashMap::new(),
-                resident: vec![None; capacity],
-                clock_hand: 0,
-            }),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            evictions: AtomicU64::new(0),
-            writebacks: AtomicU64::new(0),
-        }
+        let shards = clamp_shards(capacity, DEFAULT_POOL_SHARDS);
+        Self::new_sharded(disk, capacity, shards)
     }
 
-    /// Number of frames.
+    /// Creates a pool of `capacity` frames striped into exactly `shards`
+    /// shards (clamped to `[1, capacity]`). Frames are distributed as
+    /// evenly as possible; a shard only evicts among its own frames, so
+    /// very small per-shard frame counts trade eviction quality for
+    /// parallelism — benches use this to measure that trade.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn new_sharded(disk: Arc<dyn DiskManager>, capacity: usize, shards: usize) -> Self {
+        assert!(capacity > 0, "buffer pool needs at least one frame");
+        let nshards = shards.clamp(1, capacity);
+        let page_size = disk.page_size();
+        let shards = (0..nshards)
+            .map(|i| {
+                let n = capacity / nshards + usize::from(i < capacity % nshards);
+                let frames = (0..n)
+                    .map(|_| {
+                        Arc::new(Frame {
+                            data: RwLock::new(Page::new(page_size)),
+                            pin: AtomicU32::new(0),
+                            dirty: AtomicBool::new(false),
+                            refbit: AtomicBool::new(false),
+                        })
+                    })
+                    .collect();
+                Shard {
+                    frames,
+                    map: Mutex::new(ShardMap {
+                        table: HashMap::new(),
+                        resident: vec![None; n],
+                        // Pop order: lowest index first, matching the old
+                        // pool's first-free-frame scan.
+                        free: (0..n).rev().collect(),
+                        clock_hand: 0,
+                    }),
+                    stats: ShardStats::default(),
+                }
+            })
+            .collect();
+        BufferPool { disk, shards }
+    }
+
+    /// Shard owning `id`.
+    #[inline]
+    fn shard_of(&self, id: PageId) -> &Shard {
+        &self.shards[(id.0 % self.shards.len() as u64) as usize]
+    }
+
+    /// Number of frames across all shards.
     pub fn capacity(&self) -> usize {
-        self.frames.len()
+        self.shards.iter().map(|s| s.frames.len()).sum()
+    }
+
+    /// Number of lock-striped shards (≥ 1).
+    pub fn shards(&self) -> usize {
+        self.shards.len()
     }
 
     /// The disk this pool fronts.
@@ -103,24 +180,24 @@ impl BufferPool {
 
     /// Runs `f` with shared access to page `id`, pinning it for the duration.
     pub fn with_page<R>(&self, id: PageId, f: impl FnOnce(&Page) -> R) -> Result<R> {
-        let (idx, frame) = self.pin(id)?;
+        let frame = self.pin(id)?;
         let out = {
             let guard = frame.data.read();
             f(&guard)
         };
-        self.unpin(idx);
+        Self::unpin(&frame);
         Ok(out)
     }
 
     /// Runs `f` with exclusive access to page `id`, marking the frame dirty.
     pub fn with_page_mut<R>(&self, id: PageId, f: impl FnOnce(&mut Page) -> R) -> Result<R> {
-        let (idx, frame) = self.pin(id)?;
+        let frame = self.pin(id)?;
         let out = {
             let mut guard = frame.data.write();
             frame.dirty.store(true, Ordering::Release);
             f(&mut guard)
         };
-        self.unpin(idx);
+        Self::unpin(&frame);
         Ok(out)
     }
 
@@ -134,15 +211,15 @@ impl BufferPool {
         id: PageId,
         f: impl FnOnce(&mut Page) -> R,
     ) -> Result<Option<R>> {
-        let (idx, frame) = self.pin(id)?;
+        let frame = self.pin(id)?;
         let out = frame.data.try_write().map(|mut guard| f(&mut guard));
-        self.unpin(idx);
+        Self::unpin(&frame);
         Ok(out)
     }
 
     /// True if page `id` is currently resident.
     pub fn contains(&self, id: PageId) -> bool {
-        self.inner.lock().table.contains_key(&id)
+        self.shard_of(id).map.lock().table.contains_key(&id)
     }
 
     /// Forces page `id` out of the pool (writing it back iff dirty).
@@ -150,105 +227,136 @@ impl BufferPool {
     /// Used by tests and harnesses to simulate memory pressure; a no-op if
     /// the page is not resident. Fails if the page is pinned.
     pub fn evict_page(&self, id: PageId) -> Result<()> {
-        let mut inner = self.inner.lock();
-        let Some(&idx) = inner.table.get(&id) else { return Ok(()) };
-        let frame = &self.frames[idx];
+        let shard = self.shard_of(id);
+        let mut map = shard.map.lock();
+        let Some(&idx) = map.table.get(&id) else { return Ok(()) };
+        let frame = &shard.frames[idx];
         if frame.pin.load(Ordering::Acquire) != 0 {
             return Err(StorageError::BufferPoolExhausted);
         }
-        self.write_back_if_dirty(idx, id)?;
-        inner.table.remove(&id);
-        inner.resident[idx] = None;
-        self.evictions.fetch_add(1, Ordering::Relaxed);
+        self.write_back_if_dirty(shard, frame, id)?;
+        map.table.remove(&id);
+        map.resident[idx] = None;
+        map.free.push(idx);
+        shard.stats.evictions.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
 
     /// Writes back every dirty resident page.
     pub fn flush_all(&self) -> Result<()> {
-        let inner = self.inner.lock();
-        for (idx, res) in inner.resident.iter().enumerate() {
-            if let Some(pid) = res {
-                self.write_back_if_dirty(idx, *pid)?;
+        for shard in self.shards.iter() {
+            let map = shard.map.lock();
+            for (idx, res) in map.resident.iter().enumerate() {
+                if let Some(pid) = res {
+                    self.write_back_if_dirty(shard, &shard.frames[idx], *pid)?;
+                }
             }
         }
         Ok(())
     }
 
-    /// Hit/miss/eviction counters.
+    /// Hit/miss/eviction counters, aggregated across shards.
     pub fn stats(&self) -> PoolStats {
-        PoolStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            evictions: self.evictions.load(Ordering::Relaxed),
-            writebacks: self.writebacks.load(Ordering::Relaxed),
+        let mut out = PoolStats::default();
+        for s in self.shards.iter() {
+            out.hits += s.stats.hits.load(Ordering::Relaxed);
+            out.misses += s.stats.misses.load(Ordering::Relaxed);
+            out.evictions += s.stats.evictions.load(Ordering::Relaxed);
+            out.writebacks += s.stats.writebacks.load(Ordering::Relaxed);
         }
+        out
     }
 
     /// Zeroes the counters.
     pub fn reset_stats(&self) {
-        self.hits.store(0, Ordering::Relaxed);
-        self.misses.store(0, Ordering::Relaxed);
-        self.evictions.store(0, Ordering::Relaxed);
-        self.writebacks.store(0, Ordering::Relaxed);
+        for s in self.shards.iter() {
+            s.stats.hits.store(0, Ordering::Relaxed);
+            s.stats.misses.store(0, Ordering::Relaxed);
+            s.stats.evictions.store(0, Ordering::Relaxed);
+            s.stats.writebacks.store(0, Ordering::Relaxed);
+        }
     }
 
-    fn write_back_if_dirty(&self, idx: usize, pid: PageId) -> Result<()> {
-        let frame = &self.frames[idx];
-        if frame.dirty.swap(false, Ordering::AcqRel) {
+    /// Writes the frame back iff dirty. The dirty bit is only cleared
+    /// after the disk write succeeds, so a failed write leaves the
+    /// frame dirty (and its bytes intact) for a later retry — callers
+    /// can propagate the error without losing data.
+    fn write_back_if_dirty(&self, shard: &Shard, frame: &Frame, pid: PageId) -> Result<()> {
+        if frame.dirty.load(Ordering::Acquire) {
             let guard = frame.data.read();
             self.disk.write(pid, &guard)?;
-            self.writebacks.fetch_add(1, Ordering::Relaxed);
+            // Still under the read latch: no writer can have mutated the
+            // page (or re-set the bit) since the bytes we just wrote.
+            frame.dirty.store(false, Ordering::Release);
+            shard.stats.writebacks.fetch_add(1, Ordering::Relaxed);
         }
         Ok(())
     }
 
-    /// Pins `id` into a frame, loading it from disk on a miss.
-    fn pin(&self, id: PageId) -> Result<(usize, Arc<Frame>)> {
-        let mut inner = self.inner.lock();
-        if let Some(&idx) = inner.table.get(&id) {
-            let frame = &self.frames[idx];
+    /// Pins `id` into a frame of its shard, loading from disk on a miss.
+    ///
+    /// Every early return leaves the shard map consistent: a failed
+    /// write-back keeps the victim resident (and dirty); a failed read
+    /// returns the — by then possibly clobbered — frame to the free
+    /// list with no page mapped to it.
+    fn pin(&self, id: PageId) -> Result<Arc<Frame>> {
+        let shard = self.shard_of(id);
+        let mut map = shard.map.lock();
+        if let Some(&idx) = map.table.get(&id) {
+            let frame = &shard.frames[idx];
             frame.pin.fetch_add(1, Ordering::AcqRel);
             frame.refbit.store(true, Ordering::Relaxed);
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok((idx, Arc::clone(frame)));
+            shard.stats.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(frame));
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        let idx = self.find_victim(&mut inner)?;
-        if let Some(old) = inner.resident[idx] {
-            self.write_back_if_dirty(idx, old)?;
-            inner.table.remove(&old);
-            self.evictions.fetch_add(1, Ordering::Relaxed);
+        shard.stats.misses.fetch_add(1, Ordering::Relaxed);
+        let idx = Self::find_victim(shard, &mut map)?;
+        let frame = &shard.frames[idx];
+        if let Some(old) = map.resident[idx] {
+            // On error the victim stays resident and dirty — consistent.
+            self.write_back_if_dirty(shard, frame, old)?;
+            map.table.remove(&old);
+            map.resident[idx] = None;
+            shard.stats.evictions.fetch_add(1, Ordering::Relaxed);
         }
-        let frame = &self.frames[idx];
-        {
+        // From here the frame is logically free (mapped to nothing).
+        let loaded = {
             let mut guard = frame.data.write();
-            self.disk.read(id, &mut guard)?;
+            let r = self.disk.read(id, &mut guard);
             frame.dirty.store(false, Ordering::Release);
+            r
+        };
+        if let Err(e) = loaded {
+            // The failed read may have clobbered the frame bytes; leave
+            // the frame free rather than mapping anything to it.
+            map.free.push(idx);
+            return Err(e);
         }
-        inner.resident[idx] = Some(id);
-        inner.table.insert(id, idx);
+        map.resident[idx] = Some(id);
+        map.table.insert(id, idx);
         frame.pin.store(1, Ordering::Release);
         frame.refbit.store(true, Ordering::Relaxed);
-        Ok((idx, Arc::clone(frame)))
+        Ok(Arc::clone(frame))
     }
 
-    fn unpin(&self, idx: usize) {
-        self.frames[idx].pin.fetch_sub(1, Ordering::AcqRel);
+    #[inline]
+    fn unpin(frame: &Frame) {
+        frame.pin.fetch_sub(1, Ordering::AcqRel);
     }
 
-    /// Clock (second-chance) victim selection over unpinned frames.
-    fn find_victim(&self, inner: &mut Inner) -> Result<usize> {
-        // Prefer a free frame.
-        if let Some(idx) = inner.resident.iter().position(Option::is_none) {
+    /// Clock (second-chance) victim selection over the shard's unpinned
+    /// frames; free frames are taken from the free list first.
+    fn find_victim(shard: &Shard, map: &mut ShardMap) -> Result<usize> {
+        if let Some(idx) = map.free.pop() {
             return Ok(idx);
         }
-        let n = self.frames.len();
+        let n = shard.frames.len();
         // Two sweeps: the first clears reference bits, the second takes
         // the first unpinned frame. 2n+1 steps bound the scan.
         for _ in 0..(2 * n + 1) {
-            let idx = inner.clock_hand;
-            inner.clock_hand = (inner.clock_hand + 1) % n;
-            let frame = &self.frames[idx];
+            let idx = map.clock_hand;
+            map.clock_hand = (map.clock_hand + 1) % n;
+            let frame = &shard.frames[idx];
             if frame.pin.load(Ordering::Acquire) != 0 {
                 continue;
             }
@@ -259,6 +367,15 @@ impl BufferPool {
         }
         Err(StorageError::BufferPoolExhausted)
     }
+}
+
+/// Clamps a requested shard count so every shard keeps at least
+/// [`MIN_FRAMES_PER_SHARD`] frames (never below one shard). This is the
+/// one place the headroom policy lives — [`BufferPool::new`] applies it
+/// to [`DEFAULT_POOL_SHARDS`], and `nbb-core`'s `DbConfig` applies it
+/// to its `pool_shards` knob.
+pub fn clamp_shards(capacity: usize, requested: usize) -> usize {
+    requested.clamp(1, (capacity / MIN_FRAMES_PER_SHARD).max(1))
 }
 
 #[cfg(test)]
@@ -392,10 +509,8 @@ mod tests {
                 for i in 0..500 {
                     let id = ids[(t * 3 + i) % ids.len()];
                     if i % 3 == 0 {
-                        pool.with_page_mut(id, |p| {
-                            p.bytes_mut()[t] = p.bytes()[t].wrapping_add(1)
-                        })
-                        .unwrap();
+                        pool.with_page_mut(id, |p| p.bytes_mut()[t] = p.bytes()[t].wrapping_add(1))
+                            .unwrap();
                     } else {
                         pool.with_page(id, |p| p.bytes()[t]).unwrap();
                     }
@@ -428,5 +543,182 @@ mod tests {
         assert!(r.is_none(), "cache write should give up under contention");
         release_tx.send(()).unwrap();
         holder.join().unwrap();
+    }
+
+    // -----------------------------------------------------------------
+    // Sharding
+    // -----------------------------------------------------------------
+
+    #[test]
+    fn default_shard_count_scales_with_capacity() {
+        let (small, _) = pool(4);
+        assert_eq!(small.shards(), 1, "tiny pools stay single-shard");
+        let (mid, _) = pool(32);
+        assert_eq!(mid.shards(), 2);
+        let (big, _) = pool(1024);
+        assert_eq!(big.shards(), DEFAULT_POOL_SHARDS);
+        assert_eq!(big.capacity(), 1024);
+    }
+
+    #[test]
+    fn explicit_shard_count_is_honored_and_clamped() {
+        let disk: Arc<dyn DiskManager> = Arc::new(InMemoryDisk::new(256));
+        let p = BufferPool::new_sharded(Arc::clone(&disk), 64, 4);
+        assert_eq!(p.shards(), 4);
+        assert_eq!(p.capacity(), 64);
+        let p = BufferPool::new_sharded(Arc::clone(&disk), 3, 100);
+        assert_eq!(p.shards(), 3, "shards clamp to capacity");
+        assert_eq!(p.capacity(), 3);
+        let p = BufferPool::new_sharded(disk, 16, 0);
+        assert_eq!(p.shards(), 1, "zero shards clamps to one");
+    }
+
+    #[test]
+    fn uneven_capacity_distributes_all_frames() {
+        let disk: Arc<dyn DiskManager> = Arc::new(InMemoryDisk::new(256));
+        let p = BufferPool::new_sharded(disk, 13, 4);
+        assert_eq!(p.shards(), 4);
+        assert_eq!(p.capacity(), 13, "every frame must land in some shard");
+    }
+
+    #[test]
+    fn sharded_pool_full_workout_matches_disk_truth() {
+        // Working set ≫ capacity on a many-sharded pool: every page must
+        // still read back its own bytes through eviction and reload.
+        let disk: Arc<dyn DiskManager> = Arc::new(InMemoryDisk::new(256));
+        let pool = Arc::new(BufferPool::new_sharded(disk, 8, 4));
+        let ids: Vec<_> = (0..64).map(|_| pool.new_page().unwrap()).collect();
+        for (i, id) in ids.iter().enumerate() {
+            pool.with_page_mut(*id, |p| p.bytes_mut()[3] = i as u8).unwrap();
+        }
+        for (i, id) in ids.iter().enumerate() {
+            assert_eq!(pool.with_page(*id, |p| p.bytes()[3]).unwrap(), i as u8);
+        }
+        let s = pool.stats();
+        assert!(s.misses >= 64, "first touch of each page must miss");
+        assert!(s.evictions > 0);
+    }
+
+    #[test]
+    fn stats_aggregate_across_shards() {
+        let disk: Arc<dyn DiskManager> = Arc::new(InMemoryDisk::new(256));
+        let pool = Arc::new(BufferPool::new_sharded(disk, 16, 4));
+        let ids: Vec<_> = (0..16).map(|_| pool.new_page().unwrap()).collect();
+        for id in &ids {
+            pool.with_page(*id, |_| ()).unwrap(); // 16 misses
+        }
+        for id in &ids {
+            pool.with_page(*id, |_| ()).unwrap(); // 16 hits
+        }
+        let s = pool.stats();
+        assert_eq!(s.misses, 16);
+        assert_eq!(s.hits, 16);
+        pool.reset_stats();
+        assert_eq!(pool.stats(), PoolStats::default());
+    }
+
+    #[test]
+    fn shards_do_not_share_frames() {
+        // A page storm on one shard must not evict the other shard's
+        // residents: page ids congruent mod 2 stay in their stripe.
+        let disk: Arc<dyn DiskManager> = Arc::new(InMemoryDisk::new(256));
+        let pool = Arc::new(BufferPool::new_sharded(disk, 4, 2));
+        let ids: Vec<_> = (0..12).map(|_| pool.new_page().unwrap()).collect();
+        // Pin nothing; touch one even page, then storm odd pages.
+        pool.with_page(ids[0], |_| ()).unwrap();
+        for id in ids.iter().filter(|id| id.0 % 2 == 1) {
+            pool.with_page(*id, |_| ()).unwrap();
+        }
+        assert!(pool.contains(ids[0]), "odd-page storm evicted an even-shard resident");
+    }
+
+    #[test]
+    fn failed_read_leaves_pool_consistent() {
+        use crate::stats::IoStats;
+        use std::sync::atomic::AtomicBool;
+
+        /// Disk whose reads can be switched to fail, for error-path tests.
+        struct FlakyDisk {
+            inner: InMemoryDisk,
+            fail_reads: AtomicBool,
+        }
+        impl DiskManager for FlakyDisk {
+            fn page_size(&self) -> usize {
+                self.inner.page_size()
+            }
+            fn allocate(&self) -> Result<PageId> {
+                self.inner.allocate()
+            }
+            fn read(&self, id: PageId, buf: &mut Page) -> Result<()> {
+                if self.fail_reads.load(Ordering::Relaxed) {
+                    return Err(StorageError::Io("injected read failure".into()));
+                }
+                self.inner.read(id, buf)
+            }
+            fn write(&self, id: PageId, page: &Page) -> Result<()> {
+                self.inner.write(id, page)
+            }
+            fn num_pages(&self) -> u64 {
+                self.inner.num_pages()
+            }
+            fn stats(&self) -> IoStats {
+                self.inner.stats()
+            }
+            fn reset_stats(&self) {
+                self.inner.reset_stats()
+            }
+        }
+
+        let disk = Arc::new(FlakyDisk {
+            inner: InMemoryDisk::new(256),
+            fail_reads: AtomicBool::new(false),
+        });
+        let pool = BufferPool::new_sharded(Arc::clone(&disk) as Arc<dyn DiskManager>, 2, 1);
+        // Fill both frames, one dirty.
+        let a = pool.new_page().unwrap();
+        let b = pool.new_page().unwrap();
+        let c = pool.new_page().unwrap();
+        pool.with_page_mut(a, |p| p.bytes_mut()[0] = 11).unwrap();
+        pool.with_page(b, |_| ()).unwrap();
+        // Inject failures: faulting `c` must error without corrupting
+        // the map — and must not lose `a`'s dirty data.
+        disk.fail_reads.store(true, Ordering::Relaxed);
+        assert!(pool.with_page(c, |_| ()).is_err());
+        disk.fail_reads.store(false, Ordering::Relaxed);
+        // Everything still readable with the right contents.
+        assert_eq!(pool.with_page(a, |p| p.bytes()[0]).unwrap(), 11);
+        pool.with_page(b, |_| ()).unwrap();
+        pool.with_page(c, |_| ()).unwrap();
+        assert_eq!(pool.with_page(a, |p| p.bytes()[0]).unwrap(), 11, "dirty page lost");
+    }
+
+    #[test]
+    fn concurrent_threads_on_distinct_shards() {
+        let disk: Arc<dyn DiskManager> = Arc::new(InMemoryDisk::new(256));
+        let pool = Arc::new(BufferPool::new_sharded(disk, 64, 8));
+        let ids: Vec<_> = (0..64).map(|_| pool.new_page().unwrap()).collect();
+        let mut handles = Vec::new();
+        for t in 0..8usize {
+            let pool = Arc::clone(&pool);
+            let ids = ids.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..2000usize {
+                    let id = ids[(i * 7 + t * 13) % ids.len()];
+                    if i % 5 == 0 {
+                        pool.with_page_mut(id, |p| {
+                            p.bytes_mut()[t] = p.bytes()[t].wrapping_add(1);
+                        })
+                        .unwrap();
+                    } else {
+                        pool.with_page(id, |p| p.bytes()[t]).unwrap();
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let s = pool.stats();
+        assert_eq!(s.hits + s.misses, 8 * 2000);
     }
 }

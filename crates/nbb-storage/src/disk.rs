@@ -191,6 +191,74 @@ impl DiskManager for SimulatedDisk {
     }
 }
 
+/// In-memory page store that *actually blocks* for a [`DiskModel`] per
+/// operation (contrast [`SimulatedDisk`], which only accounts).
+///
+/// Sleeping releases the CPU, so a blocked reader models DMA-style I/O:
+/// other threads make progress during the wait. Concurrency benches use
+/// this to expose what a lock held across a page fault really costs —
+/// a single-stripe buffer pool stalls every reader for the full device
+/// latency, a sharded one only the colliding stripe.
+pub struct LatencyDisk {
+    inner: InMemoryDisk,
+    model: DiskModel,
+    stats: AtomicIoStats,
+}
+
+impl LatencyDisk {
+    /// Creates a blocking disk with the given page size and latency model.
+    pub fn new(page_size: usize, model: DiskModel) -> Self {
+        LatencyDisk { inner: InMemoryDisk::new(page_size), model, stats: AtomicIoStats::new() }
+    }
+
+    /// The latency model in effect.
+    pub fn model(&self) -> DiskModel {
+        self.model
+    }
+
+    fn block_for(ns: u64) {
+        if ns > 0 {
+            std::thread::sleep(std::time::Duration::from_nanos(ns));
+        }
+    }
+}
+
+impl DiskManager for LatencyDisk {
+    fn page_size(&self) -> usize {
+        self.inner.page_size()
+    }
+
+    fn allocate(&self) -> Result<PageId> {
+        self.inner.allocate()
+    }
+
+    fn read(&self, id: PageId, buf: &mut Page) -> Result<()> {
+        self.inner.read(id, buf)?;
+        Self::block_for(self.model.read_ns);
+        self.stats.record_read(self.model.read_ns);
+        Ok(())
+    }
+
+    fn write(&self, id: PageId, page: &Page) -> Result<()> {
+        self.inner.write(id, page)?;
+        Self::block_for(self.model.write_ns);
+        self.stats.record_write(self.model.write_ns);
+        Ok(())
+    }
+
+    fn num_pages(&self) -> u64 {
+        self.inner.num_pages()
+    }
+
+    fn stats(&self) -> IoStats {
+        self.stats.snapshot()
+    }
+
+    fn reset_stats(&self) {
+        self.stats.reset();
+    }
+}
+
 /// File-backed page store issuing real positioned I/O.
 pub struct FileDisk {
     page_size: usize,
@@ -365,5 +433,25 @@ mod tests {
         assert_eq!(d.stats().reads, 1);
         d.reset_stats();
         assert_eq!(d.stats().reads, 0);
+    }
+
+    #[test]
+    fn latency_disk_round_trips_and_blocks() {
+        let d = LatencyDisk::new(512, DiskModel { read_ns: 2_000_000, write_ns: 0 });
+        let id = d.allocate().unwrap();
+        let mut w = Page::new(512);
+        w.bytes_mut()[9] = 99;
+        d.write(id, &w).unwrap();
+        let start = std::time::Instant::now();
+        let mut r = Page::new(512);
+        d.read(id, &mut r).unwrap();
+        assert!(
+            start.elapsed() >= std::time::Duration::from_millis(2),
+            "read must block for the modeled latency"
+        );
+        assert_eq!(r.bytes()[9], 99);
+        let s = d.stats();
+        assert_eq!((s.reads, s.writes), (1, 1));
+        assert_eq!(s.sim_read_ns, 2_000_000);
     }
 }

@@ -37,9 +37,7 @@ impl HeapFile {
             return Self::create(pool);
         }
         for pid in &pages {
-            pool.with_page(*pid, |p| {
-                SlottedPageRef::attach(p).map(|_| ())
-            })??;
+            pool.with_page(*pid, |p| SlottedPageRef::attach(p).map(|_| ()))??;
         }
         Ok(HeapFile { pool, pages: RwLock::new(pages) })
     }
@@ -99,10 +97,9 @@ impl HeapFile {
     pub fn with_tuple<R>(&self, rid: RecordId, f: impl FnOnce(&[u8]) -> R) -> Result<R> {
         self.pool.with_page(rid.page, |p| {
             let sp = SlottedPageRef::attach(p)?;
-            let t = sp.get(rid.slot).map_err(|_| StorageError::InvalidSlot {
-                page: rid.page.0,
-                slot: rid.slot,
-            })?;
+            let t = sp
+                .get(rid.slot)
+                .map_err(|_| StorageError::InvalidSlot { page: rid.page.0, slot: rid.slot })?;
             Ok(f(t))
         })?
     }
@@ -111,10 +108,8 @@ impl HeapFile {
     pub fn delete(&self, rid: RecordId) -> Result<()> {
         self.pool.with_page_mut(rid.page, |p| {
             let mut sp = SlottedPage::attach(p)?;
-            sp.delete(rid.slot).map_err(|_| StorageError::InvalidSlot {
-                page: rid.page.0,
-                slot: rid.slot,
-            })
+            sp.delete(rid.slot)
+                .map_err(|_| StorageError::InvalidSlot { page: rid.page.0, slot: rid.slot })
         })?
     }
 
@@ -159,9 +154,9 @@ impl HeapFile {
     pub fn live_tuple_count(&self) -> Result<usize> {
         let mut n = 0;
         for pid in self.page_ids() {
-            n += self.pool.with_page(pid, |p| {
-                SlottedPageRef::attach(p).map(|sp| sp.live_count())
-            })??;
+            n += self
+                .pool
+                .with_page(pid, |p| SlottedPageRef::attach(p).map(|sp| sp.live_count()))??;
         }
         Ok(n)
     }
@@ -176,9 +171,9 @@ impl HeapFile {
         }
         let mut total = 0.0;
         for pid in &pages {
-            total += self.pool.with_page(*pid, |p| {
-                SlottedPageRef::attach(p).map(|sp| sp.fill_factor())
-            })??;
+            total += self
+                .pool
+                .with_page(*pid, |p| SlottedPageRef::attach(p).map(|sp| sp.fill_factor()))??;
         }
         Ok(total / pages.len() as f64)
     }

@@ -7,16 +7,20 @@
 //!   measurable *fill factor* (the paper's "unused space" metric).
 //! * [`heap`] — append-oriented heap files with stable [`rid::RecordId`]s
 //!   and the delete-then-append relocation primitive §3.1 clusters with.
-//! * [`disk`] — in-memory, simulated-latency, and file-backed disks with
-//!   I/O accounting ([`stats::IoStats`]).
-//! * [`buffer`] — a clock-eviction buffer pool whose
+//! * [`disk`] — in-memory, simulated-latency, blocking-latency, and
+//!   file-backed disks with I/O accounting ([`stats::IoStats`]).
+//! * [`buffer`] — a lock-striped, clock-eviction buffer pool: page ids
+//!   hash to independent shards (own frame table, free list, clock hand,
+//!   cache-line-padded atomic counters), so concurrent accesses to
+//!   distinct pages rarely contend.
 //!   [`buffer::BufferPool::with_page_cache_write`] provides the paper's
 //!   §2.1.1 contract: page writes that never dirty the frame and give up
 //!   under latch contention, so index caching adds zero I/O.
 //!
 //! Everything is synchronous and internally synchronized; a single
 //! [`buffer::BufferPool`] can be shared by heaps and B+Trees across
-//! threads.
+//! threads, and readers of distinct pages proceed in parallel up to
+//! shard collisions.
 
 #![warn(missing_docs)]
 
@@ -29,8 +33,8 @@ pub mod rid;
 pub mod slotted;
 pub mod stats;
 
-pub use buffer::BufferPool;
-pub use disk::{DiskManager, DiskModel, FileDisk, InMemoryDisk, SimulatedDisk};
+pub use buffer::{clamp_shards, BufferPool, DEFAULT_POOL_SHARDS, MIN_FRAMES_PER_SHARD};
+pub use disk::{DiskManager, DiskModel, FileDisk, InMemoryDisk, LatencyDisk, SimulatedDisk};
 pub use error::{Result, StorageError};
 pub use heap::HeapFile;
 pub use page::{Page, PageId, DEFAULT_PAGE_SIZE};

@@ -148,7 +148,10 @@ impl<'a> SlottedPage<'a> {
         let dir_growth = if reuse.is_some() { 0 } else { SLOT_ENTRY_SIZE };
         let gap = self.free_high().saturating_sub(self.free_low());
         if gap < tuple.len() + dir_growth {
-            return Err(StorageError::PageFull { needed: tuple.len() + dir_growth, available: gap });
+            return Err(StorageError::PageFull {
+                needed: tuple.len() + dir_growth,
+                available: gap,
+            });
         }
         let data_start = self.free_high() - tuple.len();
         self.page.bytes_mut()[data_start..data_start + tuple.len()].copy_from_slice(tuple);

@@ -22,10 +22,7 @@ fn exhaustion_when_all_frames_pinned() {
             p.with_page(b, |_| ()).map_err(|e| format!("{e}"))
         })
         .unwrap();
-    assert!(
-        inner_result.unwrap_err().contains("exhausted"),
-        "expected BufferPoolExhausted"
-    );
+    assert!(inner_result.unwrap_err().contains("exhausted"), "expected BufferPoolExhausted");
     // After the closure, the frame is unpinned and `b` is reachable.
     p.with_page(b, |_| ()).unwrap();
 }
@@ -68,9 +65,7 @@ fn eviction_prefers_unreferenced_frames() {
 fn evict_pinned_page_refused() {
     let p = pool(2);
     let a = p.new_page().unwrap();
-    let err = p
-        .with_page(a, |_| p.evict_page(a))
-        .unwrap();
+    let err = p.with_page(a, |_| p.evict_page(a)).unwrap();
     assert!(matches!(err, Err(StorageError::BufferPoolExhausted)));
 }
 

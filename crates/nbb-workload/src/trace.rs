@@ -173,8 +173,7 @@ mod tests {
     #[test]
     fn revision_trace_concentrates_on_hot_set() {
         let (pages, nrevs) = wiki(500);
-        let hot: std::collections::HashSet<u64> =
-            pages.iter().map(|p| p.latest_rev).collect();
+        let hot: std::collections::HashSet<u64> = pages.iter().map(|p| p.latest_rev).collect();
         let trace = revision_lookup_trace(&pages, nrevs, 30_000, 0.999, 0.5, 3);
         let hot_hits = trace
             .iter()

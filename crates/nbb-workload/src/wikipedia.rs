@@ -88,10 +88,7 @@ impl PageRow {
             return None;
         }
         let u64_at = |o: usize| u64::from_le_bytes(b[o..o + 8].try_into().unwrap());
-        let title_end = b[12..12 + TITLE_WIDTH]
-            .iter()
-            .position(|&c| c == 0)
-            .unwrap_or(TITLE_WIDTH);
+        let title_end = b[12..12 + TITLE_WIDTH].iter().position(|&c| c == 0).unwrap_or(TITLE_WIDTH);
         Some(PageRow {
             id: u64_at(0),
             namespace: u32::from_le_bytes(b[8..12].try_into().unwrap()),
@@ -99,8 +96,7 @@ impl PageRow {
             counter: u64_at(12 + TITLE_WIDTH),
             is_redirect: b[20 + TITLE_WIDTH] != 0,
             is_new: b[21 + TITLE_WIDTH] != 0,
-            touched: String::from_utf8_lossy(&b[22 + TITLE_WIDTH..36 + TITLE_WIDTH])
-                .into_owned(),
+            touched: String::from_utf8_lossy(&b[22 + TITLE_WIDTH..36 + TITLE_WIDTH]).into_owned(),
             latest_rev: u64_at(36 + TITLE_WIDTH),
             len: u64_at(44 + TITLE_WIDTH),
         })
@@ -188,10 +184,8 @@ impl RevisionRow {
             text_id: u64_at(16),
             comment: String::from_utf8_lossy(&b[o..o + comment_end]).into_owned(),
             user: u64_at(o + COMMENT_WIDTH),
-            timestamp: String::from_utf8_lossy(
-                &b[o + COMMENT_WIDTH + 8..o + COMMENT_WIDTH + 22],
-            )
-            .into_owned(),
+            timestamp: String::from_utf8_lossy(&b[o + COMMENT_WIDTH + 8..o + COMMENT_WIDTH + 22])
+                .into_owned(),
             minor_edit: b[o + COMMENT_WIDTH + 22] != 0,
             deleted: b[o + COMMENT_WIDTH + 23] != 0,
             len: u64_at(o + COMMENT_WIDTH + 24),
@@ -217,9 +211,8 @@ impl WikiGenerator {
     pub fn pages(&mut self, n: u64) -> Vec<PageRow> {
         (1..=n)
             .map(|id| {
-                let namespace = *[0u32, 0, 0, 0, 0, 0, 1, 2, 4, 10]
-                    .get(self.rng.gen_range(0..10))
-                    .unwrap();
+                let namespace =
+                    *[0u32, 0, 0, 0, 0, 0, 1, 2, 4, 10].get(self.rng.gen_range(0..10)).unwrap();
                 let title = format!("Page_{:x}_{}", self.rng.gen::<u32>(), id);
                 let len = self.rng.gen_range(100..60_000);
                 PageRow {
@@ -333,8 +326,7 @@ mod tests {
         let mut g = WikiGenerator::new(3);
         let mut pages = g.pages(500);
         let revs = g.revisions(&mut pages, 20);
-        let latest: std::collections::HashSet<u64> =
-            pages.iter().map(|p| p.latest_rev).collect();
+        let latest: std::collections::HashSet<u64> = pages.iter().map(|p| p.latest_rev).collect();
         assert_eq!(latest.len(), 500, "one latest revision per page");
         let frac = latest.len() as f64 / revs.len() as f64;
         assert!((0.03..0.08).contains(&frac), "hot fraction {frac}");

@@ -1,0 +1,337 @@
+//! Offline shim for the subset of `criterion` this workspace uses.
+//!
+//! The build environment cannot reach crates.io, so benches link against
+//! this vendored harness instead: it runs each benchmark closure under a
+//! simple warm-up + timed-sampling loop and prints mean / min ns-per-iter
+//! (plus derived throughput when configured). There are no HTML reports,
+//! no statistical regression tests, and no saved baselines — the numbers
+//! are honest wall-clock measurements, sufficient for recording relative
+//! perf trajectories in this repo.
+//!
+//! Supported surface: `Criterion::{default, sample_size,
+//! measurement_time, warm_up_time, bench_function, benchmark_group}`,
+//! groups with `sample_size`/`throughput`/`bench_function`/`finish`,
+//! `Bencher::iter`, `BenchmarkId::{new, from_parameter}`,
+//! `Throughput::{Elements, Bytes}`, `black_box`, `criterion_group!`
+//! (both forms) and `criterion_main!`.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Work performed per iteration, used to derive throughput lines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier for a parameterized benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// Parameter-only form (group name supplies the prefix).
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] times the payload.
+pub struct Bencher<'a> {
+    config: &'a Config,
+    /// Filled in by `iter`: (total_duration, total_iterations) per sample.
+    samples: Vec<(Duration, u64)>,
+}
+
+impl Bencher<'_> {
+    /// Times repeated executions of `inner`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut inner: F) {
+        // Warm up and estimate per-iteration cost.
+        let warm_deadline = Instant::now() + self.config.warm_up_time;
+        let mut warm_iters: u64 = 0;
+        let warm_start = Instant::now();
+        loop {
+            black_box(inner());
+            warm_iters += 1;
+            if Instant::now() >= warm_deadline {
+                break;
+            }
+        }
+        let per_iter = warm_start.elapsed().as_nanos().max(1) / warm_iters.max(1) as u128;
+
+        // Split the measurement budget into samples of ~equal iteration
+        // counts, at least 1 iteration each.
+        let samples = self.config.sample_size.max(2) as u128;
+        let budget = self.config.measurement_time.as_nanos();
+        let iters_per_sample =
+            (budget / samples / per_iter.max(1)).clamp(1, u64::MAX as u128) as u64;
+        for _ in 0..samples {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(inner());
+            }
+            self.samples.push((start.elapsed(), iters_per_sample));
+        }
+    }
+
+    fn report(&self, label: &str, throughput: Option<Throughput>) {
+        if self.samples.is_empty() {
+            println!("{label:<50} (no samples — closure never called iter)");
+            return;
+        }
+        let per_iter: Vec<f64> =
+            self.samples.iter().map(|(d, n)| d.as_nanos() as f64 / (*n).max(1) as f64).collect();
+        let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+        let min = per_iter.iter().cloned().fold(f64::INFINITY, f64::min);
+        let mut line = format!("{label:<50} mean {:>12} min {:>12}", fmt_ns(mean), fmt_ns(min));
+        if let Some(t) = throughput {
+            let (count, unit) = match t {
+                Throughput::Elements(n) => (n, "elem"),
+                Throughput::Bytes(n) => (n, "B"),
+            };
+            let rate = count as f64 / (mean * 1e-9);
+            let _ = write!(line, "   {:>14}/s", fmt_si(rate, unit));
+        }
+        println!("{line}");
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn fmt_si(rate: f64, unit: &str) -> String {
+    if rate >= 1e9 {
+        format!("{:.2} G{unit}", rate / 1e9)
+    } else if rate >= 1e6 {
+        format!("{:.2} M{unit}", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!("{:.2} K{unit}", rate / 1e3)
+    } else {
+        format!("{rate:.1} {unit}")
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Config {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            sample_size: 10,
+            measurement_time: Duration::from_millis(500),
+            warm_up_time: Duration::from_millis(100),
+        }
+    }
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug, Clone, Default)]
+pub struct Criterion {
+    config: Config,
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.config.sample_size = n;
+        self
+    }
+
+    /// Total time budget for the timed samples of one benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.config.measurement_time = d;
+        self
+    }
+
+    /// Warm-up time before sampling begins.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.config.warm_up_time = d;
+        self
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id: BenchmarkId = id.into();
+        let mut b = Bencher { config: &self.config, samples: Vec::new() };
+        f(&mut b);
+        b.report(&id.id, None);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            config: self.config.clone(),
+            throughput: None,
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    config: Config,
+    throughput: Option<Throughput>,
+    // Tie the group's lifetime to the Criterion it came from, matching
+    // upstream's signature so `finish()` call sites type-check.
+    #[allow(dead_code)]
+    _marker: std::marker::PhantomData<&'a ()>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.config.sample_size = n;
+        self
+    }
+
+    /// Total measurement budget per benchmark in this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.config.measurement_time = d;
+        self
+    }
+
+    /// Declares per-iteration work, enabling throughput reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id: BenchmarkId = id.into();
+        let mut b = Bencher { config: &self.config, samples: Vec::new() };
+        f(&mut b);
+        b.report(&format!("{}/{}", self.name, id.id), self.throughput);
+        self
+    }
+
+    /// Ends the group (reporting happens eagerly; this is a no-op hook).
+    pub fn finish(&mut self) {}
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes `--bench`; a user may pass filters.
+            // This shim runs everything unconditionally.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(5))
+            .warm_up_time(Duration::from_millis(1));
+        let mut runs = 0u64;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                runs += 1;
+                black_box(runs)
+            })
+        });
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn group_with_throughput() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(4))
+            .warm_up_time(Duration::from_millis(1));
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        group.throughput(Throughput::Elements(10));
+        group.bench_function(BenchmarkId::new("f", 32), |b| b.iter(|| black_box(1 + 1)));
+        group.bench_function(BenchmarkId::from_parameter(64), |b| b.iter(|| black_box(2 + 2)));
+        group.finish();
+    }
+
+    #[test]
+    fn ids_format() {
+        assert_eq!(BenchmarkId::new("f", 8).to_string(), "f/8");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+}

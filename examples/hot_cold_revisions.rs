@@ -18,8 +18,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 fn sim_heap(frames: usize) -> (HeapFile, Arc<dyn DiskManager>) {
-    let disk: Arc<dyn DiskManager> =
-        Arc::new(SimulatedDisk::new(8192, DiskModel::default()));
+    let disk: Arc<dyn DiskManager> = Arc::new(SimulatedDisk::new(8192, DiskModel::default()));
     let pool = Arc::new(BufferPool::new(Arc::clone(&disk), frames));
     (HeapFile::create(pool).expect("heap"), disk)
 }
@@ -28,8 +27,7 @@ fn main() {
     let mut gen = WikiGenerator::new(42);
     let mut pages = gen.pages(1_000);
     let revisions = gen.revisions(&mut pages, 20);
-    let hot_ids: std::collections::HashSet<u64> =
-        pages.iter().map(|p| p.latest_rev).collect();
+    let hot_ids: std::collections::HashSet<u64> = pages.iter().map(|p| p.latest_rev).collect();
     println!(
         "revision table: {} rows, hot set = {} latest revisions ({:.1}%)",
         revisions.len(),
@@ -62,8 +60,7 @@ fn main() {
     for rid in &hot_rids {
         new_rids.push(heap.relocate(*rid).expect("relocate"));
     }
-    let clustered_pages: std::collections::HashSet<_> =
-        new_rids.iter().map(|r| r.page).collect();
+    let clustered_pages: std::collections::HashSet<_> = new_rids.iter().map(|r| r.page).collect();
     disk.reset_stats();
     for rid in &new_rids {
         heap.get(*rid).expect("read");
@@ -82,8 +79,7 @@ fn main() {
     let mut policy = SetPolicy::new(hot_ids.iter().copied());
     let mut loc_of = HashMap::new();
     for r in &revisions {
-        let temp =
-            if policy.is_hot_key(r.id) { Temperature::Hot } else { Temperature::Cold };
+        let temp = if policy.is_hot_key(r.id) { Temperature::Hot } else { Temperature::Cold };
         loc_of.insert(r.id, store.insert(temp, &r.encode()).expect("insert"));
     }
     let (hp, cp) = store.page_counts();
@@ -112,10 +108,7 @@ fn main() {
     loc_of.insert(new_rev_id, new_loc);
     loc_of.insert(old_latest, demoted);
     policy.replace(old_latest, new_rev_id);
-    println!(
-        "revision {old_latest} migrated to {:?}; revision {new_rev_id} is hot",
-        demoted.temp
-    );
+    println!("revision {old_latest} migrated to {:?}; revision {new_rev_id} is hot", demoted.temp);
     assert_eq!(demoted.temp, Temperature::Cold);
     assert!(policy.is_hot_key(new_rev_id) && !policy.is_hot_key(old_latest));
     println!("\ndone: locality waste measured, clustered away, and kept away by policy.");

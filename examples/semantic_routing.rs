@@ -29,11 +29,7 @@ fn main() {
             ids.push(id);
         }
     }
-    println!(
-        "{} tuples across {} partitions",
-        ids.len(),
-        partitions
-    );
+    println!("{} tuples across {} partitions", ids.len(), partitions);
     println!(
         "routing table: {} entries, ~{:.1} MB resident",
         table.len(),

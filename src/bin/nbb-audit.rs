@@ -92,13 +92,9 @@ fn main() {
         ]
     };
 
-    let report = waste::audit(
-        &rev_t,
-        &["by_rev_id"],
-        Some(&hot_rids),
-        Some((&schema, decode, 10_000)),
-    )
-    .expect("audit");
+    let report =
+        waste::audit(&rev_t, &["by_rev_id"], Some(&hot_rids), Some((&schema, decode, 10_000)))
+            .expect("audit");
     print!("{}", report.render());
 
     // Recommendations, in the paper's three categories.

@@ -11,15 +11,36 @@
 //!
 //! The crates re-exported here are usable independently:
 //!
-//! * [`storage`] — pages, heaps, buffer pool, disks (with latency models);
-//! * [`btree`] — the Figure-1 B+Tree with the index cache;
+//! * [`storage`] — pages, heaps, disks (with latency models), and a
+//!   **lock-striped buffer pool**: page ids hash to independent shards,
+//!   each with its own frame table, free list, clock hand, and padded
+//!   atomic counters, so concurrent readers contend only on stripe
+//!   collisions;
+//! * [`btree`] — the Figure-1 B+Tree with the index cache; one
+//!   tree-level `RwLock` (whose value is the root) lets lookups share
+//!   the read side while splits hold the write side;
 //! * [`encoding`] — §4 codecs, analyzer, semantic ids;
 //! * [`partition`] — §3 trackers, policies, clustering, vertical splits;
 //! * [`workload`] — zipfian samplers and the synthetic Wikipedia;
-//! * [`core`] — the table/database facade and the waste audit.
+//! * [`core`] — the table/database facade (with the `pool_shards` knob)
+//!   and the waste audit.
+//!
+//! ## Concurrency model
+//!
+//! Read paths are designed to run in parallel: `Table::project_via_index`
+//! takes a tree-level read lock, descends to a leaf, and touches pages
+//! through per-shard pool mutexes and per-frame latches; index→heap
+//! pointer chases re-verify the fetched tuple's key so racing deletes
+//! read as "gone" instead of serving foreign bytes. Structural index
+//! writes stay serialized per tree (see `nbb-btree`), and table-level
+//! mutators assume one writer per table for now; the
+//! `tests/concurrent_access.rs` stress test pins down the
+//! reader/writer contract (no lost invalidations, cache answers always
+//! match the heap).
 //!
 //! See `examples/quickstart.rs` for a 5-minute tour, and the `nbb-bench`
-//! crate for the binaries that regenerate every figure in the paper.
+//! crate for the binaries that regenerate every figure in the paper
+//! (plus `benches/concurrent_reads.rs` for the sharding scaling curves).
 
 pub use nbb_btree as btree;
 pub use nbb_core as core;

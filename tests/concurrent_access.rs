@@ -1,0 +1,182 @@
+//! Concurrency stress: N reader threads racing one writer through the
+//! cached-index projection path.
+//!
+//! The §2.1.2 contract under test: a projection answered from the index
+//! cache (`index_only`) must never be stale. Concretely, once an update
+//! to key `k` has *completed*, no later-starting read of `k` may observe
+//! an older version — a violation means an invalidation was lost (or a
+//! stale populate won a race against the predicate log).
+//!
+//! The writer bumps per-key version counters (publishing a floor AFTER
+//! each update completes) and churns a disjoint key range with
+//! delete/re-insert cycles. Readers assert every observed payload (a)
+//! belongs to the key they asked for, and (b) carries a version at least
+//! the floor published before their read began.
+
+use nbb::core::db::{Database, DbConfig};
+use nbb::core::table::{FieldSpec, IndexSpec, Table};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Keys the writer updates in place.
+const UPDATE_KEYS: u64 = 48;
+/// Keys (above `UPDATE_KEYS`) the writer deletes and re-inserts.
+const CHURN_KEYS: u64 = 32;
+const WRITER_ROUNDS: u64 = 4_000;
+const READER_THREADS: usize = 4;
+
+/// 24-byte tuple: key(8) | tagged-version(8) | filler(8). The cached
+/// field is the tagged version: key in the high 16 bits, version below —
+/// so a reader can detect both stale values and cross-key corruption.
+fn tagged(key: u64, version: u64) -> u64 {
+    (key << 48) | (version & 0xFFFF_FFFF_FFFF)
+}
+
+fn tuple(key: u64, version: u64) -> Vec<u8> {
+    let mut t = Vec::with_capacity(24);
+    t.extend_from_slice(&key.to_be_bytes());
+    t.extend_from_slice(&tagged(key, version).to_le_bytes());
+    t.extend_from_slice(&[0u8; 8]);
+    t
+}
+
+fn build(pool_shards: usize, heap_frames: usize, index_frames: usize) -> (Database, Arc<Table>) {
+    let db = Database::open(DbConfig {
+        page_size: 4096,
+        heap_frames,
+        index_frames,
+        pool_shards,
+        ..DbConfig::default()
+    });
+    let t = db.create_table("t", 24).unwrap();
+    for k in 0..UPDATE_KEYS + CHURN_KEYS {
+        t.insert(&tuple(k, 0)).unwrap();
+    }
+    t.create_index(IndexSpec::cached("pk", FieldSpec::new(0, 8), vec![FieldSpec::new(8, 8)]))
+        .unwrap();
+    (db, t)
+}
+
+/// Decodes a projection payload into (key_tag, version).
+fn decode(payload: &[u8]) -> (u64, u64) {
+    let v = u64::from_le_bytes(payload[..8].try_into().unwrap());
+    (v >> 48, v & 0xFFFF_FFFF_FFFF)
+}
+
+fn run_stress(pool_shards: usize, heap_frames: usize, index_frames: usize) {
+    let (_db, table) = build(pool_shards, heap_frames, index_frames);
+    let floors: Arc<Vec<AtomicU64>> =
+        Arc::new((0..UPDATE_KEYS).map(|_| AtomicU64::new(0)).collect());
+    let done = Arc::new(AtomicBool::new(false));
+
+    std::thread::scope(|s| {
+        // Readers: hammer the projection path, checking freshness
+        // against the floor read BEFORE the projection started.
+        let mut readers = Vec::new();
+        for ti in 0..READER_THREADS {
+            let table = Arc::clone(&table);
+            let floors = Arc::clone(&floors);
+            let done = Arc::clone(&done);
+            readers.push(s.spawn(move || {
+                let mut x = 0x9E37_79B9u64.wrapping_add(ti as u64);
+                let mut reads = 0u64;
+                let mut hits = 0u64;
+                while !done.load(Ordering::Acquire) {
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    let k = x % (UPDATE_KEYS + CHURN_KEYS);
+                    if k < UPDATE_KEYS {
+                        let floor = floors[k as usize].load(Ordering::Acquire);
+                        let p = table
+                            .project_via_index("pk", &k.to_be_bytes())
+                            .unwrap()
+                            .expect("update keys are never deleted");
+                        let (tag, version) = decode(&p.payload);
+                        assert_eq!(tag, k, "projection returned another key's bytes");
+                        assert!(
+                            version >= floor,
+                            "lost invalidation: key {k} read version {version} \
+                             after version {floor} was committed (index_only={})",
+                            p.index_only
+                        );
+                        hits += u64::from(p.index_only);
+                    } else {
+                        // Churned key: may be absent, but when present the
+                        // payload must belong to it.
+                        if let Some(p) = table.project_via_index("pk", &k.to_be_bytes()).unwrap() {
+                            let (tag, _) = decode(&p.payload);
+                            assert_eq!(tag, k, "projection returned another key's bytes");
+                        }
+                    }
+                    reads += 1;
+                }
+                (reads, hits)
+            }));
+        }
+
+        // Writer: in-place updates with a published floor, plus
+        // delete/re-insert churn that exercises RID reuse.
+        let writer = {
+            let table = Arc::clone(&table);
+            let floors = Arc::clone(&floors);
+            let done = Arc::clone(&done);
+            s.spawn(move || {
+                let mut versions = vec![0u64; UPDATE_KEYS as usize];
+                let mut x = 7u64;
+                for round in 0..WRITER_ROUNDS {
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    let k = x % UPDATE_KEYS;
+                    versions[k as usize] += 1;
+                    let v = versions[k as usize];
+                    assert!(table.update_via_index("pk", &k.to_be_bytes(), &tuple(k, v)).unwrap());
+                    // Publish only after the update (heap write + index
+                    // invalidation) has completed: from here on, readers
+                    // must never see an older version.
+                    floors[k as usize].store(v, Ordering::Release);
+
+                    if round % 5 == 0 {
+                        let ck = UPDATE_KEYS + (x >> 8) % CHURN_KEYS;
+                        assert!(table.delete_via_index("pk", &ck.to_be_bytes()).unwrap());
+                        table.insert(&tuple(ck, round)).unwrap();
+                    }
+                }
+                done.store(true, Ordering::Release);
+            })
+        };
+
+        writer.join().unwrap();
+        let mut total_reads = 0u64;
+        let mut total_hits = 0u64;
+        for r in readers {
+            let (reads, hits) = r.join().unwrap();
+            total_reads += reads;
+            total_hits += hits;
+        }
+        assert!(total_reads > 0, "readers must have run");
+        // Not a correctness property, but if the cache never answered a
+        // single read the test lost its point — flag it loudly.
+        assert!(total_hits > 0, "no index-only answers across {total_reads} racing reads");
+    });
+
+    // Quiesced verification: every key's projection must match its heap
+    // tuple, both on the populate path and the subsequent cache hit.
+    for k in 0..UPDATE_KEYS + CHURN_KEYS {
+        let heap_tuple = table.get_via_index("pk", &k.to_be_bytes()).unwrap().unwrap();
+        let expect = &heap_tuple[8..16];
+        for pass in 0..2 {
+            let p = table.project_via_index("pk", &k.to_be_bytes()).unwrap().unwrap();
+            assert_eq!(p.payload, expect, "key {k} pass {pass}: projection disagrees with heap");
+        }
+    }
+}
+
+#[test]
+fn readers_vs_writer_no_lost_invalidations() {
+    // Everything resident: isolates the cache-invalidation protocol.
+    run_stress(8, 256, 256);
+}
+
+#[test]
+fn readers_vs_writer_under_memory_pressure() {
+    // Tiny pools: frames churn, so cache writes race evictions too.
+    run_stress(2, 32, 32);
+}

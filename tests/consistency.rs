@@ -27,7 +27,7 @@ fn cached_table(heap_frames: usize, index_frames: usize) -> (Database, Arc<Table
         page_size: 4096,
         heap_frames,
         index_frames,
-        disk_model: None,
+        ..DbConfig::default()
     });
     let t = db.create_table("t", 24).unwrap();
     t.create_index(IndexSpec::cached("pk", FieldSpec::new(0, 8), vec![FieldSpec::new(8, 8)]))
@@ -128,11 +128,7 @@ fn concurrent_readers_and_writers_on_shared_tree() {
             pool,
             8,
             BTreeOptions {
-                cache: Some(CacheConfig {
-                    payload_size: 8,
-                    bucket_slots: 8,
-                    log_threshold: 16,
-                }),
+                cache: Some(CacheConfig { payload_size: 8, bucket_slots: 8, log_threshold: 16 }),
                 cache_seed: 99,
             },
         )

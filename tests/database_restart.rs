@@ -20,7 +20,7 @@ fn tuple(id: u64, value: u64) -> Vec<u8> {
 }
 
 fn cfg() -> DbConfig {
-    DbConfig { page_size: 4096, heap_frames: 64, index_frames: 64, disk_model: None }
+    DbConfig { page_size: 4096, heap_frames: 64, index_frames: 64, ..DbConfig::default() }
 }
 
 fn restart_cycle(heap_disk: Arc<dyn DiskManager>, index_disk: Arc<dyn DiskManager>) {
@@ -90,8 +90,8 @@ fn repersist_after_more_work() {
     let heap_disk: Arc<dyn DiskManager> = Arc::new(InMemoryDisk::new(4096));
     let index_disk: Arc<dyn DiskManager> = Arc::new(InMemoryDisk::new(4096));
     {
-        let db = Database::with_disks(cfg(), Arc::clone(&heap_disk), Arc::clone(&index_disk))
-            .unwrap();
+        let db =
+            Database::with_disks(cfg(), Arc::clone(&heap_disk), Arc::clone(&index_disk)).unwrap();
         let t = db.create_table("t", 24).unwrap();
         t.create_index(IndexSpec::plain("pk", FieldSpec::new(0, 8))).unwrap();
         for i in 0..500u64 {
@@ -100,8 +100,7 @@ fn repersist_after_more_work() {
         db.persist().unwrap();
     }
     {
-        let db = Database::reopen(cfg(), Arc::clone(&heap_disk), Arc::clone(&index_disk))
-            .unwrap();
+        let db = Database::reopen(cfg(), Arc::clone(&heap_disk), Arc::clone(&index_disk)).unwrap();
         let t = db.table("t").unwrap();
         for i in 500..900u64 {
             t.insert(&tuple(i, i)).unwrap();

@@ -71,6 +71,7 @@ fn clustering_plus_partitioning_cut_io_in_order() {
             heap_frames: 12,
             index_frames: 6,
             disk_model: Some(DiskModel { read_ns: 1000, write_ns: 1000 }),
+            ..DbConfig::default()
         });
         if partition {
             let mut gen = WikiGenerator::new(5);
@@ -89,9 +90,7 @@ fn clustering_plus_partitioning_cut_io_in_order() {
                     cold_t.insert(&row).unwrap();
                 }
             }
-            hot_t
-                .create_index(IndexSpec::plain("by_rev_id", FieldSpec::new(0, 8)))
-                .unwrap();
+            hot_t.create_index(IndexSpec::plain("by_rev_id", FieldSpec::new(0, 8))).unwrap();
             db.reset_stats();
             for id in &hotset {
                 hot_t.get_via_index("by_rev_id", &be_key(*id)).unwrap().unwrap();
@@ -129,9 +128,7 @@ fn waste_audit_covers_all_three_classes() {
     let idx = t.index_tree("by_rev_id").unwrap();
     let hot_rids: Vec<_> = hot
         .iter()
-        .map(|id| {
-            nbb::storage::RecordId::from_u64(idx.tree().get(&be_key(*id)).unwrap().unwrap())
-        })
+        .map(|id| nbb::storage::RecordId::from_u64(idx.tree().get(&be_key(*id)).unwrap().unwrap()))
         .collect();
     let schema = Schema {
         table: "revision".into(),

@@ -31,7 +31,7 @@ proptest! {
         ops in prop::collection::vec((0u8..4, 0u64..80, 0u64..100_000), 1..300)
     ) {
         let db = Database::open(DbConfig {
-            page_size: 4096, heap_frames: 32, index_frames: 32, disk_model: None,
+            page_size: 4096, heap_frames: 32, index_frames: 32, ..DbConfig::default()
         });
         let t = db.create_table("t", 24).unwrap();
         t.create_index(IndexSpec::cached(
