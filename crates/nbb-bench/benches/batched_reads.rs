@@ -1,0 +1,156 @@
+//! Batched vs point reads: N `get` calls against one `get_many` over
+//! hot Zipf keys.
+//!
+//! Three rungs of the same 1024-key workload, hottest first in savings:
+//!
+//! * `point_via_name/1024` — the old string-keyed API: every call pays
+//!   the index-name lookup through the table's `RwLock<HashMap>`, a
+//!   tree-structure-lock acquisition, a full root-to-leaf descent, and
+//!   per-key buffer-pool lock round-trips.
+//! * `point_via_handle/1024` — an `IndexRef` resolved once: name lookup
+//!   gone, everything else still per key.
+//! * `get_many/1024` — the batched path: one structure-lock
+//!   acquisition, keys sorted so each distinct leaf is visited once,
+//!   heap chases grouped per page and per pool shard.
+//!
+//! The headline ratio (point-loop time / `get_many` time) is printed at
+//! the end so perf trajectories can be recorded from the bench output.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use nbb_core::db::{Database, DbConfig};
+use nbb_core::table::{FieldSpec, IndexSpec, Table};
+use nbb_workload::ScrambledZipf;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use std::time::Instant;
+
+const ROWS: u64 = 50_000;
+const BATCH: usize = 1024;
+const ZIPF_ALPHA: f64 = 1.1;
+/// Distinct pre-sampled batches; iterations cycle through them so the
+/// access stream varies without paying sampling cost inside the timer.
+const BATCHES: usize = 16;
+
+/// 24-byte tuple: key(8) | value(8) | filler(8).
+fn tuple(key: u64, value: u64) -> Vec<u8> {
+    let mut t = Vec::with_capacity(24);
+    t.extend_from_slice(&key.to_be_bytes());
+    t.extend_from_slice(&value.to_le_bytes());
+    t.extend_from_slice(&[0u8; 8]);
+    t
+}
+
+fn build_table(db: &Database) -> Arc<Table> {
+    let t = db.create_table("t", 24).unwrap();
+    for k in 0..ROWS {
+        t.insert(&tuple(k, k.wrapping_mul(3))).unwrap();
+    }
+    t.create_index(IndexSpec::cached("pk", FieldSpec::new(0, 8), vec![FieldSpec::new(8, 8)]))
+        .unwrap();
+    t
+}
+
+/// Pre-samples `BATCHES` batches of `BATCH` hot Zipf keys each.
+fn sample_batches() -> Vec<Vec<[u8; 8]>> {
+    let zipf = ScrambledZipf::new(ROWS, ZIPF_ALPHA, 0x5eed);
+    let mut rng = SmallRng::seed_from_u64(42);
+    (0..BATCHES)
+        .map(|_| (0..BATCH).map(|_| zipf.sample(&mut rng).to_be_bytes()).collect())
+        .collect()
+}
+
+fn checksum(tuples: &[Option<Vec<u8>>]) -> u64 {
+    tuples
+        .iter()
+        .flatten()
+        .map(|t| u64::from_le_bytes(t[8..16].try_into().unwrap()))
+        .fold(0u64, u64::wrapping_add)
+}
+
+fn bench_batched_reads(c: &mut Criterion) {
+    let db = Database::open(DbConfig::default());
+    let t = build_table(&db);
+    let batches = sample_batches();
+    // Warm pools and cache so all three rungs run resident.
+    for batch in &batches {
+        black_box(t.index("pk").unwrap().get_many(batch).unwrap());
+    }
+
+    let mut group = c.benchmark_group("batched_reads");
+    group.throughput(Throughput::Elements(BATCH as u64));
+
+    let mut cycle = 0usize;
+    group.bench_function(BenchmarkId::new("point_via_name", BATCH), |b| {
+        b.iter(|| {
+            let batch = &batches[cycle % BATCHES];
+            cycle += 1;
+            let mut acc = 0u64;
+            for key in batch {
+                if let Some(tu) = t.get_via_index("pk", key).unwrap() {
+                    acc = acc.wrapping_add(u64::from_le_bytes(tu[8..16].try_into().unwrap()));
+                }
+            }
+            acc
+        })
+    });
+
+    let pk = t.index("pk").unwrap();
+    let mut cycle = 0usize;
+    group.bench_function(BenchmarkId::new("point_via_handle", BATCH), |b| {
+        b.iter(|| {
+            let batch = &batches[cycle % BATCHES];
+            cycle += 1;
+            let mut acc = 0u64;
+            for key in batch {
+                if let Some(tu) = pk.get(key).unwrap() {
+                    acc = acc.wrapping_add(u64::from_le_bytes(tu[8..16].try_into().unwrap()));
+                }
+            }
+            acc
+        })
+    });
+
+    let mut cycle = 0usize;
+    group.bench_function(BenchmarkId::new("get_many", BATCH), |b| {
+        b.iter(|| {
+            let batch = &batches[cycle % BATCHES];
+            cycle += 1;
+            checksum(&pk.get_many(batch).unwrap())
+        })
+    });
+    group.finish();
+
+    // Headline ratio, measured back to back over identical batches.
+    const REPS: usize = 30;
+    let mut sink = 0u64;
+    let start = Instant::now();
+    for r in 0..REPS {
+        for key in &batches[r % BATCHES] {
+            if let Some(tu) = t.get_via_index("pk", key).unwrap() {
+                sink = sink.wrapping_add(u64::from_le_bytes(tu[8..16].try_into().unwrap()));
+            }
+        }
+    }
+    let point = start.elapsed();
+    let start = Instant::now();
+    for r in 0..REPS {
+        sink = sink.wrapping_add(checksum(&pk.get_many(&batches[r % BATCHES]).unwrap()));
+    }
+    let batched = start.elapsed();
+    black_box(sink);
+    println!(
+        "batched_reads ratio: {BATCH} point gets take {:.2}x one get_many \
+         ({:.1}us vs {:.1}us per batch, Zipf alpha={ZIPF_ALPHA}, {ROWS} rows)",
+        point.as_secs_f64() / batched.as_secs_f64(),
+        point.as_secs_f64() * 1e6 / REPS as f64,
+        batched.as_secs_f64() * 1e6 / REPS as f64,
+    );
+    assert!(
+        batched < point,
+        "get_many must beat the equivalent point-call loop ({batched:?} vs {point:?})"
+    );
+}
+
+criterion_group!(benches, bench_batched_reads);
+criterion_main!(benches);

@@ -54,4 +54,6 @@ pub use cache::{CacheConfig, CacheView, CacheViewMut, StoreOutcome};
 pub use covering::CoveringIndex;
 pub use invalidation::{InvalidateOutcome, InvalidationState, Predicate};
 pub use node::{node_capacity, stable_point, InsertOutcome, Node, NodeMut};
-pub use tree::{BTree, BTreeOptions, CacheStats, CachedLookup, IndexStats, InvToken};
+pub use tree::{
+    BTree, BTreeOptions, CacheStats, CachedLookup, IndexStats, InvToken, RangeChunk, RangeEntry,
+};

@@ -26,6 +26,7 @@ use nbb_storage::page::PageId;
 use parking_lot::{Mutex, RwLock};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+use std::ops::Bound;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -106,6 +107,35 @@ pub struct CachedLookup {
     pub leaf: PageId,
     /// Consistency token for populating after a heap fetch.
     pub token: InvToken,
+}
+
+/// One `(key, value)` pair surfaced by [`BTree::range_chunk`], with the
+/// cached payload when the owning leaf's cache held one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RangeEntry {
+    /// The index key.
+    pub key: Vec<u8>,
+    /// The stored value (tuple pointer).
+    pub value: u64,
+    /// Cached fields from leaf free space, if present and valid.
+    pub payload: Option<Vec<u8>>,
+}
+
+/// One leaf's worth of an ordered range scan (see
+/// [`BTree::range_chunk`]).
+#[derive(Debug, Clone)]
+pub struct RangeChunk {
+    /// In-range entries, ascending by key. Empty only when `exhausted`.
+    pub entries: Vec<RangeEntry>,
+    /// The leaf the entries came from — pass to
+    /// [`BTree::cache_populate`] together with `token` after a heap
+    /// chase, so scans warm the cache like point lookups do.
+    pub leaf: PageId,
+    /// Consistency token issued before the leaf was read.
+    pub token: InvToken,
+    /// True once the scan passed the upper bound or the leaf chain
+    /// ended; no further chunk will yield entries.
+    pub exhausted: bool,
 }
 
 /// A disk-style B+Tree with fixed-width keys and `u64` values.
@@ -348,6 +378,52 @@ impl BTree {
         })?
     }
 
+    /// Batched point lookup; results are indexed like `keys`.
+    ///
+    /// The whole batch shares **one** structure-lock acquisition and is
+    /// processed in sorted key order, so every key that resolves in the
+    /// same leaf shares a single page visit: N lookups over a hot key
+    /// set cost roughly one descent per *distinct leaf* instead of N
+    /// full root-to-leaf descents with N lock round-trips.
+    pub fn get_many<K: AsRef<[u8]>>(&self, keys: &[K]) -> Result<Vec<Option<u64>>> {
+        for k in keys {
+            self.check_key(k.as_ref())?;
+        }
+        let mut order: Vec<usize> = (0..keys.len()).collect();
+        order.sort_by(|&a, &b| keys[a].as_ref().cmp(keys[b].as_ref()));
+        let mut out: Vec<Option<u64>> = vec![None; keys.len()];
+        let root = self.root.read();
+        let mut i = 0;
+        while i < order.len() {
+            let leaf = self.find_leaf(*root, keys[order[i]].as_ref())?;
+            let consumed = self.pool.with_page(leaf, |p| {
+                let n = Node::new(p, self.key_size);
+                let mut c = 0;
+                while i + c < order.len() {
+                    let key = keys[order[i + c]].as_ref();
+                    match n.search(key) {
+                        Ok(j) => out[order[i + c]] = Some(n.value_at(j)),
+                        // Past the last key: only the key that was
+                        // routed here (c == 0) is definitively absent;
+                        // later keys may belong to a sibling, so the
+                        // outer loop re-descends for them.
+                        Err(j) if j >= n.nkeys() => {
+                            if c == 0 {
+                                c = 1;
+                            }
+                            break;
+                        }
+                        Err(_) => {} // strictly inside the leaf: absent
+                    }
+                    c += 1;
+                }
+                c
+            })?;
+            i += consumed;
+        }
+        Ok(out)
+    }
+
     /// Inserts `key → value`; returns the previous value when overwriting.
     pub fn insert(&self, key: &[u8], value: u64) -> Result<Option<u64>> {
         self.check_key(key)?;
@@ -526,6 +602,106 @@ impl BTree {
         }
     }
 
+    /// Reads one ordered chunk of a range scan: the entries of the
+    /// first leaf intersecting `(lower, upper)`, each probed against
+    /// the leaf's §2.1 cache.
+    ///
+    /// The structure lock is held only for the duration of this call —
+    /// a cursor that advances its lower bound past the last returned
+    /// key between calls observes a consistent, ascending sequence even
+    /// when leaves split mid-iteration, because each refill re-descends
+    /// by *key*, never by a remembered sibling pointer.
+    ///
+    /// Leaves that contribute nothing (all keys below `lower`) are
+    /// skipped via the sibling chain under the same lock acquisition.
+    /// `exhausted` is true once `upper` was passed or the leaf chain
+    /// ended. Cache hits are **not** promoted: a scan touching every
+    /// entry carries no per-key popularity signal, so it must not churn
+    /// the stable point that point lookups organize.
+    pub fn range_chunk(&self, lower: Bound<&[u8]>, upper: Bound<&[u8]>) -> Result<RangeChunk> {
+        for b in [&lower, &upper] {
+            if let Bound::Included(k) | Bound::Excluded(k) = b {
+                self.check_key(k)?;
+            }
+        }
+        let cfg = self.opts.cache;
+        let root = self.root.read();
+        let mut leaf = match lower {
+            Bound::Included(k) | Bound::Excluded(k) => self.find_leaf(*root, k)?,
+            Bound::Unbounded => self.first_leaf_from(*root)?,
+        };
+        loop {
+            let token = InvToken { csn: self.inv.csn(), newest_seq: self.inv.newest_seq() };
+            struct Out {
+                entries: Vec<RangeEntry>,
+                verdict: Option<crate::invalidation::PageVerdict>,
+                past_upper: bool,
+                next: PageId,
+            }
+            let out = self.pool.with_page(leaf, |p| {
+                let n = Node::new(p, self.key_size);
+                let verdict = cfg.map(|_| {
+                    let range = n.first_key().zip(n.last_key());
+                    self.inv.check_page(n.csn(), n.log_watermark(), range)
+                });
+                let cache_valid = verdict.is_some_and(|v| v.cache_valid);
+                let view = cfg.as_ref().map(|c| CacheView::new(p, self.key_size, c));
+                let from = match lower {
+                    Bound::Included(k) => match n.search(k) {
+                        Ok(i) | Err(i) => i,
+                    },
+                    Bound::Excluded(k) => match n.search(k) {
+                        Ok(i) => i + 1,
+                        Err(i) => i,
+                    },
+                    Bound::Unbounded => 0,
+                };
+                let mut entries = Vec::new();
+                let mut past_upper = false;
+                for i in from..n.nkeys() {
+                    let key = n.key_at(i);
+                    let in_range = match upper {
+                        Bound::Included(u) => key <= u,
+                        Bound::Excluded(u) => key < u,
+                        Bound::Unbounded => true,
+                    };
+                    if !in_range {
+                        past_upper = true;
+                        break;
+                    }
+                    let value = n.value_at(i);
+                    let payload = if cache_valid {
+                        view.as_ref().and_then(|vw| {
+                            vw.probe(Self::tuple_id(value)).map(|(_, pl)| pl.to_vec())
+                        })
+                    } else {
+                        None
+                    };
+                    entries.push(RangeEntry { key: key.to_vec(), value, payload });
+                }
+                Out { entries, verdict, past_upper, next: n.next_leaf() }
+            })?;
+            if let Some(verdict) = &out.verdict {
+                self.apply_verdict(leaf, verdict)?;
+            }
+            if !out.entries.is_empty() {
+                let probed = out.entries.len() as u64;
+                let hit = out.entries.iter().filter(|e| e.payload.is_some()).count() as u64;
+                if cfg.is_some() {
+                    self.stats.lookups.fetch_add(probed, Ordering::Relaxed);
+                    self.stats.hits.fetch_add(hit, Ordering::Relaxed);
+                    self.stats.misses.fetch_add(probed - hit, Ordering::Relaxed);
+                }
+                let exhausted = out.past_upper || !out.next.is_valid();
+                return Ok(RangeChunk { entries: out.entries, leaf, token, exhausted });
+            }
+            if out.past_upper || !out.next.is_valid() {
+                return Ok(RangeChunk { entries: Vec::new(), leaf, token, exhausted: true });
+            }
+            leaf = out.next;
+        }
+    }
+
     /// Number of keys in the tree (walks every leaf).
     pub fn len(&self) -> Result<usize> {
         let mut n = 0usize;
@@ -588,34 +764,7 @@ impl BTree {
             ReadOut { value, verdict, probe }
         })?;
 
-        if out.verdict.must_zero {
-            self.stats.zeroings.fetch_add(1, Ordering::Relaxed);
-            let wm = out.verdict.advance_watermark_to;
-            let wrote = self.pool.with_page_cache_write(leaf, |p| {
-                let mut n = NodeMut::new(p, self.key_size);
-                if let Some(wm) = wm {
-                    if wm > n.as_ref().log_watermark() {
-                        n.set_log_watermark(wm);
-                    }
-                }
-                CacheViewMut::new(n.page_mut(), self.key_size, &cfg).zero();
-            })?;
-            if wrote.is_none() {
-                self.stats.latch_giveups.fetch_add(1, Ordering::Relaxed);
-            }
-        } else if let Some(wm) = out.verdict.advance_watermark_to {
-            // No match, but advance the watermark so the pending
-            // predicates are not rescanned for this page.
-            let wrote = self.pool.with_page_cache_write(leaf, |p| {
-                let mut n = NodeMut::new(p, self.key_size);
-                if wm > n.as_ref().log_watermark() {
-                    n.set_log_watermark(wm);
-                }
-            })?;
-            if wrote.is_none() {
-                self.stats.latch_giveups.fetch_add(1, Ordering::Relaxed);
-            }
-        }
+        self.apply_verdict(leaf, &out.verdict)?;
 
         if out.value.is_some() {
             self.stats.lookups.fetch_add(1, Ordering::Relaxed);
@@ -645,6 +794,184 @@ impl BTree {
             self.stats.misses.fetch_add(1, Ordering::Relaxed);
         }
         Ok(CachedLookup { value: out.value, payload: None, leaf, token })
+    }
+
+    /// Batched cache-aware point lookup; results are indexed like
+    /// `keys`.
+    ///
+    /// Like [`BTree::get_many`], the batch shares one structure-lock
+    /// acquisition and one page visit per distinct leaf — and on top of
+    /// that, cache work is amortized per leaf instead of per key: the
+    /// invalidation verdict is checked once per leaf, and every cache
+    /// hit in a leaf is promoted under a **single** try-latch
+    /// acquisition (N hot hits in one leaf cost one latch round-trip,
+    /// not N).
+    ///
+    /// Each returned [`CachedLookup`] is populate-ready: misses carry
+    /// the owning leaf and a consistency token for
+    /// [`BTree::cache_populate`], exactly as the single-key path does.
+    pub fn lookup_cached_many<K: AsRef<[u8]>>(&self, keys: &[K]) -> Result<Vec<CachedLookup>> {
+        for k in keys {
+            self.check_key(k.as_ref())?;
+        }
+        let mut order: Vec<usize> = (0..keys.len()).collect();
+        order.sort_by(|&a, &b| keys[a].as_ref().cmp(keys[b].as_ref()));
+        let mut out: Vec<Option<CachedLookup>> = (0..keys.len()).map(|_| None).collect();
+        let cfg = self.opts.cache;
+        let root = self.root.read();
+        let mut i = 0;
+        while i < order.len() {
+            let token = InvToken { csn: self.inv.csn(), newest_seq: self.inv.newest_seq() };
+            let leaf = self.find_leaf(*root, keys[order[i]].as_ref())?;
+
+            /// One batch key resolved in the leaf, with its cache probe.
+            struct Found {
+                pos: usize,
+                value: u64,
+                probe: Option<(usize, Vec<u8>)>,
+            }
+            struct Group {
+                consumed: usize,
+                found: Vec<Found>,
+                absent: Vec<usize>,
+                verdict: Option<crate::invalidation::PageVerdict>,
+            }
+            let g = self.pool.with_page(leaf, |p| {
+                let n = Node::new(p, self.key_size);
+                let verdict = cfg.map(|_| {
+                    let range = n.first_key().zip(n.last_key());
+                    self.inv.check_page(n.csn(), n.log_watermark(), range)
+                });
+                let cache_valid = verdict.is_some_and(|v| v.cache_valid);
+                let view = cfg.as_ref().map(|c| CacheView::new(p, self.key_size, c));
+                let mut g = Group { consumed: 0, found: Vec::new(), absent: Vec::new(), verdict };
+                while i + g.consumed < order.len() {
+                    let pos = order[i + g.consumed];
+                    match n.search(keys[pos].as_ref()) {
+                        Ok(j) => {
+                            let v = n.value_at(j);
+                            let probe = if cache_valid {
+                                view.as_ref().and_then(|vw| {
+                                    vw.probe(Self::tuple_id(v)).map(|(s, pl)| (s, pl.to_vec()))
+                                })
+                            } else {
+                                None
+                            };
+                            g.found.push(Found { pos, value: v, probe });
+                        }
+                        Err(j) if j >= n.nkeys() => {
+                            if g.consumed == 0 {
+                                g.absent.push(pos);
+                                g.consumed = 1;
+                            }
+                            break;
+                        }
+                        Err(_) => g.absent.push(pos),
+                    }
+                    g.consumed += 1;
+                }
+                g
+            })?;
+
+            if let Some(verdict) = &g.verdict {
+                self.apply_verdict(leaf, verdict)?;
+            }
+
+            let hits: Vec<(usize, u64)> = g
+                .found
+                .iter()
+                .filter_map(|f| f.probe.as_ref().map(|(slot, _)| (*slot, f.value)))
+                .collect();
+            // Stats only meter the cache protocol: a cache-less tree
+            // records nothing, matching the single-key path.
+            if cfg.is_some() {
+                self.stats.lookups.fetch_add(g.found.len() as u64, Ordering::Relaxed);
+                self.stats.hits.fetch_add(hits.len() as u64, Ordering::Relaxed);
+                self.stats.misses.fetch_add((g.found.len() - hits.len()) as u64, Ordering::Relaxed);
+            }
+            if !hits.is_empty() {
+                // All of this leaf's promotions ride one latch attempt.
+                let promoted = self.pool.with_page_cache_write(leaf, |p| {
+                    let cfg = cfg.as_ref().expect("hits imply cache config");
+                    let mut rng = self.rng.lock();
+                    let mut n = NodeMut::new(p, self.key_size);
+                    let mut done = 0u64;
+                    for (slot, v) in &hits {
+                        // promote re-verifies the slot still holds the
+                        // entry, so earlier swaps cannot misdirect it.
+                        if CacheViewMut::new(n.page_mut(), self.key_size, cfg)
+                            .promote(*slot, Self::tuple_id(*v), &mut *rng)
+                            .is_some()
+                        {
+                            done += 1;
+                        }
+                    }
+                    done
+                })?;
+                match promoted {
+                    Some(done) => {
+                        self.stats.promotions.fetch_add(done, Ordering::Relaxed);
+                    }
+                    None => {
+                        self.stats.latch_giveups.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+
+            for f in g.found {
+                out[f.pos] = Some(CachedLookup {
+                    value: Some(f.value),
+                    payload: f.probe.map(|(_, pl)| pl),
+                    leaf,
+                    token,
+                });
+            }
+            for pos in g.absent {
+                out[pos] = Some(CachedLookup { value: None, payload: None, leaf, token });
+            }
+            i += g.consumed;
+        }
+        Ok(out.into_iter().map(|c| c.expect("every key visited")).collect())
+    }
+
+    /// Performs the cache bookkeeping a leaf-read verdict demands:
+    /// zeroes the page cache on a predicate match, and advances the
+    /// predicate-log watermark so pending entries are not rescanned.
+    /// Both writes use the non-dirtying try-latch path and are simply
+    /// skipped under contention (§2.1.3).
+    fn apply_verdict(
+        &self,
+        leaf: PageId,
+        verdict: &crate::invalidation::PageVerdict,
+    ) -> Result<()> {
+        let Some(cfg) = self.opts.cache else { return Ok(()) };
+        if verdict.must_zero {
+            self.stats.zeroings.fetch_add(1, Ordering::Relaxed);
+            let wm = verdict.advance_watermark_to;
+            let wrote = self.pool.with_page_cache_write(leaf, |p| {
+                let mut n = NodeMut::new(p, self.key_size);
+                if let Some(wm) = wm {
+                    if wm > n.as_ref().log_watermark() {
+                        n.set_log_watermark(wm);
+                    }
+                }
+                CacheViewMut::new(n.page_mut(), self.key_size, &cfg).zero();
+            })?;
+            if wrote.is_none() {
+                self.stats.latch_giveups.fetch_add(1, Ordering::Relaxed);
+            }
+        } else if let Some(wm) = verdict.advance_watermark_to {
+            let wrote = self.pool.with_page_cache_write(leaf, |p| {
+                let mut n = NodeMut::new(p, self.key_size);
+                if wm > n.as_ref().log_watermark() {
+                    n.set_log_watermark(wm);
+                }
+            })?;
+            if wrote.is_none() {
+                self.stats.latch_giveups.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        Ok(())
     }
 
     /// Stores the payload fetched from the heap after a cache miss.

@@ -206,6 +206,173 @@ fn update_value_changes_pointer() {
 }
 
 // ---------------------------------------------------------------------
+// Batched lookups and range chunks
+// ---------------------------------------------------------------------
+
+#[test]
+fn get_many_matches_point_gets() {
+    let tree = BTree::create(pool(), 8, BTreeOptions::default()).unwrap();
+    for v in (0..4000u64).filter(|v| v % 3 != 0) {
+        tree.insert(&k(v), v * 7).unwrap();
+    }
+    // Unsorted batch with duplicates, absentees, and out-of-range keys.
+    let mut asked: Vec<[u8; 8]> = Vec::new();
+    let mut x = 99u64;
+    for _ in 0..600 {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        asked.push(k(x % 4500));
+    }
+    asked.push(k(1));
+    asked.push(k(1));
+    let got = tree.get_many(&asked).unwrap();
+    assert_eq!(got.len(), asked.len());
+    for (i, key) in asked.iter().enumerate() {
+        assert_eq!(got[i], tree.get(key).unwrap(), "position {i}");
+    }
+}
+
+#[test]
+fn get_many_on_empty_tree() {
+    let tree = BTree::create(pool(), 8, BTreeOptions::default()).unwrap();
+    assert_eq!(tree.get_many(&[k(1), k(2)]).unwrap(), vec![None, None]);
+    assert_eq!(tree.get_many::<[u8; 8]>(&[]).unwrap(), Vec::<Option<u64>>::new());
+}
+
+#[test]
+fn lookup_cached_many_hits_after_populate() {
+    let tree = BTree::create(pool(), 8, cached_opts(8)).unwrap();
+    for v in 0..2000u64 {
+        tree.insert(&k(v), v + 10).unwrap();
+    }
+    let hot: Vec<[u8; 8]> = (0..64u64).map(|v| k(v * 31)).collect();
+    // First pass: all misses; populate through the returned tokens.
+    let first = tree.lookup_cached_many(&hot).unwrap();
+    for (i, m) in first.iter().enumerate() {
+        let v = m.value.expect("key exists");
+        assert_eq!(v, (i as u64 * 31) + 10);
+        assert!(m.payload.is_none(), "cold cache must miss");
+        tree.cache_populate(m.leaf, v, &v.to_le_bytes(), m.token).unwrap();
+    }
+    // Second pass: served from leaf free space.
+    let second = tree.lookup_cached_many(&hot).unwrap();
+    let hits = second.iter().filter(|m| m.payload.is_some()).count();
+    assert!(hits > hot.len() / 2, "only {hits}/{} cache hits", hot.len());
+    for (m, want) in second.iter().zip(&first) {
+        if let Some(pl) = &m.payload {
+            assert_eq!(pl[..], want.value.unwrap().to_le_bytes()[..]);
+        }
+    }
+    let s = tree.cache_stats();
+    assert!(s.hits >= hits as u64);
+}
+
+#[test]
+fn lookup_cached_many_agrees_with_single_lookups() {
+    let tree = BTree::create(pool(), 8, cached_opts(8)).unwrap();
+    for v in 0..500u64 {
+        tree.insert(&k(v), v).unwrap();
+    }
+    let asked: Vec<[u8; 8]> = (0..700u64).rev().map(k).collect();
+    let batch = tree.lookup_cached_many(&asked).unwrap();
+    for (i, key) in asked.iter().enumerate() {
+        let single = tree.lookup_cached(key).unwrap();
+        assert_eq!(batch[i].value, single.value, "position {i}");
+    }
+}
+
+#[test]
+fn lookup_cached_many_on_uncached_tree_records_no_cache_stats() {
+    let tree = BTree::create(pool(), 8, BTreeOptions::default()).unwrap();
+    for v in 0..100u64 {
+        tree.insert(&k(v), v).unwrap();
+    }
+    let asked: Vec<[u8; 8]> = (0..100u64).map(k).collect();
+    let batch = tree.lookup_cached_many(&asked).unwrap();
+    assert!(batch.iter().all(|m| m.value.is_some() && m.payload.is_none()));
+    // Same contract as N lookup_cached calls on a cache-less tree.
+    assert_eq!(tree.cache_stats(), nbb_btree::CacheStats::default());
+}
+
+#[test]
+fn range_chunk_walks_the_whole_tree_in_order() {
+    use std::ops::Bound;
+    let tree = BTree::create(pool(), 8, BTreeOptions::default()).unwrap();
+    let n = 3000u64;
+    for v in 0..n {
+        tree.insert(&k(v), v).unwrap();
+    }
+    let mut seen = Vec::new();
+    let mut lower: Option<Vec<u8>> = None;
+    loop {
+        let lb = match &lower {
+            None => Bound::Unbounded,
+            Some(key) => Bound::Excluded(&key[..]),
+        };
+        let chunk = tree.range_chunk(lb, Bound::Unbounded).unwrap();
+        for e in &chunk.entries {
+            seen.push(e.value);
+        }
+        if let Some(last) = chunk.entries.last() {
+            lower = Some(last.key.clone());
+        }
+        if chunk.exhausted {
+            break;
+        }
+    }
+    assert_eq!(seen, (0..n).collect::<Vec<_>>());
+}
+
+#[test]
+fn range_chunk_respects_bounds_between_keys() {
+    use std::ops::Bound;
+    let tree = BTree::create(pool(), 8, BTreeOptions::default()).unwrap();
+    for v in (0..100u64).map(|v| v * 10) {
+        tree.insert(&k(v), v).unwrap();
+    }
+    // 35..=65 → 40, 50, 60 (bounds fall between keys).
+    let chunk = tree.range_chunk(Bound::Included(&k(35)), Bound::Included(&k(65))).unwrap();
+    let got: Vec<u64> = chunk.entries.iter().map(|e| e.value).collect();
+    assert_eq!(got, vec![40, 50, 60]);
+    assert!(chunk.exhausted);
+    // Exclusive bounds on exact keys.
+    let chunk = tree.range_chunk(Bound::Excluded(&k(40)), Bound::Excluded(&k(60))).unwrap();
+    let got: Vec<u64> = chunk.entries.iter().map(|e| e.value).collect();
+    assert_eq!(got, vec![50]);
+}
+
+#[test]
+fn range_chunk_on_empty_tree_is_exhausted() {
+    use std::ops::Bound;
+    let tree = BTree::create(pool(), 8, BTreeOptions::default()).unwrap();
+    let chunk = tree.range_chunk(Bound::Unbounded, Bound::Unbounded).unwrap();
+    assert!(chunk.entries.is_empty());
+    assert!(chunk.exhausted);
+}
+
+#[test]
+fn range_chunk_serves_cached_payloads() {
+    use std::ops::Bound;
+    let tree = BTree::create(pool(), 8, cached_opts(8)).unwrap();
+    for v in 0..200u64 {
+        tree.insert(&k(v), v).unwrap();
+    }
+    // Warm a few entries through the point path.
+    for v in 10..20u64 {
+        let m = tree.lookup_cached(&k(v)).unwrap();
+        tree.cache_populate(m.leaf, v, &v.to_le_bytes(), m.token).unwrap();
+    }
+    let chunk = tree.range_chunk(Bound::Included(&k(10)), Bound::Excluded(&k(20))).unwrap();
+    assert_eq!(chunk.entries.len(), 10);
+    let warm = chunk.entries.iter().filter(|e| e.payload.is_some()).count();
+    assert!(warm > 0, "scan must serve projections from leaf free space");
+    for e in &chunk.entries {
+        if let Some(pl) = &e.payload {
+            assert_eq!(pl[..], e.value.to_le_bytes()[..]);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // Index cache protocol
 // ---------------------------------------------------------------------
 

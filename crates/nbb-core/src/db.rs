@@ -263,6 +263,14 @@ impl Database {
         Ok(t)
     }
 
+    /// Creates a table from a typed [`crate::row::RowSchema`]: the
+    /// table takes the schema's name and derived tuple width, and rows
+    /// can then be encoded/decoded through the schema instead of
+    /// hand-packed bytes.
+    pub fn create_table_with(&self, rows: &crate::row::RowSchema) -> Result<Arc<Table>> {
+        self.create_table(rows.table_name(), rows.tuple_width())
+    }
+
     /// Looks up a table.
     pub fn table(&self, name: &str) -> Result<Arc<Table>> {
         self.tables

@@ -14,35 +14,78 @@
 //!   racing deletes read as absent); table-level mutators assume a
 //!   single writer per table, with index-structure writes serialized
 //!   per tree underneath;
+//! * [`query`] — the handle-based query surface:
+//!   [`query::IndexRef`] handles from [`table::Table::index`] skip the
+//!   per-call name lookup; [`query::IndexRef::get_many`] /
+//!   [`query::IndexRef::project_many`] and [`query::Batch`] /
+//!   [`table::Table::execute`] amortize lock acquisitions and leaf
+//!   visits across N keys; [`query::IndexRef::range`] /
+//!   [`query::IndexRef::range_projected`] walk sibling leaves in key
+//!   order, serving projections from leaf free space;
+//! * [`row`] — typed table declarations: [`row::RowSchema`] derives
+//!   field geometry and order-preserving key bytes from an
+//!   [`nbb_encoding::Schema`], so rows read/write as
+//!   [`nbb_encoding::Value`]s;
 //! * [`waste`] — the §1 vision of "tools that automate waste
 //!   detection": one audit spanning unused space, locality, and
 //!   encoding waste;
 //! * [`joincache`] — the §2.2 data-page join-result cache extension.
 //!
+//! The string-keyed `Table::*_via_index` methods remain as thin
+//! compatibility wrappers over the handle paths.
+//!
 //! ## Quickstart
 //!
 //! ```
 //! use nbb_core::db::{Database, DbConfig};
-//! use nbb_core::table::{FieldSpec, IndexSpec};
+//! use nbb_core::query::Batch;
+//! use nbb_core::row::RowSchema;
+//! use nbb_encoding::{ColumnDef, DeclaredType, Schema, Value};
 //!
+//! // Declare the table with typed columns; geometry is derived.
+//! let schema = Schema {
+//!     table: "pages".into(),
+//!     columns: vec![
+//!         ColumnDef::new("id", DeclaredType::Int64),
+//!         ColumnDef::new("views", DeclaredType::Int64),
+//!         ColumnDef::new("flags", DeclaredType::Int64),
+//!     ],
+//! };
+//! let rows = RowSchema::new(&schema);
 //! let db = Database::open(DbConfig::default());
-//! let t = db.create_table("pages", 24).unwrap();
-//! // tuple: id(8) | views(8) | flags(8); index on id, caching views.
-//! t.create_index(IndexSpec::cached(
-//!     "by_id",
-//!     FieldSpec::new(0, 8),
-//!     vec![FieldSpec::new(8, 8)],
-//! )).unwrap();
-//! let mut tuple = 7u64.to_be_bytes().to_vec();
-//! tuple.extend_from_slice(&123u64.to_le_bytes());
-//! tuple.extend_from_slice(&[0u8; 8]);
-//! t.insert(&tuple).unwrap();
+//! let t = db.create_table_with(&rows).unwrap();
+//! t.create_index(rows.index_spec("by_id", "id", &["views"]).unwrap()).unwrap();
+//! for id in 0..100i64 {
+//!     t.insert(&rows.encode(&[Value::Int(id), Value::Int(id * 10), Value::Int(1)]).unwrap())
+//!         .unwrap();
+//! }
 //!
-//! let first = t.project_via_index("by_id", &7u64.to_be_bytes()).unwrap().unwrap();
+//! // Resolve the index once; query through the handle.
+//! let by_id = t.index("by_id").unwrap();
+//! let key = rows.key("id", &Value::Int(7)).unwrap();
+//! let first = by_id.project(&key).unwrap().unwrap();
 //! assert!(!first.index_only);          // cold: heap fetch + populate
-//! let second = t.project_via_index("by_id", &7u64.to_be_bytes()).unwrap().unwrap();
+//! let second = by_id.project(&key).unwrap().unwrap();
 //! assert!(second.index_only);          // hot: answered from index free space
-//! assert_eq!(second.payload, 123u64.to_le_bytes());
+//!
+//! // Batched lookups amortize locks across keys...
+//! let keys: Vec<Vec<u8>> =
+//!     (0..20i64).map(|id| rows.key("id", &Value::Int(id)).unwrap()).collect();
+//! let many = by_id.get_many(&keys).unwrap();
+//! assert!(many.iter().all(|t| t.is_some()));
+//!
+//! // ...and range cursors walk sibling leaves in key order.
+//! let lo = rows.key("id", &Value::Int(10)).unwrap();
+//! let hi = rows.key("id", &Value::Int(20)).unwrap();
+//! let in_range: Vec<_> =
+//!     by_id.range(&lo[..]..&hi[..]).map(|r| r.unwrap().tuple).collect();
+//! assert_eq!(in_range.len(), 10);
+//!
+//! // Heterogeneous point ops group per index through Table::execute.
+//! let out = t
+//!     .execute(Batch::new().get("by_id", &keys[0]).project("by_id", &keys[1]))
+//!     .unwrap();
+//! assert!(out[0].tuple().is_some() && out[1].projection().is_some());
 //! ```
 
 #![warn(missing_docs)]
@@ -50,10 +93,16 @@
 pub mod catalog;
 pub mod db;
 pub mod joincache;
+pub mod query;
+pub mod row;
 pub mod table;
 pub mod waste;
 
 pub use db::{Database, DbConfig};
 pub use joincache::{JoinCache, JoinCacheStats};
+pub use query::{
+    Batch, BatchOutput, IndexRef, ProjectedRangeCursor, ProjectedRow, RangeCursor, RangeRow,
+};
+pub use row::RowSchema;
 pub use table::{FieldSpec, IndexSpec, Projection, Table, TableStats};
 pub use waste::{audit, audit_encoding, audit_locality, audit_unused, WasteReport};

@@ -1,0 +1,478 @@
+//! Handle-based query surface: index handles, batched execution, and
+//! ordered range cursors.
+//!
+//! The string-keyed `Table::*_via_index` methods pay a name lookup
+//! through a `RwLock<HashMap>` on every call, take pool-shard locks one
+//! key at a time, and only expose point lookups. This module is the
+//! amortized alternative, in the spirit of the paper's thesis that no
+//! spare capacity — lock budgets included — should go unused:
+//!
+//! * [`IndexRef`] — a cheap, clonable handle from [`Table::index`]. The
+//!   name resolves once; `get`/`project`/`update`/`delete` go straight
+//!   to the tree.
+//! * [`IndexRef::get_many`] / [`IndexRef::project_many`] — N lookups
+//!   share one tree-structure-lock acquisition, one page visit per
+//!   distinct leaf, and one buffer-pool lock acquisition per pool shard
+//!   on the heap side, instead of N of each.
+//! * [`Batch`] / [`Table::execute`] — heterogeneous point ops grouped
+//!   per index and executed through the batched paths.
+//! * [`IndexRef::range`] / [`IndexRef::range_projected`] — ordered
+//!   cursors over the B+Tree's sibling-linked leaves. The projected
+//!   cursor serves cached fields straight from leaf free space (§2.1)
+//!   and falls back to heap chases with the usual key re-verification;
+//!   refills re-descend by key, so cursors survive leaf splits
+//!   mid-iteration.
+
+use crate::table::{Index, IndexSpec, Projection, Table};
+use nbb_btree::{BTree, InvToken, RangeEntry};
+use nbb_storage::error::{Result, StorageError};
+use nbb_storage::rid::RecordId;
+use nbb_storage::PageId;
+use std::collections::{HashMap, VecDeque};
+use std::ops::{Bound, RangeBounds};
+use std::sync::Arc;
+
+/// A resolved handle to one of a table's indexes.
+///
+/// Obtained from [`Table::index`]; clonable and cheap (an `Arc` bump),
+/// so hot loops can keep their own copy. The handle borrows the table
+/// (`IndexRef<'t>`), so sharing across threads means scoped threads
+/// (`std::thread::scope`) or having each worker resolve its own handle
+/// from the shared `Arc<Table>` — resolution is a single map read. All
+/// index operations on the handle skip the per-call name lookup and
+/// its map lock. The handle stays valid for the life of the table;
+/// operations keep working even if the index is later re-created under
+/// the same name (they address the tree the handle was resolved to).
+pub struct IndexRef<'t> {
+    table: &'t Table,
+    idx: Arc<Index>,
+}
+
+impl Clone for IndexRef<'_> {
+    fn clone(&self) -> Self {
+        IndexRef { table: self.table, idx: Arc::clone(&self.idx) }
+    }
+}
+
+impl<'t> IndexRef<'t> {
+    pub(crate) fn new(table: &'t Table, idx: Arc<Index>) -> Self {
+        IndexRef { table, idx }
+    }
+
+    /// The index declaration.
+    pub fn spec(&self) -> &IndexSpec {
+        &self.idx.spec
+    }
+
+    /// The index name.
+    pub fn name(&self) -> &str {
+        &self.idx.spec.name
+    }
+
+    /// The underlying B+Tree (stats, fill factors).
+    pub fn tree(&self) -> &BTree {
+        &self.idx.tree
+    }
+
+    /// The table this handle belongs to.
+    pub fn table(&self) -> &'t Table {
+        self.table
+    }
+
+    /// Full-tuple point lookup (index → heap, with key re-verification).
+    pub fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        self.table.get_with(&self.idx, key)
+    }
+
+    /// Projection over the cached fields: answered from leaf free space
+    /// when the cache holds the entry, otherwise heap fetch + populate.
+    pub fn project(&self, key: &[u8]) -> Result<Option<Projection>> {
+        self.table.project_with(&self.idx, key)
+    }
+
+    /// Updates the tuple whose key is `key` to `tuple`, maintaining
+    /// every index of the table (§2.1.2 invalidation duties included).
+    pub fn update(&self, key: &[u8], tuple: &[u8]) -> Result<bool> {
+        self.table.update_with(&self.idx, key, tuple)
+    }
+
+    /// Deletes the tuple whose key is `key` from the table and all its
+    /// indexes.
+    pub fn delete(&self, key: &[u8]) -> Result<bool> {
+        self.table.delete_with(&self.idx, key)
+    }
+
+    /// Batched full-tuple lookup; results are indexed like `keys`.
+    ///
+    /// Keys are sorted and grouped so the whole batch takes one
+    /// tree-structure-lock acquisition and one page visit per distinct
+    /// leaf, and the heap chases behind the index hits are grouped per
+    /// page and per buffer-pool shard
+    /// ([`nbb_storage::BufferPool::with_page_batch`]) — N lookups over
+    /// a hot key set cost far fewer lock acquisitions than N
+    /// [`IndexRef::get`] calls.
+    pub fn get_many<K: AsRef<[u8]>>(&self, keys: &[K]) -> Result<Vec<Option<Vec<u8>>>> {
+        self.table.get_many_with(&self.idx, keys)
+    }
+
+    /// Batched projection; results are indexed like `keys`.
+    ///
+    /// Same grouping as [`IndexRef::get_many`], plus per-leaf cache
+    /// amortization: one invalidation-verdict check and one promotion
+    /// latch acquisition per leaf rather than per key. Cache misses
+    /// fetch the heap in one batched read and populate the cache like
+    /// the point path does.
+    pub fn project_many<K: AsRef<[u8]>>(&self, keys: &[K]) -> Result<Vec<Option<Projection>>> {
+        self.table.project_many_with(&self.idx, keys)
+    }
+
+    /// Ordered full-tuple cursor over `range` (key order ascending).
+    /// Bounds are key byte strings: `&lo[..]..&hi[..]`, `lo..=hi` over
+    /// `Vec<u8>`, etc.
+    ///
+    /// Each yielded row is re-verified against its index key, so rows
+    /// deleted by a racing writer are skipped, exactly like point
+    /// lookups. Refills re-descend by key: leaves may split
+    /// mid-iteration without disturbing the cursor.
+    pub fn range<K: AsRef<[u8]> + ?Sized, R: RangeBounds<K>>(&self, range: R) -> RangeCursor<'t> {
+        RangeCursor { inner: RangeState::new(self.table, Arc::clone(&self.idx), range) }
+    }
+
+    /// Full-table ordered cursor: [`IndexRef::range`] over all keys.
+    pub fn range_all(&self) -> RangeCursor<'t> {
+        self.range::<[u8], _>(..)
+    }
+
+    /// Ordered projection cursor over `range`: yields the cached fields
+    /// of every row in the range, served from leaf free space when the
+    /// §2.1 cache holds them (no heap touch), with heap chases — which
+    /// also populate the cache — only for the cold entries.
+    pub fn range_projected<K: AsRef<[u8]> + ?Sized, R: RangeBounds<K>>(
+        &self,
+        range: R,
+    ) -> ProjectedRangeCursor<'t> {
+        ProjectedRangeCursor { inner: RangeState::new(self.table, Arc::clone(&self.idx), range) }
+    }
+
+    /// Full-table ordered projection cursor:
+    /// [`IndexRef::range_projected`] over all keys.
+    pub fn range_projected_all(&self) -> ProjectedRangeCursor<'t> {
+        self.range_projected::<[u8], _>(..)
+    }
+}
+
+/// Converts a borrowed bound into an owned one.
+fn owned_bound<K: AsRef<[u8]> + ?Sized>(b: Bound<&K>) -> Bound<Vec<u8>> {
+    match b {
+        Bound::Included(k) => Bound::Included(k.as_ref().to_vec()),
+        Bound::Excluded(k) => Bound::Excluded(k.as_ref().to_vec()),
+        Bound::Unbounded => Bound::Unbounded,
+    }
+}
+
+fn borrow_bound(b: &Bound<Vec<u8>>) -> Bound<&[u8]> {
+    match b {
+        Bound::Included(k) => Bound::Included(&k[..]),
+        Bound::Excluded(k) => Bound::Excluded(&k[..]),
+        Bound::Unbounded => Bound::Unbounded,
+    }
+}
+
+/// Shared cursor state: a buffered leaf chunk plus the resume bound.
+struct RangeState<'t> {
+    table: &'t Table,
+    idx: Arc<Index>,
+    lower: Bound<Vec<u8>>,
+    upper: Bound<Vec<u8>>,
+    buf: VecDeque<RangeEntry>,
+    /// Leaf/token of the chunk currently in `buf`, for cache populates.
+    leaf: PageId,
+    token: Option<InvToken>,
+    exhausted: bool,
+    failed: bool,
+}
+
+impl<'t> RangeState<'t> {
+    fn new<K: AsRef<[u8]> + ?Sized, R: RangeBounds<K>>(
+        table: &'t Table,
+        idx: Arc<Index>,
+        range: R,
+    ) -> Self {
+        RangeState {
+            table,
+            idx,
+            lower: owned_bound(range.start_bound()),
+            upper: owned_bound(range.end_bound()),
+            buf: VecDeque::new(),
+            leaf: PageId::INVALID,
+            token: None,
+            exhausted: false,
+            failed: false,
+        }
+    }
+
+    /// Pulls the next leaf's worth of entries. Advancing `lower` past
+    /// the last buffered key (rather than chasing a remembered sibling
+    /// pointer) is what makes the cursor split-safe.
+    fn refill(&mut self) -> Result<()> {
+        let chunk =
+            self.idx.tree.range_chunk(borrow_bound(&self.lower), borrow_bound(&self.upper))?;
+        if let Some(last) = chunk.entries.last() {
+            self.lower = Bound::Excluded(last.key.clone());
+        }
+        self.leaf = chunk.leaf;
+        self.token = Some(chunk.token);
+        self.exhausted = chunk.exhausted;
+        self.buf = chunk.entries.into();
+        Ok(())
+    }
+
+    /// Next raw index entry within the range, refilling as needed.
+    fn next_entry(&mut self) -> Option<Result<RangeEntry>> {
+        loop {
+            if self.failed {
+                return None;
+            }
+            if let Some(e) = self.buf.pop_front() {
+                return Some(Ok(e));
+            }
+            if self.exhausted {
+                return None;
+            }
+            if let Err(e) = self.refill() {
+                self.failed = true;
+                return Some(Err(e));
+            }
+        }
+    }
+}
+
+/// One row yielded by [`IndexRef::range`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RangeRow {
+    /// The index key.
+    pub key: Vec<u8>,
+    /// The tuple's heap address.
+    pub rid: RecordId,
+    /// The full tuple bytes.
+    pub tuple: Vec<u8>,
+}
+
+/// Ordered full-tuple cursor; see [`IndexRef::range`].
+pub struct RangeCursor<'t> {
+    inner: RangeState<'t>,
+}
+
+impl Iterator for RangeCursor<'_> {
+    type Item = Result<RangeRow>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            let e = match self.inner.next_entry()? {
+                Ok(e) => e,
+                Err(err) => return Some(Err(err)),
+            };
+            match self.inner.table.fetch_verified(&self.inner.idx, &e.key, e.value) {
+                Ok(Some(tuple)) => {
+                    return Some(Ok(RangeRow {
+                        key: e.key,
+                        rid: RecordId::from_u64(e.value),
+                        tuple,
+                    }))
+                }
+                // Racing delete between the leaf read and the heap
+                // chase: the row is gone; skip it.
+                Ok(None) => continue,
+                Err(err) => {
+                    self.inner.failed = true;
+                    return Some(Err(err));
+                }
+            }
+        }
+    }
+}
+
+/// One row yielded by [`IndexRef::range_projected`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProjectedRow {
+    /// The index key.
+    pub key: Vec<u8>,
+    /// The tuple's heap address.
+    pub rid: RecordId,
+    /// The cached-field projection; `index_only` is true when it was
+    /// served from leaf free space without touching the heap.
+    pub projection: Projection,
+}
+
+/// Ordered projection cursor; see [`IndexRef::range_projected`].
+pub struct ProjectedRangeCursor<'t> {
+    inner: RangeState<'t>,
+}
+
+impl Iterator for ProjectedRangeCursor<'_> {
+    type Item = Result<ProjectedRow>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            let e = match self.inner.next_entry()? {
+                Ok(e) => e,
+                Err(err) => return Some(Err(err)),
+            };
+            let rid = RecordId::from_u64(e.value);
+            if let Some(payload) = e.payload {
+                self.inner.table.note_index_only_answer();
+                return Some(Ok(ProjectedRow {
+                    key: e.key,
+                    rid,
+                    projection: Projection { payload, index_only: true },
+                }));
+            }
+            let (leaf, token) = (self.inner.leaf, self.inner.token);
+            match self.inner.table.fetch_verified(&self.inner.idx, &e.key, e.value) {
+                Ok(Some(tuple)) => {
+                    let payload = self.inner.idx.extract_payload(&tuple);
+                    if let Some(token) = token {
+                        if let Err(err) =
+                            self.inner.idx.tree.cache_populate(leaf, e.value, &payload, token)
+                        {
+                            self.inner.failed = true;
+                            return Some(Err(err));
+                        }
+                    }
+                    return Some(Ok(ProjectedRow {
+                        key: e.key,
+                        rid,
+                        projection: Projection { payload, index_only: false },
+                    }));
+                }
+                Ok(None) => continue,
+                Err(err) => {
+                    self.inner.failed = true;
+                    return Some(Err(err));
+                }
+            }
+        }
+    }
+}
+
+/// One operation of a [`Batch`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum BatchOp {
+    /// Full-tuple lookup through the named index.
+    Get { index: String, key: Vec<u8> },
+    /// Cached-field projection through the named index.
+    Project { index: String, key: Vec<u8> },
+}
+
+/// A heterogeneous batch of point operations, executed by
+/// [`Table::execute`] with per-index grouping so each index's keys ride
+/// the batched paths ([`IndexRef::get_many`] /
+/// [`IndexRef::project_many`]).
+///
+/// ```ignore
+/// let results = table.execute(
+///     Batch::new()
+///         .get("by_id", &7u64.to_be_bytes())
+///         .project("by_id", &8u64.to_be_bytes()),
+/// )?;
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Batch {
+    ops: Vec<BatchOp>,
+}
+
+impl Batch {
+    /// An empty batch.
+    pub fn new() -> Self {
+        Batch::default()
+    }
+
+    /// Appends a full-tuple lookup of `key` through `index`.
+    pub fn get(mut self, index: &str, key: &[u8]) -> Self {
+        self.ops.push(BatchOp::Get { index: index.to_string(), key: key.to_vec() });
+        self
+    }
+
+    /// Appends a cached-field projection of `key` through `index`.
+    pub fn project(mut self, index: &str, key: &[u8]) -> Self {
+        self.ops.push(BatchOp::Project { index: index.to_string(), key: key.to_vec() });
+        self
+    }
+
+    /// Number of queued operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True when no operations are queued.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+/// One result of [`Table::execute`], in batch order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BatchOutput {
+    /// Result of a [`Batch::get`] op.
+    Tuple(Option<Vec<u8>>),
+    /// Result of a [`Batch::project`] op.
+    Projection(Option<Projection>),
+}
+
+impl BatchOutput {
+    /// The tuple of a `get` op; `None` for projections.
+    pub fn tuple(&self) -> Option<&[u8]> {
+        match self {
+            BatchOutput::Tuple(Some(t)) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// The projection of a `project` op; `None` for tuples.
+    pub fn projection(&self) -> Option<&Projection> {
+        match self {
+            BatchOutput::Projection(Some(p)) => Some(p),
+            _ => None,
+        }
+    }
+}
+
+impl Table {
+    /// Executes a [`Batch`]: operations are grouped per `(index, kind)`
+    /// — resolving each index name exactly once — and each group runs
+    /// through the batched sorted-key paths, so a batch of N point ops
+    /// costs one structure-lock acquisition and one leaf visit per
+    /// distinct leaf per group instead of N full descents. Results come
+    /// back in the batch's op order.
+    pub fn execute(&self, batch: Batch) -> Result<Vec<BatchOutput>> {
+        // (index name, is_projection) -> positions in the batch.
+        let mut groups: HashMap<(&str, bool), Vec<usize>> = HashMap::new();
+        for (i, op) in batch.ops.iter().enumerate() {
+            let slot = match op {
+                BatchOp::Get { index, .. } => (index.as_str(), false),
+                BatchOp::Project { index, .. } => (index.as_str(), true),
+            };
+            groups.entry(slot).or_default().push(i);
+        }
+        let key_of = |i: usize| match &batch.ops[i] {
+            BatchOp::Get { key, .. } | BatchOp::Project { key, .. } => key.as_slice(),
+        };
+        let mut out: Vec<Option<BatchOutput>> = batch.ops.iter().map(|_| None).collect();
+        for ((index, is_projection), positions) in groups {
+            let idx = self.find_index(index)?;
+            let keys: Vec<&[u8]> = positions.iter().map(|&i| key_of(i)).collect();
+            if is_projection {
+                for (&i, p) in positions.iter().zip(self.project_many_with(&idx, &keys)?) {
+                    out[i] = Some(BatchOutput::Projection(p));
+                }
+            } else {
+                for (&i, t) in positions.iter().zip(self.get_many_with(&idx, &keys)?) {
+                    out[i] = Some(BatchOutput::Tuple(t));
+                }
+            }
+        }
+        out.into_iter()
+            .map(|r| r.ok_or_else(|| StorageError::Corrupt("batch op not executed".into())))
+            .collect()
+    }
+}

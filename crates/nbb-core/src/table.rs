@@ -9,7 +9,16 @@
 //! range of the fixed-width tuple; an [`IndexSpec`] says which range is
 //! the key and which ranges ride in the index cache. The paper's
 //! `name_title` example: key = (namespace, title), cached payload =
-//! 4 projected fields, 25-byte cache items.
+//! 4 projected fields, 25-byte cache items. Declarations are validated
+//! at [`Table::create_index`]; geometry can also be derived from a
+//! typed schema via [`crate::row::RowSchema`].
+//!
+//! Queries flow through handles: [`Table::index`] resolves an index
+//! name once to a [`crate::query::IndexRef`], whose point, batched
+//! (`get_many` / `project_many` / [`Table::execute`]) and range-cursor
+//! operations skip the per-call name lookup and amortize lock work.
+//! The string-keyed `*_via_index` methods remain as thin compatibility
+//! wrappers over the same paths.
 
 use nbb_btree::{BTree, BTreeOptions, CacheConfig};
 use nbb_storage::error::{Result, StorageError};
@@ -87,13 +96,13 @@ impl IndexSpec {
     }
 }
 
-struct Index {
-    spec: IndexSpec,
-    tree: BTree,
+pub(crate) struct Index {
+    pub(crate) spec: IndexSpec,
+    pub(crate) tree: BTree,
 }
 
 impl Index {
-    fn extract_payload(&self, tuple: &[u8]) -> Vec<u8> {
+    pub(crate) fn extract_payload(&self, tuple: &[u8]) -> Vec<u8> {
         let mut out = Vec::with_capacity(self.spec.payload_size());
         for f in &self.spec.cached_fields {
             out.extend_from_slice(f.extract(tuple));
@@ -261,6 +270,7 @@ impl Table {
         let mut pending = Vec::new();
         self.heap.scan(|rid, tuple| {
             pending.push((spec.key.extract(tuple).to_vec(), rid));
+            true
         })?;
         pending.sort_by(|a, b| a.0.cmp(&b.0));
         let unique = pending.windows(2).all(|w| w[0].0 < w[1].0);
@@ -284,27 +294,47 @@ impl Table {
         Ok(())
     }
 
+    /// Validates an index declaration against the tuple geometry,
+    /// returning [`StorageError::InvalidIndexSpec`] (instead of
+    /// panicking or silently mis-slicing later) when a field range is
+    /// empty, exceeds `tuple_width`, or a cached field overlaps the key
+    /// bytes it would merely duplicate.
     fn check_spec(&self, spec: &IndexSpec) -> Result<()> {
-        let check = |f: &FieldSpec| {
+        let err =
+            |reason: String| StorageError::InvalidIndexSpec { index: spec.name.clone(), reason };
+        let check = |what: &str, f: &FieldSpec| -> Result<()> {
+            if f.len == 0 {
+                return Err(err(format!("{what} at offset {} is empty", f.offset)));
+            }
             if f.offset + f.len > self.tuple_width {
-                Err(StorageError::Corrupt(format!(
-                    "field {}..{} exceeds tuple width {}",
+                return Err(err(format!(
+                    "{what} bytes {}..{} exceed tuple width {}",
                     f.offset,
                     f.offset + f.len,
                     self.tuple_width
-                )))
-            } else {
-                Ok(())
+                )));
             }
+            Ok(())
         };
-        check(&spec.key)?;
+        check("key", &spec.key)?;
         for f in &spec.cached_fields {
-            check(f)?;
+            check("cached field", f)?;
+            let key = &spec.key;
+            if f.offset < key.offset + key.len && key.offset < f.offset + f.len {
+                return Err(err(format!(
+                    "cached field bytes {}..{} overlap the key bytes {}..{} \
+                     (key bytes already live in the leaf; caching them wastes slots)",
+                    f.offset,
+                    f.offset + f.len,
+                    key.offset,
+                    key.offset + key.len
+                )));
+            }
         }
         Ok(())
     }
 
-    fn index(&self, name: &str) -> Result<Arc<Index>> {
+    pub(crate) fn find_index(&self, name: &str) -> Result<Arc<Index>> {
         self.indexes
             .read()
             .get(name)
@@ -312,9 +342,25 @@ impl Table {
             .ok_or_else(|| StorageError::Corrupt(format!("no index named {name}")))
     }
 
+    /// Resolves an index name to a cheap, clonable handle
+    /// ([`crate::query::IndexRef`]). The name lookup and its
+    /// `RwLock<HashMap>` acquisition happen **once**, here; every
+    /// subsequent operation through the handle goes straight to the
+    /// tree. Resolve once, query many times:
+    ///
+    /// ```ignore
+    /// let by_id = table.index("by_id")?;
+    /// for key in keys {
+    ///     by_id.get(key)?;          // no name lookup, no map lock
+    /// }
+    /// ```
+    pub fn index(&self, name: &str) -> Result<crate::query::IndexRef<'_>> {
+        Ok(crate::query::IndexRef::new(self, self.find_index(name)?))
+    }
+
     /// Access to an index's tree (stats, fill factors).
     pub fn index_tree(&self, name: &str) -> Result<Arc<IndexHandle>> {
-        let idx = self.index(name)?;
+        let idx = self.find_index(name)?;
         Ok(Arc::new(IndexHandle { idx }))
     }
 
@@ -347,7 +393,12 @@ impl Table {
     /// key. Both read as "gone" — the lookup then reflects the delete
     /// having happened first. The returned tuple is verified to carry
     /// `key`, so callers may cache fields extracted from it.
-    fn fetch_verified(&self, idx: &Index, key: &[u8], ptr: u64) -> Result<Option<Vec<u8>>> {
+    pub(crate) fn fetch_verified(
+        &self,
+        idx: &Index,
+        key: &[u8],
+        ptr: u64,
+    ) -> Result<Option<Vec<u8>>> {
         // Count every heap access, not just verified ones — a chase
         // that lands on a recycled or freed slot still did the I/O.
         self.heap_fetches.fetch_add(1, Ordering::Relaxed);
@@ -360,20 +411,35 @@ impl Table {
     }
 
     /// Full-tuple point lookup through an index (index → heap).
+    ///
+    /// Compatibility wrapper: resolves the index name on every call.
+    /// Hot paths should resolve once via [`Table::index`] and use
+    /// [`crate::query::IndexRef::get`].
     pub fn get_via_index(&self, index: &str, key: &[u8]) -> Result<Option<Vec<u8>>> {
-        let idx = self.index(index)?;
+        let idx = self.find_index(index)?;
+        self.get_with(&idx, key)
+    }
+
+    pub(crate) fn get_with(&self, idx: &Index, key: &[u8]) -> Result<Option<Vec<u8>>> {
         let Some(ptr) = idx.tree.get(key)? else { return Ok(None) };
-        self.fetch_verified(&idx, key, ptr)
+        self.fetch_verified(idx, key, ptr)
     }
 
     /// Projection query over the cached fields (§2.1's hot path):
     /// answered from the index cache when possible, otherwise fetches
     /// the heap tuple and populates the cache.
+    ///
+    /// Compatibility wrapper over [`crate::query::IndexRef::project`];
+    /// see [`Table::index`].
     pub fn project_via_index(&self, index: &str, key: &[u8]) -> Result<Option<Projection>> {
-        let idx = self.index(index)?;
+        let idx = self.find_index(index)?;
+        self.project_with(&idx, key)
+    }
+
+    pub(crate) fn project_with(&self, idx: &Index, key: &[u8]) -> Result<Option<Projection>> {
         if idx.spec.cached_fields.is_empty() {
             // No cache: plain index -> heap -> project.
-            let Some(tuple) = self.get_via_index(index, key)? else { return Ok(None) };
+            let Some(tuple) = self.get_with(idx, key)? else { return Ok(None) };
             return Ok(Some(Projection {
                 payload: idx.extract_payload(&tuple),
                 index_only: false,
@@ -385,7 +451,7 @@ impl Table {
             self.index_only_answers.fetch_add(1, Ordering::Relaxed);
             return Ok(Some(Projection { payload, index_only: true }));
         }
-        let Some(tuple) = self.fetch_verified(&idx, key, ptr)? else { return Ok(None) };
+        let Some(tuple) = self.fetch_verified(idx, key, ptr)? else { return Ok(None) };
         let payload = idx.extract_payload(&tuple);
         idx.tree.cache_populate(m.leaf, ptr, &payload, m.token)?;
         Ok(Some(Projection { payload, index_only: false }))
@@ -396,9 +462,16 @@ impl Table {
     /// Handles the §2.1.2 consistency duties: indexes whose cached
     /// fields changed get an invalidation predicate; indexes whose key
     /// bytes changed get a delete+insert.
+    ///
+    /// Compatibility wrapper over [`crate::query::IndexRef::update`];
+    /// see [`Table::index`].
     pub fn update_via_index(&self, index: &str, key: &[u8], tuple: &[u8]) -> Result<bool> {
+        let idx = self.find_index(index)?;
+        self.update_with(&idx, key, tuple)
+    }
+
+    pub(crate) fn update_with(&self, idx: &Index, key: &[u8], tuple: &[u8]) -> Result<bool> {
         self.check_tuple(tuple)?;
-        let idx = self.index(index)?;
         let Some(ptr) = idx.tree.get(key)? else { return Ok(false) };
         let rid = RecordId::from_u64(ptr);
         let old = self.heap.get(rid)?;
@@ -422,8 +495,15 @@ impl Table {
     }
 
     /// Deletes the tuple with index key `key` (via `index`).
+    ///
+    /// Compatibility wrapper over [`crate::query::IndexRef::delete`];
+    /// see [`Table::index`].
     pub fn delete_via_index(&self, index: &str, key: &[u8]) -> Result<bool> {
-        let idx = self.index(index)?;
+        let idx = self.find_index(index)?;
+        self.delete_with(&idx, key)
+    }
+
+    pub(crate) fn delete_with(&self, idx: &Index, key: &[u8]) -> Result<bool> {
         let Some(ptr) = idx.tree.get(key)? else { return Ok(false) };
         let rid = RecordId::from_u64(ptr);
         let tuple = self.heap.get(rid)?;
@@ -438,6 +518,91 @@ impl Table {
         Ok(true)
     }
 
+    /// Batched full-tuple lookup; see
+    /// [`crate::query::IndexRef::get_many`], which this implements.
+    pub(crate) fn get_many_with<K: AsRef<[u8]>>(
+        &self,
+        idx: &Index,
+        keys: &[K],
+    ) -> Result<Vec<Option<Vec<u8>>>> {
+        let ptrs = idx.tree.get_many(keys)?;
+        let mut positions = Vec::new();
+        let mut rids = Vec::new();
+        for (i, ptr) in ptrs.iter().enumerate() {
+            if let Some(p) = ptr {
+                positions.push(i);
+                rids.push(RecordId::from_u64(*p));
+            }
+        }
+        self.heap_fetches.fetch_add(rids.len() as u64, Ordering::Relaxed);
+        let tuples = self.heap.get_many(&rids)?;
+        let mut out: Vec<Option<Vec<u8>>> = keys.iter().map(|_| None).collect();
+        for (&i, tuple) in positions.iter().zip(tuples) {
+            // Same re-verification as the point path: a racing
+            // delete/re-insert reads as absent.
+            if let Some(t) = tuple {
+                if idx.spec.key.extract(&t) == keys[i].as_ref() {
+                    out[i] = Some(t);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Batched projection; see
+    /// [`crate::query::IndexRef::project_many`], which this implements.
+    pub(crate) fn project_many_with<K: AsRef<[u8]>>(
+        &self,
+        idx: &Index,
+        keys: &[K],
+    ) -> Result<Vec<Option<Projection>>> {
+        if idx.spec.cached_fields.is_empty() {
+            return Ok(self
+                .get_many_with(idx, keys)?
+                .into_iter()
+                .map(|t| {
+                    t.map(|tuple| Projection {
+                        payload: idx.extract_payload(&tuple),
+                        index_only: false,
+                    })
+                })
+                .collect());
+        }
+        let lookups = idx.tree.lookup_cached_many(keys)?;
+        let mut out: Vec<Option<Projection>> = keys.iter().map(|_| None).collect();
+        // (position, ptr, leaf, token) per cache miss that needs a heap
+        // chase; all the chases share one batched heap read.
+        let mut misses = Vec::new();
+        let mut rids = Vec::new();
+        let mut served = 0u64;
+        for (i, m) in lookups.into_iter().enumerate() {
+            let Some(ptr) = m.value else { continue };
+            match m.payload {
+                Some(payload) => {
+                    served += 1;
+                    out[i] = Some(Projection { payload, index_only: true });
+                }
+                None => {
+                    misses.push((i, ptr, m.leaf, m.token));
+                    rids.push(RecordId::from_u64(ptr));
+                }
+            }
+        }
+        self.index_only_answers.fetch_add(served, Ordering::Relaxed);
+        self.heap_fetches.fetch_add(rids.len() as u64, Ordering::Relaxed);
+        let tuples = self.heap.get_many(&rids)?;
+        for ((i, ptr, leaf, token), tuple) in misses.into_iter().zip(tuples) {
+            let Some(t) = tuple else { continue };
+            if idx.spec.key.extract(&t) != keys[i].as_ref() {
+                continue;
+            }
+            let payload = idx.extract_payload(&t);
+            idx.tree.cache_populate(leaf, ptr, &payload, token)?;
+            out[i] = Some(Projection { payload, index_only: false });
+        }
+        Ok(out)
+    }
+
     /// Relocates the tuple at `rid` to the heap tail (the §3.1
     /// clustering primitive), patching every index.
     pub fn relocate(&self, rid: RecordId) -> Result<RecordId> {
@@ -450,9 +615,18 @@ impl Table {
         Ok(new_rid)
     }
 
-    /// Visits every live tuple.
-    pub fn scan(&self, f: impl FnMut(RecordId, &[u8])) -> Result<()> {
+    /// Visits every live tuple. The callback returns `true` to keep
+    /// walking; returning `false` stops the scan without touching the
+    /// remaining heap pages (e.g. sampling scans stop after N rows
+    /// instead of paying for the whole table).
+    pub fn scan(&self, f: impl FnMut(RecordId, &[u8]) -> bool) -> Result<()> {
         self.heap.scan(f)
+    }
+
+    /// Records a query answered entirely from an index cache (used by
+    /// the range cursors, whose hits bypass `project_with`).
+    pub(crate) fn note_index_only_answer(&self) {
+        self.index_only_answers.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Access counters.

@@ -160,10 +160,13 @@ pub fn audit_encoding(
     sample_limit: usize,
 ) -> Result<SchemaReport> {
     let mut rows = Vec::new();
+    // Early exit: once the sample is full there is no reason to keep
+    // paying for heap pages.
     table.scan(|_, tuple| {
         if rows.len() < sample_limit {
             rows.push(decode(tuple));
         }
+        rows.len() < sample_limit
     })?;
     Ok(analyze_table(schema, &rows))
 }
@@ -239,7 +242,11 @@ mod tests {
         let t = table();
         // Scattered hot set: every 20th tuple.
         let mut all = Vec::new();
-        t.scan(|rid, _| all.push(rid)).unwrap();
+        t.scan(|rid, _| {
+            all.push(rid);
+            true
+        })
+        .unwrap();
         let scattered: Vec<_> = all.iter().copied().step_by(20).collect();
         let r1 = audit_locality(&t, &scattered).unwrap();
         assert!(r1.hot_utilization < 0.2, "scattered: {r1:?}");
@@ -286,7 +293,11 @@ mod tests {
     fn full_audit_renders_all_sections() {
         let t = table();
         let mut all = Vec::new();
-        t.scan(|rid, _| all.push(rid)).unwrap();
+        t.scan(|rid, _| {
+            all.push(rid);
+            true
+        })
+        .unwrap();
         let schema = Schema {
             table: "audit_me".into(),
             columns: vec![ColumnDef::new("id", DeclaredType::Int64)],

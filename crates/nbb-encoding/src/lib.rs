@@ -19,7 +19,11 @@
 //!   4-byte encoding;
 //! * [`semantic_id`] — §4.2: partition bits embedded in surrogate keys
 //!   (routing without routing tables) and id elimination via physical
-//!   address proxies.
+//!   address proxies;
+//! * [`rowcodec`] — the fixed-width row layout a schema's declared
+//!   types imply, with order-preserving column codecs so tuple bytes
+//!   double as `memcmp`-ordered index keys (the typed bridge used by
+//!   `nbb-core`'s `RowSchema`).
 
 #![warn(missing_docs)]
 
@@ -27,6 +31,7 @@ pub mod bitpack;
 pub mod delta;
 pub mod dict;
 pub mod inference;
+pub mod rowcodec;
 pub mod schema;
 pub mod semantic_id;
 pub mod timestamp;
@@ -35,6 +40,7 @@ pub use bitpack::{min_bits, pack, unpack, BitPacked};
 pub use delta::DeltaColumn;
 pub use dict::DictColumn;
 pub use inference::{analyze_column, ColumnAnalysis, DeclaredType, PhysicalType, Value};
+pub use rowcodec::{ColumnLayout, RowCodecError, RowLayout};
 pub use schema::{
     analyze_table, decode_column, encode_column, ColumnDef, EncodedColumn, Schema, SchemaReport,
 };

@@ -30,6 +30,15 @@ pub enum StorageError {
     },
     /// The buffer pool had no evictable frame (all pages pinned).
     BufferPoolExhausted,
+    /// An index declaration does not fit the table's tuple geometry
+    /// (field range out of bounds, empty field, or a cached field
+    /// overlapping the key bytes it would duplicate).
+    InvalidIndexSpec {
+        /// Name of the offending index.
+        index: String,
+        /// Human-readable description of the violation.
+        reason: String,
+    },
     /// The backing file could not be read or written.
     Io(String),
     /// Page contents failed a structural sanity check.
@@ -51,6 +60,9 @@ impl fmt::Display for StorageError {
             }
             StorageError::BufferPoolExhausted => {
                 write!(f, "buffer pool exhausted: every frame is pinned")
+            }
+            StorageError::InvalidIndexSpec { index, reason } => {
+                write!(f, "invalid spec for index {index}: {reason}")
             }
             StorageError::Io(msg) => write!(f, "I/O error: {msg}"),
             StorageError::Corrupt(msg) => write!(f, "corrupt page: {msg}"),

@@ -104,6 +104,44 @@ impl HeapFile {
         })?
     }
 
+    /// Fetches many tuples at once, visiting each distinct page exactly
+    /// once through the pool's batched pin path
+    /// ([`BufferPool::with_page_batch`]): N rids on the same page cost
+    /// one pin and one slotted-page parse instead of N of each.
+    ///
+    /// Results are indexed like `rids`. A rid whose slot is no longer
+    /// live reads as `None` (batch readers tolerate racing deletes the
+    /// same way index→heap chases do); other errors propagate.
+    pub fn get_many(&self, rids: &[RecordId]) -> Result<Vec<Option<Vec<u8>>>> {
+        // Distinct pages, each carrying the positions that live on it.
+        let mut pages: Vec<PageId> = Vec::new();
+        let mut members: Vec<Vec<usize>> = Vec::new();
+        let mut page_slot: std::collections::HashMap<PageId, usize> =
+            std::collections::HashMap::new();
+        for (i, rid) in rids.iter().enumerate() {
+            let pi = *page_slot.entry(rid.page).or_insert_with(|| {
+                pages.push(rid.page);
+                members.push(Vec::new());
+                pages.len() - 1
+            });
+            members[pi].push(i);
+        }
+        let mut out: Vec<Option<Vec<u8>>> = rids.iter().map(|_| None).collect();
+        let page_results = self.pool.with_page_batch(&pages, |pi, p| -> Result<Vec<_>> {
+            let sp = SlottedPageRef::attach(p)?;
+            Ok(members[pi]
+                .iter()
+                .map(|&i| (i, sp.get(rids[i].slot).ok().map(|t| t.to_vec())))
+                .collect())
+        })?;
+        for r in page_results {
+            for (i, tuple) in r? {
+                out[i] = tuple;
+            }
+        }
+        Ok(out)
+    }
+
     /// Deletes the tuple at `rid`.
     pub fn delete(&self, rid: RecordId) -> Result<()> {
         self.pool.with_page_mut(rid.page, |p| {
@@ -136,16 +174,23 @@ impl HeapFile {
         self.insert(&bytes)
     }
 
-    /// Visits every live tuple as `(rid, bytes)` in page order.
-    pub fn scan(&self, mut f: impl FnMut(RecordId, &[u8])) -> Result<()> {
+    /// Visits every live tuple as `(rid, bytes)` in page order. The
+    /// callback returns `true` to keep walking; returning `false` stops
+    /// the scan immediately, without touching the remaining pages.
+    pub fn scan(&self, mut f: impl FnMut(RecordId, &[u8]) -> bool) -> Result<()> {
         for pid in self.page_ids() {
-            self.pool.with_page(pid, |p| -> Result<()> {
+            let keep_going = self.pool.with_page(pid, |p| -> Result<bool> {
                 let sp = SlottedPageRef::attach(p)?;
                 for (slot, tuple) in sp.iter() {
-                    f(RecordId::new(pid, slot), tuple);
+                    if !f(RecordId::new(pid, slot), tuple) {
+                        return Ok(false);
+                    }
                 }
-                Ok(())
+                Ok(true)
             })??;
+            if !keep_going {
+                break;
+            }
         }
         Ok(())
     }
@@ -255,9 +300,58 @@ mod tests {
         let mut seen = std::collections::HashSet::new();
         h.scan(|rid, _| {
             assert!(seen.insert(rid), "duplicate rid {rid}");
+            true
         })
         .unwrap();
         assert_eq!(seen, expect);
+    }
+
+    #[test]
+    fn scan_early_exit_stops_the_walk() {
+        let h = heap();
+        for i in 0..100u32 {
+            h.insert(&i.to_le_bytes()).unwrap();
+        }
+        let mut visited = 0;
+        h.scan(|_, _| {
+            visited += 1;
+            visited < 7
+        })
+        .unwrap();
+        assert_eq!(visited, 7, "scan must stop as soon as the callback says so");
+    }
+
+    #[test]
+    fn get_many_matches_point_gets() {
+        let h = heap();
+        let mut rids = Vec::new();
+        for i in 0..150u32 {
+            rids.push(h.insert(&i.to_le_bytes()).unwrap());
+        }
+        // Delete a few so the batch sees dead slots.
+        h.delete(rids[10]).unwrap();
+        h.delete(rids[77]).unwrap();
+        // Unsorted, with duplicates.
+        let asked: Vec<RecordId> =
+            vec![rids[140], rids[3], rids[10], rids[3], rids[77], rids[0], rids[149]];
+        let got = h.get_many(&asked).unwrap();
+        assert_eq!(got.len(), asked.len());
+        for (i, rid) in asked.iter().enumerate() {
+            assert_eq!(got[i], h.get(*rid).ok(), "position {i}");
+        }
+    }
+
+    #[test]
+    fn get_many_under_memory_pressure() {
+        let disk: Arc<dyn DiskManager> = Arc::new(InMemoryDisk::new(512));
+        let pool = Arc::new(BufferPool::new(disk, 2));
+        let h = HeapFile::create(pool).unwrap();
+        let rids: Vec<RecordId> =
+            (0..200u32).map(|i| h.insert(&i.to_le_bytes()).unwrap()).collect();
+        let got = h.get_many(&rids).unwrap();
+        for (i, t) in got.iter().enumerate() {
+            assert_eq!(t.as_deref(), Some(&(i as u32).to_le_bytes()[..]));
+        }
     }
 
     #[test]

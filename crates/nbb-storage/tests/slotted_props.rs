@@ -121,6 +121,7 @@ proptest! {
         let mut seen = std::collections::HashSet::new();
         heap.scan(|rid, _| {
             assert!(seen.insert(rid), "duplicate {rid}");
+            true
         }).unwrap();
         prop_assert_eq!(seen, expect);
     }

@@ -1,49 +1,87 @@
-//! Quickstart: the three waste classes in five minutes.
+//! Quickstart: typed tables, handle-based queries, and the three waste
+//! classes in five minutes.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
 //!
-//! Builds a small table, shows (1) the index cache answering projection
-//! queries from B+Tree free space, (2) a locality audit before and after
-//! hot/cold clustering, and (3) the schema advisor finding encoding
-//! waste — all through the public `nbb` API.
+//! Declares a table from a typed schema ([`RowSchema`]), resolves an
+//! index handle once ([`Table::index`] → `IndexRef`), then shows (1) the
+//! index cache answering projections from B+Tree free space — via point
+//! lookups, a batched `get_many`/`Batch`, and an ordered range cursor —
+//! (2) a locality audit before and after hot/cold clustering, and
+//! (3) the schema advisor finding encoding waste.
 
 use nbb::core::db::{Database, DbConfig};
-use nbb::core::table::{FieldSpec, IndexSpec};
+use nbb::core::query::Batch;
+use nbb::core::row::RowSchema;
 use nbb::core::waste;
 use nbb::encoding::{ColumnDef, DeclaredType, Schema, Value};
 
 fn main() {
-    // A table of 32-byte tuples: id(8) | views(8) | flags(8) | pad(8).
+    // A typed schema: id | views | flags | pad. The physical layout
+    // (offsets, widths, order-preserving key bytes) is derived from the
+    // declared types — no hand-packed tuples.
+    let schema = Schema {
+        table: "articles".into(),
+        columns: vec![
+            ColumnDef::new("id", DeclaredType::Int64),
+            ColumnDef::new("views", DeclaredType::Int64),
+            ColumnDef::new("flags", DeclaredType::Int64),
+            ColumnDef::new("pad", DeclaredType::Int64),
+        ],
+    };
+    let rows = RowSchema::new(&schema);
     let db = Database::open(DbConfig::default());
-    let t = db.create_table("articles", 32).expect("create table");
-    t.create_index(IndexSpec::cached(
-        "by_id",
-        FieldSpec::new(0, 8),
-        vec![FieldSpec::new(8, 8)], // cache the `views` field
-    ))
-    .expect("create index");
+    let t = db.create_table_with(&rows).expect("create table");
+    t.create_index(rows.index_spec("by_id", "id", &["views"]).expect("geometry"))
+        .expect("create index");
 
-    for i in 0..10_000u64 {
-        let mut tuple = Vec::with_capacity(32);
-        tuple.extend_from_slice(&i.to_be_bytes());
-        tuple.extend_from_slice(&(i % 100).to_le_bytes()); // views: small range!
-        tuple.extend_from_slice(&1u64.to_le_bytes()); // flags: constant!
-        tuple.extend_from_slice(&[0u8; 8]);
-        t.insert(&tuple).expect("insert");
+    for i in 0..10_000i64 {
+        t.insert(
+            &rows
+                .encode(&[
+                    Value::Int(i),
+                    Value::Int(i % 100), // views: small range!
+                    Value::Int(1),       // flags: constant!
+                    Value::Int(0),
+                ])
+                .expect("encode"),
+        )
+        .expect("insert");
     }
 
     // --- Waste class 1: unused space, recycled as an index cache -----
     println!("--- 1. index caching (unused space, paper §2) ---");
-    let key = 4242u64.to_be_bytes();
-    let first = t.project_via_index("by_id", &key).expect("query").expect("found");
-    let second = t.project_via_index("by_id", &key).expect("query").expect("found");
+    // Resolve the index once; every query below skips the name lookup.
+    let by_id = t.index("by_id").expect("index handle");
+    let key = rows.key("id", &Value::Int(4242)).expect("key");
+    let first = by_id.project(&key).expect("query").expect("found");
+    let second = by_id.project(&key).expect("query").expect("found");
     println!("first access : index_only = {} (heap fetch, cache populated)", first.index_only);
     println!("second access: index_only = {} (answered from leaf free space)", second.index_only);
     assert!(!first.index_only && second.index_only);
 
-    let stats = t.index_tree("by_id").unwrap().tree().index_stats().unwrap();
+    // Batched execution: one sorted pass, locks amortized per leaf and
+    // per pool shard instead of per key.
+    let hot: Vec<Vec<u8>> =
+        (0..1024i64).map(|i| rows.key("id", &Value::Int(i * 7 % 10_000)).unwrap()).collect();
+    let tuples = by_id.get_many(&hot).expect("batched get");
+    assert!(tuples.iter().all(|t| t.is_some()));
+    println!("get_many     : {} keys in one batched pass", tuples.len());
+    let out =
+        t.execute(Batch::new().get("by_id", &hot[0]).project("by_id", &hot[1])).expect("batch");
+    assert!(out[0].tuple().is_some() && out[1].projection().is_some());
+
+    // Ordered range cursor: walks sibling leaves, serving cached
+    // projections from leaf free space where they are warm.
+    let lo = rows.key("id", &Value::Int(4_000)).unwrap();
+    let hi = rows.key("id", &Value::Int(4_100)).unwrap();
+    let in_range = by_id.range_projected(&lo[..]..&hi[..]).filter(|r| r.is_ok()).count();
+    println!("range cursor : {in_range} rows in id 4000..4100, in key order");
+    assert_eq!(in_range, 100);
+
+    let stats = by_id.tree().index_stats().unwrap();
     println!(
         "index: {} leaves at {:.0}% fill, {} free bytes -> {} cache slots ({} used)",
         stats.leaf_pages,
@@ -56,7 +94,11 @@ fn main() {
     // --- Waste class 2: locality ------------------------------------
     println!("\n--- 2. locality audit (paper §3) ---");
     let mut all = Vec::new();
-    t.scan(|rid, _| all.push(rid)).unwrap();
+    t.scan(|rid, _| {
+        all.push(rid);
+        true
+    })
+    .unwrap();
     let hot: Vec<_> = all.iter().copied().step_by(200).collect(); // scattered hot set
     let before = waste::audit_locality(&t, &hot).unwrap();
     println!(
@@ -80,29 +122,8 @@ fn main() {
 
     // --- Waste class 3: encoding ------------------------------------
     println!("\n--- 3. schema advisor (paper §4) ---");
-    let schema = Schema {
-        table: "articles".into(),
-        columns: vec![
-            ColumnDef::new("id", DeclaredType::Int64),
-            ColumnDef::new("views", DeclaredType::Int64),
-            ColumnDef::new("flags", DeclaredType::Int64),
-            ColumnDef::new("pad", DeclaredType::Int64),
-        ],
-    };
-    let report = waste::audit_encoding(
-        &t,
-        &schema,
-        |b| {
-            vec![
-                Value::Int(i64::from_be_bytes(b[0..8].try_into().unwrap())),
-                Value::Int(i64::from_le_bytes(b[8..16].try_into().unwrap())),
-                Value::Int(i64::from_le_bytes(b[16..24].try_into().unwrap())),
-                Value::Int(i64::from_le_bytes(b[24..32].try_into().unwrap())),
-            ]
-        },
-        5_000,
-    )
-    .unwrap();
+    let report =
+        waste::audit_encoding(&t, &schema, |b| rows.decode(b).expect("decode"), 5_000).unwrap();
     print!("{}", report.render());
     println!("\ndone: all three waste classes measured and reclaimed.");
 }
