@@ -56,4 +56,5 @@ pub use invalidation::{InvalidateOutcome, InvalidationState, Predicate};
 pub use node::{node_capacity, stable_point, InsertOutcome, Node, NodeMut};
 pub use tree::{
     BTree, BTreeOptions, CacheStats, CachedLookup, IndexStats, InvToken, RangeChunk, RangeEntry,
+    WriteStats,
 };

@@ -3,19 +3,33 @@
 //! predicate-driven invalidation).
 //!
 //! Concurrency model: one tree-level `RwLock<PageId>` guards the tree's
-//! *shape* and holds the current root as its value. Read-only operations
-//! (`get`, `lookup_cached`, `scan_from`, the stats walks) take the read
-//! side — they never block each other, and with the sharded buffer pool
-//! they proceed in parallel down to the frame latches. Structural
-//! writers (`insert`, `delete`) take the write side and stay serialized
-//! for now; in-place value updates (`update_value`) only take the read
-//! side because they change no shape, relying on the frame write latch
-//! for physical exclusion. Page-level physical latching is delegated to
-//! the buffer pool's frame locks. Cache writes use the pool's try-latch,
-//! non-dirtying access
+//! *shape* and holds the current root as its value, plus a striped
+//! per-leaf latch table for writers. Read-only operations (`get`,
+//! `lookup_cached`, `scan_from`, the stats walks) take the read side —
+//! they never block each other, and with the sharded buffer pool they
+//! proceed in parallel down to the frame latches.
+//!
+//! Writers crab: they descend under the structure lock's **read** side
+//! (the shape cannot change underfoot while any read guard is held),
+//! latch the destination leaf in [`LeafLatches`], and mutate it
+//! leaf-locally — so inserts and deletes on disjoint leaves proceed in
+//! parallel, matching the sharded buffer pool. Only a structural
+//! modification escalates: a full leaf makes the writer drop its leaf
+//! latch and read guard, take the structure lock's **write** side
+//! (excluding every reader and fast-path writer), and re-descend to
+//! split — deletes never restructure (underflow is left for the index
+//! cache to recycle), so they never escalate. The multi-key ops
+//! ([`BTree::insert_many`] / [`BTree::delete_many`]) sort their keys
+//! and ride one descent + one leaf-latch acquisition per destination
+//! leaf; the single-key mutators are wrappers over batches of one.
+//!
+//! Page-level physical latching is delegated to the buffer pool's frame
+//! locks (every leaf mutation is a single
+//! [`nbb_storage::BufferPool::with_page_mut`] closure, so readers always
+//! observe a leaf between two whole operations). Cache writes use the
+//! pool's try-latch, non-dirtying access
 //! ([`nbb_storage::BufferPool::with_page_cache_write`]) and are simply
-//! skipped under contention, per §2.1.3. Follow-on (ROADMAP): per-leaf
-//! latching so writers stop excluding each other.
+//! skipped under contention, per §2.1.3.
 
 use crate::cache::{CacheConfig, CacheView, CacheViewMut, StoreOutcome};
 use crate::invalidation::{InvalidateOutcome, InvalidationState};
@@ -23,12 +37,47 @@ use crate::node::{node_capacity, InsertOutcome, Node, NodeMut};
 use nbb_storage::buffer::BufferPool;
 use nbb_storage::error::{Result, StorageError};
 use nbb_storage::page::PageId;
-use parking_lot::{Mutex, RwLock};
+use parking_lot::{Mutex, MutexGuard, RwLock};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::ops::Bound;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Stripes in the per-leaf latch table. Collisions between distinct
+/// leaves only cost parallelism, never correctness, so a modest fixed
+/// count suffices — it bounds writer fan-out the way pool shards bound
+/// reader fan-out.
+const LEAF_LATCH_STRIPES: usize = 64;
+
+/// Leaf runs a multi-key write processes per structure-lock read
+/// acquisition. Releasing and reacquiring the guard at this cadence
+/// bounds how long a large batch can hold off an escalating writer
+/// (and the readers queued behind it under a fair lock), at the cost
+/// of one extra lock round-trip per RUNS_PER_GUARD leaves.
+const RUNS_PER_GUARD: usize = 64;
+
+/// Striped per-leaf write latches (the "per-leaf latching" ROADMAP
+/// item). A writer holds the latch of the one leaf it mutates for the
+/// duration of its leaf-local work; writers on other leaves proceed in
+/// parallel. Readers never touch these — the buffer pool's frame
+/// latches give them consistent per-page views. Deadlock discipline: a
+/// thread holds at most one leaf latch at a time, acquired only while
+/// holding the structure lock's read side (never its write side), so
+/// the only lock order is structure → leaf → frame.
+struct LeafLatches {
+    stripes: Box<[Mutex<()>]>,
+}
+
+impl LeafLatches {
+    fn new() -> Self {
+        LeafLatches { stripes: (0..LEAF_LATCH_STRIPES).map(|_| Mutex::new(())).collect() }
+    }
+
+    fn lock(&self, leaf: PageId) -> MutexGuard<'_, ()> {
+        self.stripes[(leaf.0 % self.stripes.len() as u64) as usize].lock()
+    }
+}
 
 /// Tree construction options.
 #[derive(Debug, Clone, Default)]
@@ -72,6 +121,46 @@ impl CacheStats {
             self.hits as f64 / self.lookups as f64
         }
     }
+}
+
+/// Aggregated write-path counters: how much descent and latch work the
+/// multi-key write ops amortized. A loop of N single-key calls shows as
+/// N batches of one key; one [`BTree::insert_many`] of N keys shows as
+/// **one** batch whose `keys / leaf_groups` ratio is the amortization
+/// factor.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WriteStats {
+    /// Logical write batches executed (one per `insert_many` /
+    /// `delete_many` call; single-key wrappers count as batches of one).
+    pub batches: u64,
+    /// Keys across those batches.
+    pub keys: u64,
+    /// Leaf groups processed — one descent plus one leaf-latch
+    /// acquisition each.
+    pub leaf_groups: u64,
+    /// Runs that hit a full leaf and escalated to the exclusive
+    /// structure lock (where splits happen).
+    pub escalations: u64,
+}
+
+impl WriteStats {
+    /// Mean keys amortized per descent/latch acquisition (1.0 = no
+    /// amortization, i.e. pure single-key traffic).
+    pub fn keys_per_leaf_group(&self) -> f64 {
+        if self.leaf_groups == 0 {
+            0.0
+        } else {
+            self.keys as f64 / self.leaf_groups as f64
+        }
+    }
+}
+
+#[derive(Default)]
+struct WriteStatsAtomic {
+    batches: AtomicU64,
+    keys: AtomicU64,
+    leaf_groups: AtomicU64,
+    escalations: AtomicU64,
 }
 
 #[derive(Default)]
@@ -147,10 +236,13 @@ pub struct BTree {
     /// snapshot the root and protect the shape with a single shared
     /// acquisition.
     root: RwLock<PageId>,
+    /// Per-leaf write latches; see the module docs' crabbing discipline.
+    latches: LeafLatches,
     opts: BTreeOptions,
     inv: InvalidationState,
     rng: Mutex<SmallRng>,
     stats: CacheStatsAtomic,
+    wstats: WriteStatsAtomic,
 }
 
 impl BTree {
@@ -173,11 +265,13 @@ impl BTree {
         Ok(BTree {
             pool,
             key_size,
+            latches: LeafLatches::new(),
             root: RwLock::new(root),
             opts,
             inv: InvalidationState::new(threshold),
             rng: Mutex::new(SmallRng::seed_from_u64(seed ^ 0x006e_6262_7472_6565)),
             stats: CacheStatsAtomic::default(),
+            wstats: WriteStatsAtomic::default(),
         })
     }
 
@@ -209,11 +303,13 @@ impl BTree {
         let tree = BTree {
             pool,
             key_size,
+            latches: LeafLatches::new(),
             root: RwLock::new(root),
             opts,
             inv: InvalidationState::new(threshold),
             rng: Mutex::new(SmallRng::seed_from_u64(seed ^ 0x006e_6262_7472_6565)),
             stats: CacheStatsAtomic::default(),
+            wstats: WriteStatsAtomic::default(),
         };
         // Fresh epoch strictly above every persisted CSNp, so cache
         // bytes surviving on disk can never false-validate.
@@ -312,11 +408,13 @@ impl BTree {
         Ok(BTree {
             pool,
             key_size,
+            latches: LeafLatches::new(),
             root: RwLock::new(level_nodes[0].1),
             opts,
             inv: InvalidationState::new(threshold),
             rng: Mutex::new(SmallRng::seed_from_u64(seed ^ 0x006e_6262_7472_6565)),
             stats: CacheStatsAtomic::default(),
+            wstats: WriteStatsAtomic::default(),
         })
     }
 
@@ -365,6 +463,78 @@ impl BTree {
                 None => return Ok(cur),
             }
         }
+    }
+
+    /// Like [`BTree::find_leaf`], but also returns the tightest routing
+    /// upper bound collected along the descent: every key strictly
+    /// below the bound is owned by the returned leaf (`None` = the
+    /// rightmost leaf, which owns everything above its separator). This
+    /// is what lets the batched write paths consume a whole sorted run
+    /// of keys per descent without guessing at leaf boundaries. The
+    /// caller must hold the structure lock (either side).
+    fn find_leaf_bounded(&self, root: PageId, key: &[u8]) -> Result<(PageId, Option<Vec<u8>>)> {
+        let mut cur = root;
+        let mut upper: Option<Vec<u8>> = None;
+        loop {
+            let next = self.pool.with_page(cur, |p| {
+                let n = Node::new(p, self.key_size);
+                if n.is_leaf() {
+                    return None;
+                }
+                // child_for(), inlined to also capture the separator
+                // immediately above the taken child — the tightest
+                // bound at this level (a child's subtree bound is
+                // always <= its ancestors', so innermost wins).
+                let (child, bound) = match n.search(key) {
+                    Ok(i) => (
+                        PageId(n.value_at(i)),
+                        (i + 1 < n.nkeys()).then(|| n.key_at(i + 1).to_vec()),
+                    ),
+                    Err(0) => (n.leftmost_child(), n.first_key().map(<[u8]>::to_vec)),
+                    Err(i) => {
+                        (PageId(n.value_at(i - 1)), (i < n.nkeys()).then(|| n.key_at(i).to_vec()))
+                    }
+                };
+                Some((child, bound))
+            })?;
+            match next {
+                Some((child, bound)) => {
+                    if bound.is_some() {
+                        upper = bound;
+                    }
+                    cur = child;
+                }
+                None => return Ok((cur, upper)),
+            }
+        }
+    }
+
+    /// Descends to the leaf owning the first key of `tail` (the sorted
+    /// remainder of a batch's order vector; `key_of` maps an order
+    /// entry to its key) and returns how many of `tail`'s leading keys
+    /// that leaf owns. Single-key tails skip the bound bookkeeping.
+    fn locate_run<'k>(
+        &self,
+        root: PageId,
+        key_of: impl Fn(usize) -> &'k [u8],
+        tail: &[usize],
+    ) -> Result<(PageId, usize)> {
+        let first = key_of(tail[0]);
+        if tail.len() == 1 {
+            return Ok((self.find_leaf(root, first)?, 1));
+        }
+        let (leaf, upper) = self.find_leaf_bounded(root, first)?;
+        let run = match upper {
+            Some(ub) => {
+                let mut e = 1;
+                while e < tail.len() && key_of(tail[e]) < ub.as_slice() {
+                    e += 1;
+                }
+                e
+            }
+            None => tail.len(),
+        };
+        Ok((leaf, run))
     }
 
     /// Point lookup without cache interaction.
@@ -424,9 +594,149 @@ impl BTree {
         Ok(out)
     }
 
-    /// Inserts `key → value`; returns the previous value when overwriting.
+    /// Inserts `key → value`; returns the previous value when
+    /// overwriting. Thin wrapper over a one-entry
+    /// [`BTree::insert_many`].
     pub fn insert(&self, key: &[u8], value: u64) -> Result<Option<u64>> {
-        self.check_key(key)?;
+        let mut r = self.insert_many(&[(key, value)])?;
+        Ok(r.pop().expect("one entry in, one result out"))
+    }
+
+    /// Inserts a batch of `(key, value)` entries; results (the previous
+    /// value when overwriting) are indexed like `entries`.
+    ///
+    /// The write analogue of [`BTree::get_many`]: keys are sorted and
+    /// grouped by destination leaf, so the batch pays one descent, one
+    /// leaf-latch acquisition, and one exclusive page access per
+    /// **distinct leaf** instead of per key. The sorted run each leaf
+    /// owns is bounded by the routing separators collected during the
+    /// descent ([`BTree::find_leaf_bounded`]), so no key is ever
+    /// applied to the wrong leaf. Writers on disjoint leaves proceed in
+    /// parallel under the structure lock's read side; a run that fills
+    /// its leaf escalates just that key to the write side (splitting as
+    /// needed) and resumes the fast path for the rest of the batch.
+    ///
+    /// Duplicate keys within one batch are rejected whole with
+    /// [`StorageError::DuplicateKeyInBatch`] **before** any mutation:
+    /// inside a single batch there is no meaningful "last writer", so
+    /// the ambiguity is surfaced instead of silently resolved.
+    pub fn insert_many<K: AsRef<[u8]>>(&self, entries: &[(K, u64)]) -> Result<Vec<Option<u64>>> {
+        for (k, _) in entries {
+            self.check_key(k.as_ref())?;
+        }
+        if entries.is_empty() {
+            return Ok(Vec::new());
+        }
+        if let [(key, value)] = entries {
+            // Batch of one (the `insert` wrapper's shape): same crab,
+            // none of the batch bookkeeping allocations — no order
+            // vector, no sort, no duplicate scan.
+            self.wstats.batches.fetch_add(1, Ordering::Relaxed);
+            self.wstats.keys.fetch_add(1, Ordering::Relaxed);
+            return Ok(vec![self.insert_one(key.as_ref(), *value)?]);
+        }
+        let mut order: Vec<usize> = (0..entries.len()).collect();
+        order.sort_by(|&a, &b| entries[a].0.as_ref().cmp(entries[b].0.as_ref()));
+        for w in order.windows(2) {
+            if entries[w[0]].0.as_ref() == entries[w[1]].0.as_ref() {
+                return Err(StorageError::duplicate_key(entries[w[0]].0.as_ref()));
+            }
+        }
+        self.wstats.batches.fetch_add(1, Ordering::Relaxed);
+        self.wstats.keys.fetch_add(entries.len() as u64, Ordering::Relaxed);
+        let mut out: Vec<Option<u64>> = vec![None; entries.len()];
+        let mut i = 0;
+        while i < order.len() {
+            let mut escalate = false;
+            {
+                // Fast path: crab under the shared structure lock,
+                // latching one leaf per sorted run. The guard is
+                // released every RUNS_PER_GUARD runs so an arbitrarily
+                // large batch cannot stall an escalating writer (and
+                // the readers queued behind it) for its whole length.
+                let root = self.root.read();
+                let mut runs = 0;
+                while i < order.len() && runs < RUNS_PER_GUARD {
+                    runs += 1;
+                    let (leaf, run) =
+                        self.locate_run(*root, |pos| entries[pos].0.as_ref(), &order[i..])?;
+                    let _latch = self.latches.lock(leaf);
+                    self.wstats.leaf_groups.fetch_add(1, Ordering::Relaxed);
+                    let applied = self.pool.with_page_mut(leaf, |p| {
+                        let mut n = NodeMut::new(p, self.key_size);
+                        let mut applied: Vec<(usize, Option<u64>)> = Vec::with_capacity(run);
+                        for &pos in &order[i..i + run] {
+                            let key = entries[pos].0.as_ref();
+                            let old = n.as_ref().search(key).ok().map(|j| n.as_ref().value_at(j));
+                            if n.insert(key, entries[pos].1) == InsertOutcome::NeedSplit {
+                                break;
+                            }
+                            applied.push((pos, old));
+                        }
+                        applied
+                    })?;
+                    let done = applied.len();
+                    for (pos, old) in applied {
+                        if let Some(o) = old {
+                            // Overwriting an existing pointer may strand
+                            // a cached entry for the old tuple id; a
+                            // predicate flushes it lazily.
+                            self.inv.invalidate(entries[pos].0.as_ref(), o.wrapping_add(1));
+                        }
+                        out[pos] = old;
+                    }
+                    i += done;
+                    if done < run {
+                        escalate = true;
+                        break;
+                    }
+                }
+            }
+            if escalate {
+                // Slow path: the leaf is full. Split under the exclusive
+                // structure lock for this one key, then resume crabbing.
+                let pos = order[i];
+                out[pos] = self.insert_escalated(entries[pos].0.as_ref(), entries[pos].1)?;
+                i += 1;
+            }
+        }
+        Ok(out)
+    }
+
+    /// One key through the crabbing fast path: shared structure lock,
+    /// leaf latch, leaf-local write; escalates on a full leaf. The
+    /// allocation-free core both `insert` and a one-entry
+    /// [`BTree::insert_many`] reduce to.
+    fn insert_one(&self, key: &[u8], value: u64) -> Result<Option<u64>> {
+        {
+            let root = self.root.read();
+            let leaf = self.find_leaf(*root, key)?;
+            let _latch = self.latches.lock(leaf);
+            self.wstats.leaf_groups.fetch_add(1, Ordering::Relaxed);
+            let (outcome, old) = self.pool.with_page_mut(leaf, |p| {
+                let mut n = NodeMut::new(p, self.key_size);
+                let old = n.as_ref().search(key).ok().map(|i| n.as_ref().value_at(i));
+                (n.insert(key, value), old)
+            })?;
+            if outcome != InsertOutcome::NeedSplit {
+                if let Some(o) = old {
+                    // Overwriting an existing pointer may strand a
+                    // cached entry for the old tuple id; a predicate
+                    // flushes it lazily.
+                    self.inv.invalidate(key, o.wrapping_add(1));
+                }
+                return Ok(old);
+            }
+        }
+        self.insert_escalated(key, value)
+    }
+
+    /// Escalated insert: takes the structure lock's write side (every
+    /// reader and fast-path writer drains first), re-descends, and
+    /// splits whatever is full along the way — the only place the
+    /// tree's shape changes.
+    fn insert_escalated(&self, key: &[u8], value: u64) -> Result<Option<u64>> {
+        self.wstats.escalations.fetch_add(1, Ordering::Relaxed);
         let mut guard = self.root.write();
         let root = *guard;
         let (old, split) = self.insert_rec(root, key, value)?;
@@ -533,15 +843,77 @@ impl BTree {
         Ok((sep, right))
     }
 
-    /// Removes `key`; returns its value if it was present.
+    /// Removes `key`; returns its value if it was present. Thin wrapper
+    /// over a one-key [`BTree::delete_many`].
     ///
     /// Underflowing nodes are left as-is (no merging) — the unused space
     /// this leaves behind is precisely what the index cache recycles.
     pub fn delete(&self, key: &[u8]) -> Result<Option<u64>> {
-        self.check_key(key)?;
-        let guard = self.root.write();
-        let leaf = self.find_leaf(*guard, key)?;
-        self.pool.with_page_mut(leaf, |p| Ok(NodeMut::new(p, self.key_size).delete(key)))?
+        let mut r = self.delete_many(&[key])?;
+        Ok(r.pop().expect("one key in, one result out"))
+    }
+
+    /// Removes a batch of keys; results (each key's value if it was
+    /// present) are indexed like `keys`.
+    ///
+    /// Same leaf grouping as [`BTree::insert_many`]. Deletes never
+    /// restructure the tree (underflow is left for the index cache to
+    /// recycle), so the whole batch runs under one shared
+    /// structure-lock acquisition with no escalation — deleters on
+    /// disjoint leaves proceed in parallel. Duplicate keys are
+    /// permitted and idempotent: the first occurrence (in input order)
+    /// removes the entry and later ones read as absent, matching the
+    /// equivalent loop of single deletes.
+    pub fn delete_many<K: AsRef<[u8]>>(&self, keys: &[K]) -> Result<Vec<Option<u64>>> {
+        for k in keys {
+            self.check_key(k.as_ref())?;
+        }
+        if keys.is_empty() {
+            return Ok(Vec::new());
+        }
+        self.wstats.batches.fetch_add(1, Ordering::Relaxed);
+        self.wstats.keys.fetch_add(keys.len() as u64, Ordering::Relaxed);
+        if let [key] = keys {
+            // Batch of one (the `delete` wrapper's shape): same crab,
+            // none of the batch bookkeeping allocations.
+            let key = key.as_ref();
+            let root = self.root.read();
+            let leaf = self.find_leaf(*root, key)?;
+            let _latch = self.latches.lock(leaf);
+            self.wstats.leaf_groups.fetch_add(1, Ordering::Relaxed);
+            let old =
+                self.pool.with_page_mut(leaf, |p| NodeMut::new(p, self.key_size).delete(key))?;
+            return Ok(vec![old]);
+        }
+        let mut order: Vec<usize> = (0..keys.len()).collect();
+        order.sort_by(|&a, &b| keys[a].as_ref().cmp(keys[b].as_ref()));
+        let mut out: Vec<Option<u64>> = vec![None; keys.len()];
+        let mut i = 0;
+        while i < order.len() {
+            // Like insert_many's fast path, the read guard is released
+            // every RUNS_PER_GUARD leaf runs so a huge batch cannot
+            // monopolize the structure lock.
+            let root = self.root.read();
+            let mut runs = 0;
+            while i < order.len() && runs < RUNS_PER_GUARD {
+                runs += 1;
+                let (leaf, run) = self.locate_run(*root, |pos| keys[pos].as_ref(), &order[i..])?;
+                let _latch = self.latches.lock(leaf);
+                self.wstats.leaf_groups.fetch_add(1, Ordering::Relaxed);
+                let removed = self.pool.with_page_mut(leaf, |p| {
+                    let mut n = NodeMut::new(p, self.key_size);
+                    order[i..i + run]
+                        .iter()
+                        .map(|&pos| (pos, n.delete(keys[pos].as_ref())))
+                        .collect::<Vec<_>>()
+                })?;
+                for (pos, old) in removed {
+                    out[pos] = old;
+                }
+                i += run;
+            }
+        }
+        Ok(out)
     }
 
     /// Updates the value of an existing key; returns false if absent.
@@ -550,6 +922,7 @@ impl BTree {
         self.check_key(key)?;
         let root = self.root.read();
         let leaf = self.find_leaf(*root, key)?;
+        let _latch = self.latches.lock(leaf);
         let old = self.pool.with_page_mut(leaf, |p| {
             let mut n = NodeMut::new(p, self.key_size);
             match n.as_ref().search(key) {
@@ -1070,6 +1443,16 @@ impl BTree {
             latch_giveups: self.stats.latch_giveups.load(Ordering::Relaxed),
             zeroings: self.stats.zeroings.load(Ordering::Relaxed),
             stale_skips: self.stats.stale_skips.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Write-path counters (batches, keys, leaf groups, escalations).
+    pub fn write_stats(&self) -> WriteStats {
+        WriteStats {
+            batches: self.wstats.batches.load(Ordering::Relaxed),
+            keys: self.wstats.keys.load(Ordering::Relaxed),
+            leaf_groups: self.wstats.leaf_groups.load(Ordering::Relaxed),
+            escalations: self.wstats.escalations.load(Ordering::Relaxed),
         }
     }
 

@@ -11,15 +11,28 @@
 //!   hot path (index-cache hit → no heap access), and updates/deletes
 //!   carry the §2.1.2 invalidation duties automatically. Reads are
 //!   fully concurrent (index→heap chases re-verify the fetched key, so
-//!   racing deletes read as absent); table-level mutators assume a
-//!   single writer per table, with index-structure writes serialized
-//!   per tree underneath;
+//!   racing deletes read as absent). Writers crab through per-leaf
+//!   latches underneath, so mutators on **disjoint keys** proceed in
+//!   parallel — across threads and across tables — with only
+//!   structural splits briefly excluding other tree users; concurrent
+//!   writers to the *same* key still need external coordination.
+//!   Batched mutators ([`table::Table::insert_many`] and the
+//!   `update_many`/`delete_many`/`put_many` family) validate up front
+//!   — duplicate in-batch keys surface
+//!   [`nbb_storage::error::StorageError::DuplicateKeyInBatch`] — and
+//!   amortize one descent + one leaf latch + one heap-page latch per
+//!   page touched, visible as `write_batches` vs `inserts` in
+//!   [`table::Table::stats`];
 //! * [`query`] — the handle-based query surface:
 //!   [`query::IndexRef`] handles from [`table::Table::index`] skip the
 //!   per-call name lookup; [`query::IndexRef::get_many`] /
-//!   [`query::IndexRef::project_many`] and [`query::Batch`] /
-//!   [`table::Table::execute`] amortize lock acquisitions and leaf
-//!   visits across N keys; [`query::IndexRef::range`] /
+//!   [`query::IndexRef::project_many`] and their write twins
+//!   [`query::IndexRef::put_many`] / [`query::IndexRef::update_many`]
+//!   / [`query::IndexRef::delete_many`] amortize lock acquisitions and
+//!   leaf visits across N keys; [`query::Batch`] /
+//!   [`table::Table::execute`] mix point reads and writes with a
+//!   documented put → update → delete → read order (a batch's reads
+//!   observe its writes); [`query::IndexRef::range`] /
 //!   [`query::IndexRef::range_projected`] walk sibling leaves in key
 //!   order, serving projections from leaf free space;
 //! * [`row`] — typed table declarations: [`row::RowSchema`] derives
@@ -55,10 +68,13 @@
 //! let db = Database::open(DbConfig::default());
 //! let t = db.create_table_with(&rows).unwrap();
 //! t.create_index(rows.index_spec("by_id", "id", &["views"]).unwrap()).unwrap();
-//! for id in 0..100i64 {
-//!     t.insert(&rows.encode(&[Value::Int(id), Value::Int(id * 10), Value::Int(1)]).unwrap())
-//!         .unwrap();
-//! }
+//! // Load through the batched write path: one validated batch, one
+//! // descent per destination leaf instead of per row.
+//! let load: Vec<Vec<u8>> = (0..100i64)
+//!     .map(|id| rows.encode(&[Value::Int(id), Value::Int(id * 10), Value::Int(1)]).unwrap())
+//!     .collect();
+//! t.insert_many(&load).unwrap();
+//! assert_eq!(t.stats().write_batches, 1);
 //!
 //! // Resolve the index once; query through the handle.
 //! let by_id = t.index("by_id").unwrap();
@@ -81,11 +97,25 @@
 //!     by_id.range(&lo[..]..&hi[..]).map(|r| r.unwrap().tuple).collect();
 //! assert_eq!(in_range.len(), 10);
 //!
-//! // Heterogeneous point ops group per index through Table::execute.
+//! // Heterogeneous point ops — reads AND writes — group per index
+//! // through Table::execute. Writes apply before reads (put → update
+//! // → delete → read), so the batch's reads observe its writes.
+//! let fresh = rows.encode(&[Value::Int(100), Value::Int(0), Value::Int(1)]).unwrap();
+//! let k100 = rows.key("id", &Value::Int(100)).unwrap();
 //! let out = t
-//!     .execute(Batch::new().get("by_id", &keys[0]).project("by_id", &keys[1]))
+//!     .execute(
+//!         Batch::new()
+//!             .put("by_id", &fresh)
+//!             .delete("by_id", &keys[0])
+//!             .get("by_id", &k100)       // sees the put
+//!             .get("by_id", &keys[0])    // sees the delete
+//!             .project("by_id", &keys[1]),
+//!     )
 //!     .unwrap();
-//! assert!(out[0].tuple().is_some() && out[1].projection().is_some());
+//! assert!(out[0].rid().is_some());
+//! assert_eq!(out[1].applied(), Some(true));
+//! assert!(out[2].tuple().is_some() && out[3].tuple().is_none());
+//! assert!(out[4].projection().is_some());
 //! ```
 
 #![warn(missing_docs)]

@@ -17,8 +17,14 @@
 //! name once to a [`crate::query::IndexRef`], whose point, batched
 //! (`get_many` / `project_many` / [`Table::execute`]) and range-cursor
 //! operations skip the per-call name lookup and amortize lock work.
-//! The string-keyed `*_via_index` methods remain as thin compatibility
-//! wrappers over the same paths.
+//! Writes batch the same way: [`Table::insert_many`] and the
+//! `put_many` / `update_many` / `delete_many` family validate up front
+//! (duplicate in-batch keys are a named error), append heap tuples one
+//! page latch per tail page, and maintain every index through the
+//! B+Tree's sorted, leaf-grouped multi-key ops — writers on disjoint
+//! keys proceed in parallel under per-leaf latches. The single-key
+//! mutators and the string-keyed `*_via_index` methods remain as thin
+//! compatibility wrappers over the same paths.
 
 use nbb_btree::{BTree, BTreeOptions, CacheConfig};
 use nbb_storage::error::{Result, StorageError};
@@ -96,6 +102,17 @@ impl IndexSpec {
     }
 }
 
+/// Sorts `keys` in place and rejects the batch when any two collide
+/// ([`StorageError::DuplicateKeyInBatch`]) — the shared up-front guard
+/// of every batched write path.
+fn reject_duplicate_keys(keys: &mut [&[u8]]) -> Result<()> {
+    keys.sort_unstable();
+    if let Some(w) = keys.windows(2).find(|w| w[0] == w[1]) {
+        return Err(StorageError::duplicate_key(w[0]));
+    }
+    Ok(())
+}
+
 pub(crate) struct Index {
     pub(crate) spec: IndexSpec,
     pub(crate) tree: BTree,
@@ -133,6 +150,13 @@ pub struct TableStats {
     pub updates: u64,
     /// Tuples deleted.
     pub deletes: u64,
+    /// Logical write batches executed. A leaf-grouped multi-op
+    /// ([`Table::insert_many`], `update_many`, `delete_many`, or one
+    /// write group of a [`crate::query::Batch`]) counts as **one**
+    /// batch here while still counting each tuple above, so
+    /// `inserts / write_batches` is the visible amortization factor —
+    /// a loop of N single-tuple calls shows as N batches of one.
+    pub write_batches: u64,
 }
 
 /// A fixed-width-tuple table with cached secondary indexes.
@@ -147,6 +171,7 @@ pub struct Table {
     inserts: AtomicU64,
     updates: AtomicU64,
     deletes: AtomicU64,
+    write_batches: AtomicU64,
 }
 
 impl Table {
@@ -173,6 +198,7 @@ impl Table {
             inserts: AtomicU64::new(0),
             updates: AtomicU64::new(0),
             deletes: AtomicU64::new(0),
+            write_batches: AtomicU64::new(0),
         })
     }
 
@@ -198,6 +224,7 @@ impl Table {
             inserts: AtomicU64::new(0),
             updates: AtomicU64::new(0),
             deletes: AtomicU64::new(0),
+            write_batches: AtomicU64::new(0),
         };
         for (spec, root) in indexes {
             t.check_spec(&spec)?;
@@ -364,7 +391,7 @@ impl Table {
         Ok(Arc::new(IndexHandle { idx }))
     }
 
-    fn check_tuple(&self, tuple: &[u8]) -> Result<()> {
+    pub(crate) fn check_tuple(&self, tuple: &[u8]) -> Result<()> {
         if tuple.len() != self.tuple_width {
             return Err(StorageError::Corrupt(format!(
                 "tuple width {} != declared {}",
@@ -375,15 +402,67 @@ impl Table {
         Ok(())
     }
 
-    /// Inserts a tuple, maintaining every index.
+    /// Inserts a tuple, maintaining every index. Thin wrapper over a
+    /// one-tuple [`Table::insert_many`].
     pub fn insert(&self, tuple: &[u8]) -> Result<RecordId> {
-        self.check_tuple(tuple)?;
-        let rid = self.heap.insert(tuple)?;
-        for idx in self.indexes.read().values() {
-            idx.tree.insert(idx.spec.key.extract(tuple), rid.to_u64())?;
+        let mut rids = self.insert_many(std::slice::from_ref(&tuple))?;
+        Ok(rids.pop().expect("one tuple in, one rid out"))
+    }
+
+    /// Inserts a batch of tuples, returning their heap addresses
+    /// indexed like `tuples`, maintaining every index through the
+    /// sorted multi-key tree path.
+    ///
+    /// Validation happens **up front**, before any page is touched:
+    /// every tuple must match the declared width, and no two tuples in
+    /// the batch may collide on any index's key bytes — within one
+    /// batch there is no meaningful "last writer", so collisions are
+    /// rejected whole with [`StorageError::DuplicateKeyInBatch`]
+    /// instead of silently resolved. After validation the heap appends
+    /// ride one page latch per tail page ([`HeapFile::append_many`])
+    /// and each index applies its entries via
+    /// [`nbb_btree::BTree::insert_many`]: one descent plus one
+    /// leaf-latch acquisition per destination leaf instead of per
+    /// tuple. The whole call counts as **one** logical write batch in
+    /// [`Table::stats`].
+    pub fn insert_many<T: AsRef<[u8]>>(&self, tuples: &[T]) -> Result<Vec<RecordId>> {
+        for t in tuples {
+            self.check_tuple(t.as_ref())?;
         }
-        self.inserts.fetch_add(1, Ordering::Relaxed);
-        Ok(rid)
+        if tuples.is_empty() {
+            return Ok(Vec::new());
+        }
+        if let [t] = tuples {
+            // Batch of one (the `insert` wrapper's shape): the direct
+            // path, none of the batch bookkeeping allocations — no
+            // index snapshot, no key vectors, no (vacuous) dup scan.
+            let t = t.as_ref();
+            let rid = self.heap.insert(t)?;
+            for idx in self.indexes.read().values() {
+                idx.tree.insert(idx.spec.key.extract(t), rid.to_u64())?;
+            }
+            self.inserts.fetch_add(1, Ordering::Relaxed);
+            self.write_batches.fetch_add(1, Ordering::Relaxed);
+            return Ok(vec![rid]);
+        }
+        let indexes: Vec<Arc<Index>> = self.indexes.read().values().cloned().collect();
+        for idx in &indexes {
+            let mut keys: Vec<&[u8]> =
+                tuples.iter().map(|t| idx.spec.key.extract(t.as_ref())).collect();
+            reject_duplicate_keys(&mut keys)?;
+        }
+        let rids = self.heap.append_many(tuples)?;
+        for idx in &indexes {
+            let entries: Vec<(&[u8], u64)> = tuples
+                .iter()
+                .zip(&rids)
+                .map(|(t, rid)| (idx.spec.key.extract(t.as_ref()), rid.to_u64()))
+                .collect();
+            idx.tree.insert_many(&entries)?;
+        }
+        self.inserts.fetch_add(tuples.len() as u64, Ordering::Relaxed);
+        self.write_batches.fetch_add(1, Ordering::Relaxed);
+        Ok(rids)
     }
 
     /// Fetches the heap tuple behind an index hit, tolerating the
@@ -470,28 +549,164 @@ impl Table {
         self.update_with(&idx, key, tuple)
     }
 
+    /// Single-pair wrapper over [`Table::update_many_with`].
     pub(crate) fn update_with(&self, idx: &Index, key: &[u8], tuple: &[u8]) -> Result<bool> {
-        self.check_tuple(tuple)?;
-        let Some(ptr) = idx.tree.get(key)? else { return Ok(false) };
-        let rid = RecordId::from_u64(ptr);
-        let old = self.heap.get(rid)?;
-        self.heap.update(rid, tuple)?;
-        for other in self.indexes.read().values() {
-            let old_key = other.spec.key.extract(&old);
-            let new_key = other.spec.key.extract(tuple);
-            if old_key != new_key {
-                other.tree.delete(old_key)?;
-                other.tree.insert(new_key, ptr)?;
-                continue;
-            }
-            if !other.spec.cached_fields.is_empty()
-                && other.extract_payload(&old) != other.extract_payload(tuple)
-            {
-                other.tree.invalidate(new_key, ptr)?;
+        let mut r = self.update_many_with(idx, &[(key, tuple)])?;
+        Ok(r.pop().expect("one pair in, one result out"))
+    }
+
+    /// Batched key-based update; see
+    /// [`crate::query::IndexRef::update_many`], which this implements.
+    ///
+    /// Per pair the semantics match the single-key update: absent keys
+    /// (including rows lost to a racing deleter) report `false`, heap
+    /// tuples update in place (RIDs stay stable), and every index gets
+    /// its §2.1.2 consistency duty — an invalidation predicate when
+    /// cached fields changed, a delete+insert when key bytes changed.
+    /// The batch amortizes: one [`nbb_btree::BTree::get_many`] resolves
+    /// all pointers, old tuples ride one batched heap read, and each
+    /// index's maintenance lands as one leaf-grouped `delete_many` +
+    /// `insert_many` (deletes before inserts, so key rotations within a
+    /// batch — a→b, b→c — resolve deterministically instead of
+    /// depending on op order).
+    ///
+    /// Duplicate keys are rejected whole with
+    /// [`StorageError::DuplicateKeyInBatch`] before anything mutates —
+    /// both duplicate *input* keys (two updates to the same key in one
+    /// batch have no defined order) and two rows updating into the
+    /// same **new** key on any index (a loop of singles would silently
+    /// leave that index pointing at whichever row ran last; the batch
+    /// surfaces the collision instead).
+    pub(crate) fn update_many_with<K: AsRef<[u8]>, T: AsRef<[u8]>>(
+        &self,
+        idx: &Index,
+        pairs: &[(K, T)],
+    ) -> Result<Vec<bool>> {
+        for (_, t) in pairs {
+            self.check_tuple(t.as_ref())?;
+        }
+        if pairs.is_empty() {
+            return Ok(Vec::new());
+        }
+        {
+            let mut keys: Vec<&[u8]> = pairs.iter().map(|(k, _)| k.as_ref()).collect();
+            reject_duplicate_keys(&mut keys)?;
+        }
+        let keys: Vec<&[u8]> = pairs.iter().map(|(k, _)| k.as_ref()).collect();
+        let ptrs = idx.tree.get_many(&keys)?;
+        let mut positions = Vec::new();
+        let mut rids = Vec::new();
+        for (i, ptr) in ptrs.iter().enumerate() {
+            if let Some(p) = ptr {
+                positions.push(i);
+                rids.push(RecordId::from_u64(*p));
             }
         }
-        self.updates.fetch_add(1, Ordering::Relaxed);
-        Ok(true)
+        let olds = self.heap.get_many(&rids)?;
+        // (position, rid, old tuple) for rows that survive the usual
+        // index→heap re-verification; racing deletes read as absent.
+        let mut rows: Vec<(usize, RecordId, Vec<u8>)> = Vec::new();
+        for ((&i, rid), old) in positions.iter().zip(&rids).zip(olds) {
+            let Some(o) = old else { continue };
+            if idx.spec.key.extract(&o) != keys[i] {
+                continue;
+            }
+            rows.push((i, *rid, o));
+        }
+        let out = self.apply_verified_updates(rows, |i| pairs[i].1.as_ref(), pairs.len())?;
+        self.write_batches.fetch_add(1, Ordering::Relaxed);
+        Ok(out)
+    }
+
+    /// Shared tail of the batched update path (used by
+    /// [`Table::update_many_with`] and the update leg of
+    /// [`Table::put_many_with`], which resolves and verifies rows
+    /// itself to avoid a second descent + heap read).
+    ///
+    /// `rows` are `(out position, rid, old tuple)` entries that already
+    /// passed index→heap re-verification; `new_of` maps an out position
+    /// to its replacement tuple. Validates the planned index effects,
+    /// applies heap updates (a racing deleter drops just its row),
+    /// performs grouped per-index maintenance, and returns which of the
+    /// `n_out` positions landed.
+    fn apply_verified_updates<'k>(
+        &self,
+        rows: Vec<(usize, RecordId, Vec<u8>)>,
+        new_of: impl Fn(usize) -> &'k [u8],
+        n_out: usize,
+    ) -> Result<Vec<bool>> {
+        if rows.is_empty() {
+            return Ok(vec![false; n_out]);
+        }
+        // Validate the batch's index effects BEFORE mutating anything:
+        // two rows updating into the same new key — or a changed key
+        // landing on a key another row keeps in place — would make the
+        // planned insert silently overwrite (or `insert_many` reject
+        // mid-batch, stranding an index with neither entry). Kept keys
+        // colliding with each other are a pre-existing non-unique-index
+        // state, not this batch's doing, and stay legal.
+        let indexes: Vec<Arc<Index>> = self.indexes.read().values().cloned().collect();
+        for other in &indexes {
+            let mut changed: Vec<&[u8]> = Vec::new();
+            let mut kept: Vec<&[u8]> = Vec::new();
+            for (i, _, old) in &rows {
+                let new_key = other.spec.key.extract(new_of(*i));
+                if other.spec.key.extract(old) != new_key {
+                    changed.push(new_key);
+                } else {
+                    kept.push(new_key);
+                }
+            }
+            reject_duplicate_keys(&mut changed)?;
+            kept.sort_unstable();
+            if let Some(k) = changed.iter().find(|k| kept.binary_search(k).is_ok()) {
+                return Err(StorageError::duplicate_key(k));
+            }
+        }
+        // Heap writes in place. A row whose slot a racing deleter freed
+        // between re-verification and here is dropped from the batch
+        // (reported `false`, like every other lost race) instead of
+        // aborting with earlier rows half-maintained.
+        let mut survivors: Vec<(usize, RecordId, Vec<u8>)> = Vec::with_capacity(rows.len());
+        for (i, rid, old) in rows {
+            match self.heap.update(rid, new_of(i)) {
+                Ok(()) => survivors.push((i, rid, old)),
+                Err(StorageError::InvalidSlot { .. }) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        // Index maintenance for the rows that landed, grouped per
+        // index: deletes before inserts, so key rotations within one
+        // batch (a→b, b→c) resolve deterministically.
+        for other in &indexes {
+            let mut dels: Vec<&[u8]> = Vec::new();
+            let mut inss: Vec<(&[u8], u64)> = Vec::new();
+            let mut invs: Vec<(&[u8], u64)> = Vec::new();
+            for (i, rid, old) in &survivors {
+                let new_tuple = new_of(*i);
+                let old_key = other.spec.key.extract(old);
+                let new_key = other.spec.key.extract(new_tuple);
+                if old_key != new_key {
+                    dels.push(old_key);
+                    inss.push((new_key, rid.to_u64()));
+                } else if !other.spec.cached_fields.is_empty()
+                    && other.extract_payload(old) != other.extract_payload(new_tuple)
+                {
+                    invs.push((new_key, rid.to_u64()));
+                }
+            }
+            other.tree.delete_many(&dels)?;
+            other.tree.insert_many(&inss)?;
+            for (k, ptr) in invs {
+                other.tree.invalidate(k, ptr)?;
+            }
+        }
+        let mut out = vec![false; n_out];
+        for (i, _, _) in &survivors {
+            out[*i] = true;
+        }
+        self.updates.fetch_add(survivors.len() as u64, Ordering::Relaxed);
+        Ok(out)
     }
 
     /// Deletes the tuple with index key `key` (via `index`).
@@ -503,19 +718,207 @@ impl Table {
         self.delete_with(&idx, key)
     }
 
+    /// Single-key wrapper over [`Table::delete_many_with`].
     pub(crate) fn delete_with(&self, idx: &Index, key: &[u8]) -> Result<bool> {
-        let Some(ptr) = idx.tree.get(key)? else { return Ok(false) };
-        let rid = RecordId::from_u64(ptr);
-        let tuple = self.heap.get(rid)?;
-        for other in self.indexes.read().values() {
-            let k = other.spec.key.extract(&tuple);
-            other.tree.delete(k)?;
-            // Drop any cached entry for this pointer (RID reuse safety).
-            other.tree.invalidate(k, ptr)?;
+        let mut r = self.delete_many_with(idx, std::slice::from_ref(&key))?;
+        Ok(r.pop().expect("one key in, one result out"))
+    }
+
+    /// Batched key-based delete; see
+    /// [`crate::query::IndexRef::delete_many`], which this implements.
+    ///
+    /// One [`nbb_btree::BTree::get_many`] resolves every pointer, the
+    /// doomed tuples ride one batched heap read, and each index drops
+    /// its entries through one leaf-grouped
+    /// [`nbb_btree::BTree::delete_many`] (plus the RID-reuse
+    /// invalidation predicates) before the heap slots are freed —
+    /// index first, heap second, the same ordering as the single-key
+    /// path. Absent keys (and rows lost to a racing deleter) report
+    /// `false`. Duplicate keys in one batch are idempotent: the first
+    /// occurrence deletes the row, later ones report `false`, matching
+    /// the equivalent loop.
+    pub(crate) fn delete_many_with<K: AsRef<[u8]>>(
+        &self,
+        idx: &Index,
+        keys: &[K],
+    ) -> Result<Vec<bool>> {
+        if keys.is_empty() {
+            return Ok(Vec::new());
         }
-        self.heap.delete(rid)?;
-        self.deletes.fetch_add(1, Ordering::Relaxed);
-        Ok(true)
+        let ptrs = idx.tree.get_many(keys)?;
+        let mut positions = Vec::new();
+        let mut rids = Vec::new();
+        for (i, ptr) in ptrs.iter().enumerate() {
+            if let Some(p) = ptr {
+                positions.push(i);
+                rids.push(RecordId::from_u64(*p));
+            }
+        }
+        let tuples = self.heap.get_many(&rids)?;
+        // (position, rid, tuple) per doomed row; re-verify keys and
+        // dedupe rids so a key listed twice deletes once.
+        let mut victims: Vec<(usize, RecordId, Vec<u8>)> = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        for ((&i, rid), tuple) in positions.iter().zip(&rids).zip(tuples) {
+            let Some(t) = tuple else { continue };
+            if idx.spec.key.extract(&t) != keys[i].as_ref() {
+                continue;
+            }
+            if !seen.insert(rid.to_u64()) {
+                continue;
+            }
+            victims.push((i, *rid, t));
+        }
+        let indexes: Vec<Arc<Index>> = self.indexes.read().values().cloned().collect();
+        for other in &indexes {
+            let del_keys: Vec<&[u8]> =
+                victims.iter().map(|(_, _, t)| other.spec.key.extract(t)).collect();
+            other.tree.delete_many(&del_keys)?;
+            // Drop any cached entry for these pointers (RID reuse
+            // safety).
+            for (_, rid, t) in &victims {
+                other.tree.invalidate(other.spec.key.extract(t), rid.to_u64())?;
+            }
+        }
+        let mut out = vec![false; keys.len()];
+        let mut deleted = 0u64;
+        for (i, rid, _) in &victims {
+            match self.heap.delete(*rid) {
+                Ok(()) => {
+                    out[*i] = true;
+                    deleted += 1;
+                }
+                // A racing deleter freed the slot first: that row reads
+                // as `false` (the race's winner reports it), matching
+                // the documented tolerance instead of aborting a batch
+                // whose earlier victims already landed.
+                Err(StorageError::InvalidSlot { .. }) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        self.deletes.fetch_add(deleted, Ordering::Relaxed);
+        self.write_batches.fetch_add(1, Ordering::Relaxed);
+        Ok(out)
+    }
+
+    /// Batched upsert through one index; see
+    /// [`crate::query::IndexRef::put_many`], which this implements.
+    ///
+    /// Each tuple's key (as declared by `idx`) decides its fate: keys
+    /// already present update their row in place (keeping its RID,
+    /// with full index maintenance), absent keys insert fresh rows; an
+    /// update leg that loses to a racing deleter falls back to an
+    /// insert, so every tuple lands. Returns each tuple's landing
+    /// address, indexed like `tuples`. Duplicate keys surface
+    /// [`StorageError::DuplicateKeyInBatch`] before anything mutates —
+    /// on this index's keys, and across both legs on every index's
+    /// keys the batch will write (two fresh tuples, two key-changing
+    /// updates, or one of each landing on the same secondary key, as
+    /// well as any of those landing on a key an update keeps in
+    /// place); only a fallback insert created by a racing same-key
+    /// deleter can still fail after the update leg ran. Decomposes
+    /// into (up to) one update batch and one insert batch in
+    /// [`Table::stats`].
+    pub(crate) fn put_many_with<T: AsRef<[u8]>>(
+        &self,
+        idx: &Index,
+        tuples: &[T],
+    ) -> Result<Vec<RecordId>> {
+        for t in tuples {
+            self.check_tuple(t.as_ref())?;
+        }
+        if tuples.is_empty() {
+            return Ok(Vec::new());
+        }
+        {
+            let mut keys: Vec<&[u8]> =
+                tuples.iter().map(|t| idx.spec.key.extract(t.as_ref())).collect();
+            reject_duplicate_keys(&mut keys)?;
+        }
+        let keys: Vec<&[u8]> = tuples.iter().map(|t| idx.spec.key.extract(t.as_ref())).collect();
+        let ptrs = idx.tree.get_many(&keys)?;
+        let mut update_rids: Vec<(usize, RecordId)> = Vec::new();
+        let mut insert_positions: Vec<usize> = Vec::new();
+        let mut inserts: Vec<&[u8]> = Vec::new();
+        for (i, ptr) in ptrs.iter().enumerate() {
+            match ptr {
+                Some(p) => update_rids.push((i, RecordId::from_u64(*p))),
+                None => {
+                    insert_positions.push(i);
+                    inserts.push(tuples[i].as_ref());
+                }
+            }
+        }
+        // Pre-validate the batch's combined index effects — across BOTH
+        // legs — before anything mutates: any key this batch will write
+        // (an insert-leg key, or an update-leg key that changes) must
+        // collide with no other written key and with no key an update
+        // keeps in place, on every index. Without the cross-leg check a
+        // fresh tuple and an updated row landing on the same secondary
+        // key would silently overwrite one another's entries. This
+        // needs the update rows' old tuples, read (and re-verified)
+        // here; rows that fail verification behave as inserts. The
+        // verified rows then feed the update leg directly, so the leg
+        // costs one descent and one heap read, not two of each.
+        let rids: Vec<RecordId> = update_rids.iter().map(|(_, rid)| *rid).collect();
+        let olds = self.heap.get_many(&rids)?;
+        let mut update_rows: Vec<(usize, RecordId, Vec<u8>)> = Vec::new();
+        for (&(i, rid), old) in update_rids.iter().zip(olds) {
+            match old {
+                Some(o) if idx.spec.key.extract(&o) == keys[i] => {
+                    update_rows.push((i, rid, o));
+                }
+                // Lost to a racing deleter already: insert it fresh.
+                _ => {
+                    insert_positions.push(i);
+                    inserts.push(tuples[i].as_ref());
+                }
+            }
+        }
+        let indexes: Vec<Arc<Index>> = self.indexes.read().values().cloned().collect();
+        for other in &indexes {
+            let mut written: Vec<&[u8]> =
+                inserts.iter().map(|t| other.spec.key.extract(t)).collect();
+            let mut kept: Vec<&[u8]> = Vec::new();
+            for (i, _, old) in &update_rows {
+                let new_key = other.spec.key.extract(tuples[*i].as_ref());
+                if other.spec.key.extract(old) == new_key {
+                    kept.push(new_key);
+                } else {
+                    written.push(new_key);
+                }
+            }
+            reject_duplicate_keys(&mut written)?;
+            kept.sort_unstable();
+            if let Some(k) = written.iter().find(|k| kept.binary_search(k).is_ok()) {
+                return Err(StorageError::duplicate_key(k));
+            }
+        }
+        let mut out = vec![RecordId::from_u64(0); tuples.len()];
+        // Apply the update leg on the rows verified above. A leg that
+        // loses to a racing deleter between that read and the heap
+        // write falls back to the insert leg — put is an upsert, so
+        // every tuple must land either way.
+        let upd_rids: Vec<(usize, RecordId)> =
+            update_rows.iter().map(|(i, rid, _)| (*i, *rid)).collect();
+        let applied =
+            self.apply_verified_updates(update_rows, |i| tuples[i].as_ref(), tuples.len())?;
+        if !upd_rids.is_empty() {
+            self.write_batches.fetch_add(1, Ordering::Relaxed);
+        }
+        for (i, rid) in upd_rids {
+            if applied[i] {
+                out[i] = rid;
+            } else {
+                insert_positions.push(i);
+                inserts.push(tuples[i].as_ref());
+            }
+        }
+        let new_rids = self.insert_many(&inserts)?;
+        for (&i, rid) in insert_positions.iter().zip(new_rids) {
+            out[i] = rid;
+        }
+        Ok(out)
     }
 
     /// Batched full-tuple lookup; see
@@ -637,6 +1040,7 @@ impl Table {
             inserts: self.inserts.load(Ordering::Relaxed),
             updates: self.updates.load(Ordering::Relaxed),
             deletes: self.deletes.load(Ordering::Relaxed),
+            write_batches: self.write_batches.load(Ordering::Relaxed),
         }
     }
 }
@@ -822,6 +1226,303 @@ mod tests {
         assert!(t.create_index(IndexSpec::plain("oob", FieldSpec::new(30, 8))).is_err());
         assert!(t.insert(&[0u8; 10]).is_err());
         assert!(t.get_via_index("nope", &[0u8; 8]).is_err());
+    }
+
+    #[test]
+    fn insert_many_round_trips_and_counts_one_batch() {
+        let t = table_with_cached_index();
+        let tuples: Vec<Vec<u8>> = (0..500u64).map(|i| tuple(i, i % 7, i * 3)).collect();
+        let rids = t.insert_many(&tuples).unwrap();
+        assert_eq!(rids.len(), 500);
+        for i in (0..500u64).step_by(41) {
+            assert_eq!(
+                t.get_via_index("by_id", &i.to_be_bytes()).unwrap().unwrap(),
+                tuple(i, i % 7, i * 3)
+            );
+        }
+        let s = t.stats();
+        assert_eq!(s.inserts, 500, "every tuple counted");
+        assert_eq!(s.write_batches, 1, "one logical batch, not 500");
+    }
+
+    #[test]
+    fn insert_many_duplicate_key_rejected_before_any_mutation() {
+        let t = table_with_cached_index();
+        let batch = vec![tuple(1, 0, 10), tuple(2, 0, 20), tuple(1, 0, 99)];
+        let err = t.insert_many(&batch).unwrap_err();
+        assert!(
+            matches!(err, StorageError::DuplicateKeyInBatch { .. }),
+            "want the named duplicate error, got {err:?}"
+        );
+        // Nothing was applied: no heap rows, no index entries, no stats.
+        assert_eq!(t.heap().live_tuple_count().unwrap(), 0);
+        assert!(t.get_via_index("by_id", &1u64.to_be_bytes()).unwrap().is_none());
+        assert_eq!(t.stats().inserts, 0);
+        assert_eq!(t.stats().write_batches, 0);
+    }
+
+    #[test]
+    fn update_many_applies_all_and_reports_absentees() {
+        let t = table_with_cached_index();
+        t.insert_many(&(0..50u64).map(|i| tuple(i, 0, i)).collect::<Vec<_>>()).unwrap();
+        let idx = t.find_index("by_id").unwrap();
+        let pairs: Vec<(Vec<u8>, Vec<u8>)> =
+            (40..60u64).map(|i| (i.to_be_bytes().to_vec(), tuple(i, 1, i + 1000))).collect();
+        let applied = t.update_many_with(&idx, &pairs).unwrap();
+        for (j, i) in (40..60u64).enumerate() {
+            assert_eq!(applied[j], i < 50, "key {i}");
+        }
+        assert_eq!(
+            t.get_via_index("by_id", &43u64.to_be_bytes()).unwrap().unwrap(),
+            tuple(43, 1, 1043)
+        );
+        assert!(t.get_via_index("by_id", &55u64.to_be_bytes()).unwrap().is_none());
+        assert_eq!(t.stats().updates, 10);
+        // 1 insert batch + 1 update batch.
+        assert_eq!(t.stats().write_batches, 2);
+    }
+
+    #[test]
+    fn update_many_key_rotation_is_deterministic() {
+        // a→b while b→c in ONE batch: per-index deletes apply before
+        // inserts, so both rows survive under their new keys — a loop
+        // of single updates would order-dependently lose one.
+        let (hp, ip) = pools();
+        let t = Table::create("t", 32, hp, ip).unwrap();
+        t.create_index(IndexSpec::plain("by_id", FieldSpec::new(0, 8))).unwrap();
+        t.insert(&tuple(1, 0, 100)).unwrap();
+        t.insert(&tuple(2, 0, 200)).unwrap();
+        let idx = t.find_index("by_id").unwrap();
+        let pairs: Vec<(Vec<u8>, Vec<u8>)> = vec![
+            (1u64.to_be_bytes().to_vec(), tuple(2, 0, 100)), // 1 → 2
+            (2u64.to_be_bytes().to_vec(), tuple(3, 0, 200)), // 2 → 3
+        ];
+        assert_eq!(t.update_many_with(&idx, &pairs).unwrap(), vec![true, true]);
+        assert!(t.get_via_index("by_id", &1u64.to_be_bytes()).unwrap().is_none());
+        assert_eq!(
+            t.get_via_index("by_id", &2u64.to_be_bytes()).unwrap().unwrap(),
+            tuple(2, 0, 100)
+        );
+        assert_eq!(
+            t.get_via_index("by_id", &3u64.to_be_bytes()).unwrap().unwrap(),
+            tuple(3, 0, 200)
+        );
+    }
+
+    #[test]
+    fn update_many_duplicate_key_rejected() {
+        let t = table_with_cached_index();
+        t.insert(&tuple(1, 0, 100)).unwrap();
+        let idx = t.find_index("by_id").unwrap();
+        let pairs: Vec<(Vec<u8>, Vec<u8>)> = vec![
+            (1u64.to_be_bytes().to_vec(), tuple(1, 0, 111)),
+            (1u64.to_be_bytes().to_vec(), tuple(1, 0, 222)),
+        ];
+        assert!(matches!(
+            t.update_many_with(&idx, &pairs),
+            Err(StorageError::DuplicateKeyInBatch { .. })
+        ));
+        assert_eq!(
+            t.get_via_index("by_id", &1u64.to_be_bytes()).unwrap().unwrap(),
+            tuple(1, 0, 100),
+            "rejected batch must not touch the row"
+        );
+    }
+
+    #[test]
+    fn update_many_new_key_collision_rejected_before_mutation() {
+        // Distinct input keys whose NEW tuples collide on a secondary
+        // index's key: must fail whole with the named error before any
+        // heap or index mutation (mid-batch failure would strand the
+        // secondary index with neither the old nor the new entries).
+        let (hp, ip) = pools();
+        let t = Table::create("t", 32, hp, ip).unwrap();
+        t.create_index(IndexSpec::plain("by_id", FieldSpec::new(0, 8))).unwrap();
+        t.create_index(IndexSpec::plain("by_group", FieldSpec::new(8, 8))).unwrap();
+        t.insert(&tuple(1, 10, 100)).unwrap();
+        t.insert(&tuple(2, 20, 200)).unwrap();
+        let idx = t.find_index("by_id").unwrap();
+        let pairs: Vec<(Vec<u8>, Vec<u8>)> = vec![
+            (1u64.to_be_bytes().to_vec(), tuple(1, 30, 100)), // group 10 → 30
+            (2u64.to_be_bytes().to_vec(), tuple(2, 30, 200)), // group 20 → 30: collision
+        ];
+        let err = t.update_many_with(&idx, &pairs).unwrap_err();
+        assert!(matches!(err, StorageError::DuplicateKeyInBatch { .. }), "got {err:?}");
+        // Nothing moved: heap rows and both index views are intact.
+        assert_eq!(
+            t.get_via_index("by_id", &1u64.to_be_bytes()).unwrap().unwrap(),
+            tuple(1, 10, 100)
+        );
+        assert_eq!(
+            t.get_via_index("by_id", &2u64.to_be_bytes()).unwrap().unwrap(),
+            tuple(2, 20, 200)
+        );
+        assert!(t.get_via_index("by_group", &10u64.to_be_bytes()).unwrap().is_some());
+        assert!(t.get_via_index("by_group", &20u64.to_be_bytes()).unwrap().is_some());
+        assert!(t.get_via_index("by_group", &30u64.to_be_bytes()).unwrap().is_none());
+        assert_eq!(t.stats().updates, 0);
+    }
+
+    #[test]
+    fn update_many_changed_key_colliding_with_kept_key_rejected() {
+        // Row 1 moves its id to 2 while row 2 keeps id 2 in the same
+        // batch: the planned insert would silently overwrite row 2's
+        // entry, so the batch must be rejected whole.
+        let (hp, ip) = pools();
+        let t = Table::create("t", 32, hp, ip).unwrap();
+        t.create_index(IndexSpec::plain("by_id", FieldSpec::new(0, 8))).unwrap();
+        t.insert(&tuple(1, 10, 100)).unwrap();
+        t.insert(&tuple(2, 20, 200)).unwrap();
+        let idx = t.find_index("by_id").unwrap();
+        let pairs: Vec<(Vec<u8>, Vec<u8>)> = vec![
+            (1u64.to_be_bytes().to_vec(), tuple(2, 10, 100)), // id 1 → 2
+            (2u64.to_be_bytes().to_vec(), tuple(2, 99, 200)), // id stays 2
+        ];
+        let err = t.update_many_with(&idx, &pairs).unwrap_err();
+        assert!(matches!(err, StorageError::DuplicateKeyInBatch { .. }), "got {err:?}");
+        assert_eq!(
+            t.get_via_index("by_id", &1u64.to_be_bytes()).unwrap().unwrap(),
+            tuple(1, 10, 100)
+        );
+        assert_eq!(
+            t.get_via_index("by_id", &2u64.to_be_bytes()).unwrap().unwrap(),
+            tuple(2, 20, 200)
+        );
+        // Kept keys sharing a secondary value stay legal: updating two
+        // rows that already share a group must not be flagged.
+        t.create_index(IndexSpec::plain("by_group", FieldSpec::new(8, 8))).unwrap();
+        t.update_via_index("by_id", &1u64.to_be_bytes(), &tuple(1, 7, 1)).unwrap();
+        t.update_via_index("by_id", &2u64.to_be_bytes(), &tuple(2, 7, 2)).unwrap();
+        let pairs: Vec<(Vec<u8>, Vec<u8>)> = vec![
+            (1u64.to_be_bytes().to_vec(), tuple(1, 7, 11)),
+            (2u64.to_be_bytes().to_vec(), tuple(2, 7, 22)),
+        ];
+        assert_eq!(t.update_many_with(&idx, &pairs).unwrap(), vec![true, true]);
+    }
+
+    #[test]
+    fn put_many_fresh_secondary_collision_rejected_before_updates() {
+        // Two FRESH tuples colliding on a secondary index must fail the
+        // whole put batch before its update leg mutates anything.
+        let (hp, ip) = pools();
+        let t = Table::create("t", 32, hp, ip).unwrap();
+        t.create_index(IndexSpec::plain("by_id", FieldSpec::new(0, 8))).unwrap();
+        t.create_index(IndexSpec::plain("by_group", FieldSpec::new(8, 8))).unwrap();
+        t.insert(&tuple(1, 10, 100)).unwrap();
+        let idx = t.find_index("by_id").unwrap();
+        let batch = vec![
+            tuple(1, 10, 999), // update leg
+            tuple(50, 77, 0),  // fresh, group 77
+            tuple(51, 77, 0),  // fresh, group 77: collision
+        ];
+        let err = t.put_many_with(&idx, &batch).unwrap_err();
+        assert!(matches!(err, StorageError::DuplicateKeyInBatch { .. }), "got {err:?}");
+        assert_eq!(
+            t.get_via_index("by_id", &1u64.to_be_bytes()).unwrap().unwrap(),
+            tuple(1, 10, 100),
+            "update leg must not have run"
+        );
+        assert_eq!(t.heap().live_tuple_count().unwrap(), 1);
+    }
+
+    #[test]
+    fn put_many_cross_leg_secondary_collision_rejected() {
+        // An updated row and a fresh tuple landing on the same
+        // secondary key (one per leg) must fail the whole batch before
+        // anything mutates — the legs would otherwise silently
+        // overwrite each other's index entry.
+        let (hp, ip) = pools();
+        let t = Table::create("t", 32, hp, ip).unwrap();
+        t.create_index(IndexSpec::plain("by_id", FieldSpec::new(0, 8))).unwrap();
+        t.create_index(IndexSpec::plain("by_group", FieldSpec::new(8, 8))).unwrap();
+        t.insert(&tuple(1, 10, 100)).unwrap();
+        let idx = t.find_index("by_id").unwrap();
+        let batch = vec![
+            tuple(1, 77, 0), // update leg: group 10 → 77
+            tuple(2, 77, 0), // insert leg: group 77 — cross-leg collision
+        ];
+        let err = t.put_many_with(&idx, &batch).unwrap_err();
+        assert!(matches!(err, StorageError::DuplicateKeyInBatch { .. }), "got {err:?}");
+        assert_eq!(
+            t.get_via_index("by_id", &1u64.to_be_bytes()).unwrap().unwrap(),
+            tuple(1, 10, 100)
+        );
+        assert!(t.get_via_index("by_group", &10u64.to_be_bytes()).unwrap().is_some());
+        assert!(t.get_via_index("by_group", &77u64.to_be_bytes()).unwrap().is_none());
+        assert_eq!(t.heap().live_tuple_count().unwrap(), 1);
+        // A kept-key + fresh-tuple collision is also the batch's doing
+        // and must be rejected: fresh group 10 vs row 1 keeping 10.
+        let batch = vec![tuple(1, 10, 5), tuple(3, 10, 0)];
+        assert!(matches!(
+            t.put_many_with(&idx, &batch),
+            Err(StorageError::DuplicateKeyInBatch { .. })
+        ));
+        // Disjoint legs still work.
+        let batch = vec![tuple(1, 11, 5), tuple(3, 12, 0)];
+        let rids = t.put_many_with(&idx, &batch).unwrap();
+        assert_eq!(rids.len(), 2);
+        assert_eq!(
+            t.get_via_index("by_id", &1u64.to_be_bytes()).unwrap().unwrap(),
+            tuple(1, 11, 5)
+        );
+        assert_eq!(
+            t.get_via_index("by_id", &3u64.to_be_bytes()).unwrap().unwrap(),
+            tuple(3, 12, 0)
+        );
+    }
+
+    #[test]
+    fn delete_many_handles_absent_and_duplicate_keys() {
+        let t = table_with_cached_index();
+        t.insert_many(&(0..20u64).map(|i| tuple(i, 0, i)).collect::<Vec<_>>()).unwrap();
+        let idx = t.find_index("by_id").unwrap();
+        let keys: Vec<Vec<u8>> = vec![
+            3u64.to_be_bytes().to_vec(),
+            99u64.to_be_bytes().to_vec(), // absent
+            7u64.to_be_bytes().to_vec(),
+            3u64.to_be_bytes().to_vec(), // duplicate: idempotent
+        ];
+        let gone = t.delete_many_with(&idx, &keys).unwrap();
+        assert_eq!(gone, vec![true, false, true, false]);
+        assert!(t.get_via_index("by_id", &3u64.to_be_bytes()).unwrap().is_none());
+        assert!(t.get_via_index("by_id", &7u64.to_be_bytes()).unwrap().is_none());
+        assert_eq!(t.heap().live_tuple_count().unwrap(), 18);
+        assert_eq!(t.stats().deletes, 2);
+    }
+
+    #[test]
+    fn delete_many_maintains_secondary_indexes() {
+        let (hp, ip) = pools();
+        let t = Table::create("t", 32, hp, ip).unwrap();
+        t.create_index(IndexSpec::plain("by_id", FieldSpec::new(0, 8))).unwrap();
+        t.create_index(IndexSpec::plain("by_group", FieldSpec::new(8, 8))).unwrap();
+        t.insert_many(&(0..10u64).map(|i| tuple(i, 100 + i, 0)).collect::<Vec<_>>()).unwrap();
+        let idx = t.find_index("by_id").unwrap();
+        let keys: Vec<Vec<u8>> = (0..5u64).map(|i| i.to_be_bytes().to_vec()).collect();
+        assert!(t.delete_many_with(&idx, &keys).unwrap().iter().all(|&b| b));
+        for i in 0..10u64 {
+            let via_group = t.get_via_index("by_group", &(100 + i).to_be_bytes()).unwrap();
+            assert_eq!(via_group.is_some(), i >= 5, "group key {}", 100 + i);
+        }
+    }
+
+    #[test]
+    fn put_many_upserts_by_index_key() {
+        let t = table_with_cached_index();
+        t.insert_many(&(0..10u64).map(|i| tuple(i, 0, i)).collect::<Vec<_>>()).unwrap();
+        let idx = t.find_index("by_id").unwrap();
+        // 5..15: half updates in place, half fresh inserts.
+        let tuples: Vec<Vec<u8>> = (5..15u64).map(|i| tuple(i, 9, i + 500)).collect();
+        let rids = t.put_many_with(&idx, &tuples).unwrap();
+        assert_eq!(rids.len(), 10);
+        for i in 0..15u64 {
+            let got = t.get_via_index("by_id", &i.to_be_bytes()).unwrap().unwrap();
+            let want = if i < 5 { tuple(i, 0, i) } else { tuple(i, 9, i + 500) };
+            assert_eq!(got, want, "key {i}");
+        }
+        assert_eq!(t.heap().live_tuple_count().unwrap(), 15, "updates must not re-insert");
+        assert_eq!(t.stats().inserts, 15);
+        assert_eq!(t.stats().updates, 5);
     }
 
     #[test]

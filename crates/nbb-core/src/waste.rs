@@ -32,6 +32,11 @@ pub struct IndexSpaceReport {
     pub cache_slots: usize,
     /// Currently occupied cache slots.
     pub cache_occupied: usize,
+    /// Write-path counters: a leaf-grouped multi-insert counts as one
+    /// batch (not once per key), and
+    /// [`nbb_btree::WriteStats::keys_per_leaf_group`] is the realized
+    /// amortization factor.
+    pub writes: nbb_btree::WriteStats,
 }
 
 /// §2 metrics: allocated-but-empty bytes.
@@ -91,6 +96,16 @@ impl WasteReport {
                 i.cache_occupied,
                 i.cache_slots
             ));
+            if i.writes.batches > 0 {
+                out.push_str(&format!(
+                    "    writes: {} keys in {} batches over {} leaf groups \
+                     ({:.1} keys/descent)\n",
+                    i.writes.keys,
+                    i.writes.batches,
+                    i.writes.leaf_groups,
+                    i.writes.keys_per_leaf_group(),
+                ));
+            }
         }
         if let Some(l) = &self.locality {
             out.push_str(&format!(
@@ -122,6 +137,7 @@ pub fn audit_unused(table: &Table, index_names: &[&str]) -> Result<UnusedSpaceRe
             free_bytes: s.free_bytes,
             cache_slots: s.cache_slots,
             cache_occupied: s.cache_occupied,
+            writes: h.tree().write_stats(),
         });
     }
     Ok(UnusedSpaceReport {

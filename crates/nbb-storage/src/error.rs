@@ -39,6 +39,13 @@ pub enum StorageError {
         /// Human-readable description of the violation.
         reason: String,
     },
+    /// A batched write addressed the same key more than once. Multi-key
+    /// writes are validated up front and rejected whole rather than
+    /// silently applying last-writer-wins within the batch.
+    DuplicateKeyInBatch {
+        /// The offending key, hex-encoded for display.
+        key: String,
+    },
     /// The backing file could not be read or written.
     Io(String),
     /// Page contents failed a structural sanity check.
@@ -64,9 +71,24 @@ impl fmt::Display for StorageError {
             StorageError::InvalidIndexSpec { index, reason } => {
                 write!(f, "invalid spec for index {index}: {reason}")
             }
+            StorageError::DuplicateKeyInBatch { key } => {
+                write!(f, "duplicate key 0x{key} in one write batch")
+            }
             StorageError::Io(msg) => write!(f, "I/O error: {msg}"),
             StorageError::Corrupt(msg) => write!(f, "corrupt page: {msg}"),
         }
+    }
+}
+
+impl StorageError {
+    /// Builds a [`StorageError::DuplicateKeyInBatch`] from raw key bytes.
+    pub fn duplicate_key(key: &[u8]) -> Self {
+        use std::fmt::Write;
+        let mut hex = String::with_capacity(key.len() * 2);
+        for b in key {
+            let _ = write!(hex, "{b:02x}");
+        }
+        StorageError::DuplicateKeyInBatch { key: hex }
     }
 }
 

@@ -88,6 +88,61 @@ impl HeapFile {
         }
     }
 
+    /// Appends a batch of tuples, returning their addresses indexed
+    /// like `tuples`.
+    ///
+    /// The write-side analogue of [`HeapFile::get_many`]: instead of one
+    /// pin + one page latch + one slotted-page parse per tuple, the
+    /// batch fills each tail page under a **single** exclusive page
+    /// access — N appends cost one latch round-trip per *page touched*
+    /// (≈ N·width/page_size pages), not per tuple. Placement is
+    /// identical to a loop of [`HeapFile::insert`] calls: tail page
+    /// first, growing a fresh tail when full.
+    ///
+    /// A structurally unstorable tuple (empty, or larger than any page
+    /// can hold) fails the batch at that tuple; earlier tuples remain
+    /// appended, exactly as the equivalent insert loop would leave them.
+    pub fn append_many<T: AsRef<[u8]>>(&self, tuples: &[T]) -> Result<Vec<RecordId>> {
+        let mut out = Vec::with_capacity(tuples.len());
+        // After the batch fills a page, it continues on the page its
+        // OWN grow() returned (like `insert` does) instead of
+        // re-reading the shared tail: two racing batches that both
+        // grow would otherwise pile onto whichever page became the
+        // tail last, orphaning the other fresh page empty forever.
+        let mut next_tail: Option<PageId> = None;
+        while out.len() < tuples.len() {
+            let tail = match next_tail.take() {
+                Some(pid) => pid,
+                None => *self.pages.read().last().expect("heap always has >= 1 page"),
+            };
+            let done = out.len();
+            let slots = self.pool.with_page_mut(tail, |p| -> Result<Vec<u16>> {
+                let mut sp = SlottedPage::attach(p)?;
+                let mut slots = Vec::new();
+                for t in &tuples[done..] {
+                    match sp.insert(t.as_ref()) {
+                        Ok(slot) => slots.push(slot),
+                        // Full page: the rest of the batch continues on
+                        // a fresh tail. (An empty page never reports
+                        // PageFull — a tuple too big for any page errors
+                        // as TupleTooLarge below — so every grow makes
+                        // progress.)
+                        Err(StorageError::PageFull { .. }) => break,
+                        // Oversized/empty tuples fail on every page;
+                        // retrying them on a fresh tail would loop.
+                        Err(e) => return Err(e),
+                    }
+                }
+                Ok(slots)
+            })??;
+            out.extend(slots.into_iter().map(|slot| RecordId::new(tail, slot)));
+            if out.len() < tuples.len() {
+                next_tail = Some(self.grow()?);
+            }
+        }
+        Ok(out)
+    }
+
     /// Copies the tuple at `rid` out of the page.
     pub fn get(&self, rid: RecordId) -> Result<Vec<u8>> {
         self.with_tuple(rid, |t| t.to_vec())
@@ -352,6 +407,43 @@ mod tests {
         for (i, t) in got.iter().enumerate() {
             assert_eq!(t.as_deref(), Some(&(i as u32).to_le_bytes()[..]));
         }
+    }
+
+    #[test]
+    fn append_many_matches_insert_loop() {
+        let h = heap();
+        let tuples: Vec<Vec<u8>> = (0..150u32).map(|i| i.to_le_bytes().to_vec()).collect();
+        let rids = h.append_many(&tuples).unwrap();
+        assert_eq!(rids.len(), tuples.len());
+        for (i, rid) in rids.iter().enumerate() {
+            assert_eq!(h.get(*rid).unwrap(), tuples[i], "position {i}");
+        }
+        assert!(h.page_count() > 1, "batch must spill across pages");
+        assert_eq!(h.live_tuple_count().unwrap(), 150);
+        // Appends continue on the same heap, mixing freely with singles.
+        let solo = h.insert(b"solo").unwrap();
+        let more = h.append_many(&[b"x".to_vec(), b"y".to_vec()]).unwrap();
+        assert_eq!(h.get(solo).unwrap(), b"solo");
+        assert_eq!(h.get(more[1]).unwrap(), b"y");
+    }
+
+    #[test]
+    fn append_many_empty_batch_is_noop() {
+        let h = heap();
+        let rids = h.append_many(&Vec::<Vec<u8>>::new()).unwrap();
+        assert!(rids.is_empty());
+        assert_eq!(h.live_tuple_count().unwrap(), 0);
+    }
+
+    #[test]
+    fn append_many_oversized_tuple_fails_after_earlier_appends() {
+        let h = heap();
+        let batch: Vec<Vec<u8>> = vec![b"ok-1".to_vec(), vec![1u8; 1000], b"ok-2".to_vec()];
+        assert!(matches!(h.append_many(&batch), Err(StorageError::TupleTooLarge { .. })));
+        // The tuple before the oversized one landed, like a loop would.
+        assert_eq!(h.live_tuple_count().unwrap(), 1);
+        let rid = h.insert(b"still-usable").unwrap();
+        assert_eq!(h.get(rid).unwrap(), b"still-usable");
     }
 
     #[test]

@@ -136,13 +136,19 @@ impl<'a> SlottedPage<'a> {
         if tuple.len() > max {
             return Err(StorageError::TupleTooLarge { size: tuple.len(), max });
         }
-        // Find a dead slot to reuse, else we need a new directory entry.
+        // Find a dead slot to reuse, else we need a new directory
+        // entry. `live == nslots` means no slot is dead, so the common
+        // append-only shape (fresh tail pages filled by `append_many`)
+        // skips the scan entirely instead of re-walking the directory
+        // on every insert.
         let nslots = self.nslots();
         let mut reuse: Option<u16> = None;
-        for s in 0..nslots {
-            if self.slot_entry(s).0 == 0 {
-                reuse = Some(s);
-                break;
+        if self.live_count() < usize::from(nslots) {
+            for s in 0..nslots {
+                if self.slot_entry(s).0 == 0 {
+                    reuse = Some(s);
+                    break;
+                }
             }
         }
         let dir_growth = if reuse.is_some() { 0 } else { SLOT_ENTRY_SIZE };

@@ -5,12 +5,16 @@
 //! cargo run --release --example quickstart
 //! ```
 //!
-//! Declares a table from a typed schema ([`RowSchema`]), resolves an
-//! index handle once ([`Table::index`] → `IndexRef`), then shows (1) the
+//! Declares a table from a typed schema ([`RowSchema`]), loads it
+//! through the batched write path (`insert_many`: one descent + one
+//! per-leaf latch per destination leaf, not per row), resolves an index
+//! handle once ([`Table::index`] → `IndexRef`), then shows (1) the
 //! index cache answering projections from B+Tree free space — via point
 //! lookups, a batched `get_many`/`Batch`, and an ordered range cursor —
-//! (2) a locality audit before and after hot/cold clustering, and
-//! (3) the schema advisor finding encoding waste.
+//! (2) the write side of `Batch` (`put`/`update`/`delete` grouped per
+//! index, reads observing the batch's writes), (3) a locality audit
+//! before and after hot/cold clustering, and (4) the schema advisor
+//! finding encoding waste.
 
 use nbb::core::db::{Database, DbConfig};
 use nbb::core::query::Batch;
@@ -37,19 +41,28 @@ fn main() {
     t.create_index(rows.index_spec("by_id", "id", &["views"]).expect("geometry"))
         .expect("create index");
 
-    for i in 0..10_000i64 {
-        t.insert(
-            &rows
-                .encode(&[
-                    Value::Int(i),
-                    Value::Int(i % 100), // views: small range!
-                    Value::Int(1),       // flags: constant!
-                    Value::Int(0),
-                ])
-                .expect("encode"),
-        )
-        .expect("insert");
-    }
+    // Bulk load through the batched write path: the whole batch is
+    // validated up front, heap appends share one page latch per tail
+    // page, and each index pays one descent + one per-leaf latch per
+    // destination leaf instead of per row.
+    let load: Vec<Vec<u8>> = (0..10_000i64)
+        .map(|i| {
+            rows.encode(&[
+                Value::Int(i),
+                Value::Int(i % 100), // views: small range!
+                Value::Int(1),       // flags: constant!
+                Value::Int(0),
+            ])
+            .expect("encode")
+        })
+        .collect();
+    t.insert_many(&load).expect("batched insert");
+    let s = t.stats();
+    println!(
+        "loaded {} rows as {} write batch(es) — amortization visible in stats()",
+        s.inserts, s.write_batches
+    );
+    assert_eq!(s.write_batches, 1);
 
     // --- Waste class 1: unused space, recycled as an index cache -----
     println!("--- 1. index caching (unused space, paper §2) ---");
@@ -72,6 +85,34 @@ fn main() {
     let out =
         t.execute(Batch::new().get("by_id", &hot[0]).project("by_id", &hot[1])).expect("batch");
     assert!(out[0].tuple().is_some() && out[1].projection().is_some());
+
+    // Write ops ride the same grouped execution: puts (upserts), then
+    // updates, then deletes, then reads — so a batch's reads always
+    // observe its writes. Each write group is validated up front and
+    // applied through the leaf-grouped multi-key tree ops.
+    let fresh =
+        rows.encode(&[Value::Int(10_000), Value::Int(7), Value::Int(1), Value::Int(0)]).unwrap();
+    let changed =
+        rows.encode(&[Value::Int(4242), Value::Int(999), Value::Int(1), Value::Int(0)]).unwrap();
+    let k_new = rows.key("id", &Value::Int(10_000)).unwrap();
+    let k_gone = rows.key("id", &Value::Int(9_999)).unwrap();
+    let out = t
+        .execute(
+            Batch::new()
+                .put("by_id", &fresh)
+                .update("by_id", &key, &changed)
+                .delete("by_id", &k_gone)
+                .get("by_id", &k_new) // sees the put
+                .get("by_id", &k_gone), // sees the delete
+        )
+        .expect("write batch");
+    println!(
+        "write batch : put at rid {}, update applied = {}, delete applied = {}",
+        out[0].rid().expect("put returns a rid"),
+        out[1].applied().unwrap(),
+        out[2].applied().unwrap()
+    );
+    assert!(out[3].tuple().is_some() && out[4].tuple().is_none());
 
     // Ordered range cursor: walks sibling leaves, serving cached
     // projections from leaf free space where they are warm.

@@ -180,3 +180,173 @@ fn readers_vs_writer_under_memory_pressure() {
     // Tiny pools: frames churn, so cache writes race evictions too.
     run_stress(2, 32, 32);
 }
+
+// ---------------------------------------------------------------------
+// Multi-writer: N batched writers on disjoint key ranges vs readers
+// ---------------------------------------------------------------------
+
+/// Multi-writer stress over the batched write path. Each writer owns a
+/// disjoint key range and rounds through `put_many` (upsert) version
+/// bumps, `delete_many`/re-insert churn on the upper half of its
+/// range, and `get_many` read-backs — so per-leaf latches, escalated
+/// splits, and the grouped heap appends all contend across threads.
+/// Readers race `get_many`/`project_via_index` over every range,
+/// asserting (a) any observed tuple belongs to the key that was asked
+/// for and (b) stable keys never read older than the writer's
+/// published floor (a violation means a lost invalidation or a torn
+/// batched write).
+#[test]
+fn disjoint_range_batch_writers_vs_readers() {
+    const WRITERS: u64 = 4;
+    const RANGE: u64 = 256;
+    /// Keys below this offset within a range are never deleted, so
+    /// readers can assert version floors on them.
+    const STABLE: u64 = 128;
+    const ROUNDS: u64 = 40;
+    const READER_THREADS: usize = 3;
+
+    let db = Database::open(DbConfig {
+        page_size: 4096,
+        heap_frames: 512,
+        index_frames: 512,
+        pool_shards: 8,
+        ..DbConfig::default()
+    });
+    let table = db.create_table("t", 24).unwrap();
+    table
+        .create_index(IndexSpec::cached("pk", FieldSpec::new(0, 8), vec![FieldSpec::new(8, 8)]))
+        .unwrap();
+    // Seed every range at version 0 in one batch per writer.
+    for w in 0..WRITERS {
+        let base = w * RANGE;
+        let tuples: Vec<Vec<u8>> = (base..base + RANGE).map(|key| tuple(key, 0)).collect();
+        table.insert_many(&tuples).unwrap();
+    }
+
+    let floors: Arc<Vec<AtomicU64>> =
+        Arc::new((0..WRITERS * RANGE).map(|_| AtomicU64::new(0)).collect());
+    let done = Arc::new(AtomicBool::new(false));
+
+    std::thread::scope(|s| {
+        let mut readers = Vec::new();
+        for ti in 0..READER_THREADS {
+            let table = Arc::clone(&table);
+            let floors = Arc::clone(&floors);
+            let done = Arc::clone(&done);
+            readers.push(s.spawn(move || {
+                let mut x = 0xA5A5_5A5Au64.wrapping_add(ti as u64);
+                let mut reads = 0u64;
+                while !done.load(Ordering::Acquire) {
+                    // A batch of keys spanning every writer's range.
+                    let mut keys = Vec::with_capacity(16);
+                    let mut floor_snapshot = Vec::with_capacity(16);
+                    for _ in 0..16 {
+                        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                        let key = x % (WRITERS * RANGE);
+                        floor_snapshot.push((key, floors[key as usize].load(Ordering::Acquire)));
+                        keys.push(key.to_be_bytes());
+                    }
+                    let pk = table.index("pk").unwrap();
+                    let got = pk.get_many(&keys).unwrap();
+                    for (i, t) in got.iter().enumerate() {
+                        let (key, floor) = floor_snapshot[i];
+                        let stable = key % RANGE < STABLE;
+                        let Some(t) = t else {
+                            assert!(!stable, "stable key {key} vanished");
+                            continue;
+                        };
+                        let (tag, version) = decode(&t[8..16]);
+                        assert_eq!(tag, key, "get_many returned another key's tuple");
+                        if stable {
+                            assert!(
+                                version >= floor,
+                                "stale read: key {key} version {version} after floor {floor}"
+                            );
+                        }
+                    }
+                    // Exercise the §2.1 cache path too: a stale
+                    // index-only answer here means a batched write lost
+                    // an invalidation.
+                    let (key, floor) = floor_snapshot[0];
+                    if key % RANGE < STABLE {
+                        let p = pk.project(&key.to_be_bytes()).unwrap().expect("stable key");
+                        let (tag, version) = decode(&p.payload);
+                        assert_eq!(tag, key, "projection returned another key's bytes");
+                        assert!(
+                            version >= floor,
+                            "lost invalidation: key {key} projected version {version} \
+                             after floor {floor} (index_only={})",
+                            p.index_only
+                        );
+                    }
+                    reads += 1;
+                }
+                reads
+            }));
+        }
+
+        let mut writers = Vec::new();
+        for w in 0..WRITERS {
+            let table = Arc::clone(&table);
+            let floors = Arc::clone(&floors);
+            writers.push(s.spawn(move || {
+                let base = w * RANGE;
+                let pk = table.index("pk").unwrap();
+                for round in 1..=ROUNDS {
+                    // Upsert the stable half at the new version, then
+                    // publish the floors (readers from here on must not
+                    // see anything older).
+                    let tuples: Vec<Vec<u8>> =
+                        (base..base + STABLE).map(|key| tuple(key, round)).collect();
+                    pk.put_many(&tuples).unwrap();
+                    for key in base..base + STABLE {
+                        floors[key as usize].store(round, Ordering::Release);
+                    }
+                    // Churn the volatile half: batch-delete, then
+                    // re-insert — RID recycling races the readers.
+                    let doomed: Vec<[u8; 8]> =
+                        (base + STABLE..base + RANGE).map(|key| key.to_be_bytes()).collect();
+                    let removed = pk.delete_many(&doomed).unwrap();
+                    assert!(removed.iter().all(|&b| b), "own range: deletes cannot miss");
+                    let reborn: Vec<Vec<u8>> =
+                        (base + STABLE..base + RANGE).map(|key| tuple(key, round)).collect();
+                    table.insert_many(&reborn).unwrap();
+                    // Read-back through the batched path.
+                    let keys: Vec<[u8; 8]> =
+                        (base..base + RANGE).map(|key| key.to_be_bytes()).collect();
+                    for (i, t) in pk.get_many(&keys).unwrap().into_iter().enumerate() {
+                        let t = t.expect("own range: key must exist");
+                        let (tag, version) = decode(&t[8..16]);
+                        assert_eq!(tag, base + i as u64);
+                        assert_eq!(version, round, "own write must be visible");
+                    }
+                }
+            }));
+        }
+        for wtr in writers {
+            wtr.join().unwrap();
+        }
+        done.store(true, Ordering::Release);
+        let mut total_reads = 0u64;
+        for r in readers {
+            total_reads += r.join().unwrap();
+        }
+        assert!(total_reads > 0, "readers must have run");
+    });
+
+    // Quiesced: every key at its final version, indexes consistent.
+    let pk = table.index("pk").unwrap();
+    let keys: Vec<[u8; 8]> = (0..WRITERS * RANGE).map(|key| key.to_be_bytes()).collect();
+    for (i, t) in pk.get_many(&keys).unwrap().into_iter().enumerate() {
+        let t = t.unwrap_or_else(|| panic!("key {i} missing after quiesce"));
+        let (tag, version) = decode(&t[8..16]);
+        assert_eq!(tag, i as u64);
+        assert_eq!(version, ROUNDS);
+    }
+    pk.tree().check_invariants().unwrap().unwrap();
+    let s = table.stats();
+    assert!(
+        s.write_batches < s.inserts + s.updates + s.deletes,
+        "batched writes must amortize: {s:?}"
+    );
+}

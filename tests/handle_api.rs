@@ -173,6 +173,92 @@ fn execute_groups_heterogeneous_ops_per_index() {
 // ---------------------------------------------------------------------
 
 #[test]
+fn execute_write_ops_then_reads_observe_them() {
+    let db = Database::open(DbConfig::default());
+    let t = cached_table(&db, 100);
+    // One batch mixing every op kind. Documented semantics: put →
+    // update → delete → read, so the reads see all of this batch's
+    // writes regardless of queue position.
+    let out = t
+        .execute(
+            Batch::new()
+                .get("by_id", &be_key(200)) // sees the put below
+                .put("by_id", &tuple(200, 1, 2000))
+                .update("by_id", &be_key(5), &tuple(5, 5, 555))
+                .delete("by_id", &be_key(7))
+                .get("by_id", &be_key(5))
+                .project("by_id", &be_key(7))
+                .update("by_id", &be_key(9999), &tuple(9999, 0, 0)) // absent
+                .delete("by_id", &be_key(9998)), // absent
+        )
+        .unwrap();
+    assert_eq!(out[0].tuple().unwrap(), &tuple(200, 1, 2000)[..], "read sees the batch's put");
+    let rid = out[1].rid().expect("put returns a rid");
+    assert_eq!(t.heap().get(rid).unwrap(), tuple(200, 1, 2000));
+    assert_eq!(out[2].applied(), Some(true));
+    assert_eq!(out[3].applied(), Some(true));
+    assert_eq!(out[4].tuple().unwrap(), &tuple(5, 5, 555)[..], "read sees the batch's update");
+    assert!(out[5].projection().is_none(), "read sees the batch's delete");
+    assert_eq!(out[6].applied(), Some(false));
+    assert_eq!(out[7].applied(), Some(false));
+    // Cross-check against the table after the batch.
+    assert!(t.get_via_index("by_id", &be_key(7)).unwrap().is_none());
+    assert_eq!(t.get_via_index("by_id", &be_key(5)).unwrap().unwrap(), tuple(5, 5, 555));
+}
+
+#[test]
+fn execute_validates_before_touching_anything() {
+    let db = Database::open(DbConfig::default());
+    let t = cached_table(&db, 10);
+    let live_before = t.heap().live_tuple_count().unwrap();
+    // Unknown index name fails the whole batch up front: the put never
+    // lands even though it precedes the bad op.
+    let err = t
+        .execute(Batch::new().put("by_id", &tuple(500, 0, 0)).get("nope", &be_key(1)))
+        .unwrap_err();
+    assert!(matches!(err, StorageError::Corrupt(_)), "unknown index: {err:?}");
+    assert_eq!(t.heap().live_tuple_count().unwrap(), live_before);
+    // Wrong tuple width on a later op: same story.
+    let err = t
+        .execute(Batch::new().put("by_id", &tuple(500, 0, 0)).put("by_id", &[0u8; 3]))
+        .unwrap_err();
+    assert!(matches!(err, StorageError::Corrupt(_)), "bad width: {err:?}");
+    assert_eq!(t.heap().live_tuple_count().unwrap(), live_before);
+    // Duplicate keys within one write group surface the named error.
+    let err = t
+        .execute(Batch::new().put("by_id", &tuple(600, 0, 1)).put("by_id", &tuple(600, 0, 2)))
+        .unwrap_err();
+    assert!(matches!(err, StorageError::DuplicateKeyInBatch { .. }), "dup: {err:?}");
+    assert_eq!(t.heap().live_tuple_count().unwrap(), live_before);
+}
+
+#[test]
+fn put_many_and_delete_many_through_the_handle() {
+    let db = Database::open(DbConfig::default());
+    let t = cached_table(&db, 50);
+    let by_id = t.index("by_id").unwrap();
+    // Upsert across the existing/fresh boundary.
+    let tuples: Vec<Vec<u8>> = (40..60u64).map(|i| tuple(i, 2, i + 100)).collect();
+    let rids = by_id.put_many(&tuples).unwrap();
+    assert_eq!(rids.len(), 20);
+    for i in 40..60u64 {
+        assert_eq!(by_id.get(&be_key(i)).unwrap().unwrap(), tuple(i, 2, i + 100));
+    }
+    assert_eq!(t.heap().live_tuple_count().unwrap(), 60, "40..50 updated in place");
+    // Single put wrapper agrees.
+    let rid = by_id.put(&tuple(41, 3, 999)).unwrap();
+    assert_eq!(rid, rids[1], "in-place upsert keeps the rid");
+    // Batched delete, duplicates idempotent.
+    let doomed: Vec<[u8; 8]> = vec![be_key(41), be_key(58), be_key(41)];
+    assert_eq!(by_id.delete_many(&doomed).unwrap(), vec![true, true, false]);
+    assert!(by_id.get(&be_key(41)).unwrap().is_none());
+    // update_many with an absentee.
+    let pairs: Vec<([u8; 8], Vec<u8>)> =
+        vec![(be_key(42), tuple(42, 9, 1)), (be_key(41), tuple(41, 9, 1))];
+    assert_eq!(by_id.update_many(&pairs).unwrap(), vec![true, false]);
+}
+
+#[test]
 fn range_on_empty_table_yields_nothing() {
     let db = Database::open(DbConfig::default());
     let t = db.create_table("t", 32).unwrap();
