@@ -182,6 +182,7 @@ fn bench_concurrent_writers(c: &mut Criterion) {
                 index_frames: 256,
                 pool_shards: shards,
                 disk_model: None,
+                ..DbConfig::default()
             },
             heap_disk,
             index_disk,

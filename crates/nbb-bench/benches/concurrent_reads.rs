@@ -14,10 +14,16 @@
 //!   thread counts (threads timeshare one CPU and hold times are tiny),
 //!   so treat it as a contention sanity check, not a scaling curve.
 //! * `io_bound/…` — working set ≫ pool frames over a [`LatencyDisk`]
-//!   (a disk that really blocks). A miss holds its stripe's lock across
-//!   the device wait, so a single-stripe pool serializes every reader
-//!   behind each fault while a sharded pool overlaps up to `shards`
-//!   waits — the regime where sharding pays even on one core.
+//!   (a disk that really blocks). Faults dominate here. Historically a
+//!   miss held its stripe's lock across the device wait, so in-flight
+//!   faults were capped at one per *shard*; with the pool's
+//!   I/O-in-progress frame state machine the stripe lock is released
+//!   across the read and the cap is one per *frame* — sharding still
+//!   helps (map-lock contention), but no longer decides overlap.
+//! * `overlap/…` — the direct probe of that state machine: k threads
+//!   fault k distinct cold pages in a **single-stripe** pool. The
+//!   printed overlap factor (serialized-time / wall-time) must clear
+//!   [`MIN_OVERLAP`]; before the state machine it pinned at ~1.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use nbb_core::db::{Database, DbConfig};
@@ -32,6 +38,15 @@ const IO_ROWS: u64 = 50_000;
 const IO_OPS_PER_THREAD: usize = 50;
 /// Modeled device latency for the io_bound regime (NVMe-ish).
 const IO_READ_NS: u64 = 50_000;
+
+/// Overlap probe: threads (= cold pages faulted at once, single stripe).
+const OVERLAP_K: usize = 8;
+/// Overlap probe: modeled device latency (long enough that thread spawn
+/// and scheduling noise is a rounding error against k × 20ms).
+const OVERLAP_READ_NS: u64 = 20_000_000;
+/// Floor on overlapped faults per stripe: k cold faults must finish at
+/// least this many times faster than k serialized device waits.
+const MIN_OVERLAP: f64 = 3.0;
 
 /// 24-byte tuple: key(8) | value(8) | filler(8).
 fn tuple(key: u64, value: u64) -> Vec<u8> {
@@ -102,6 +117,7 @@ fn bench_resident(c: &mut Criterion) {
             index_frames: 1024,
             pool_shards: shards,
             disk_model: None,
+            ..DbConfig::default()
         });
         let table = fill_table(&db, RESIDENT_ROWS, true);
         assert_eq!(table.index_pool().shards(), shards, "knob must take effect");
@@ -133,6 +149,7 @@ fn bench_io_bound(c: &mut Criterion) {
                 index_frames: 128,
                 pool_shards: shards,
                 disk_model: None,
+                ..DbConfig::default()
             },
             heap_disk,
             index_disk,
@@ -152,6 +169,72 @@ fn bench_io_bound(c: &mut Criterion) {
     }
 }
 
+/// Overlapped faults per stripe at shards = 1: k threads fault k
+/// distinct cold pages of a single-stripe pool over a blocking disk and
+/// the wall clock tells how many device waits ran concurrently. This
+/// isolates the fault state machine from sharding entirely — the win
+/// must appear with one stripe or it isn't the state machine's.
+fn bench_overlapped_faults(_c: &mut Criterion) {
+    use nbb_storage::{BufferPool, Page, PageId};
+    use std::sync::Barrier;
+    use std::time::{Duration, Instant};
+
+    let model = DiskModel { read_ns: OVERLAP_READ_NS, write_ns: 0 };
+    let disk = Arc::new(LatencyDisk::new(4096, model));
+    let pool = Arc::new(BufferPool::with_options(
+        Arc::clone(&disk) as Arc<dyn DiskManager>,
+        2 * OVERLAP_K,
+        1,
+        0,
+    ));
+    assert_eq!(pool.shards(), 1, "the probe must run in a single stripe");
+
+    // Best-of-three rounds over fresh cold pages, so one scheduler
+    // hiccup cannot decide the headline number.
+    let mut best = Duration::MAX;
+    for _ in 0..3 {
+        let ids: Vec<PageId> = (0..OVERLAP_K).map(|_| pool.new_page().unwrap()).collect();
+        for id in &ids {
+            disk.write(*id, &Page::new(4096)).unwrap();
+        }
+        let barrier = Barrier::new(OVERLAP_K);
+        let start = Instant::now();
+        std::thread::scope(|s| {
+            for id in &ids {
+                let pool = Arc::clone(&pool);
+                let barrier = &barrier;
+                let id = *id;
+                s.spawn(move || {
+                    barrier.wait();
+                    pool.with_page(id, |p| black_box(p.bytes()[0])).unwrap();
+                });
+            }
+        });
+        best = best.min(start.elapsed());
+        // Evict so the next round faults cold again.
+        for id in &ids {
+            pool.evict_page(*id).unwrap();
+        }
+    }
+    let serialized = Duration::from_nanos(OVERLAP_READ_NS * OVERLAP_K as u64);
+    let overlap = serialized.as_secs_f64() / best.as_secs_f64();
+    let s = pool.stats();
+    println!(
+        "concurrent_reads overlap: shards=1, k={OVERLAP_K} distinct cold faults in \
+         {:.1}ms vs {:.0}ms serialized = {overlap:.1} overlapped faults per stripe \
+         ({} faults, {} co-waiter joins)",
+        best.as_secs_f64() * 1e3,
+        serialized.as_secs_f64() * 1e3,
+        s.faults,
+        s.fault_joins,
+    );
+    assert!(
+        overlap >= MIN_OVERLAP,
+        "a single stripe must sustain >= {MIN_OVERLAP} overlapped faults at k={OVERLAP_K}, \
+         got {overlap:.1}"
+    );
+}
+
 fn short() -> Criterion {
     Criterion::default()
         .sample_size(10)
@@ -162,6 +245,6 @@ fn short() -> Criterion {
 criterion_group! {
     name = benches;
     config = short();
-    targets = bench_resident, bench_io_bound
+    targets = bench_resident, bench_io_bound, bench_overlapped_faults
 }
 criterion_main!(benches);

@@ -30,6 +30,17 @@
 //! pool's try-latch, non-dirtying access
 //! ([`nbb_storage::BufferPool::with_page_cache_write`]) and are simply
 //! skipped under contention, per §2.1.3.
+//!
+//! The pool's fault path is an I/O-in-progress state machine: a request
+//! for a page another thread is still loading *parks on that frame*
+//! (off every tree lock — a parked reader holds at most the structure
+//! lock's read side, which the loader never needs), and faults for
+//! distinct pages in one pool stripe overlap. Tree code needs no
+//! special cases for these `Loading` frames — `get_many`'s per-leaf
+//! batches and the write paths' leaf-run accesses simply come back with
+//! the page once it publishes — but it can rely on cold batched reads
+//! not serializing per stripe, and on a storm of descents through the
+//! same cold interior page costing one disk read.
 
 use crate::cache::{CacheConfig, CacheView, CacheViewMut, StoreOutcome};
 use crate::invalidation::{InvalidateOutcome, InvalidationState};

@@ -296,3 +296,49 @@ fn same_leaf_writers_serialize_on_the_latch() {
     tree.check_invariants().unwrap().unwrap();
     assert_eq!(tree.len().unwrap(), 4);
 }
+
+/// Batched reads vs the buffer pool's in-flight (`Loading`) frames: a
+/// tiny single-shard pool over a blocking disk keeps every `get_many`
+/// batch faulting cold leaves, so concurrent readers constantly
+/// encounter pages mid-load. They must park on (or proceed past) the
+/// in-flight fault — never deadlock, never read a half-loaded page —
+/// and co-waiter joins replace duplicate disk reads.
+#[test]
+fn batched_gets_tolerate_in_flight_page_faults() {
+    use nbb_storage::{DiskModel, LatencyDisk};
+    const THREADS: usize = 4;
+    const ROUNDS: usize = 3;
+    const N: u64 = 2000;
+
+    let disk: Arc<dyn DiskManager> =
+        Arc::new(LatencyDisk::new(4096, DiskModel { read_ns: 200_000, write_ns: 0 }));
+    let pool = Arc::new(BufferPool::with_options(disk, 8, 1, 16));
+    let tree = Arc::new(BTree::create(Arc::clone(&pool), 8, BTreeOptions::default()).unwrap());
+    let entries: Vec<([u8; 8], u64)> = (0..N).map(|v| (k(v), v.wrapping_mul(7))).collect();
+    tree.insert_many(&entries).unwrap();
+    pool.reset_stats();
+
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let tree = Arc::clone(&tree);
+            s.spawn(move || {
+                for round in 0..ROUNDS {
+                    // Stride the key space so threads collide on some
+                    // leaves (joining in-flight loads) and diverge on
+                    // others (overlapping distinct faults).
+                    let keys: Vec<[u8; 8]> = (0..64u64)
+                        .map(|i| k((i * 31 + (t as u64) * 16 + round as u64) % N))
+                        .collect();
+                    let got = tree.get_many(&keys).unwrap();
+                    for (key, v) in keys.iter().zip(got) {
+                        let expect = u64::from_be_bytes(*key).wrapping_mul(7);
+                        assert_eq!(v, Some(expect), "cold batched get under fault churn");
+                    }
+                }
+            });
+        }
+    });
+    let s = pool.stats();
+    assert!(s.faults > 0, "an 8-frame pool must keep faulting: {s:?}");
+    assert_eq!(s.misses, s.faults + s.fault_joins, "every miss loaded or parked: {s:?}");
+}

@@ -26,6 +26,14 @@ pub struct DbConfig {
     /// pools fan out. Concurrent readers of distinct pages contend only
     /// within a stripe.
     pub pool_shards: usize,
+    /// Write-behind queue depth for each buffer pool: dirty eviction
+    /// victims are memcpy'd into this bounded queue and written to disk
+    /// by a background flusher, so victim reclaim never waits on the
+    /// device. `0` disables write-behind — every dirty eviction pays a
+    /// synchronous write, the pre-overlapped-I/O behavior. Durability
+    /// is unchanged either way: [`Database::persist`] and
+    /// [`Database::close`] drain the queue before returning.
+    pub write_behind: usize,
     /// Disk latency model; `None` = plain in-memory disk.
     pub disk_model: Option<DiskModel>,
 }
@@ -37,6 +45,7 @@ impl Default for DbConfig {
             heap_frames: 1024,
             index_frames: 1024,
             pool_shards: nbb_storage::DEFAULT_POOL_SHARDS,
+            write_behind: nbb_storage::DEFAULT_WRITE_BEHIND,
             disk_model: None,
         }
     }
@@ -44,11 +53,11 @@ impl Default for DbConfig {
 
 impl DbConfig {
     /// Builds a pool of `frames` frames over `disk` with this config's
-    /// shard target, clamped by the pool's own headroom policy
-    /// ([`nbb_storage::clamp_shards`]).
+    /// shard target (clamped by the pool's own headroom policy,
+    /// [`nbb_storage::clamp_shards`]) and write-behind depth.
     fn build_pool(&self, disk: &Arc<dyn DiskManager>, frames: usize) -> Arc<BufferPool> {
         let shards = nbb_storage::clamp_shards(frames, self.pool_shards);
-        Arc::new(BufferPool::new_sharded(Arc::clone(disk), frames, shards))
+        Arc::new(BufferPool::with_options(Arc::clone(disk), frames, shards, self.write_behind))
     }
 }
 
@@ -154,6 +163,11 @@ impl Database {
     /// pools, so [`Database::reopen`] over the same disks restores every
     /// table. Each persist writes fresh payload chunks; superseded
     /// chunks become dead pages.
+    ///
+    /// The pool flushes are full durability barriers: each drains its
+    /// write-behind queue (pages evicted dirty but not yet written by
+    /// the background flusher) *before* flushing resident dirty frames,
+    /// so after `persist` returns every committed byte is on its disk.
     pub fn persist(&self) -> Result<()> {
         use crate::catalog::{encode, Catalog, TableEntry};
         let tables = self.tables.read();
@@ -201,6 +215,12 @@ impl Database {
     /// disk and reattaches every table (heaps via page lists, indexes
     /// via [`nbb_btree::BTree::open`], which invalidates persisted
     /// cache bytes by starting a fresh CSN epoch).
+    ///
+    /// Reads the disks directly, so the previous owner of these disks
+    /// must have flushed through [`Database::persist`] or
+    /// [`Database::close`] (both drain write-behind); a still-live
+    /// `Database` over the same disks may hold newer bytes in its
+    /// pools or write-behind queues than `reopen` can see.
     pub fn reopen(
         config: DbConfig,
         heap_disk: Arc<dyn DiskManager>,
@@ -307,6 +327,16 @@ impl Database {
         (self.heap_disk.stats(), self.index_disk.stats())
     }
 
+    /// Closes the database: persists the catalog and flushes both pools
+    /// — including draining their write-behind queues — then drops the
+    /// in-memory state. The error-visible durability barrier: dropping
+    /// a `Database` without `close` still drains write-behind (the
+    /// pools' drop does), but swallows I/O errors and does not flush
+    /// resident dirty frames or the catalog.
+    pub fn close(self) -> Result<()> {
+        self.persist()
+    }
+
     /// Zeroes all pool and disk counters (between experiment phases).
     pub fn reset_stats(&self) {
         self.heap_pool.reset_stats();
@@ -386,6 +416,45 @@ mod tests {
             ..DbConfig::default()
         });
         assert_eq!(db.heap_pool().shards(), 1);
+    }
+
+    #[test]
+    fn write_behind_knob_applies_and_close_is_a_flush_barrier() {
+        use nbb_storage::InMemoryDisk;
+        // Knob: 0 disables, default threads through to both pools.
+        let db = Database::open(DbConfig { write_behind: 0, ..DbConfig::default() });
+        assert_eq!(db.heap_pool().write_behind(), 0);
+        assert_eq!(db.index_pool().write_behind(), 0);
+
+        // Tiny pools force dirty evictions into the write-behind queue;
+        // close() must drain it so reopen sees every row.
+        let heap: Arc<dyn DiskManager> = Arc::new(InMemoryDisk::new(4096));
+        let index: Arc<dyn DiskManager> = Arc::new(InMemoryDisk::new(4096));
+        let config =
+            DbConfig { page_size: 4096, heap_frames: 4, index_frames: 4, ..DbConfig::default() };
+        let db =
+            Database::with_disks(config.clone(), Arc::clone(&heap), Arc::clone(&index)).unwrap();
+        assert_eq!(db.heap_pool().write_behind(), nbb_storage::DEFAULT_WRITE_BEHIND);
+        let t = db.create_table("t", 16).unwrap();
+        for i in 0..500u64 {
+            let mut tu = i.to_be_bytes().to_vec();
+            tu.extend_from_slice(&[7u8; 8]);
+            t.insert(&tu).unwrap();
+        }
+        db.close().unwrap();
+
+        let db = Database::reopen(config, heap, index).unwrap();
+        let t = db.table("t").unwrap();
+        let mut rows = 0u64;
+        let mut sum = 0u64;
+        t.scan(|_, tuple| {
+            rows += 1;
+            sum += u64::from_be_bytes(tuple[..8].try_into().unwrap());
+            true
+        })
+        .unwrap();
+        assert_eq!(rows, 500, "close must drain write-behind before reopen");
+        assert_eq!(sum, (0..500).sum::<u64>());
     }
 
     #[test]

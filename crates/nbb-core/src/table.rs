@@ -157,6 +157,19 @@ pub struct TableStats {
     /// `inserts / write_batches` is the visible amortization factor —
     /// a loop of N single-tuple calls shows as N batches of one.
     pub write_batches: u64,
+    /// Page loads started by the heap + index pools under this table
+    /// (every cold-page fault, however many threads wanted it).
+    pub pool_faults: u64,
+    /// Requests that parked on another thread's in-flight load instead
+    /// of issuing a duplicate read — overlap the fault state machine
+    /// recovered for free.
+    pub pool_fault_joins: u64,
+    /// Dirty evictees flushed to disk by the pools' background
+    /// write-behind flushers (writes taken off the eviction path).
+    pub pool_wb_flushed: u64,
+    /// Evicted-but-unflushed pages queued in the pools' write-behind
+    /// stores right now (a gauge).
+    pub pool_wb_pending: u64,
 }
 
 /// A fixed-width-tuple table with cached secondary indexes.
@@ -1032,8 +1045,14 @@ impl Table {
         self.index_only_answers.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Access counters.
+    /// Access counters. The `pool_*` fields aggregate the heap and
+    /// index buffer pools beneath this table, so overlapped-fault and
+    /// write-behind behaviour stays metered next to the logical
+    /// counters it amortizes. Note a pool may be shared across tables;
+    /// these meter the pools, not this table exclusively.
     pub fn stats(&self) -> TableStats {
+        let heap_pool = self.heap.pool().stats();
+        let index_pool = self.index_pool.stats();
         TableStats {
             index_only_answers: self.index_only_answers.load(Ordering::Relaxed),
             heap_fetches: self.heap_fetches.load(Ordering::Relaxed),
@@ -1041,6 +1060,10 @@ impl Table {
             updates: self.updates.load(Ordering::Relaxed),
             deletes: self.deletes.load(Ordering::Relaxed),
             write_batches: self.write_batches.load(Ordering::Relaxed),
+            pool_faults: heap_pool.faults + index_pool.faults,
+            pool_fault_joins: heap_pool.fault_joins + index_pool.fault_joins,
+            pool_wb_flushed: heap_pool.wb_flushed + index_pool.wb_flushed,
+            pool_wb_pending: heap_pool.wb_pending + index_pool.wb_pending,
         }
     }
 }

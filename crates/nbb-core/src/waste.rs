@@ -37,6 +37,12 @@ pub struct IndexSpaceReport {
     /// [`nbb_btree::WriteStats::keys_per_leaf_group`] is the realized
     /// amortization factor.
     pub writes: nbb_btree::WriteStats,
+    /// The index buffer pool's fault and write-behind counters at audit
+    /// time: `faults` started vs `fault_joins` coalesced onto in-flight
+    /// loads, and `wb_flushed`/`wb_pending` for writes taken off the
+    /// eviction path. One pool serves every index of a table, so each
+    /// report row carries the same snapshot.
+    pub pool: nbb_storage::PoolStats,
 }
 
 /// §2 metrics: allocated-but-empty bytes.
@@ -106,6 +112,13 @@ impl WasteReport {
                     i.writes.keys_per_leaf_group(),
                 ));
             }
+            if i.pool.faults > 0 {
+                out.push_str(&format!(
+                    "    pool: {} faults ({} joined in-flight loads), \
+                     write-behind {} flushed / {} pending\n",
+                    i.pool.faults, i.pool.fault_joins, i.pool.wb_flushed, i.pool.wb_pending,
+                ));
+            }
         }
         if let Some(l) = &self.locality {
             out.push_str(&format!(
@@ -126,6 +139,7 @@ impl WasteReport {
 
 /// Audits unused space (always available).
 pub fn audit_unused(table: &Table, index_names: &[&str]) -> Result<UnusedSpaceReport> {
+    let pool = table.index_pool().stats();
     let mut indexes = Vec::new();
     for name in index_names {
         let h = table.index_tree(name)?;
@@ -138,6 +152,7 @@ pub fn audit_unused(table: &Table, index_names: &[&str]) -> Result<UnusedSpaceRe
             cache_slots: s.cache_slots,
             cache_occupied: s.cache_occupied,
             writes: h.tree().write_stats(),
+            pool,
         });
     }
     Ok(UnusedSpaceReport {
@@ -251,6 +266,8 @@ mod tests {
         assert_eq!(r.indexes.len(), 1);
         assert!(r.indexes[0].leaf_pages >= 1);
         assert!(r.indexes[0].cache_slots > 0, "free space must expose cache slots");
+        assert!(r.indexes[0].pool.faults > 0, "index pages were cold-loaded at least once");
+        assert_eq!(r.indexes[0].pool.wb_pending, 0, "nothing evicted dirty in this workload");
     }
 
     #[test]

@@ -1,5 +1,60 @@
 //! Buffer pool: fixed set of frames over a [`DiskManager`], split into
-//! lock-striped shards with per-shard clock eviction.
+//! lock-striped shards with per-shard clock eviction, an
+//! I/O-in-progress **frame state machine** on the fault path, and
+//! **write-behind** eviction.
+//!
+//! # Frame state machine (overlapped faults)
+//!
+//! A shard's residency table maps each page to one of two states:
+//!
+//! ```text
+//!            miss: reserve frame,            read finishes:
+//!            release shard lock              publish + wake waiters
+//!   absent ────────────────────▶ Loading ────────────────────▶ Resident
+//!                                   │                              │
+//!                                   │ read fails: free frame,      │ evicted
+//!                                   ▼ poison waiters               ▼
+//!                                absent                         absent
+//! ```
+//!
+//! The shard map mutex is held only to *transition* between states,
+//! never across a [`DiskManager::read`]. A miss installs a `Loading`
+//! entry, reserves its frame (pinned, so the clock skips it), drops the
+//! shard lock, performs the read, then re-locks to publish. The
+//! consequences, which the concurrency benches measure:
+//!
+//! * Requesters for **other** pages in the same shard proceed
+//!   immediately — one stripe sustains frames-many in-flight faults
+//!   instead of one.
+//! * Concurrent requesters for the **same** page park on the in-flight
+//!   load (a condvar on the `Loading` entry) instead of issuing
+//!   duplicate reads; the loader pre-grants each parked waiter its pin
+//!   when it publishes, so a waiter can never find the page evicted
+//!   between wake-up and use. Exactly one disk read happens no matter
+//!   how many threads miss together ([`PoolStats::fault_joins`] counts
+//!   the coalesced ones).
+//! * A failed read poisons only its own `Loading` entry: the frame goes
+//!   back to the free list unpinned, every parked waiter gets the
+//!   error, and a later retry faults afresh. No zombie frames.
+//!
+//! # Write-behind eviction
+//!
+//! Evicting a dirty victim no longer pays a synchronous
+//! [`DiskManager::write`]: the victim's bytes are memcpy'd into a
+//! bounded write-behind queue and a background flusher thread writes
+//! them out, so victim reclaim costs a page copy instead of a device
+//! wait. Correctness hinges on the queue being part of the storage
+//! hierarchy: a fault checks the queue before the disk (queued bytes
+//! are newer), and a page re-faulted from the queue re-enters memory
+//! *dirty* with its pending write cancelled, so the frame is always the
+//! single authority for unflushed bytes. [`BufferPool::flush_all`]
+//! drains the queue before flushing resident pages — the durability
+//! barrier `Database::persist`/`close` rely on — and dropping the pool
+//! drains it too. A full queue falls back to the old synchronous write,
+//! so memory stays bounded. `write_behind = 0` disables the queue and
+//! the flusher thread entirely.
+//!
+//! # Index-cache contract
 //!
 //! Two properties are load-bearing for the paper's index cache (§2.1.1):
 //!
@@ -18,27 +73,20 @@
 //! its own frame table, free list, clock hand, and statistics. A page id
 //! maps to exactly one shard (`page_id % shards`), so concurrent
 //! accesses to distinct pages contend only when they collide on a
-//! stripe — the §2 index-cache read path scales with readers instead of
-//! funneling through one global mutex. Sequential page ids stripe
-//! round-robin, which spreads both heap scans and B+Tree levels evenly.
-//!
-//! Frames are divided as evenly as possible across shards, and a shard
-//! can only evict among its own frames. [`BufferPool::new`] therefore
-//! caps the default shard count so each shard keeps at least
-//! [`MIN_FRAMES_PER_SHARD`] frames: tiny pools (as used by eviction
-//! tests and memory-pressure harnesses) behave exactly like the old
-//! single-mutex pool, while production-sized pools get
-//! [`DEFAULT_POOL_SHARDS`] stripes. [`BufferPool::new_sharded`] gives
-//! callers (benches, experiments) exact control.
+//! stripe. Frames are divided as evenly as possible across shards, and a
+//! shard can only evict among its own frames. [`BufferPool::new`]
+//! therefore caps the default shard count so each shard keeps at least
+//! [`MIN_FRAMES_PER_SHARD`] frames; [`BufferPool::new_sharded`] and
+//! [`BufferPool::with_options`] give callers exact control.
 
 use crate::disk::DiskManager;
 use crate::error::{Result, StorageError};
 use crate::page::{Page, PageId};
 use crate::stats::PoolStats;
 use parking_lot::{Mutex, RwLock};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
 
 /// Default shard count for pools large enough to support it.
 pub const DEFAULT_POOL_SHARDS: usize = 8;
@@ -49,6 +97,10 @@ pub const DEFAULT_POOL_SHARDS: usize = 8;
 /// nested pins of pages that happen to collide on a shard.
 pub const MIN_FRAMES_PER_SHARD: usize = 16;
 
+/// Default write-behind queue depth (evicted-but-unflushed pages the
+/// pool will buffer before eviction falls back to synchronous writes).
+pub const DEFAULT_WRITE_BEHIND: usize = 64;
+
 struct Frame {
     data: RwLock<Page>,
     pin: AtomicU32,
@@ -56,11 +108,111 @@ struct Frame {
     refbit: AtomicBool,
 }
 
+/// One page's state of an in-flight load, parked on by co-waiters.
+struct InFlight {
+    state: StdMutex<LoadState>,
+    cv: Condvar,
+    /// Waiters that joined this load and were promised a pin. Only
+    /// mutated under the shard map lock; final once the `Loading` entry
+    /// leaves the table, which is when the loader reads it.
+    joiners: AtomicU32,
+}
+
+impl InFlight {
+    fn new() -> Self {
+        InFlight {
+            state: StdMutex::new(LoadState::Pending),
+            cv: Condvar::new(),
+            joiners: AtomicU32::new(0),
+        }
+    }
+
+    /// Parks until the load resolves; returns the published frame (pin
+    /// already granted by the loader) or the load's error.
+    fn wait(&self) -> Result<Arc<Frame>> {
+        let mut st = self.state.lock().expect("inflight mutex poisoned");
+        loop {
+            match &*st {
+                LoadState::Pending => st = self.cv.wait(st).expect("inflight mutex poisoned"),
+                LoadState::Ready(frame) => return Ok(Arc::clone(frame)),
+                LoadState::Failed(e) => return Err(e.clone()),
+            }
+        }
+    }
+
+    /// Resolves the load and wakes every parked waiter.
+    fn resolve(&self, outcome: std::result::Result<Arc<Frame>, StorageError>) {
+        let mut st = self.state.lock().expect("inflight mutex poisoned");
+        *st = match outcome {
+            Ok(frame) => LoadState::Ready(frame),
+            Err(e) => LoadState::Failed(e),
+        };
+        self.cv.notify_all();
+    }
+
+    /// Waits until the load resolves, without claiming a pin or caring
+    /// about the outcome. `flush_all` uses this to chase loads that
+    /// were in flight when its sweep passed.
+    fn await_resolved(&self) {
+        let mut st = self.state.lock().expect("inflight mutex poisoned");
+        while matches!(*st, LoadState::Pending) {
+            st = self.cv.wait(st).expect("inflight mutex poisoned");
+        }
+    }
+}
+
+/// Unwind insurance for the loader: a `DiskManager` implementation that
+/// panics mid-`read` must not strand the `Loading` entry and its
+/// reserved (pinned, clock-invisible) frame — that would hang every
+/// future requester of the page forever. While armed, dropping this
+/// guard frees the frame and poisons the waiters exactly like a failed
+/// read; the loader disarms it once the load returns normally.
+struct LoadAbortGuard<'a> {
+    shard: &'a Shard,
+    id: PageId,
+    idx: usize,
+    inflight: &'a Arc<InFlight>,
+    armed: bool,
+}
+
+impl Drop for LoadAbortGuard<'_> {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        let frame = &self.shard.frames[self.idx];
+        let mut map = self.shard.map.lock();
+        frame.dirty.store(false, Ordering::Release);
+        frame.pin.store(0, Ordering::Release);
+        map.table.remove(&self.id);
+        map.free.push(self.idx);
+        drop(map);
+        self.inflight.resolve(Err(StorageError::Io(format!(
+            "page {} load panicked in DiskManager::read",
+            self.id
+        ))));
+    }
+}
+
+enum LoadState {
+    Pending,
+    Ready(Arc<Frame>),
+    Failed(StorageError),
+}
+
+/// Residency of one page within its shard.
+enum Residency {
+    /// Loaded into the local frame at this index.
+    Resident(usize),
+    /// A load is in flight; requesters park here instead of re-reading.
+    Loading(Arc<InFlight>),
+}
+
 /// Mutable residency state of one shard, behind the shard's mutex.
 struct ShardMap {
-    /// page id -> local frame index
-    table: HashMap<PageId, usize>,
-    /// local frame index -> resident page (None = free frame)
+    /// page id -> residency state
+    table: HashMap<PageId, Residency>,
+    /// local frame index -> published page (None = free or loading)
     resident: Vec<Option<PageId>>,
     /// Stack of free local frame indexes (avoids O(n) scans on miss).
     free: Vec<usize>,
@@ -76,6 +228,8 @@ struct ShardStats {
     misses: AtomicU64,
     evictions: AtomicU64,
     writebacks: AtomicU64,
+    faults: AtomicU64,
+    fault_joins: AtomicU64,
 }
 
 struct Shard {
@@ -84,17 +238,314 @@ struct Shard {
     stats: ShardStats,
 }
 
-/// Fixed-capacity page cache over a shared disk, striped into shards.
+// ---------------------------------------------------------------------
+// Write-behind
+// ---------------------------------------------------------------------
+
+/// One evicted-but-unflushed page in the write-behind store.
+struct WbSlot {
+    /// The most recently evicted bytes for this page (authoritative
+    /// until flushed or until the page is re-faulted into a frame).
+    page: Page,
+    /// Bumped on every supersede, so a completing write can tell
+    /// whether it flushed the latest bytes.
+    gen: u64,
+    /// `Some(gen)` while a consumer is writing that generation to disk.
+    flushing: Option<u64>,
+    /// A write of these bytes failed; kept out of the flusher's rotation
+    /// (retried by `flush_all`, a supersede, or the drop drain).
+    failed: bool,
+}
+
+struct WbState {
+    slots: HashMap<PageId, WbSlot>,
+    /// Flush order; may hold stale ids (slots cancelled or already
+    /// being flushed) which consumers simply skip.
+    order: VecDeque<PageId>,
+    /// Active `flush_all` barriers. While nonzero, evictions of pages
+    /// with no existing slot write synchronously instead of enqueuing —
+    /// a new slot created after the barrier's drain would silently
+    /// survive the "everything is durable now" promise. Pages that
+    /// *have* a slot still supersede in place (per-page ordering goes
+    /// through the slot machinery, and the drain loop runs until the
+    /// queue is empty).
+    barriers: u32,
+    shutdown: bool,
+}
+
+/// Bounded queue of dirty evictees plus the flusher protocol shared by
+/// the background thread, `flush_all`, and drop.
+struct WriteBehind {
+    disk: Arc<dyn DiskManager>,
+    state: StdMutex<WbState>,
+    /// Signals the flusher thread that work (or shutdown) arrived.
+    work_cv: Condvar,
+    /// Signals drainers that an in-flight write completed.
+    done_cv: Condvar,
+    capacity: usize,
+    enqueued: AtomicU64,
+    flushed: AtomicU64,
+}
+
+/// A claimed flush job: these bytes of this generation, written outside
+/// the lock.
+type WbJob = (PageId, Page, u64);
+
+impl WriteBehind {
+    fn new(disk: Arc<dyn DiskManager>, capacity: usize) -> Self {
+        WriteBehind {
+            disk,
+            state: StdMutex::new(WbState {
+                slots: HashMap::new(),
+                order: VecDeque::new(),
+                barriers: 0,
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            capacity,
+            enqueued: AtomicU64::new(0),
+            flushed: AtomicU64::new(0),
+        }
+    }
+
+    /// Hands a dirty victim's bytes to the queue. Falls back to a
+    /// synchronous write when the queue is full or a flush barrier is
+    /// active (either way only possible for a page with no existing
+    /// slot, so write ordering stays per-page serial). Called with the
+    /// victim's shard map lock held.
+    fn enqueue(&self, pid: PageId, page: &Page) -> Result<()> {
+        // Copy the page before taking the wb mutex: every shard's
+        // evictions funnel through this one lock, and a page-sized
+        // memcpy under it would re-couple the evictions the shard
+        // striping decoupled. Under the lock only pointers move.
+        let copy = page.clone();
+        let mut st = self.state.lock().expect("wb mutex poisoned");
+        if let Some(slot) = st.slots.get_mut(&pid) {
+            // Supersede: newest bytes win, no extra capacity.
+            slot.page = copy;
+            slot.gen += 1;
+            if slot.flushing.is_none() && slot.failed {
+                // Was parked as failed (not in rotation): requeue.
+                slot.failed = false;
+                st.order.push_back(pid);
+            }
+        } else if st.barriers == 0 && st.slots.len() < self.capacity {
+            st.slots.insert(pid, WbSlot { page: copy, gen: 0, flushing: None, failed: false });
+            st.order.push_back(pid);
+        } else {
+            // Queue full (or a flush barrier is draining it) and no
+            // slot to supersede: the old synchronous path. Safe
+            // precisely because no slot exists for `pid` — nothing can
+            // write staler bytes after us. This runs under the victim
+            // shard's map lock (pre-write-behind cost, and deliberate:
+            // released earlier, a concurrent fault of the victim would
+            // read stale disk bytes, and parking them in a fresh slot
+            // instead would let them slip past an active barrier's
+            // drain). It stalls the stripe only on this rare fallback,
+            // not per dirty eviction as before.
+            drop(st);
+            return self.disk.write(pid, page);
+        }
+        self.enqueued.fetch_add(1, Ordering::Relaxed);
+        self.work_cv.notify_one();
+        Ok(())
+    }
+
+    /// Enters a flush barrier: until the matching
+    /// [`WriteBehind::end_barrier`], no *new* slots are created (see
+    /// [`WbState::barriers`]), so a concurrent dirty eviction cannot
+    /// slip an unflushed page past `flush_all`'s drain.
+    fn begin_barrier(&self) {
+        self.state.lock().expect("wb mutex poisoned").barriers += 1;
+    }
+
+    /// Leaves a flush barrier.
+    fn end_barrier(&self) {
+        self.state.lock().expect("wb mutex poisoned").barriers -= 1;
+    }
+
+    /// Serves a fault from the store: copies the queued (newer-than-disk)
+    /// bytes into `dst` and cancels the pending write when possible —
+    /// the re-loaded frame re-enters memory dirty and becomes the single
+    /// authority for these bytes. Returns false when the page has no
+    /// queued bytes (fault must read the disk).
+    fn serve_fault(&self, pid: PageId, dst: &mut Page) -> bool {
+        let mut st = self.state.lock().expect("wb mutex poisoned");
+        let Some(slot) = st.slots.get(&pid) else { return false };
+        dst.bytes_mut().copy_from_slice(slot.page.bytes());
+        if slot.flushing.is_none() {
+            // Not mid-write: cancel outright (stale `order` entries are
+            // skipped by consumers). If a write is in flight, completion
+            // will retire the slot; the frame's dirty bit keeps the
+            // bytes safe either way.
+            st.slots.remove(&pid);
+        }
+        true
+    }
+
+    /// Claims the next flushable job, marking its slot in-flight. The
+    /// clone under the lock is deliberate: the slot must keep its bytes
+    /// visible for [`WriteBehind::serve_fault`] while the writer needs
+    /// a copy a concurrent supersede cannot swap out from under it —
+    /// and unlike `enqueue`, only flusher-side consumers pay it.
+    fn pop_job(st: &mut WbState) -> Option<WbJob> {
+        while let Some(pid) = st.order.pop_front() {
+            if let Some(slot) = st.slots.get_mut(&pid) {
+                if slot.flushing.is_none() && !slot.failed {
+                    slot.flushing = Some(slot.gen);
+                    return Some((pid, slot.page.clone(), slot.gen));
+                }
+            }
+        }
+        None
+    }
+
+    /// Writes a claimed job with unwind insurance: a `DiskManager`
+    /// implementation that panics mid-`write` must not leave the slot
+    /// marked `flushing` forever — `drain` waits on exactly that marker
+    /// and would hang every future `flush_all`. On unwind the slot is
+    /// parked as failed (bytes kept) and drainers are woken; the next
+    /// `flush_all` retries it and surfaces whatever happens then.
+    fn write_job(&self, pid: PageId, page: &Page) -> Result<()> {
+        struct Unwedge<'a> {
+            wb: &'a WriteBehind,
+            pid: PageId,
+            armed: bool,
+        }
+        impl Drop for Unwedge<'_> {
+            fn drop(&mut self) {
+                if !self.armed {
+                    return;
+                }
+                let mut st = self.wb.state.lock().expect("wb mutex poisoned");
+                if let Some(slot) = st.slots.get_mut(&self.pid) {
+                    slot.flushing = None;
+                    slot.failed = true;
+                }
+                drop(st);
+                self.wb.done_cv.notify_all();
+            }
+        }
+        let mut guard = Unwedge { wb: self, pid, armed: true };
+        let res = self.disk.write(pid, page);
+        guard.armed = false;
+        res
+    }
+
+    /// Retires a completed write. A slot superseded mid-write rejoins
+    /// the rotation; a failed write parks the slot (bytes kept) for
+    /// `flush_all`, a supersede, or the drop drain to retry.
+    fn complete(&self, st: &mut WbState, pid: PageId, gen: u64, res: Result<()>) {
+        if res.is_ok() {
+            self.flushed.fetch_add(1, Ordering::Relaxed);
+        }
+        if let Some(slot) = st.slots.get_mut(&pid) {
+            slot.flushing = None;
+            if slot.gen == gen {
+                match res {
+                    Ok(()) => {
+                        st.slots.remove(&pid);
+                    }
+                    Err(_) => {
+                        slot.failed = true;
+                    }
+                }
+            } else {
+                // Superseded while we wrote: newer bytes need a pass
+                // (even if our stale write failed).
+                st.order.push_back(pid);
+                self.work_cv.notify_one();
+            }
+        }
+        // else: cancelled by a re-fault; the frame owns the bytes now.
+        self.done_cv.notify_all();
+    }
+
+    /// The background flusher: drains jobs, parks when idle, exits once
+    /// shutdown is signalled *and* the rotation is empty. A panicking
+    /// `DiskManager::write` is caught so the thread survives — dying
+    /// here would silently disable write-behind for the pool's
+    /// remaining lifetime (`write_job`'s guard has already parked the
+    /// slot as failed by the time the catch sees the unwind, so there
+    /// is no completion left to run).
+    fn run(wb: Arc<WriteBehind>) {
+        let mut st = wb.state.lock().expect("wb mutex poisoned");
+        loop {
+            if let Some((pid, page, gen)) = Self::pop_job(&mut st) {
+                drop(st);
+                let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    wb.write_job(pid, &page)
+                }));
+                st = wb.state.lock().expect("wb mutex poisoned");
+                if let Ok(res) = res {
+                    wb.complete(&mut st, pid, gen, res);
+                }
+                continue;
+            }
+            if st.shutdown {
+                return;
+            }
+            st = wb.work_cv.wait(st).expect("wb mutex poisoned");
+        }
+    }
+
+    /// Drains the queue to disk, helping the flusher rather than merely
+    /// waiting on it. Parked-as-failed slots get one synchronous retry;
+    /// the first persistent failure aborts with its error (bytes stay
+    /// queued, so a later drain can succeed).
+    fn drain(&self) -> Result<()> {
+        let mut st = self.state.lock().expect("wb mutex poisoned");
+        loop {
+            if let Some((pid, page, gen)) = Self::pop_job(&mut st) {
+                drop(st);
+                let res = self.write_job(pid, &page);
+                st = self.state.lock().expect("wb mutex poisoned");
+                self.complete(&mut st, pid, gen, res);
+                continue;
+            }
+            if st.slots.values().any(|s| s.flushing.is_some()) {
+                st = self.done_cv.wait(st).expect("wb mutex poisoned");
+                continue;
+            }
+            // Only parked failures remain. Retry them here so flush_all
+            // keeps the old contract: error out but lose nothing.
+            let Some(pid) = st.slots.keys().next().copied() else { return Ok(()) };
+            let slot = st.slots.get_mut(&pid).expect("key just observed");
+            let (page, gen) = (slot.page.clone(), slot.gen);
+            slot.flushing = Some(gen);
+            slot.failed = false;
+            drop(st);
+            let res = self.write_job(pid, &page);
+            st = self.state.lock().expect("wb mutex poisoned");
+            let err = res.as_ref().err().cloned();
+            self.complete(&mut st, pid, gen, res);
+            if let Some(e) = err {
+                return Err(e);
+            }
+        }
+    }
+
+    /// Queue depth right now.
+    fn pending(&self) -> u64 {
+        self.state.lock().expect("wb mutex poisoned").slots.len() as u64
+    }
+}
+
+/// Fixed-capacity page cache over a shared disk, striped into shards,
+/// with overlapped faults and write-behind eviction.
 pub struct BufferPool {
     disk: Arc<dyn DiskManager>,
     shards: Box<[Shard]>,
+    wb: Option<Arc<WriteBehind>>,
+    flusher: Option<std::thread::JoinHandle<()>>,
 }
 
 impl BufferPool {
     /// Creates a pool of `capacity` frames over `disk` with an
-    /// automatically sized shard count: [`DEFAULT_POOL_SHARDS`], reduced
-    /// so every shard keeps at least [`MIN_FRAMES_PER_SHARD`] frames
-    /// (small pools fall back to a single shard).
+    /// automatically sized shard count ([`DEFAULT_POOL_SHARDS`], reduced
+    /// so every shard keeps at least [`MIN_FRAMES_PER_SHARD`] frames)
+    /// and the default write-behind depth.
     ///
     /// # Panics
     /// Panics if `capacity == 0`.
@@ -104,14 +555,30 @@ impl BufferPool {
     }
 
     /// Creates a pool of `capacity` frames striped into exactly `shards`
-    /// shards (clamped to `[1, capacity]`). Frames are distributed as
-    /// evenly as possible; a shard only evicts among its own frames, so
-    /// very small per-shard frame counts trade eviction quality for
-    /// parallelism — benches use this to measure that trade.
+    /// shards (clamped to `[1, capacity]`), with the default
+    /// write-behind depth. Frames are distributed as evenly as possible;
+    /// a shard only evicts among its own frames.
     ///
     /// # Panics
     /// Panics if `capacity == 0`.
     pub fn new_sharded(disk: Arc<dyn DiskManager>, capacity: usize, shards: usize) -> Self {
+        Self::with_options(disk, capacity, shards, DEFAULT_WRITE_BEHIND)
+    }
+
+    /// Full-control constructor: exact shard count (clamped to
+    /// `[1, capacity]`) and write-behind queue depth. `write_behind = 0`
+    /// disables the queue and its flusher thread — every dirty eviction
+    /// pays a synchronous [`DiskManager::write`], the pre-write-behind
+    /// behavior, which benches use as the baseline.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn with_options(
+        disk: Arc<dyn DiskManager>,
+        capacity: usize,
+        shards: usize,
+        write_behind: usize,
+    ) -> Self {
         assert!(capacity > 0, "buffer pool needs at least one frame");
         let nshards = shards.clamp(1, capacity);
         let page_size = disk.page_size();
@@ -142,7 +609,16 @@ impl BufferPool {
                 }
             })
             .collect();
-        BufferPool { disk, shards }
+        let wb =
+            (write_behind > 0).then(|| Arc::new(WriteBehind::new(Arc::clone(&disk), write_behind)));
+        let flusher = wb.as_ref().map(|wb| {
+            let wb = Arc::clone(wb);
+            std::thread::Builder::new()
+                .name("nbb-wb-flusher".into())
+                .spawn(move || WriteBehind::run(wb))
+                .expect("spawn write-behind flusher")
+        });
+        BufferPool { disk, shards, wb, flusher }
     }
 
     /// Shard owning `id`.
@@ -159,6 +635,12 @@ impl BufferPool {
     /// Number of lock-striped shards (≥ 1).
     pub fn shards(&self) -> usize {
         self.shards.len()
+    }
+
+    /// Configured write-behind queue depth (0 = disabled: dirty
+    /// evictions write synchronously).
+    pub fn write_behind(&self) -> usize {
+        self.wb.as_ref().map_or(0, |wb| wb.capacity)
     }
 
     /// The disk this pool fronts.
@@ -205,9 +687,10 @@ impl BufferPool {
     /// lock acquisitions across the batch: ids are grouped per shard and
     /// every resident member of a group is pinned under **one** shard
     /// map lock, instead of one acquisition per page as N
-    /// [`BufferPool::with_page`] calls would take. Non-resident pages
-    /// fall back to the ordinary miss path one at a time (each may
-    /// evict, which needs the map lock anyway).
+    /// [`BufferPool::with_page`] calls would take. Non-resident pages —
+    /// including pages another thread is still loading — fall back to
+    /// the ordinary fault path one at a time (each may evict, or park on
+    /// the in-flight load).
     ///
     /// `f` receives `(position_in_ids, &Page)` and may be called in any
     /// order; the returned vector is indexed like `ids`. Duplicate ids
@@ -242,13 +725,15 @@ impl BufferPool {
                 {
                     let map = shard.map.lock();
                     for &i in part {
-                        if let Some(&idx) = map.table.get(&ids[i]) {
+                        if let Some(&Residency::Resident(idx)) = map.table.get(&ids[i]) {
                             let frame = &shard.frames[idx];
                             frame.pin.fetch_add(1, Ordering::AcqRel);
                             frame.refbit.store(true, Ordering::Relaxed);
                             shard.stats.hits.fetch_add(1, Ordering::Relaxed);
                             pinned.push((i, Arc::clone(frame)));
                         } else {
+                            // Absent or Loading: take the point path,
+                            // which faults or parks as appropriate.
                             missed.push(i);
                         }
                     }
@@ -287,24 +772,30 @@ impl BufferPool {
         Ok(out)
     }
 
-    /// True if page `id` is currently resident.
+    /// True if page `id` is currently resident (a page mid-load is not
+    /// yet resident).
     pub fn contains(&self, id: PageId) -> bool {
-        self.shard_of(id).map.lock().table.contains_key(&id)
+        matches!(self.shard_of(id).map.lock().table.get(&id), Some(Residency::Resident(_)))
     }
 
-    /// Forces page `id` out of the pool (writing it back iff dirty).
+    /// Forces page `id` out of the pool (handing it to write-behind iff
+    /// dirty).
     ///
-    /// Used by tests and harnesses to simulate memory pressure; a no-op if
-    /// the page is not resident. Fails if the page is pinned.
+    /// Used by tests and harnesses to simulate memory pressure; a no-op
+    /// if the page is not resident. Fails if the page is pinned or mid-load.
     pub fn evict_page(&self, id: PageId) -> Result<()> {
         let shard = self.shard_of(id);
         let mut map = shard.map.lock();
-        let Some(&idx) = map.table.get(&id) else { return Ok(()) };
+        let idx = match map.table.get(&id) {
+            None => return Ok(()),
+            Some(Residency::Loading(_)) => return Err(StorageError::BufferPoolExhausted),
+            Some(&Residency::Resident(idx)) => idx,
+        };
         let frame = &shard.frames[idx];
         if frame.pin.load(Ordering::Acquire) != 0 {
             return Err(StorageError::BufferPoolExhausted);
         }
-        self.write_back_if_dirty(shard, frame, id)?;
+        self.retire_victim(shard, frame, id)?;
         map.table.remove(&id);
         map.resident[idx] = None;
         map.free.push(idx);
@@ -312,20 +803,68 @@ impl BufferPool {
         Ok(())
     }
 
-    /// Writes back every dirty resident page.
+    /// Writes back every dirty page: drains the write-behind queue
+    /// first (evicted pages must not land *after* resident ones — a
+    /// queued stale write racing a fresh flush would clobber it), then
+    /// synchronously flushes resident dirty frames. This is the
+    /// durability barrier `persist`/`close`/drop build on, and it holds
+    /// against concurrent readers: while the barrier is active,
+    /// evictions of pages with no queued slot write synchronously (no
+    /// new slot can slip in behind the drain), and the sweep chases
+    /// loads that were in flight when it passed — a page re-faulted
+    /// from the queue re-enters memory dirty, and the sweep must not
+    /// miss it mid-publish.
     pub fn flush_all(&self) -> Result<()> {
+        if let Some(wb) = &self.wb {
+            wb.begin_barrier();
+        }
+        let result = self.flush_all_locked_out();
+        if let Some(wb) = &self.wb {
+            wb.end_barrier();
+        }
+        result
+    }
+
+    /// The body of [`BufferPool::flush_all`], run with the write-behind
+    /// barrier held.
+    fn flush_all_locked_out(&self) -> Result<()> {
+        if let Some(wb) = &self.wb {
+            wb.drain()?;
+        }
         for shard in self.shards.iter() {
-            let map = shard.map.lock();
-            for (idx, res) in map.resident.iter().enumerate() {
-                if let Some(pid) = res {
-                    self.write_back_if_dirty(shard, &shard.frames[idx], *pid)?;
+            let mut loading: Vec<(PageId, Arc<InFlight>)> = Vec::new();
+            {
+                let map = shard.map.lock();
+                for (idx, res) in map.resident.iter().enumerate() {
+                    if let Some(pid) = res {
+                        self.write_back_if_dirty(shard, &shard.frames[idx], *pid)?;
+                    }
+                }
+                for (pid, entry) in map.table.iter() {
+                    if let Residency::Loading(inflight) = entry {
+                        loading.push((*pid, Arc::clone(inflight)));
+                    }
+                }
+            }
+            // A load serviced from the write-behind store cancels its
+            // queue slot and publishes a *dirty* frame; if it was
+            // mid-flight when the resident pass ran, neither the drain
+            // nor the pass saw those bytes. Wait the loads out (store
+            // serves are a memcpy; disk serves publish clean frames and
+            // merely cost the wait) and flush whatever landed dirty.
+            for (pid, inflight) in loading {
+                inflight.await_resolved();
+                let map = shard.map.lock();
+                if let Some(&Residency::Resident(idx)) = map.table.get(&pid) {
+                    self.write_back_if_dirty(shard, &shard.frames[idx], pid)?;
                 }
             }
         }
         Ok(())
     }
 
-    /// Hit/miss/eviction counters, aggregated across shards.
+    /// Hit/miss/eviction/fault/write-behind counters, aggregated across
+    /// shards.
     pub fn stats(&self) -> PoolStats {
         let mut out = PoolStats::default();
         for s in self.shards.iter() {
@@ -333,24 +872,38 @@ impl BufferPool {
             out.misses += s.stats.misses.load(Ordering::Relaxed);
             out.evictions += s.stats.evictions.load(Ordering::Relaxed);
             out.writebacks += s.stats.writebacks.load(Ordering::Relaxed);
+            out.faults += s.stats.faults.load(Ordering::Relaxed);
+            out.fault_joins += s.stats.fault_joins.load(Ordering::Relaxed);
+        }
+        if let Some(wb) = &self.wb {
+            out.wb_enqueued = wb.enqueued.load(Ordering::Relaxed);
+            out.wb_flushed = wb.flushed.load(Ordering::Relaxed);
+            out.wb_pending = wb.pending();
         }
         out
     }
 
-    /// Zeroes the counters.
+    /// Zeroes the counters (the `wb_pending` gauge reflects live queue
+    /// depth and is not a counter).
     pub fn reset_stats(&self) {
         for s in self.shards.iter() {
             s.stats.hits.store(0, Ordering::Relaxed);
             s.stats.misses.store(0, Ordering::Relaxed);
             s.stats.evictions.store(0, Ordering::Relaxed);
             s.stats.writebacks.store(0, Ordering::Relaxed);
+            s.stats.faults.store(0, Ordering::Relaxed);
+            s.stats.fault_joins.store(0, Ordering::Relaxed);
+        }
+        if let Some(wb) = &self.wb {
+            wb.enqueued.store(0, Ordering::Relaxed);
+            wb.flushed.store(0, Ordering::Relaxed);
         }
     }
 
-    /// Writes the frame back iff dirty. The dirty bit is only cleared
-    /// after the disk write succeeds, so a failed write leaves the
-    /// frame dirty (and its bytes intact) for a later retry — callers
-    /// can propagate the error without losing data.
+    /// Synchronously writes the frame back iff dirty (the flush path —
+    /// eviction uses [`BufferPool::retire_victim`]). The dirty bit is
+    /// only cleared after the disk write succeeds, so a failed write
+    /// leaves the frame dirty (and its bytes intact) for a later retry.
     fn write_back_if_dirty(&self, shard: &Shard, frame: &Frame, pid: PageId) -> Result<()> {
         if frame.dirty.load(Ordering::Acquire) {
             let guard = frame.data.read();
@@ -363,50 +916,120 @@ impl BufferPool {
         Ok(())
     }
 
-    /// Pins `id` into a frame of its shard, loading from disk on a miss.
+    /// Takes a dirty victim off the eviction path: enqueues its bytes to
+    /// write-behind (a memcpy) instead of a synchronous device write.
+    /// Falls back to the synchronous write when write-behind is disabled
+    /// or full. On error the victim stays dirty and resident.
+    fn retire_victim(&self, shard: &Shard, frame: &Frame, pid: PageId) -> Result<()> {
+        if !frame.dirty.load(Ordering::Acquire) {
+            return Ok(());
+        }
+        let guard = frame.data.read();
+        match &self.wb {
+            Some(wb) => wb.enqueue(pid, &guard)?,
+            None => self.disk.write(pid, &guard)?,
+        }
+        frame.dirty.store(false, Ordering::Release);
+        shard.stats.writebacks.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Pins `id` into a frame of its shard: a hit pins the resident
+    /// frame, a request for a page mid-load parks on it, and a true miss
+    /// becomes the loader — it reserves a frame, installs `Loading`,
+    /// **releases the shard map lock across the read**, then publishes
+    /// the frame and wakes its waiters (each with a pre-granted pin).
     ///
-    /// Every early return leaves the shard map consistent: a failed
-    /// write-back keeps the victim resident (and dirty); a failed read
-    /// returns the — by then possibly clobbered — frame to the free
-    /// list with no page mapped to it.
+    /// Every exit leaves the shard consistent: a failed victim
+    /// write-back keeps the victim resident (and dirty); a failed load
+    /// frees the — by then possibly clobbered — frame, poisons only its
+    /// own waiters, and maps nothing to it.
     fn pin(&self, id: PageId) -> Result<Arc<Frame>> {
         let shard = self.shard_of(id);
         let mut map = shard.map.lock();
-        if let Some(&idx) = map.table.get(&id) {
-            let frame = &shard.frames[idx];
-            frame.pin.fetch_add(1, Ordering::AcqRel);
-            frame.refbit.store(true, Ordering::Relaxed);
-            shard.stats.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(Arc::clone(frame));
+        match map.table.get(&id) {
+            Some(&Residency::Resident(idx)) => {
+                let frame = &shard.frames[idx];
+                frame.pin.fetch_add(1, Ordering::AcqRel);
+                frame.refbit.store(true, Ordering::Relaxed);
+                shard.stats.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(Arc::clone(frame));
+            }
+            Some(Residency::Loading(inflight)) => {
+                // Coalesce: register for a pin, then park off-lock.
+                let inflight = Arc::clone(inflight);
+                inflight.joiners.fetch_add(1, Ordering::Relaxed);
+                shard.stats.misses.fetch_add(1, Ordering::Relaxed);
+                shard.stats.fault_joins.fetch_add(1, Ordering::Relaxed);
+                drop(map);
+                return inflight.wait();
+            }
+            None => {}
         }
         shard.stats.misses.fetch_add(1, Ordering::Relaxed);
+        shard.stats.faults.fetch_add(1, Ordering::Relaxed);
         let idx = Self::find_victim(shard, &mut map)?;
         let frame = &shard.frames[idx];
         if let Some(old) = map.resident[idx] {
             // On error the victim stays resident and dirty — consistent.
-            self.write_back_if_dirty(shard, frame, old)?;
+            self.retire_victim(shard, frame, old)?;
             map.table.remove(&old);
             map.resident[idx] = None;
             shard.stats.evictions.fetch_add(1, Ordering::Relaxed);
         }
-        // From here the frame is logically free (mapped to nothing).
-        let loaded = {
-            let mut guard = frame.data.write();
-            let r = self.disk.read(id, &mut guard);
-            frame.dirty.store(false, Ordering::Release);
-            r
-        };
-        if let Err(e) = loaded {
-            // The failed read may have clobbered the frame bytes; leave
-            // the frame free rather than mapping anything to it.
-            map.free.push(idx);
-            return Err(e);
-        }
-        map.resident[idx] = Some(id);
-        map.table.insert(id, idx);
+        // Reserve the frame: pinned (the clock skips it) but mapped to
+        // nothing, then fault with the shard unlocked so neighbors
+        // proceed and same-page requesters park instead of re-reading.
         frame.pin.store(1, Ordering::Release);
-        frame.refbit.store(true, Ordering::Relaxed);
-        Ok(Arc::clone(frame))
+        let inflight = Arc::new(InFlight::new());
+        map.table.insert(id, Residency::Loading(Arc::clone(&inflight)));
+        drop(map);
+
+        // If the disk panics instead of erroring, unwind like a failed
+        // read: free the frame, poison the waiters, no zombie entry.
+        let mut abort = LoadAbortGuard { shard, id, idx, inflight: &inflight, armed: true };
+        let loaded: Result<bool> = {
+            let mut guard = frame.data.write();
+            // The write-behind store may hold newer bytes than the disk;
+            // a page re-faulted from it re-enters memory dirty.
+            match &self.wb {
+                Some(wb) if wb.serve_fault(id, &mut guard) => Ok(true),
+                _ => self.disk.read(id, &mut guard).map(|()| false),
+            }
+        };
+        abort.armed = false;
+
+        let mut map = shard.map.lock();
+        // Only the loader resolves its Loading entry, so the joiner
+        // count is final once we swap the entry out below.
+        let joiners = inflight.joiners.load(Ordering::Relaxed);
+        match loaded {
+            Ok(dirty) => {
+                frame.dirty.store(dirty, Ordering::Release);
+                // One pin for us plus one pre-granted to each parked
+                // waiter: none of them can lose the frame to eviction
+                // between wake-up and use.
+                frame.pin.store(1 + joiners, Ordering::Release);
+                frame.refbit.store(true, Ordering::Relaxed);
+                map.table.insert(id, Residency::Resident(idx));
+                map.resident[idx] = Some(id);
+                drop(map);
+                inflight.resolve(Ok(Arc::clone(frame)));
+                Ok(Arc::clone(frame))
+            }
+            Err(e) => {
+                // The failed read may have clobbered the frame bytes;
+                // free the frame (unpinned, mapped to nothing) and
+                // poison every parked waiter with the error.
+                frame.dirty.store(false, Ordering::Release);
+                frame.pin.store(0, Ordering::Release);
+                map.table.remove(&id);
+                map.free.push(idx);
+                drop(map);
+                inflight.resolve(Err(e.clone()));
+                Err(e)
+            }
+        }
     }
 
     #[inline]
@@ -415,7 +1038,9 @@ impl BufferPool {
     }
 
     /// Clock (second-chance) victim selection over the shard's unpinned
-    /// frames; free frames are taken from the free list first.
+    /// frames; free frames are taken from the free list first. Frames
+    /// reserved by an in-flight load are pinned, so the clock never
+    /// steals them.
     fn find_victim(shard: &Shard, map: &mut ShardMap) -> Result<usize> {
         if let Some(idx) = map.free.pop() {
             return Ok(idx);
@@ -436,6 +1061,35 @@ impl BufferPool {
             return Ok(idx);
         }
         Err(StorageError::BufferPoolExhausted)
+    }
+}
+
+impl Drop for BufferPool {
+    /// Drains the write-behind queue before the pool disappears:
+    /// evicted-dirty pages were already written by eviction time under
+    /// the old synchronous scheme, so write-behind must guarantee they
+    /// reach the disk by drop at the latest. (Resident dirty frames are
+    /// — as before — the caller's to flush via
+    /// [`BufferPool::flush_all`].) Errors are swallowed; the
+    /// error-visible barrier is `flush_all`.
+    fn drop(&mut self) {
+        let Some(wb) = &self.wb else { return };
+        {
+            let mut st = wb.state.lock().expect("wb mutex poisoned");
+            st.shutdown = true;
+            wb.work_cv.notify_all();
+        }
+        if let Some(h) = self.flusher.take() {
+            let _ = h.join();
+        }
+        // The flusher drained everything flushable; give parked
+        // failures one last synchronous attempt.
+        let mut st = wb.state.lock().expect("wb mutex poisoned");
+        let remaining: Vec<PageId> = st.slots.keys().copied().collect();
+        for pid in remaining {
+            let slot = st.slots.remove(&pid).expect("key just listed");
+            let _ = wb.disk.write(pid, &slot.page);
+        }
     }
 }
 
@@ -480,8 +1134,62 @@ mod tests {
         }
         assert!(!pool.contains(a));
         let v = pool.with_page(a, |p| p.bytes()[0]).unwrap();
-        assert_eq!(v, 7, "dirty page must be written back before eviction");
+        assert_eq!(v, 7, "dirty page must survive eviction (write-behind or disk)");
         assert!(pool.stats().writebacks >= 1);
+    }
+
+    #[test]
+    fn write_behind_serves_refault_and_flushes() {
+        // A dirty evictee parks in the write-behind queue; a re-fault
+        // must see the queued (newer-than-disk) bytes, and flush_all
+        // must land them on disk.
+        let (pool, disk) = pool(2);
+        let a = pool.new_page().unwrap();
+        pool.with_page_mut(a, |p| p.bytes_mut()[0] = 77).unwrap();
+        pool.evict_page(a).unwrap();
+        assert_eq!(pool.with_page(a, |p| p.bytes()[0]).unwrap(), 77);
+        pool.flush_all().unwrap();
+        let mut raw = Page::new(256);
+        disk.read(a, &mut raw).unwrap();
+        assert_eq!(raw.bytes()[0], 77, "flush_all must drain write-behind");
+        let s = pool.stats();
+        assert!(s.wb_enqueued >= 1, "dirty eviction must enqueue: {s:?}");
+        assert_eq!(s.wb_pending, 0, "drained queue must be empty");
+    }
+
+    #[test]
+    fn write_behind_disabled_writes_synchronously() {
+        let disk = Arc::new(InMemoryDisk::new(256));
+        let pool = BufferPool::with_options(Arc::clone(&disk) as Arc<dyn DiskManager>, 2, 1, 0);
+        assert_eq!(pool.write_behind(), 0);
+        let a = pool.new_page().unwrap();
+        pool.with_page_mut(a, |p| p.bytes_mut()[0] = 9).unwrap();
+        pool.evict_page(a).unwrap();
+        // Synchronous mode: the bytes are on disk the moment the victim
+        // is reclaimed.
+        let mut raw = Page::new(256);
+        disk.read(a, &mut raw).unwrap();
+        assert_eq!(raw.bytes()[0], 9);
+        let s = pool.stats();
+        assert_eq!(s.wb_enqueued, 0);
+        assert_eq!(s.writebacks, 1);
+    }
+
+    #[test]
+    fn drop_drains_write_behind() {
+        let disk = Arc::new(InMemoryDisk::new(256));
+        let a;
+        {
+            let pool = BufferPool::new(Arc::clone(&disk) as Arc<dyn DiskManager>, 2);
+            a = pool.new_page().unwrap();
+            pool.with_page_mut(a, |p| p.bytes_mut()[0] = 33).unwrap();
+            pool.evict_page(a).unwrap();
+            // No flush_all: drop itself is the durability barrier for
+            // already-evicted pages.
+        }
+        let mut raw = Page::new(256);
+        disk.read(a, &mut raw).unwrap();
+        assert_eq!(raw.bytes()[0], 33, "drop must drain the write-behind queue");
     }
 
     #[test]
@@ -528,6 +1236,8 @@ mod tests {
         let s = pool.stats();
         assert_eq!(s.misses, 1);
         assert_eq!(s.hits, 2);
+        assert_eq!(s.faults, 1, "an uncontended miss is one started fault");
+        assert_eq!(s.fault_joins, 0);
         assert!((s.hit_rate() - 2.0 / 3.0).abs() < 1e-9);
     }
 
@@ -683,6 +1393,7 @@ mod tests {
         let s = pool.stats();
         assert_eq!(s.misses, 16);
         assert_eq!(s.hits, 16);
+        assert_eq!(s.faults, 16);
         pool.reset_stats();
         assert_eq!(pool.stats(), PoolStats::default());
     }
@@ -829,5 +1540,175 @@ mod tests {
         }
         let s = pool.stats();
         assert_eq!(s.hits + s.misses, 8 * 2000);
+        assert_eq!(s.misses, s.faults + s.fault_joins, "every miss loads or parks");
+    }
+
+    #[test]
+    fn panicking_write_behind_flush_does_not_wedge_flush_all() {
+        use crate::stats::IoStats;
+
+        /// Disk whose next write panics (once), modeling a broken
+        /// `DiskManager` implementation under the background flusher.
+        struct PanicOnceDisk {
+            inner: InMemoryDisk,
+            panic_next: AtomicBool,
+        }
+        impl DiskManager for PanicOnceDisk {
+            fn page_size(&self) -> usize {
+                self.inner.page_size()
+            }
+            fn allocate(&self) -> Result<PageId> {
+                self.inner.allocate()
+            }
+            fn read(&self, id: PageId, buf: &mut Page) -> Result<()> {
+                self.inner.read(id, buf)
+            }
+            fn write(&self, id: PageId, page: &Page) -> Result<()> {
+                if self.panic_next.swap(false, Ordering::Relaxed) {
+                    panic!("injected write panic");
+                }
+                self.inner.write(id, page)
+            }
+            fn num_pages(&self) -> u64 {
+                self.inner.num_pages()
+            }
+            fn stats(&self) -> IoStats {
+                self.inner.stats()
+            }
+            fn reset_stats(&self) {
+                self.inner.reset_stats()
+            }
+        }
+
+        let disk = Arc::new(PanicOnceDisk {
+            inner: InMemoryDisk::new(256),
+            panic_next: AtomicBool::new(true),
+        });
+        let pool = BufferPool::with_options(Arc::clone(&disk) as Arc<dyn DiskManager>, 2, 1, 64);
+        let a = pool.new_page().unwrap();
+        pool.with_page_mut(a, |p| p.bytes_mut()[0] = 5).unwrap();
+        pool.evict_page(a).unwrap(); // enqueued; the flusher's write panics
+        while disk.panic_next.load(Ordering::Relaxed) {
+            std::thread::yield_now(); // let the flusher consume the panic
+        }
+        // Without the write-path unwind guard the slot would stay
+        // marked in-flight forever and this drain would hang; with it
+        // the slot parks as failed and flush_all retries synchronously.
+        pool.flush_all().unwrap();
+        let mut raw = Page::new(256);
+        disk.inner.read(a, &mut raw).unwrap();
+        assert_eq!(raw.bytes()[0], 5, "parked bytes survive the panic and flush");
+        assert_eq!(pool.stats().wb_pending, 0);
+
+        // The flusher thread must have survived the panic: a fresh
+        // dirty eviction drains in the *background*, no flush_all.
+        pool.with_page_mut(a, |p| p.bytes_mut()[0] = 6).unwrap();
+        pool.evict_page(a).unwrap();
+        while pool.stats().wb_pending > 0 {
+            std::thread::yield_now();
+        }
+        disk.inner.read(a, &mut raw).unwrap();
+        assert_eq!(raw.bytes()[0], 6, "write-behind still functions after the panic");
+    }
+
+    #[test]
+    fn flush_barrier_holds_against_concurrent_dirty_evictions() {
+        use crate::stats::IoStats;
+
+        /// Disk whose writes block at a gate, with attempt counting, so
+        /// the test can freeze the flusher mid-write and provably
+        /// interleave an eviction with an active flush barrier.
+        struct WriteGateDisk {
+            inner: InMemoryDisk,
+            held: StdMutex<bool>,
+            cv: Condvar,
+            write_attempts: AtomicU64,
+        }
+        impl WriteGateDisk {
+            fn release(&self) {
+                *self.held.lock().unwrap() = false;
+                self.cv.notify_all();
+            }
+        }
+        impl DiskManager for WriteGateDisk {
+            fn page_size(&self) -> usize {
+                self.inner.page_size()
+            }
+            fn allocate(&self) -> Result<PageId> {
+                self.inner.allocate()
+            }
+            fn read(&self, id: PageId, buf: &mut Page) -> Result<()> {
+                self.inner.read(id, buf)
+            }
+            fn write(&self, id: PageId, page: &Page) -> Result<()> {
+                self.write_attempts.fetch_add(1, Ordering::Relaxed);
+                let mut held = self.held.lock().unwrap();
+                while *held {
+                    held = self.cv.wait(held).unwrap();
+                }
+                drop(held);
+                self.inner.write(id, page)
+            }
+            fn num_pages(&self) -> u64 {
+                self.inner.num_pages()
+            }
+            fn stats(&self) -> IoStats {
+                self.inner.stats()
+            }
+            fn reset_stats(&self) {
+                self.inner.reset_stats()
+            }
+        }
+
+        let disk = Arc::new(WriteGateDisk {
+            inner: InMemoryDisk::new(256),
+            held: StdMutex::new(true), // writes gated from the start
+            cv: Condvar::new(),
+            write_attempts: AtomicU64::new(0),
+        });
+        let pool =
+            Arc::new(BufferPool::with_options(Arc::clone(&disk) as Arc<dyn DiskManager>, 4, 1, 64));
+        let a = pool.new_page().unwrap();
+        let b = pool.new_page().unwrap();
+        pool.with_page_mut(a, |p| p.bytes_mut()[0] = 1).unwrap();
+        pool.evict_page(a).unwrap(); // slot for `a`; flusher blocks writing it
+        while disk.write_attempts.load(Ordering::Relaxed) < 1 {
+            std::thread::yield_now();
+        }
+        pool.with_page_mut(b, |p| p.bytes_mut()[0] = 2).unwrap(); // resident dirty
+
+        // flush_all enters its barrier, then parks in drain() behind
+        // the flusher's gated write of `a`.
+        let flusher = {
+            let pool = Arc::clone(&pool);
+            std::thread::spawn(move || pool.flush_all())
+        };
+        while pool.wb.as_ref().unwrap().state.lock().unwrap().barriers == 0 {
+            std::thread::yield_now();
+        }
+
+        // The race under test: a dirty eviction *during* the barrier
+        // must write synchronously — a fresh queue slot here would
+        // slip behind the drain and break the durability promise.
+        let evictor = {
+            let pool = Arc::clone(&pool);
+            std::thread::spawn(move || pool.evict_page(b))
+        };
+        while disk.write_attempts.load(Ordering::Relaxed) < 2 {
+            std::thread::yield_now();
+        }
+        assert_eq!(pool.stats().wb_enqueued, 1, "barrier-time eviction must not enqueue");
+
+        disk.release();
+        flusher.join().unwrap().unwrap();
+        evictor.join().unwrap().unwrap();
+
+        // Everything dirty at (or during) the barrier is on the disk.
+        let mut raw = Page::new(256);
+        disk.inner.read(a, &mut raw).unwrap();
+        assert_eq!(raw.bytes()[0], 1);
+        disk.inner.read(b, &mut raw).unwrap();
+        assert_eq!(raw.bytes()[0], 2);
+        assert_eq!(pool.stats().wb_pending, 0);
     }
 }

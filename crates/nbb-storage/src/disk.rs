@@ -25,6 +25,27 @@ use std::sync::atomic::{AtomicU64, Ordering};
 ///
 /// All methods take `&self`; implementations are internally synchronized
 /// so a single disk can sit under a shared buffer pool.
+///
+/// # Concurrency expectations
+///
+/// The buffer pool issues `read`s *outside* its shard locks (the
+/// overlapped-fault state machine) and `write`s from a background
+/// write-behind flusher, so an implementation must expect **many
+/// concurrent calls**, including several reads in flight at once.
+/// Implementations that block (e.g. [`LatencyDisk`], [`FileDisk`])
+/// should do so without holding an internal lock across the wait, or
+/// they re-serialize the faults the pool just overlapped. The pool
+/// guarantees it never issues two concurrent `write`s for the *same*
+/// page, and never a `read` of a page concurrent with its own pending
+/// write-behind write (queued bytes are served from memory instead) —
+/// so per-page ordering is the pool's problem, not the disk's.
+///
+/// # Accounting
+///
+/// [`DiskManager::stats`] counts operations that reach the disk. Pool
+/// misses served from the write-behind queue never get here, which is
+/// what lets tests assert "N threads, one fault, exactly one read" via
+/// [`IoStats`].
 pub trait DiskManager: Send + Sync {
     /// Size in bytes of every page on this disk.
     fn page_size(&self) -> usize;

@@ -12,15 +12,21 @@
 //! * [`buffer`] — a lock-striped, clock-eviction buffer pool: page ids
 //!   hash to independent shards (own frame table, free list, clock hand,
 //!   cache-line-padded atomic counters), so concurrent accesses to
-//!   distinct pages rarely contend.
+//!   distinct pages rarely contend. Faults run through an
+//!   I/O-in-progress frame state machine: the shard lock is released
+//!   across the disk read, same-page requesters park on the in-flight
+//!   load instead of duplicating it, and dirty evictions hand their
+//!   bytes to a write-behind queue drained by a background flusher —
+//!   so one stripe overlaps frames-many faults and victim reclaim never
+//!   waits on the device.
 //!   [`buffer::BufferPool::with_page_cache_write`] provides the paper's
 //!   §2.1.1 contract: page writes that never dirty the frame and give up
 //!   under latch contention, so index caching adds zero I/O.
 //!
 //! Everything is synchronous and internally synchronized; a single
 //! [`buffer::BufferPool`] can be shared by heaps and B+Trees across
-//! threads, and readers of distinct pages proceed in parallel up to
-//! shard collisions.
+//! threads. Readers of distinct pages proceed in parallel up to shard
+//! collisions, and a shard's faults overlap up to its frame count.
 
 #![warn(missing_docs)]
 
@@ -33,7 +39,9 @@ pub mod rid;
 pub mod slotted;
 pub mod stats;
 
-pub use buffer::{clamp_shards, BufferPool, DEFAULT_POOL_SHARDS, MIN_FRAMES_PER_SHARD};
+pub use buffer::{
+    clamp_shards, BufferPool, DEFAULT_POOL_SHARDS, DEFAULT_WRITE_BEHIND, MIN_FRAMES_PER_SHARD,
+};
 pub use disk::{DiskManager, DiskModel, FileDisk, InMemoryDisk, LatencyDisk, SimulatedDisk};
 pub use error::{Result, StorageError};
 pub use heap::HeapFile;

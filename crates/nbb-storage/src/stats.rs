@@ -73,14 +73,32 @@ impl AtomicIoStats {
 /// Snapshot of buffer-pool behaviour.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct PoolStats {
-    /// Page requests satisfied without disk access.
+    /// Page requests satisfied by an already-resident frame.
     pub hits: u64,
-    /// Page requests that had to read from disk.
+    /// Page requests that found no resident frame (`faults +
+    /// fault_joins`: either they started a load or parked on one).
     pub misses: u64,
     /// Frames reclaimed to make room.
     pub evictions: u64,
-    /// Dirty pages written back during eviction or flush.
+    /// Dirty pages handed off for write-back: enqueued to the
+    /// write-behind queue, or written synchronously (flush, queue-full
+    /// fallback, or a pool with write-behind disabled).
     pub writebacks: u64,
+    /// Page loads actually started (one per fault, however many
+    /// requesters were waiting for it). Loads served from the
+    /// write-behind store count here but never reach the disk.
+    pub faults: u64,
+    /// Requests that parked on another requester's in-flight load
+    /// instead of issuing a duplicate read (co-waiter joins).
+    pub fault_joins: u64,
+    /// Dirty victims enqueued to the write-behind queue.
+    pub wb_enqueued: u64,
+    /// Write-behind queue entries flushed to disk in the background.
+    pub wb_flushed: u64,
+    /// Current write-behind queue depth (a gauge, not a counter: it
+    /// reflects pages evicted-but-unflushed at snapshot time and is
+    /// untouched by `reset_stats`).
+    pub wb_pending: u64,
 }
 
 impl PoolStats {

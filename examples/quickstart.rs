@@ -15,6 +15,15 @@
 //! index, reads observing the batch's writes), (3) a locality audit
 //! before and after hot/cold clustering, and (4) the schema advisor
 //! finding encoding waste.
+//!
+//! Beneath all of it sits the overlapped-I/O buffer pool: a page fault
+//! releases its pool-stripe lock across the disk read (concurrent
+//! misses on the *same* page coalesce onto one read, faults for
+//! *distinct* pages overlap), and dirty evictions hand their bytes to
+//! a background write-behind queue instead of a synchronous device
+//! write (`DbConfig::write_behind` sizes it; `Database::persist`/
+//! `close` drain it, so durability is unchanged). The `pool_*` fields
+//! printed at the end meter that machinery.
 
 use nbb::core::db::{Database, DbConfig};
 use nbb::core::query::Batch;
@@ -166,5 +175,15 @@ fn main() {
     let report =
         waste::audit_encoding(&t, &schema, |b| rows.decode(b).expect("decode"), 5_000).unwrap();
     print!("{}", report.render());
-    println!("\ndone: all three waste classes measured and reclaimed.");
+
+    // --- Beneath it all: the overlapped-I/O buffer pool ---------------
+    let s = t.stats();
+    println!(
+        "\npool: {} faults started, {} coalesced onto in-flight loads, \
+         write-behind {} flushed / {} pending",
+        s.pool_faults, s.pool_fault_joins, s.pool_wb_flushed, s.pool_wb_pending
+    );
+    drop(t);
+    db.close().expect("close drains write-behind and flushes both pools");
+    println!("done: all three waste classes measured and reclaimed.");
 }
