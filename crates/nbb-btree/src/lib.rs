@@ -45,6 +45,7 @@
 
 pub mod cache;
 pub mod covering;
+pub mod intents;
 pub mod invalidation;
 pub mod key;
 pub mod node;
@@ -52,6 +53,7 @@ pub mod tree;
 
 pub use cache::{CacheConfig, CacheView, CacheViewMut, StoreOutcome};
 pub use covering::CoveringIndex;
+pub use intents::{IntentGuard, KeyIntents, DEFAULT_INTENT_STRIPES};
 pub use invalidation::{InvalidateOutcome, InvalidationState, Predicate};
 pub use node::{node_capacity, stable_point, InsertOutcome, Node, NodeMut};
 pub use tree::{

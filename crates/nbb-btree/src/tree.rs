@@ -23,6 +23,19 @@
 //! and ride one descent + one leaf-latch acquisition per destination
 //! leaf; the single-key mutators are wrappers over batches of one.
 //!
+//! Alongside the leaf latches the tree carries a [`KeyIntents`] table
+//! ([`BTree::intents`]): key-level **write intents** for the multi-step
+//! logical writes layered above the tree (resolve a key, mutate the
+//! heap, maintain every index). The tree's own entry points do not take
+//! intents — a single leaf mutation is already atomic under its latch —
+//! but the table layer installs an intent on every key a write batch
+//! addresses *before* descending, and racing same-key writers park on
+//! it with a pre-granted handoff, exactly like buffer-pool requesters
+//! parking on an in-flight load. That makes per-key put/update/delete
+//! linearizable end to end without adding any cost to disjoint-key
+//! writers; [`WriteStats::intent_parks`] / `intent_handoffs` meter the
+//! contention. [`BTreeOptions::intent_stripes`] sizes the table.
+//!
 //! Page-level physical latching is delegated to the buffer pool's frame
 //! locks (every leaf mutation is a single
 //! [`nbb_storage::BufferPool::with_page_mut`] closure, so readers always
@@ -43,6 +56,7 @@
 //! same cold interior page costing one disk read.
 
 use crate::cache::{CacheConfig, CacheView, CacheViewMut, StoreOutcome};
+use crate::intents::KeyIntents;
 use crate::invalidation::{InvalidateOutcome, InvalidationState};
 use crate::node::{node_capacity, InsertOutcome, Node, NodeMut};
 use nbb_storage::buffer::BufferPool;
@@ -98,6 +112,11 @@ pub struct BTreeOptions {
     /// Seed for the cache's randomized placement (fixed default for
     /// reproducibility).
     pub cache_seed: u64,
+    /// Stripes in the key-level write-intent table ([`BTree::intents`]).
+    /// `0` (the default) selects
+    /// [`crate::intents::DEFAULT_INTENT_STRIPES`]; `1` degrades to a
+    /// single stripe, which only costs parallelism, never correctness.
+    pub intent_stripes: usize,
 }
 
 /// Aggregated index-cache counters.
@@ -152,6 +171,13 @@ pub struct WriteStats {
     /// Runs that hit a full leaf and escalated to the exclusive
     /// structure lock (where splits happen).
     pub escalations: u64,
+    /// Writers that found their key's write intent held by another
+    /// writer and parked on it ([`BTree::intents`]) — same-key write
+    /// contention made visible.
+    pub intent_parks: u64,
+    /// Intent releases that handed the key directly to a parked waiter
+    /// (the pre-granted continuation) instead of retiring the intent.
+    pub intent_handoffs: u64,
 }
 
 impl WriteStats {
@@ -249,6 +275,9 @@ pub struct BTree {
     root: RwLock<PageId>,
     /// Per-leaf write latches; see the module docs' crabbing discipline.
     latches: LeafLatches,
+    /// Key-level write intents for the logical write paths layered
+    /// above the tree; see [`BTree::intents`].
+    intents: KeyIntents,
     opts: BTreeOptions,
     inv: InvalidationState,
     rng: Mutex<SmallRng>,
@@ -277,6 +306,7 @@ impl BTree {
             pool,
             key_size,
             latches: LeafLatches::new(),
+            intents: KeyIntents::new(opts.intent_stripes),
             root: RwLock::new(root),
             opts,
             inv: InvalidationState::new(threshold),
@@ -315,6 +345,7 @@ impl BTree {
             pool,
             key_size,
             latches: LeafLatches::new(),
+            intents: KeyIntents::new(opts.intent_stripes),
             root: RwLock::new(root),
             opts,
             inv: InvalidationState::new(threshold),
@@ -420,6 +451,7 @@ impl BTree {
             pool,
             key_size,
             latches: LeafLatches::new(),
+            intents: KeyIntents::new(opts.intent_stripes),
             root: RwLock::new(level_nodes[0].1),
             opts,
             inv: InvalidationState::new(threshold),
@@ -1457,14 +1489,32 @@ impl BTree {
         }
     }
 
-    /// Write-path counters (batches, keys, leaf groups, escalations).
+    /// Write-path counters (batches, keys, leaf groups, escalations,
+    /// and the intent table's same-key contention).
     pub fn write_stats(&self) -> WriteStats {
         WriteStats {
             batches: self.wstats.batches.load(Ordering::Relaxed),
             keys: self.wstats.keys.load(Ordering::Relaxed),
             leaf_groups: self.wstats.leaf_groups.load(Ordering::Relaxed),
             escalations: self.wstats.escalations.load(Ordering::Relaxed),
+            intent_parks: self.intents.parks(),
+            intent_handoffs: self.intents.handoffs(),
         }
+    }
+
+    /// The tree's key-level write-intent table.
+    ///
+    /// Logical writers layered above the tree (the table's
+    /// put/update/delete paths) install an intent on every key they
+    /// address — via [`KeyIntents::acquire_many`], *before* any page is
+    /// touched — so racing same-key writers serialize by parking on the
+    /// in-flight intent with a pre-granted handoff. Readers never touch
+    /// this table; disjoint-key writers pass through a stripe-map
+    /// lookup and nothing more. Intents order strictly before tree and
+    /// pool locks (see the module docs), so holding one across a tree
+    /// operation is deadlock-free.
+    pub fn intents(&self) -> &KeyIntents {
+        &self.intents
     }
 
     // ---------------------------------------------------------------

@@ -14,8 +14,16 @@
 //!   racing deletes read as absent). Writers crab through per-leaf
 //!   latches underneath, so mutators on **disjoint keys** proceed in
 //!   parallel — across threads and across tables — with only
-//!   structural splits briefly excluding other tree users; concurrent
-//!   writers to the *same* key still need external coordination.
+//!   structural splits briefly excluding other tree users; writers on
+//!   the **same key** are first-class too: every put/update/delete
+//!   installs a key-level *write intent* ([`nbb_btree::KeyIntents`])
+//!   before resolving anything, racing same-key writers park on it
+//!   with a pre-granted handoff, and per-key writes through one index
+//!   are linearizable end to end (one racing deleter wins `true`, the
+//!   rest observe its completed delete as `false` — no silently
+//!   dropped rows, no tolerated writer-side `InvalidSlot`s).
+//!   `db::DbConfig::intent_stripes` sizes the intent table;
+//!   `table::TableStats::intent_parks` / `intent_handoffs` meter it.
 //!   Batched mutators ([`table::Table::insert_many`] and the
 //!   `update_many`/`delete_many`/`put_many` family) validate up front
 //!   — duplicate in-batch keys surface

@@ -16,10 +16,13 @@
 //!   on the heap side, instead of N of each.
 //! * [`IndexRef::put_many`] / [`IndexRef::update_many`] /
 //!   [`IndexRef::delete_many`] — the write-side analogues: N mutations
-//!   validate up front, share batched pointer resolution and heap
-//!   access, and apply index maintenance through the tree's sorted,
-//!   leaf-grouped multi-key ops (one descent + one per-leaf latch per
-//!   destination leaf).
+//!   validate up front, install key-level **write intents** on every
+//!   addressed key (racing same-key writers park and resume via
+//!   pre-granted handoff, so per-key writes through one index are
+//!   linearizable end to end), share batched pointer resolution and
+//!   heap access, and apply index maintenance through the tree's
+//!   sorted, leaf-grouped multi-key ops (one descent + one per-leaf
+//!   latch per destination leaf).
 //! * [`Batch`] / [`Table::execute`] — heterogeneous point ops (reads
 //!   **and** writes) grouped per index and executed through the
 //!   batched paths; see [`Batch`] for the write-before-read ordering
@@ -174,7 +177,9 @@ impl<'t> IndexRef<'t> {
     /// indexed like `keys`. One batched tree pass resolves the
     /// pointers, one batched heap read fetches the doomed rows, and
     /// every index drops its entries through the leaf-grouped
-    /// `delete_many`. Duplicate keys are idempotent (first one wins).
+    /// `delete_many`. Write intents serialize racing same-key deleters:
+    /// exactly one wins (`true`), the rest observe its completed delete
+    /// (`false`). Duplicate keys are idempotent (first one wins).
     pub fn delete_many<K: AsRef<[u8]>>(&self, keys: &[K]) -> Result<Vec<bool>> {
         self.table.delete_many_with(&self.idx, keys)
     }

@@ -25,6 +25,34 @@
 //! keys proceed in parallel under per-leaf latches. The single-key
 //! mutators and the string-keyed `*_via_index` methods remain as thin
 //! compatibility wrappers over the same paths.
+//!
+//! # Same-key writers: key-level write intents
+//!
+//! A logical write (resolve the key through its index, mutate the heap
+//! row, maintain every index) spans several page operations, so two
+//! writers racing the *same* key used to interleave mid-sequence; the
+//! write paths carried tolerance workarounds (a racing deleter dropped
+//! just its row, writer-side `InvalidSlot`s read as "lost the race").
+//! Those workarounds are gone. Every put/update/delete path now
+//! installs a **write intent** ([`nbb_btree::KeyIntents`], owned by the
+//! accessed index's tree) on each key it addresses — including the keys
+//! a key-changing update will write — *before* resolving anything, and
+//! racing same-key writers park on the in-flight intent with a
+//! pre-granted handoff (the buffer pool's in-flight-load pattern).
+//! Per-key put/update/delete through one index is therefore
+//! **linearizable end to end**: one racing deleter wins (`true`), the
+//! others observe a completed delete (`false`), and nothing is ever
+//! silently dropped mid-batch. Readers never take intents — index→heap
+//! chases keep their re-verification, so reads stay wait-free and
+//! reader-vs-writer races still read as absent.
+//!
+//! The guarantee is scoped to writers that address a row **through the
+//! same index**. Concurrent writers reaching one row through different
+//! indexes of a multi-index table are not coordinated; if such a race
+//! destroys a resolved slot, the write surfaces
+//! [`StorageError::Corrupt`] naming the violated intent instead of
+//! silently dropping the row. `inserts` of already-present keys remain
+//! the caller's contract violation, as before.
 
 use nbb_btree::{BTree, BTreeOptions, CacheConfig};
 use nbb_storage::error::{Result, StorageError};
@@ -113,6 +141,26 @@ fn reject_duplicate_keys(keys: &mut [&[u8]]) -> Result<()> {
     Ok(())
 }
 
+/// Error for an index→heap chase that came up empty **while the key's
+/// write intent was held**: with same-key writers serialized, a pointer
+/// the index resolved under the intent must land on a live heap tuple
+/// carrying that key. The one way to get here is a writer addressing
+/// the same row through a *different* index (uncoordinated by design,
+/// see the module docs) — surfaced loudly instead of silently dropping
+/// the row, which is what the pre-intent tolerance branches did.
+fn intent_violation(index: &str, key: &[u8]) -> StorageError {
+    use std::fmt::Write;
+    let mut hex = String::with_capacity(key.len() * 2);
+    for b in key {
+        let _ = write!(hex, "{b:02x}");
+    }
+    StorageError::Corrupt(format!(
+        "index {index} resolved key 0x{hex} to a freed or recycled heap slot while its \
+         write intent was held; writers racing on one row must address it through the \
+         same index to coordinate"
+    ))
+}
+
 pub(crate) struct Index {
     pub(crate) spec: IndexSpec,
     pub(crate) tree: BTree,
@@ -170,6 +218,13 @@ pub struct TableStats {
     /// Evicted-but-unflushed pages queued in the pools' write-behind
     /// stores right now (a gauge).
     pub pool_wb_pending: u64,
+    /// Writers that found their key's write intent held by a racing
+    /// same-key writer and parked on it, summed over this table's
+    /// indexes — the contention the intent table absorbs.
+    pub intent_parks: u64,
+    /// Intent releases that handed the key directly to a parked waiter
+    /// (pre-granted continuation), summed over this table's indexes.
+    pub intent_handoffs: u64,
 }
 
 /// A fixed-width-tuple table with cached secondary indexes.
@@ -179,6 +234,9 @@ pub struct Table {
     heap: HeapFile,
     indexes: RwLock<HashMap<String, Arc<Index>>>,
     index_pool: Arc<BufferPool>,
+    /// Stripe count for each index's key-intent table (0 = the btree
+    /// default); applied to indexes created or attached afterwards.
+    intent_stripes: usize,
     index_only_answers: AtomicU64,
     heap_fetches: AtomicU64,
     inserts: AtomicU64,
@@ -206,6 +264,7 @@ impl Table {
             heap: HeapFile::create(heap_pool)?,
             indexes: RwLock::new(HashMap::new()),
             index_pool,
+            intent_stripes: 0,
             index_only_answers: AtomicU64::new(0),
             heap_fetches: AtomicU64::new(0),
             inserts: AtomicU64::new(0),
@@ -218,12 +277,16 @@ impl Table {
     /// Reattaches a persisted table: an existing heap plus indexes
     /// reopened from their catalog entries `(spec, root page)`. No
     /// backfill happens — the trees already contain the entries.
+    /// `intent_stripes` sizes each reopened index's key-intent table
+    /// (0 = the btree default), matching what
+    /// [`Table::set_intent_stripes`] does for fresh tables.
     pub fn attach(
         name: &str,
         tuple_width: usize,
         heap: HeapFile,
         index_pool: Arc<BufferPool>,
         indexes: Vec<(IndexSpec, nbb_storage::PageId)>,
+        intent_stripes: usize,
     ) -> Result<Self> {
         assert!(tuple_width > 0, "tuple width must be positive");
         let t = Table {
@@ -232,6 +295,7 @@ impl Table {
             heap,
             indexes: RwLock::new(HashMap::new()),
             index_pool,
+            intent_stripes,
             index_only_answers: AtomicU64::new(0),
             heap_fetches: AtomicU64::new(0),
             inserts: AtomicU64::new(0),
@@ -250,11 +314,25 @@ impl Table {
                 Arc::clone(&t.index_pool),
                 spec.key.len,
                 root,
-                BTreeOptions { cache, cache_seed: 0x5eed },
+                BTreeOptions { cache, cache_seed: 0x5eed, intent_stripes },
             )?;
             t.indexes.write().insert(spec.name.clone(), Arc::new(Index { spec, tree }));
         }
         Ok(t)
+    }
+
+    /// Sets the stripe count for the key-intent table of every index
+    /// created after this call (0 = the btree default,
+    /// [`nbb_btree::DEFAULT_INTENT_STRIPES`]). [`crate::db::Database`]
+    /// threads its `DbConfig::intent_stripes` knob through here before
+    /// the table is shared.
+    pub fn set_intent_stripes(&mut self, stripes: usize) {
+        self.intent_stripes = stripes;
+    }
+
+    /// The configured key-intent stripe count (0 = the btree default).
+    pub fn intent_stripes(&self) -> usize {
+        self.intent_stripes
     }
 
     /// Every index's declaration and current root page — the catalog
@@ -306,7 +384,7 @@ impl Table {
             bucket_slots: spec.bucket_slots,
             log_threshold: spec.log_threshold,
         });
-        let opts = BTreeOptions { cache, cache_seed: 0x5eed };
+        let opts = BTreeOptions { cache, cache_seed: 0x5eed, intent_stripes: self.intent_stripes };
         let mut pending = Vec::new();
         self.heap.scan(|rid, tuple| {
             pending.push((spec.key.extract(tuple).to_vec(), rid));
@@ -485,6 +563,12 @@ impl Table {
     /// key. Both read as "gone" — the lookup then reflects the delete
     /// having happened first. The returned tuple is verified to carry
     /// `key`, so callers may cache fields extracted from it.
+    ///
+    /// This is the **reader-vs-writer** re-verification, and it stays:
+    /// readers never take write intents, so they remain wait-free and
+    /// pay nothing for the writers' coordination. (The write paths'
+    /// equivalent tolerance is gone — they resolve under intents, where
+    /// a dead chase is an invariant violation.)
     pub(crate) fn fetch_verified(
         &self,
         idx: &Index,
@@ -572,16 +656,25 @@ impl Table {
     /// [`crate::query::IndexRef::update_many`], which this implements.
     ///
     /// Per pair the semantics match the single-key update: absent keys
-    /// (including rows lost to a racing deleter) report `false`, heap
-    /// tuples update in place (RIDs stay stable), and every index gets
-    /// its §2.1.2 consistency duty — an invalidation predicate when
-    /// cached fields changed, a delete+insert when key bytes changed.
-    /// The batch amortizes: one [`nbb_btree::BTree::get_many`] resolves
-    /// all pointers, old tuples ride one batched heap read, and each
-    /// index's maintenance lands as one leaf-grouped `delete_many` +
-    /// `insert_many` (deletes before inserts, so key rotations within a
-    /// batch — a→b, b→c — resolve deterministically instead of
-    /// depending on op order).
+    /// report `false`, heap tuples update in place (RIDs stay stable),
+    /// and every index gets its §2.1.2 consistency duty — an
+    /// invalidation predicate when cached fields changed, a
+    /// delete+insert when key bytes changed. The batch amortizes: one
+    /// [`nbb_btree::BTree::get_many`] resolves all pointers, old
+    /// tuples ride one batched heap read, and each index's maintenance
+    /// lands as one leaf-grouped `delete_many` + `insert_many`
+    /// (deletes before inserts, so key rotations within a batch —
+    /// a→b, b→c — resolve deterministically instead of depending on op
+    /// order).
+    ///
+    /// Before resolving anything the batch installs **write intents**
+    /// on every key it addresses on this index — the input keys plus
+    /// the keys the new tuples carry (a key-changing update writes
+    /// both) — so racing same-key writers park and the whole
+    /// resolve→heap→maintain sequence is exclusive per key: an update
+    /// serialized behind a deleter observes the completed delete and
+    /// reports `false`; one serialized ahead of it lands first. No row
+    /// is ever silently dropped mid-batch.
     ///
     /// Duplicate keys are rejected whole with
     /// [`StorageError::DuplicateKeyInBatch`] before anything mutates —
@@ -601,11 +694,17 @@ impl Table {
         if pairs.is_empty() {
             return Ok(Vec::new());
         }
-        {
-            let mut keys: Vec<&[u8]> = pairs.iter().map(|(k, _)| k.as_ref()).collect();
-            reject_duplicate_keys(&mut keys)?;
-        }
         let keys: Vec<&[u8]> = pairs.iter().map(|(k, _)| k.as_ref()).collect();
+        {
+            let mut sorted = keys.clone();
+            reject_duplicate_keys(&mut sorted)?;
+        }
+        // Key-level write intents, held to the end of the batch: the
+        // addressed keys plus the keys the replacement tuples carry on
+        // this index (sorted and deduplicated inside `acquire_many`).
+        let mut intent_keys = keys.clone();
+        intent_keys.extend(pairs.iter().map(|(_, t)| idx.spec.key.extract(t.as_ref())));
+        let _intents = idx.tree.intents().acquire_many(&intent_keys);
         let ptrs = idx.tree.get_many(&keys)?;
         let mut positions = Vec::new();
         let mut rids = Vec::new();
@@ -616,17 +715,22 @@ impl Table {
             }
         }
         let olds = self.heap.get_many(&rids)?;
-        // (position, rid, old tuple) for rows that survive the usual
-        // index→heap re-verification; racing deletes read as absent.
+        // (position, rid, old tuple) per resolved row. Same-key writers
+        // are parked on our intents, so every pointer the index just
+        // resolved must chase to a live tuple still carrying its key.
         let mut rows: Vec<(usize, RecordId, Vec<u8>)> = Vec::new();
         for ((&i, rid), old) in positions.iter().zip(&rids).zip(olds) {
-            let Some(o) = old else { continue };
-            if idx.spec.key.extract(&o) != keys[i] {
-                continue;
+            match old {
+                Some(o) if idx.spec.key.extract(&o) == keys[i] => rows.push((i, *rid, o)),
+                _ => return Err(intent_violation(&idx.spec.name, keys[i])),
             }
-            rows.push((i, *rid, o));
         }
-        let out = self.apply_verified_updates(rows, |i| pairs[i].1.as_ref(), pairs.len())?;
+        let out = self.apply_verified_updates(
+            rows,
+            |i| pairs[i].1.as_ref(),
+            |i| intent_violation(&idx.spec.name, keys[i]),
+            pairs.len(),
+        )?;
         self.write_batches.fetch_add(1, Ordering::Relaxed);
         Ok(out)
     }
@@ -636,16 +740,29 @@ impl Table {
     /// [`Table::put_many_with`], which resolves and verifies rows
     /// itself to avoid a second descent + heap read).
     ///
-    /// `rows` are `(out position, rid, old tuple)` entries that already
-    /// passed index→heap re-verification; `new_of` maps an out position
-    /// to its replacement tuple. Validates the planned index effects,
-    /// applies heap updates (a racing deleter drops just its row),
-    /// performs grouped per-index maintenance, and returns which of the
-    /// `n_out` positions landed.
+    /// `rows` are `(out position, rid, old tuple)` entries resolved and
+    /// verified **under the caller's write intents**; `new_of` maps an
+    /// out position to its replacement tuple, `violation_of` builds the
+    /// intent-violation error for a position. Validates the planned
+    /// index effects, applies heap updates, performs grouped per-index
+    /// maintenance, and returns which of the `n_out` positions landed.
+    ///
+    /// With same-key writers parked on the intents, nothing coordinated
+    /// can free a resolved slot mid-batch — but an *uncoordinated*
+    /// cross-index writer (or `relocate`) still can. That violation is
+    /// surfaced as an error, yet only **after** the batch's surviving
+    /// rows get their full index maintenance: aborting mid-loop would
+    /// strand already-updated heap rows with no invalidation predicates
+    /// and stale secondary entries — torn state for rows that were not
+    /// even part of the race. The racing row itself needs no
+    /// maintenance from us (its destroyer maintained the indexes when
+    /// it freed the slot), so finishing the batch leaves the table
+    /// consistent and the error purely informational.
     fn apply_verified_updates<'k>(
         &self,
         rows: Vec<(usize, RecordId, Vec<u8>)>,
         new_of: impl Fn(usize) -> &'k [u8],
+        violation_of: impl Fn(usize) -> StorageError,
         n_out: usize,
     ) -> Result<Vec<bool>> {
         if rows.is_empty() {
@@ -676,26 +793,30 @@ impl Table {
                 return Err(StorageError::duplicate_key(k));
             }
         }
-        // Heap writes in place. A row whose slot a racing deleter freed
-        // between re-verification and here is dropped from the batch
-        // (reported `false`, like every other lost race) instead of
-        // aborting with earlier rows half-maintained.
-        let mut survivors: Vec<(usize, RecordId, Vec<u8>)> = Vec::with_capacity(rows.len());
+        // Heap writes in place. The pre-intent "racing deleter drops
+        // just its row (reported false)" tolerance is gone: a freed
+        // slot here is an intent violation and becomes an error — but
+        // the batch finishes first (see the method docs), so no
+        // heap-updated row is ever left without its index maintenance.
+        let mut violation: Option<StorageError> = None;
+        let mut landed: Vec<(usize, RecordId, Vec<u8>)> = Vec::with_capacity(rows.len());
         for (i, rid, old) in rows {
             match self.heap.update(rid, new_of(i)) {
-                Ok(()) => survivors.push((i, rid, old)),
-                Err(StorageError::InvalidSlot { .. }) => {}
+                Ok(()) => landed.push((i, rid, old)),
+                Err(StorageError::InvalidSlot { .. }) => {
+                    violation.get_or_insert_with(|| violation_of(i));
+                }
                 Err(e) => return Err(e),
             }
         }
-        // Index maintenance for the rows that landed, grouped per
-        // index: deletes before inserts, so key rotations within one
-        // batch (a→b, b→c) resolve deterministically.
+        // Index maintenance, grouped per index: deletes before inserts,
+        // so key rotations within one batch (a→b, b→c) resolve
+        // deterministically.
         for other in &indexes {
             let mut dels: Vec<&[u8]> = Vec::new();
             let mut inss: Vec<(&[u8], u64)> = Vec::new();
             let mut invs: Vec<(&[u8], u64)> = Vec::new();
-            for (i, rid, old) in &survivors {
+            for (i, rid, old) in &landed {
                 let new_tuple = new_of(*i);
                 let old_key = other.spec.key.extract(old);
                 let new_key = other.spec.key.extract(new_tuple);
@@ -715,11 +836,14 @@ impl Table {
             }
         }
         let mut out = vec![false; n_out];
-        for (i, _, _) in &survivors {
+        for (i, _, _) in &landed {
             out[*i] = true;
         }
-        self.updates.fetch_add(survivors.len() as u64, Ordering::Relaxed);
-        Ok(out)
+        self.updates.fetch_add(landed.len() as u64, Ordering::Relaxed);
+        match violation {
+            Some(e) => Err(e),
+            None => Ok(out),
+        }
     }
 
     /// Deletes the tuple with index key `key` (via `index`).
@@ -746,7 +870,13 @@ impl Table {
     /// [`nbb_btree::BTree::delete_many`] (plus the RID-reuse
     /// invalidation predicates) before the heap slots are freed —
     /// index first, heap second, the same ordering as the single-key
-    /// path. Absent keys (and rows lost to a racing deleter) report
+    /// path.
+    ///
+    /// Write intents on every addressed key serialize racing same-key
+    /// deleters end to end: exactly one wins (`true`) and the rest
+    /// observe its completed delete (`false`, via the index reading
+    /// absent) — the pre-intent branch that swallowed a loser's
+    /// `InvalidSlot` mid-heap-delete is gone. Absent keys report
     /// `false`. Duplicate keys in one batch are idempotent: the first
     /// occurrence deletes the row, later ones report `false`, matching
     /// the equivalent loop.
@@ -758,6 +888,10 @@ impl Table {
         if keys.is_empty() {
             return Ok(Vec::new());
         }
+        // Write intents on the addressed keys, held until the heap
+        // slots are freed (acquire_many dedupes, so a key listed twice
+        // parks no one on itself).
+        let _intents = idx.tree.intents().acquire_many(keys);
         let ptrs = idx.tree.get_many(keys)?;
         let mut positions = Vec::new();
         let mut rids = Vec::new();
@@ -768,19 +902,20 @@ impl Table {
             }
         }
         let tuples = self.heap.get_many(&rids)?;
-        // (position, rid, tuple) per doomed row; re-verify keys and
+        // (position, rid, tuple) per doomed row. Under the intents a
+        // resolved pointer must chase to a live tuple with its key;
         // dedupe rids so a key listed twice deletes once.
         let mut victims: Vec<(usize, RecordId, Vec<u8>)> = Vec::new();
         let mut seen = std::collections::HashSet::new();
         for ((&i, rid), tuple) in positions.iter().zip(&rids).zip(tuples) {
-            let Some(t) = tuple else { continue };
-            if idx.spec.key.extract(&t) != keys[i].as_ref() {
-                continue;
+            match tuple {
+                Some(t) if idx.spec.key.extract(&t) == keys[i].as_ref() => {
+                    if seen.insert(rid.to_u64()) {
+                        victims.push((i, *rid, t));
+                    }
+                }
+                _ => return Err(intent_violation(&idx.spec.name, keys[i].as_ref())),
             }
-            if !seen.insert(rid.to_u64()) {
-                continue;
-            }
-            victims.push((i, *rid, t));
         }
         let indexes: Vec<Arc<Index>> = self.indexes.read().values().cloned().collect();
         for other in &indexes {
@@ -795,23 +930,33 @@ impl Table {
         }
         let mut out = vec![false; keys.len()];
         let mut deleted = 0u64;
+        // A slot an *uncoordinated* cross-index writer freed first is
+        // an intent violation, surfaced as an error — but only after
+        // every other victim's heap delete runs: aborting mid-loop
+        // would strand rows whose index entries were already dropped
+        // above as unreachable live heap tuples. The racing row itself
+        // ends consistent either way (its destroyer freed the slot, we
+        // dropped the index entries — the row is simply gone).
+        let mut violation: Option<StorageError> = None;
         for (i, rid, _) in &victims {
             match self.heap.delete(*rid) {
                 Ok(()) => {
                     out[*i] = true;
                     deleted += 1;
                 }
-                // A racing deleter freed the slot first: that row reads
-                // as `false` (the race's winner reports it), matching
-                // the documented tolerance instead of aborting a batch
-                // whose earlier victims already landed.
-                Err(StorageError::InvalidSlot { .. }) => {}
+                Err(StorageError::InvalidSlot { .. }) => {
+                    violation
+                        .get_or_insert_with(|| intent_violation(&idx.spec.name, keys[*i].as_ref()));
+                }
                 Err(e) => return Err(e),
             }
         }
         self.deletes.fetch_add(deleted, Ordering::Relaxed);
         self.write_batches.fetch_add(1, Ordering::Relaxed);
-        Ok(out)
+        match violation {
+            Some(e) => Err(e),
+            None => Ok(out),
+        }
     }
 
     /// Batched upsert through one index; see
@@ -819,19 +964,21 @@ impl Table {
     ///
     /// Each tuple's key (as declared by `idx`) decides its fate: keys
     /// already present update their row in place (keeping its RID,
-    /// with full index maintenance), absent keys insert fresh rows; an
-    /// update leg that loses to a racing deleter falls back to an
-    /// insert, so every tuple lands. Returns each tuple's landing
-    /// address, indexed like `tuples`. Duplicate keys surface
+    /// with full index maintenance), absent keys insert fresh rows.
+    /// Write intents on every key make the whole decision-and-apply
+    /// sequence exclusive per key, so the legs cannot be invalidated
+    /// mid-flight — a put serialized behind a racing same-key deleter
+    /// observes the completed delete and inserts fresh; the pre-intent
+    /// "update leg lost, fall back to insert" retry is gone. Every
+    /// tuple lands; returns each tuple's landing address, indexed like
+    /// `tuples`. Duplicate keys surface
     /// [`StorageError::DuplicateKeyInBatch`] before anything mutates —
     /// on this index's keys, and across both legs on every index's
     /// keys the batch will write (two fresh tuples, two key-changing
     /// updates, or one of each landing on the same secondary key, as
     /// well as any of those landing on a key an update keeps in
-    /// place); only a fallback insert created by a racing same-key
-    /// deleter can still fail after the update leg ran. Decomposes
-    /// into (up to) one update batch and one insert batch in
-    /// [`Table::stats`].
+    /// place). Decomposes into (up to) one update batch and one insert
+    /// batch in [`Table::stats`].
     pub(crate) fn put_many_with<T: AsRef<[u8]>>(
         &self,
         idx: &Index,
@@ -849,6 +996,10 @@ impl Table {
             reject_duplicate_keys(&mut keys)?;
         }
         let keys: Vec<&[u8]> = tuples.iter().map(|t| idx.spec.key.extract(t.as_ref())).collect();
+        // Write intents on every upserted key (a put's addressed key is
+        // the key its tuple carries, so this is the full write set on
+        // this index), held until both legs land.
+        let _intents = idx.tree.intents().acquire_many(&keys);
         let ptrs = idx.tree.get_many(&keys)?;
         let mut update_rids: Vec<(usize, RecordId)> = Vec::new();
         let mut insert_positions: Vec<usize> = Vec::new();
@@ -869,10 +1020,10 @@ impl Table {
         // keeps in place, on every index. Without the cross-leg check a
         // fresh tuple and an updated row landing on the same secondary
         // key would silently overwrite one another's entries. This
-        // needs the update rows' old tuples, read (and re-verified)
-        // here; rows that fail verification behave as inserts. The
-        // verified rows then feed the update leg directly, so the leg
-        // costs one descent and one heap read, not two of each.
+        // needs the update rows' old tuples, read (and verified under
+        // the intents) here; the verified rows then feed the update leg
+        // directly, so the leg costs one descent and one heap read, not
+        // two of each.
         let rids: Vec<RecordId> = update_rids.iter().map(|(_, rid)| *rid).collect();
         let olds = self.heap.get_many(&rids)?;
         let mut update_rows: Vec<(usize, RecordId, Vec<u8>)> = Vec::new();
@@ -881,11 +1032,7 @@ impl Table {
                 Some(o) if idx.spec.key.extract(&o) == keys[i] => {
                     update_rows.push((i, rid, o));
                 }
-                // Lost to a racing deleter already: insert it fresh.
-                _ => {
-                    insert_positions.push(i);
-                    inserts.push(tuples[i].as_ref());
-                }
+                _ => return Err(intent_violation(&idx.spec.name, keys[i])),
             }
         }
         let indexes: Vec<Arc<Index>> = self.indexes.read().values().cloned().collect();
@@ -908,24 +1055,21 @@ impl Table {
             }
         }
         let mut out = vec![RecordId::from_u64(0); tuples.len()];
-        // Apply the update leg on the rows verified above. A leg that
-        // loses to a racing deleter between that read and the heap
-        // write falls back to the insert leg — put is an upsert, so
-        // every tuple must land either way.
+        // Apply the update leg on the rows verified above; under the
+        // intents every row lands (no fallback leg exists anymore).
         let upd_rids: Vec<(usize, RecordId)> =
             update_rows.iter().map(|(i, rid, _)| (*i, *rid)).collect();
-        let applied =
-            self.apply_verified_updates(update_rows, |i| tuples[i].as_ref(), tuples.len())?;
+        self.apply_verified_updates(
+            update_rows,
+            |i| tuples[i].as_ref(),
+            |i| intent_violation(&idx.spec.name, keys[i]),
+            tuples.len(),
+        )?;
         if !upd_rids.is_empty() {
             self.write_batches.fetch_add(1, Ordering::Relaxed);
         }
         for (i, rid) in upd_rids {
-            if applied[i] {
-                out[i] = rid;
-            } else {
-                insert_positions.push(i);
-                inserts.push(tuples[i].as_ref());
-            }
+            out[i] = rid;
         }
         let new_rids = self.insert_many(&inserts)?;
         for (&i, rid) in insert_positions.iter().zip(new_rids) {
@@ -1053,6 +1197,12 @@ impl Table {
     pub fn stats(&self) -> TableStats {
         let heap_pool = self.heap.pool().stats();
         let index_pool = self.index_pool.stats();
+        let (mut intent_parks, mut intent_handoffs) = (0u64, 0u64);
+        for idx in self.indexes.read().values() {
+            let w = idx.tree.write_stats();
+            intent_parks += w.intent_parks;
+            intent_handoffs += w.intent_handoffs;
+        }
         TableStats {
             index_only_answers: self.index_only_answers.load(Ordering::Relaxed),
             heap_fetches: self.heap_fetches.load(Ordering::Relaxed),
@@ -1064,6 +1214,8 @@ impl Table {
             pool_fault_joins: heap_pool.fault_joins + index_pool.fault_joins,
             pool_wb_flushed: heap_pool.wb_flushed + index_pool.wb_flushed,
             pool_wb_pending: heap_pool.wb_pending + index_pool.wb_pending,
+            intent_parks,
+            intent_handoffs,
         }
     }
 }
@@ -1546,6 +1698,41 @@ mod tests {
         assert_eq!(t.heap().live_tuple_count().unwrap(), 15, "updates must not re-insert");
         assert_eq!(t.stats().inserts, 15);
         assert_eq!(t.stats().updates, 5);
+    }
+
+    #[test]
+    fn uncoordinated_slot_destruction_surfaces_intent_violation() {
+        // Simulate the documented uncoordinated case: something frees a
+        // heap slot without maintaining the indexes (here: a raw heap
+        // delete standing in for a cross-index writer). A write that
+        // resolves that key under its intent must surface the named
+        // violation — and must do so before mutating anything, so the
+        // batch's other rows are untouched rather than half-applied.
+        let t = table_with_cached_index();
+        let rid = t.insert(&tuple(1, 0, 100)).unwrap();
+        t.insert(&tuple(2, 0, 200)).unwrap();
+        t.heap().delete(rid).unwrap(); // bypasses index maintenance
+        let idx = t.find_index("by_id").unwrap();
+        let pairs: Vec<(Vec<u8>, Vec<u8>)> = vec![
+            (1u64.to_be_bytes().to_vec(), tuple(1, 0, 111)),
+            (2u64.to_be_bytes().to_vec(), tuple(2, 0, 222)),
+        ];
+        let err = t.update_many_with(&idx, &pairs).unwrap_err();
+        assert!(
+            matches!(&err, StorageError::Corrupt(msg) if msg.contains("write intent")),
+            "want the named intent violation, got {err:?}"
+        );
+        assert_eq!(
+            t.get_via_index("by_id", &2u64.to_be_bytes()).unwrap().unwrap(),
+            tuple(2, 0, 200),
+            "the violation must surface before any other row mutates"
+        );
+        // Same shape through delete_many; readers still tolerate the
+        // dangling entry (key 1 simply reads as absent).
+        let keys: Vec<Vec<u8>> = pairs.iter().map(|(k, _)| k.clone()).collect();
+        let err = t.delete_many_with(&idx, &keys).unwrap_err();
+        assert!(matches!(&err, StorageError::Corrupt(msg) if msg.contains("write intent")));
+        assert!(t.get_via_index("by_id", &1u64.to_be_bytes()).unwrap().is_none());
     }
 
     #[test]

@@ -35,7 +35,8 @@ pub struct IndexSpaceReport {
     /// Write-path counters: a leaf-grouped multi-insert counts as one
     /// batch (not once per key), and
     /// [`nbb_btree::WriteStats::keys_per_leaf_group`] is the realized
-    /// amortization factor.
+    /// amortization factor. Also carries the index's same-key
+    /// write-intent contention (`intent_parks` / `intent_handoffs`).
     pub writes: nbb_btree::WriteStats,
     /// The index buffer pool's fault and write-behind counters at audit
     /// time: `faults` started vs `fault_joins` coalesced onto in-flight
@@ -110,6 +111,13 @@ impl WasteReport {
                     i.writes.batches,
                     i.writes.leaf_groups,
                     i.writes.keys_per_leaf_group(),
+                ));
+            }
+            if i.writes.intent_parks > 0 {
+                out.push_str(&format!(
+                    "    intents: {} same-key writers parked, {} handoffs \
+                     (contention the intent table serialized)\n",
+                    i.writes.intent_parks, i.writes.intent_handoffs,
                 ));
             }
             if i.pool.faults > 0 {

@@ -101,6 +101,11 @@ pub const MIN_FRAMES_PER_SHARD: usize = 16;
 /// pool will buffer before eviction falls back to synchronous writes).
 pub const DEFAULT_WRITE_BEHIND: usize = 64;
 
+/// Queue slots the background flusher claims per drain pass; the batch
+/// rides one [`DiskManager::write_many`] call, so disks with a bulk
+/// path pay one round-trip for up to this many pages.
+const WB_DRAIN_BATCH: usize = 16;
+
 struct Frame {
     data: RwLock<Page>,
     pin: AtomicU32,
@@ -285,6 +290,10 @@ struct WriteBehind {
     capacity: usize,
     enqueued: AtomicU64,
     flushed: AtomicU64,
+    /// Dirty evictions that bypassed the queue for a synchronous write
+    /// (queue full or barrier active); see
+    /// [`crate::stats::PoolStats::wb_sync_fallbacks`].
+    sync_fallbacks: AtomicU64,
 }
 
 /// A claimed flush job: these bytes of this generation, written outside
@@ -306,6 +315,7 @@ impl WriteBehind {
             capacity,
             enqueued: AtomicU64::new(0),
             flushed: AtomicU64::new(0),
+            sync_fallbacks: AtomicU64::new(0),
         }
     }
 
@@ -343,7 +353,10 @@ impl WriteBehind {
             // read stale disk bytes, and parking them in a fresh slot
             // instead would let them slip past an active barrier's
             // drain). It stalls the stripe only on this rare fallback,
-            // not per dirty eviction as before.
+            // and `wb_sync_fallbacks` counts each occurrence so the
+            // regime is observable (bumped before the blocking write,
+            // so a monitor sees the stall as it happens).
+            self.sync_fallbacks.fetch_add(1, Ordering::Relaxed);
             drop(st);
             return self.disk.write(pid, page);
         }
@@ -401,6 +414,22 @@ impl WriteBehind {
         None
     }
 
+    /// Claims up to `max` flushable jobs in queue order (each slot
+    /// marked in-flight, so page ids within the batch are distinct and
+    /// no other consumer can double-write them). The background flusher
+    /// drains through this so one [`DiskManager::write_many`] call
+    /// amortizes device round-trips across the whole claim.
+    fn pop_jobs(st: &mut WbState, max: usize) -> Vec<WbJob> {
+        let mut jobs = Vec::new();
+        while jobs.len() < max {
+            match Self::pop_job(st) {
+                Some(job) => jobs.push(job),
+                None => break,
+            }
+        }
+        jobs
+    }
+
     /// Writes a claimed job with unwind insurance: a `DiskManager`
     /// implementation that panics mid-`write` must not leave the slot
     /// marked `flushing` forever — `drain` waits on exactly that marker
@@ -429,6 +458,44 @@ impl WriteBehind {
         }
         let mut guard = Unwedge { wb: self, pid, armed: true };
         let res = self.disk.write(pid, page);
+        guard.armed = false;
+        res
+    }
+
+    /// Writes a claimed batch through [`DiskManager::write_many`], with
+    /// the same unwind insurance as [`WriteBehind::write_job`] extended
+    /// to every slot in the batch: a panicking disk parks each claimed
+    /// slot as failed (bytes kept) and wakes drainers, so no
+    /// `flushing` marker is ever stranded. On a batch-level error the
+    /// caller fails every job the same way — the disk makes no claim
+    /// about which pages landed, and re-flushing a page that did land
+    /// is idempotent (`complete` with the slot's claimed gen retries or
+    /// retires each correctly).
+    fn write_jobs(&self, jobs: &[WbJob]) -> Result<()> {
+        struct Unwedge<'a> {
+            wb: &'a WriteBehind,
+            jobs: &'a [WbJob],
+            armed: bool,
+        }
+        impl Drop for Unwedge<'_> {
+            fn drop(&mut self) {
+                if !self.armed {
+                    return;
+                }
+                let mut st = self.wb.state.lock().expect("wb mutex poisoned");
+                for (pid, _, _) in self.jobs {
+                    if let Some(slot) = st.slots.get_mut(pid) {
+                        slot.flushing = None;
+                        slot.failed = true;
+                    }
+                }
+                drop(st);
+                self.wb.done_cv.notify_all();
+            }
+        }
+        let mut guard = Unwedge { wb: self, jobs, armed: true };
+        let pages: Vec<(PageId, &Page)> = jobs.iter().map(|(pid, page, _)| (*pid, page)).collect();
+        let res = self.disk.write_many(&pages);
         guard.armed = false;
         res
     }
@@ -462,24 +529,32 @@ impl WriteBehind {
         self.done_cv.notify_all();
     }
 
-    /// The background flusher: drains jobs, parks when idle, exits once
-    /// shutdown is signalled *and* the rotation is empty. A panicking
-    /// `DiskManager::write` is caught so the thread survives — dying
-    /// here would silently disable write-behind for the pool's
-    /// remaining lifetime (`write_job`'s guard has already parked the
-    /// slot as failed by the time the catch sees the unwind, so there
-    /// is no completion left to run).
+    /// The background flusher: drains claimed jobs in batches of up to
+    /// [`WB_DRAIN_BATCH`] through [`DiskManager::write_many`] (one
+    /// device round-trip per batch on disks that override it), parks
+    /// when idle, exits once shutdown is signalled *and* the rotation
+    /// is empty. A panicking `DiskManager` write is caught so the
+    /// thread survives — dying here would silently disable write-behind
+    /// for the pool's remaining lifetime (`write_jobs`'s guard has
+    /// already parked every claimed slot as failed by the time the
+    /// catch sees the unwind, so there is no completion left to run).
     fn run(wb: Arc<WriteBehind>) {
         let mut st = wb.state.lock().expect("wb mutex poisoned");
         loop {
-            if let Some((pid, page, gen)) = Self::pop_job(&mut st) {
+            let jobs = Self::pop_jobs(&mut st, WB_DRAIN_BATCH);
+            if !jobs.is_empty() {
                 drop(st);
-                let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    wb.write_job(pid, &page)
-                }));
+                let res =
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| wb.write_jobs(&jobs)));
                 st = wb.state.lock().expect("wb mutex poisoned");
                 if let Ok(res) = res {
-                    wb.complete(&mut st, pid, gen, res);
+                    // One verdict for the whole batch: on error every
+                    // job parks as failed (the disk makes no per-page
+                    // claim); on success each slot retires or rejoins
+                    // per its own generation.
+                    for (pid, _, gen) in &jobs {
+                        wb.complete(&mut st, *pid, *gen, res.clone());
+                    }
                 }
                 continue;
             }
@@ -878,6 +953,7 @@ impl BufferPool {
         if let Some(wb) = &self.wb {
             out.wb_enqueued = wb.enqueued.load(Ordering::Relaxed);
             out.wb_flushed = wb.flushed.load(Ordering::Relaxed);
+            out.wb_sync_fallbacks = wb.sync_fallbacks.load(Ordering::Relaxed);
             out.wb_pending = wb.pending();
         }
         out
@@ -897,6 +973,7 @@ impl BufferPool {
         if let Some(wb) = &self.wb {
             wb.enqueued.store(0, Ordering::Relaxed);
             wb.flushed.store(0, Ordering::Relaxed);
+            wb.sync_fallbacks.store(0, Ordering::Relaxed);
         }
     }
 
@@ -1106,11 +1183,82 @@ pub fn clamp_shards(capacity: usize, requested: usize) -> usize {
 mod tests {
     use super::*;
     use crate::disk::InMemoryDisk;
+    use crate::stats::IoStats;
 
     fn pool(cap: usize) -> (Arc<BufferPool>, Arc<InMemoryDisk>) {
         let disk = Arc::new(InMemoryDisk::new(256));
         let pool = Arc::new(BufferPool::new(Arc::clone(&disk) as Arc<dyn DiskManager>, cap));
         (pool, disk)
+    }
+
+    /// The one write-gated test double behind every "freeze the
+    /// flusher mid-write" scenario: writes (point and batched) block
+    /// while the gate is held, each call counts as one attempt, and
+    /// batch sizes are recorded (a point write records size 1).
+    struct GatedWriteDisk {
+        inner: InMemoryDisk,
+        held: StdMutex<bool>,
+        cv: Condvar,
+        write_attempts: AtomicU64,
+        batch_sizes: Mutex<Vec<usize>>,
+    }
+
+    impl GatedWriteDisk {
+        fn new(page_size: usize, held: bool) -> Self {
+            GatedWriteDisk {
+                inner: InMemoryDisk::new(page_size),
+                held: StdMutex::new(held),
+                cv: Condvar::new(),
+                write_attempts: AtomicU64::new(0),
+                batch_sizes: Mutex::new(Vec::new()),
+            }
+        }
+
+        fn release(&self) {
+            *self.held.lock().unwrap() = false;
+            self.cv.notify_all();
+        }
+
+        fn gate(&self, batch: usize) {
+            self.write_attempts.fetch_add(1, Ordering::Relaxed);
+            self.batch_sizes.lock().push(batch);
+            let mut held = self.held.lock().unwrap();
+            while *held {
+                held = self.cv.wait(held).unwrap();
+            }
+        }
+    }
+
+    impl DiskManager for GatedWriteDisk {
+        fn page_size(&self) -> usize {
+            self.inner.page_size()
+        }
+        fn allocate(&self) -> Result<PageId> {
+            self.inner.allocate()
+        }
+        fn read(&self, id: PageId, buf: &mut Page) -> Result<()> {
+            self.inner.read(id, buf)
+        }
+        fn write(&self, id: PageId, page: &Page) -> Result<()> {
+            self.gate(1);
+            self.inner.write(id, page)
+        }
+        fn write_many(&self, pages: &[(PageId, &Page)]) -> Result<()> {
+            self.gate(pages.len());
+            for (id, page) in pages {
+                self.inner.write(*id, page)?;
+            }
+            Ok(())
+        }
+        fn num_pages(&self) -> u64 {
+            self.inner.num_pages()
+        }
+        fn stats(&self) -> IoStats {
+            self.inner.stats()
+        }
+        fn reset_stats(&self) {
+            self.inner.reset_stats()
+        }
     }
 
     #[test]
@@ -1190,6 +1338,83 @@ mod tests {
         let mut raw = Page::new(256);
         disk.read(a, &mut raw).unwrap();
         assert_eq!(raw.bytes()[0], 33, "drop must drain the write-behind queue");
+    }
+
+    #[test]
+    fn flusher_drains_queue_in_batches_through_write_many() {
+        // Writes gated from the start: evictions provably pile up in
+        // the queue while the flusher is frozen mid-write, so the next
+        // claim must come out as one multi-page batch.
+        const PAGES: usize = 8;
+        let disk = Arc::new(GatedWriteDisk::new(256, true));
+        let pool = Arc::new(BufferPool::with_options(
+            Arc::clone(&disk) as Arc<dyn DiskManager>,
+            16,
+            1,
+            64,
+        ));
+        let ids: Vec<PageId> = (0..PAGES).map(|_| pool.new_page().unwrap()).collect();
+        for (i, id) in ids.iter().enumerate() {
+            pool.with_page_mut(*id, |p| p.bytes_mut()[0] = i as u8).unwrap();
+        }
+        // With writes gated, the flusher's first claim blocks mid-batch
+        // and the rest of the evictions pile up behind it.
+        for id in &ids {
+            pool.evict_page(*id).unwrap();
+        }
+        disk.release();
+        while pool.stats().wb_pending > 0 {
+            std::thread::yield_now();
+        }
+        let sizes = disk.batch_sizes.lock().clone();
+        assert_eq!(sizes.iter().sum::<usize>(), PAGES, "every queued page flushed: {sizes:?}");
+        assert!(
+            sizes.iter().any(|&s| s >= 2),
+            "the flusher must drain in multi-page write_many batches, got {sizes:?}"
+        );
+        for (i, id) in ids.iter().enumerate() {
+            let mut raw = Page::new(256);
+            disk.inner.read(*id, &mut raw).unwrap();
+            assert_eq!(raw.bytes()[0], i as u8, "page {i} lost in the batched drain");
+        }
+    }
+
+    #[test]
+    fn wb_sync_fallback_is_counted() {
+        // Writes gated, so the one queue slot provably stays occupied
+        // while a second eviction arrives.
+        let disk = Arc::new(GatedWriteDisk::new(256, true));
+        // Queue depth 1: the second distinct dirty eviction must fall
+        // back to a synchronous write — the documented stall regime —
+        // and the new counter must make it observable.
+        let pool =
+            Arc::new(BufferPool::with_options(Arc::clone(&disk) as Arc<dyn DiskManager>, 4, 1, 1));
+        let a = pool.new_page().unwrap();
+        let b = pool.new_page().unwrap();
+        pool.with_page_mut(a, |p| p.bytes_mut()[0] = 1).unwrap();
+        pool.with_page_mut(b, |p| p.bytes_mut()[0] = 2).unwrap();
+        pool.evict_page(a).unwrap(); // fills the one-slot queue
+        assert_eq!(pool.stats().wb_sync_fallbacks, 0);
+        let evictor = {
+            let pool = Arc::clone(&pool);
+            std::thread::spawn(move || pool.evict_page(b))
+        };
+        // The counter bumps *before* the blocking write, so the stall
+        // is visible while it happens.
+        while pool.stats().wb_sync_fallbacks < 1 {
+            std::thread::yield_now();
+        }
+        disk.release();
+        evictor.join().unwrap().unwrap();
+        pool.flush_all().unwrap();
+        let s = pool.stats();
+        assert_eq!(s.wb_sync_fallbacks, 1, "exactly one eviction fell back: {s:?}");
+        assert_eq!(s.wb_enqueued, 1, "the fallback must not also enqueue");
+        let mut raw = Page::new(256);
+        disk.inner.read(b, &mut raw).unwrap();
+        assert_eq!(raw.bytes()[0], 2, "the fallback write landed");
+        pool.reset_stats();
+        assert_eq!(pool.stats().wb_sync_fallbacks, 0, "reset covers the new counter");
     }
 
     #[test]
@@ -1613,59 +1838,10 @@ mod tests {
 
     #[test]
     fn flush_barrier_holds_against_concurrent_dirty_evictions() {
-        use crate::stats::IoStats;
-
-        /// Disk whose writes block at a gate, with attempt counting, so
-        /// the test can freeze the flusher mid-write and provably
-        /// interleave an eviction with an active flush barrier.
-        struct WriteGateDisk {
-            inner: InMemoryDisk,
-            held: StdMutex<bool>,
-            cv: Condvar,
-            write_attempts: AtomicU64,
-        }
-        impl WriteGateDisk {
-            fn release(&self) {
-                *self.held.lock().unwrap() = false;
-                self.cv.notify_all();
-            }
-        }
-        impl DiskManager for WriteGateDisk {
-            fn page_size(&self) -> usize {
-                self.inner.page_size()
-            }
-            fn allocate(&self) -> Result<PageId> {
-                self.inner.allocate()
-            }
-            fn read(&self, id: PageId, buf: &mut Page) -> Result<()> {
-                self.inner.read(id, buf)
-            }
-            fn write(&self, id: PageId, page: &Page) -> Result<()> {
-                self.write_attempts.fetch_add(1, Ordering::Relaxed);
-                let mut held = self.held.lock().unwrap();
-                while *held {
-                    held = self.cv.wait(held).unwrap();
-                }
-                drop(held);
-                self.inner.write(id, page)
-            }
-            fn num_pages(&self) -> u64 {
-                self.inner.num_pages()
-            }
-            fn stats(&self) -> IoStats {
-                self.inner.stats()
-            }
-            fn reset_stats(&self) {
-                self.inner.reset_stats()
-            }
-        }
-
-        let disk = Arc::new(WriteGateDisk {
-            inner: InMemoryDisk::new(256),
-            held: StdMutex::new(true), // writes gated from the start
-            cv: Condvar::new(),
-            write_attempts: AtomicU64::new(0),
-        });
+        // Writes gated from the start, with attempt counting, so the
+        // test can freeze the flusher mid-write and provably interleave
+        // an eviction with an active flush barrier.
+        let disk = Arc::new(GatedWriteDisk::new(256, true));
         let pool =
             Arc::new(BufferPool::with_options(Arc::clone(&disk) as Arc<dyn DiskManager>, 4, 1, 64));
         let a = pool.new_page().unwrap();

@@ -95,6 +95,13 @@ pub struct PoolStats {
     pub wb_enqueued: u64,
     /// Write-behind queue entries flushed to disk in the background.
     pub wb_flushed: u64,
+    /// Dirty evictions that fell back to a **synchronous** write under
+    /// the shard map lock because the write-behind queue was full or a
+    /// flush barrier was draining it. This is the documented regime
+    /// where the stripe stalls for a device write again — a steadily
+    /// climbing count means the queue depth (`DbConfig::write_behind`)
+    /// is undersized for the eviction rate.
+    pub wb_sync_fallbacks: u64,
     /// Current write-behind queue depth (a gauge, not a counter: it
     /// reflects pages evicted-but-unflushed at snapshot time and is
     /// untouched by `reset_stats`).

@@ -24,6 +24,15 @@
 //! write (`DbConfig::write_behind` sizes it; `Database::persist`/
 //! `close` drain it, so durability is unchanged). The `pool_*` fields
 //! printed at the end meter that machinery.
+//!
+//! Writers are concurrency-safe per key: every put/update/delete
+//! installs a key-level **write intent** on its index before touching
+//! anything, so N threads hammering one key serialize cleanly (racing
+//! deleters split into one `true` and N-1 `false`s; nothing aborts or
+//! disappears), while disjoint-key writers stay fully parallel under
+//! the per-leaf latches. `DbConfig::intent_stripes` sizes the intent
+//! table; `TableStats::intent_parks`/`intent_handoffs` (printed below)
+//! meter the contention it absorbed.
 
 use nbb::core::db::{Database, DbConfig};
 use nbb::core::query::Batch;
@@ -122,6 +131,37 @@ fn main() {
         out[2].applied().unwrap()
     );
     assert!(out[3].tuple().is_some() && out[4].tuple().is_none());
+
+    // Same-key writers need no external coordination: the key-level
+    // write intents serialize them end to end. Eight threads race
+    // put/update/delete on ONE key; every op returns cleanly and
+    // exactly one row (or none) survives, whole.
+    {
+        let hot_key = rows.key("id", &Value::Int(4242)).unwrap();
+        std::thread::scope(|s| {
+            for w in 0..8i64 {
+                let t = &t;
+                let rows = &rows;
+                let hot_key = &hot_key;
+                s.spawn(move || {
+                    let by_id = t.index("by_id").unwrap();
+                    let mine = rows
+                        .encode(&[Value::Int(4242), Value::Int(w), Value::Int(0), Value::Int(0)])
+                        .unwrap();
+                    by_id.put(&mine).expect("puts never abort");
+                    by_id.update(hot_key, &mine).expect("updates never abort");
+                    by_id.delete(hot_key).expect("losing deleters report false, not errors");
+                });
+            }
+        });
+        assert!(t.index("by_id").unwrap().get(&hot_key).expect("clean read").is_none());
+        let s = t.stats();
+        println!(
+            "same-key storm: 8 writers serialized by write intents \
+             ({} parked, {} handoffs), final state consistent",
+            s.intent_parks, s.intent_handoffs
+        );
+    }
 
     // Ordered range cursor: walks sibling leaves, serving cached
     // projections from leaf free space where they are warm.

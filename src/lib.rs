@@ -31,12 +31,18 @@
 //! takes a tree-level read lock, descends to a leaf, and touches pages
 //! through per-shard pool mutexes and per-frame latches; index→heap
 //! pointer chases re-verify the fetched tuple's key so racing deletes
-//! read as "gone" instead of serving foreign bytes. Structural index
-//! writes stay serialized per tree (see `nbb-btree`), and table-level
-//! mutators assume one writer per table for now; the
+//! read as "gone" instead of serving foreign bytes. Write paths are
+//! concurrent too: disjoint-key writers crab through striped per-leaf
+//! latches (only splits escalate to the exclusive structure lock), and
+//! **same-key writers serialize through key-level write intents** —
+//! each put/update/delete installs an intent on the keys it addresses
+//! and racing writers park on it with a pre-granted handoff, making
+//! per-key writes through one index linearizable end to end. The
 //! `tests/concurrent_access.rs` stress test pins down the
 //! reader/writer contract (no lost invalidations, cache answers always
-//! match the heap).
+//! match the heap), and `tests/same_key_storms.rs` pins the writer
+//! contract (zero aborted ops, one winner per racing delete, a
+//! consistent final row).
 //!
 //! See `examples/quickstart.rs` for a 5-minute tour, and the `nbb-bench`
 //! crate for the binaries that regenerate every figure in the paper
