@@ -186,6 +186,7 @@ fn bench_overlapped_faults(_c: &mut Criterion) {
         2 * OVERLAP_K,
         1,
         0,
+        0,
     ));
     assert_eq!(pool.shards(), 1, "the probe must run in a single stripe");
 

@@ -35,7 +35,7 @@ struct Rig {
 fn rig(write_behind: usize) -> Rig {
     let model = DiskModel { read_ns: 0, write_ns: WRITE_NS };
     let disk: Arc<dyn DiskManager> = Arc::new(LatencyDisk::new(4096, model));
-    let pool = BufferPool::with_options(disk, 4, 1, write_behind);
+    let pool = BufferPool::with_options(disk, 4, 1, write_behind, 0);
     let ids = (0..PAGES).map(|_| pool.new_page().unwrap()).collect();
     Rig { pool, ids }
 }

@@ -312,7 +312,7 @@ fn batched_gets_tolerate_in_flight_page_faults() {
 
     let disk: Arc<dyn DiskManager> =
         Arc::new(LatencyDisk::new(4096, DiskModel { read_ns: 200_000, write_ns: 0 }));
-    let pool = Arc::new(BufferPool::with_options(disk, 8, 1, 16));
+    let pool = Arc::new(BufferPool::with_options(disk, 8, 1, 16, 0));
     let tree = Arc::new(BTree::create(Arc::clone(&pool), 8, BTreeOptions::default()).unwrap());
     let entries: Vec<([u8; 8], u64)> = (0..N).map(|v| (k(v), v.wrapping_mul(7))).collect();
     tree.insert_many(&entries).unwrap();

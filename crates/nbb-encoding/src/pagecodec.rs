@@ -1,0 +1,384 @@
+//! Page-level compression for the buffer pool's compressed frame tier.
+//!
+//! The paper's thesis — every byte of memory should earn its keep —
+//! applied to the pool itself: a cold-but-warm page demoted out of a
+//! frame can often be held at a fraction of its raw size, so the same
+//! frame budget caches a multiple of the pages. This module is the
+//! codec half of that bargain; the tier mechanics live in
+//! `nbb-storage::buffer`.
+//!
+//! # Format
+//!
+//! Every encoded page is self-describing, so the decoder needs nothing
+//! but the bytes (and the expected original length, which it verifies):
+//!
+//! ```text
+//! header (12 bytes): magic u32 | version u8 | mode u8 | reserved u16 | orig_len u32
+//! body, mode RAW:    the original bytes verbatim
+//! body, mode LE/BE:  ⌈words/128⌉ blocks, then orig_len % 8 raw tail bytes
+//!   block:           min u64 | bits u8 | bitpacked (word − min) offsets
+//! ```
+//!
+//! The two compressed modes differ only in how the page's bytes are
+//! read as `u64` words: `ForLe` reads them little-endian (free-space
+//! zeroes, LE counters), `ForBe` big-endian (the order-preserving
+//! `memcmp` key encoding used by the B+Tree stores keys big-endian, so
+//! near-sequential keys become near-sequential *words* only under a BE
+//! read). Each block of up to [`BLOCK_WORDS`] words is
+//! frame-of-reference coded: subtract the block minimum, bit-pack the
+//! offsets at the narrowest width that fits ([`crate::bitpack`]).
+//!
+//! # The ratio gate
+//!
+//! [`compress`] tries both word orders and keeps the smaller encoding
+//! **only** when it beats [`GATE_NUM`]`/`[`GATE_DEN`] of the raw size;
+//! otherwise it falls back to `Raw` mode, whose only overhead is the
+//! 12-byte header. An incompressible (e.g. random or encrypted) page
+//! therefore never inflates past [`HEADER_LEN`] bytes, and the caller
+//! can meter the achieved ratio from the encoded length alone.
+
+use crate::bitpack;
+
+/// Encoded-page header length in bytes.
+pub const HEADER_LEN: usize = 12;
+
+/// Words per frame-of-reference block.
+pub const BLOCK_WORDS: usize = 128;
+
+/// A compressed encoding is kept only if
+/// `encoded_len * GATE_DEN <= raw_len * GATE_NUM`.
+pub const GATE_NUM: usize = 7;
+/// See [`GATE_NUM`].
+pub const GATE_DEN: usize = 8;
+
+const MAGIC: u32 = 0x4350_424E; // "NBPC" read little-endian
+const VERSION: u8 = 1;
+
+/// How an encoded page's body is stored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PageMode {
+    /// Original bytes verbatim (the ratio gate rejected both codecs).
+    Raw = 0,
+    /// Frame-of-reference + bitpack over little-endian-read words.
+    ForLe = 1,
+    /// Frame-of-reference + bitpack over big-endian-read words.
+    ForBe = 2,
+}
+
+/// Error decoding a compressed page (corrupt or truncated bytes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PageCodecError(pub String);
+
+impl std::fmt::Display for PageCodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "page codec: {}", self.0)
+    }
+}
+
+impl std::error::Error for PageCodecError {}
+
+fn err(msg: impl Into<String>) -> PageCodecError {
+    PageCodecError(msg.into())
+}
+
+/// Encodes `bytes` with the best of the two word orders, or `Raw` when
+/// the ratio gate rejects both. The result always round-trips through
+/// [`decompress`] and is never longer than `bytes.len() + HEADER_LEN`.
+pub fn compress(bytes: &[u8]) -> Vec<u8> {
+    let le = encode_words(bytes, PageMode::ForLe);
+    let be = encode_words(bytes, PageMode::ForBe);
+    let (mode, body) =
+        if le.len() <= be.len() { (PageMode::ForLe, le) } else { (PageMode::ForBe, be) };
+    let encoded_len = HEADER_LEN + body.len();
+    if encoded_len * GATE_DEN <= bytes.len() * GATE_NUM {
+        let mut out = header(mode, bytes.len());
+        out.extend_from_slice(&body);
+        out
+    } else {
+        let mut out = header(PageMode::Raw, bytes.len());
+        out.extend_from_slice(bytes);
+        out
+    }
+}
+
+/// Decodes an encoded page into `dst`, which must be exactly the
+/// original length recorded in the header. Corrupt or truncated input
+/// returns an error; it never panics.
+pub fn decompress(data: &[u8], dst: &mut [u8]) -> Result<(), PageCodecError> {
+    let (mode, orig_len) = parse_header(data)?;
+    if orig_len != dst.len() {
+        return Err(err(format!("encoded page is {orig_len} bytes, destination is {}", dst.len())));
+    }
+    let body = &data[HEADER_LEN..];
+    match mode {
+        PageMode::Raw => {
+            if body.len() != orig_len {
+                return Err(err("raw body length mismatch"));
+            }
+            dst.copy_from_slice(body);
+            Ok(())
+        }
+        PageMode::ForLe | PageMode::ForBe => decode_words(body, mode, dst),
+    }
+}
+
+/// The mode an encoded page was stored in (for metering and tests).
+pub fn encoded_mode(data: &[u8]) -> Result<PageMode, PageCodecError> {
+    Ok(parse_header(data)?.0)
+}
+
+fn header(mode: PageMode, orig_len: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN);
+    out.extend_from_slice(&MAGIC.to_le_bytes());
+    out.push(VERSION);
+    out.push(mode as u8);
+    out.extend_from_slice(&0u16.to_le_bytes());
+    out.extend_from_slice(&(orig_len as u32).to_le_bytes());
+    out
+}
+
+fn parse_header(data: &[u8]) -> Result<(PageMode, usize), PageCodecError> {
+    if data.len() < HEADER_LEN {
+        return Err(err("truncated header"));
+    }
+    if u32::from_le_bytes(data[0..4].try_into().expect("4 bytes")) != MAGIC {
+        return Err(err("bad magic"));
+    }
+    if data[4] != VERSION {
+        return Err(err(format!("unknown version {}", data[4])));
+    }
+    let mode = match data[5] {
+        0 => PageMode::Raw,
+        1 => PageMode::ForLe,
+        2 => PageMode::ForBe,
+        m => return Err(err(format!("unknown mode {m}"))),
+    };
+    let orig_len = u32::from_le_bytes(data[8..12].try_into().expect("4 bytes")) as usize;
+    Ok((mode, orig_len))
+}
+
+fn read_word(chunk: &[u8; 8], mode: PageMode) -> u64 {
+    match mode {
+        PageMode::ForBe => u64::from_be_bytes(*chunk),
+        _ => u64::from_le_bytes(*chunk),
+    }
+}
+
+fn write_word(v: u64, mode: PageMode) -> [u8; 8] {
+    match mode {
+        PageMode::ForBe => v.to_be_bytes(),
+        _ => v.to_le_bytes(),
+    }
+}
+
+/// Frame-of-reference encodes the page's whole-word prefix; the
+/// sub-word tail rides along raw.
+fn encode_words(bytes: &[u8], mode: PageMode) -> Vec<u8> {
+    let nwords = bytes.len() / 8;
+    let tail = &bytes[nwords * 8..];
+    let mut out = Vec::with_capacity(bytes.len() / 4 + tail.len());
+    let mut words = Vec::with_capacity(BLOCK_WORDS);
+    for block in bytes[..nwords * 8].chunks(BLOCK_WORDS * 8) {
+        words.clear();
+        words
+            .extend(block.chunks_exact(8).map(|c| read_word(c.try_into().expect("8 bytes"), mode)));
+        let min = words.iter().copied().min().expect("block is non-empty");
+        let max = words.iter().copied().max().expect("block is non-empty");
+        let bits = bitpack::min_bits(max - min);
+        for w in words.iter_mut() {
+            *w -= min;
+        }
+        out.extend_from_slice(&min.to_le_bytes());
+        out.push(bits as u8);
+        out.extend_from_slice(&bitpack::pack(&words, bits));
+    }
+    out.extend_from_slice(tail);
+    out
+}
+
+fn decode_words(body: &[u8], mode: PageMode, dst: &mut [u8]) -> Result<(), PageCodecError> {
+    let nwords = dst.len() / 8;
+    let tail_len = dst.len() - nwords * 8;
+    let mut pos = 0usize;
+    let mut written = 0usize;
+    let mut remaining = nwords;
+    while remaining > 0 {
+        let count = remaining.min(BLOCK_WORDS);
+        if body.len() < pos + 9 {
+            return Err(err("truncated block header"));
+        }
+        let min = u64::from_le_bytes(body[pos..pos + 8].try_into().expect("8 bytes"));
+        let bits = u32::from(body[pos + 8]);
+        pos += 9;
+        if !(1..=64).contains(&bits) {
+            return Err(err(format!("block width {bits} out of range")));
+        }
+        let packed_len = (count * bits as usize).div_ceil(8);
+        if body.len() < pos + packed_len {
+            return Err(err("truncated block payload"));
+        }
+        for off in bitpack::unpack(&body[pos..pos + packed_len], bits, count) {
+            let w = min.checked_add(off).ok_or_else(|| err("block offset overflows"))?;
+            dst[written..written + 8].copy_from_slice(&write_word(w, mode));
+            written += 8;
+        }
+        pos += packed_len;
+        remaining -= count;
+    }
+    if body.len() - pos != tail_len {
+        return Err(err("tail length mismatch"));
+    }
+    dst[written..].copy_from_slice(&body[pos..]);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn round_trip(bytes: &[u8]) -> Vec<u8> {
+        let enc = compress(bytes);
+        let mut out = vec![0xAAu8; bytes.len()];
+        decompress(&enc, &mut out).expect("decode what we encoded");
+        assert_eq!(out, bytes, "round trip");
+        enc
+    }
+
+    #[test]
+    fn zero_page_compresses_hard() {
+        let page = vec![0u8; 4096];
+        let enc = round_trip(&page);
+        assert_ne!(encoded_mode(&enc).unwrap(), PageMode::Raw);
+        assert!(enc.len() * 8 < page.len(), "zero page should beat 1/8: {} bytes", enc.len());
+    }
+
+    #[test]
+    fn sequential_be_keys_pick_the_be_order() {
+        // The B+Tree's memcmp key encoding: big-endian u64s, ascending.
+        let mut page = Vec::with_capacity(4096);
+        for k in 5000u64..5512 {
+            page.extend_from_slice(&k.to_be_bytes());
+        }
+        let enc = round_trip(&page);
+        assert_eq!(encoded_mode(&enc).unwrap(), PageMode::ForBe);
+        assert!(enc.len() * 4 < page.len(), "sequential keys should beat 1/4: {}", enc.len());
+    }
+
+    #[test]
+    fn sequential_le_words_pick_the_le_order() {
+        let mut page = Vec::with_capacity(4096);
+        for k in 9000u64..9512 {
+            page.extend_from_slice(&k.to_le_bytes());
+        }
+        let enc = round_trip(&page);
+        assert_eq!(encoded_mode(&enc).unwrap(), PageMode::ForLe);
+    }
+
+    #[test]
+    fn random_page_takes_the_raw_fallback_without_inflating() {
+        // LCG noise: no block narrows below ~64 bits, so the gate must
+        // reject both orders and the raw fallback caps the overhead.
+        let mut x = 0x9E3779B97F4A7C15u64;
+        let mut page = Vec::with_capacity(4096);
+        for _ in 0..512 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            page.extend_from_slice(&x.to_le_bytes());
+        }
+        let enc = round_trip(&page);
+        assert_eq!(encoded_mode(&enc).unwrap(), PageMode::Raw);
+        assert_eq!(enc.len(), page.len() + HEADER_LEN, "raw fallback adds only the header");
+    }
+
+    #[test]
+    fn tail_bytes_survive() {
+        for extra in 1..8 {
+            let mut page = vec![0u8; 256 + extra];
+            for (i, b) in page.iter_mut().enumerate() {
+                *b = (i % 5) as u8;
+            }
+            round_trip(&page);
+        }
+    }
+
+    #[test]
+    fn tiny_and_empty_inputs() {
+        round_trip(&[]);
+        round_trip(&[7]);
+        round_trip(&[1, 2, 3, 4, 5, 6, 7]); // all tail, no words
+    }
+
+    #[test]
+    fn wrong_destination_length_is_an_error() {
+        let enc = compress(&[0u8; 128]);
+        let mut small = vec![0u8; 64];
+        assert!(decompress(&enc, &mut small).is_err());
+    }
+
+    #[test]
+    fn corruption_errors_instead_of_panicking() {
+        let mut page = Vec::new();
+        for k in 0u64..64 {
+            page.extend_from_slice(&k.to_be_bytes());
+        }
+        let enc = compress(&page);
+        let mut dst = vec![0u8; page.len()];
+        // Bad magic.
+        let mut bad = enc.clone();
+        bad[0] ^= 0xFF;
+        assert!(decompress(&bad, &mut dst).is_err());
+        // Unknown mode.
+        let mut bad = enc.clone();
+        bad[5] = 9;
+        assert!(decompress(&bad, &mut dst).is_err());
+        // Truncation at every length must error (or, for pure tail
+        // truncation, fail the tail-length check) — never panic.
+        for len in 0..enc.len() {
+            assert!(decompress(&enc[..len], &mut dst).is_err(), "truncated to {len}");
+        }
+        // Garbage block width.
+        let mut bad = enc.clone();
+        bad[HEADER_LEN + 8] = 0; // bits = 0
+        assert!(decompress(&bad, &mut dst).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn arbitrary_bytes_round_trip(bytes in prop::collection::vec(any::<u8>(), 0..2048)) {
+            let enc = compress(&bytes);
+            prop_assert!(enc.len() <= bytes.len() + HEADER_LEN, "never inflates past the header");
+            let mut out = vec![0u8; bytes.len()];
+            decompress(&enc, &mut out).expect("round trip");
+            prop_assert_eq!(out, bytes);
+        }
+
+        #[test]
+        fn incompressible_pages_trigger_the_gate(seed in any::<u64>()) {
+            // A full page of LCG noise: the gate must choose Raw, so the
+            // store never pays more than the header for a bad page.
+            let mut x = seed | 1;
+            let mut page = Vec::with_capacity(4096);
+            for _ in 0..512 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                page.extend_from_slice(&x.to_le_bytes());
+            }
+            let enc = compress(&page);
+            prop_assert_eq!(encoded_mode(&enc).unwrap(), PageMode::Raw);
+            prop_assert_eq!(enc.len(), page.len() + HEADER_LEN);
+        }
+
+        #[test]
+        fn compressible_pages_pass_the_gate(base in any::<u32>(), stride in 1u64..16) {
+            let mut page = Vec::with_capacity(4096);
+            for i in 0..512u64 {
+                page.extend_from_slice(&(u64::from(base) + i * stride).to_be_bytes());
+            }
+            let enc = compress(&page);
+            prop_assert_ne!(encoded_mode(&enc).unwrap(), PageMode::Raw);
+            prop_assert!(enc.len() * GATE_DEN <= page.len() * GATE_NUM);
+            let mut out = vec![0u8; page.len()];
+            decompress(&enc, &mut out).expect("round trip");
+            prop_assert_eq!(out, page);
+        }
+    }
+}

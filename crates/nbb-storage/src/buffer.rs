@@ -1,26 +1,33 @@
 //! Buffer pool: fixed set of frames over a [`DiskManager`], split into
 //! lock-striped shards with per-shard clock eviction, an
-//! I/O-in-progress **frame state machine** on the fault path, and
-//! **write-behind** eviction.
+//! I/O-in-progress **frame state machine** on the fault path,
+//! **write-behind** eviction, and an optional **compressed frame tier**
+//! that holds cold victims at a fraction of their raw size.
 //!
-//! # Frame state machine (overlapped faults)
+//! # Frame state machine (overlapped faults, compressed demotions)
 //!
-//! A shard's residency table maps each page to one of two states:
+//! A shard's residency table maps each page to `Resident` or `Loading`;
+//! the pool-global compressed tier adds a third place a page's bytes
+//! can live. Together:
 //!
 //! ```text
-//!            miss: reserve frame,            read finishes:
+//!            miss: reserve frame,            load finishes:
 //!            release shard lock              publish + wake waiters
 //!   absent ────────────────────▶ Loading ────────────────────▶ Resident
-//!                                   │                              │
-//!                                   │ read fails: free frame,      │ evicted
-//!                                   ▼ poison waiters               ▼
-//!                                absent                         absent
+//!      ▲                            │  ▲                          │
+//!      │       load fails:          │  │ decompress fault:        │ evicted:
+//!      │       free frame,          │  │ tier entry claimed,      │ demotion
+//!      │       poison waiters       │  │ no disk read             │ enqueued
+//!      │◀───────────────────────────┘  │                          ▼
+//!      │                               └───────────────────── Compressed
+//!      │◀─────────────────────────────────────────────────────────┘
+//!                    budget eviction, or claimed by a fault
 //! ```
 //!
 //! The shard map mutex is held only to *transition* between states,
 //! never across a [`DiskManager::read`]. A miss installs a `Loading`
 //! entry, reserves its frame (pinned, so the clock skips it), drops the
-//! shard lock, performs the read, then re-locks to publish. The
+//! shard lock, performs the load, then re-locks to publish. The
 //! consequences, which the concurrency benches measure:
 //!
 //! * Requesters for **other** pages in the same shard proceed
@@ -54,6 +61,40 @@
 //! so memory stays bounded. `write_behind = 0` disables the queue and
 //! the flusher thread entirely.
 //!
+//! # Compressed frame tier
+//!
+//! With a nonzero `compressed_budget_bytes`, eviction stops discarding
+//! cold-but-warm pages outright: after the victim's dirty bytes are
+//! safe (write-behind copy or synchronous write — durability ordering
+//! is untouched), the victim is **demoted**: its bytes are queued for a
+//! background compressor thread, which encodes them with
+//! [`nbb_encoding::pagecodec`] (frame-of-reference + bitpack with a
+//! raw fallback when the ratio is poor) and admits the result to a
+//! budget-bounded store. The same frame budget then effectively caches
+//! budget ÷ ratio more pages. Three properties keep it off every hot
+//! path:
+//!
+//! * **Reclaim never stalls.** Demotion is a page memcpy into a bounded
+//!   queue; if the queue is full the page is simply evicted the old
+//!   way. Compression itself runs on the `nbb-compressor` thread.
+//! * **A decompress fault is a cheap load.** The fault path checks
+//!   write-behind (newer bytes win), then the compressed tier, then the
+//!   disk. A tier hit rides the *same* `Loading` state machine —
+//!   co-waiters park and get pre-granted pins, a failed decompress
+//!   poisons only its own waiters — but the "I/O" is an in-memory
+//!   decode ([`PoolStats::compressed_hits`] /
+//!   [`PoolStats::decompress_stalls`] meter it).
+//! * **Entries are always redundant.** A page is only demoted after its
+//!   bytes are clean (on disk or in the write-behind queue), and any
+//!   load publishing the page invalidates its tier entry and any
+//!   pending demotion job. A corrupt or evicted entry therefore costs a
+//!   disk read, never data. Budget overruns evict the oldest entries
+//!   ([`PoolStats::compressed_evictions`]).
+//!
+//! `compressed_budget_bytes = 0` (the default everywhere) disables the
+//! tier, the compressor thread, and every new code path — eviction
+//! behaves bit-for-bit as before.
+//!
 //! # Index-cache contract
 //!
 //! Two properties are load-bearing for the paper's index cache (§2.1.1):
@@ -83,6 +124,7 @@ use crate::disk::DiskManager;
 use crate::error::{Result, StorageError};
 use crate::page::{Page, PageId};
 use crate::stats::PoolStats;
+use nbb_encoding::pagecodec;
 use parking_lot::{Mutex, RwLock};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
@@ -105,6 +147,11 @@ pub const DEFAULT_WRITE_BEHIND: usize = 64;
 /// rides one [`DiskManager::write_many`] call, so disks with a bulk
 /// path pay one round-trip for up to this many pages.
 const WB_DRAIN_BATCH: usize = 16;
+
+/// Demotions the compressed tier will queue ahead of its compressor
+/// thread. A full queue turns further demotions into plain evictions
+/// (the tier trades hit rate, never reclaim latency).
+const CT_QUEUE_DEPTH: usize = 64;
 
 struct Frame {
     data: RwLock<Page>,
@@ -607,13 +654,215 @@ impl WriteBehind {
     }
 }
 
+// ---------------------------------------------------------------------
+// Compressed frame tier
+// ---------------------------------------------------------------------
+
+/// A pending demotion: these bytes of this page, claimed by the
+/// compressor under this job token.
+type CtJob = (PageId, Page, u64);
+
+/// Mutable state of the compressed tier, behind its mutex.
+struct CtState {
+    /// Admitted entries: page id → encoded bytes.
+    entries: HashMap<PageId, Vec<u8>>,
+    /// Admission order; budget eviction pops the oldest. May hold stale
+    /// ids (entries since claimed or invalidated), which are skipped.
+    order: VecDeque<PageId>,
+    /// Stored bytes across `entries` (the budget meters encoded size).
+    bytes: usize,
+    /// Live demotion jobs: page id → token. A token survives from
+    /// enqueue until the compressor finishes; a load publishing the
+    /// page removes it, which cancels the job's admission (the frame's
+    /// bytes are newer than the snapshot the job carries).
+    jobs: HashMap<PageId, u64>,
+    /// Demotions awaiting the compressor, oldest first.
+    queue: VecDeque<CtJob>,
+    next_token: u64,
+    /// Jobs popped from `queue` and being encoded right now.
+    inflight: usize,
+    shutdown: bool,
+    /// Test hook: while held, the compressor parks and decompress
+    /// serves block (see [`BufferPool::set_compression_gate`]).
+    gate_held: bool,
+}
+
+/// Bounded store of compressed cold pages plus the background
+/// compressor protocol. Lock order: shard map lock → tier lock (same
+/// rank as the write-behind lock; the two are never nested).
+struct CompressedTier {
+    state: StdMutex<CtState>,
+    /// Signals the compressor that work, shutdown, or a gate release
+    /// arrived (decompress serves waiting out the gate park here too).
+    work_cv: Condvar,
+    /// Signals drainers that a job completed.
+    done_cv: Condvar,
+    /// Stored-bytes bound for `entries`.
+    budget: usize,
+    hits: AtomicU64,
+    evictions: AtomicU64,
+    stalls: AtomicU64,
+    ratio_num: AtomicU64,
+    ratio_den: AtomicU64,
+}
+
+impl CompressedTier {
+    fn new(budget: usize) -> Self {
+        CompressedTier {
+            state: StdMutex::new(CtState {
+                entries: HashMap::new(),
+                order: VecDeque::new(),
+                bytes: 0,
+                jobs: HashMap::new(),
+                queue: VecDeque::new(),
+                next_token: 0,
+                inflight: 0,
+                shutdown: false,
+                gate_held: false,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            budget,
+            hits: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            stalls: AtomicU64::new(0),
+            ratio_num: AtomicU64::new(0),
+            ratio_den: AtomicU64::new(0),
+        }
+    }
+
+    /// Hands an evicted (already clean) page to the compressor. Never
+    /// blocks: a full queue means the demotion is simply skipped and
+    /// the eviction proceeds as if the tier did not exist. Called with
+    /// the victim's shard map lock held; `page` is cloned by the caller
+    /// before this lock for the same reason `WriteBehind::enqueue`
+    /// clones early.
+    fn enqueue_demotion(&self, pid: PageId, page: Page) {
+        let mut st = self.state.lock().expect("ct mutex poisoned");
+        if st.shutdown || st.queue.len() >= CT_QUEUE_DEPTH {
+            return;
+        }
+        // A page is demoted only while resident, and becoming resident
+        // invalidated any older entry or job for it (see
+        // `invalidate`), so this insert never collides.
+        debug_assert!(!st.jobs.contains_key(&pid) && !st.entries.contains_key(&pid));
+        let token = st.next_token;
+        st.next_token += 1;
+        st.jobs.insert(pid, token);
+        st.queue.push_back((pid, page, token));
+        self.work_cv.notify_one();
+    }
+
+    /// Claims the stored bytes for `pid`, removing the entry — the
+    /// caller is about to publish the page resident, which supersedes
+    /// it. Returns `None` when the tier holds nothing for the page.
+    /// Blocks while the test gate is held (the caller sits in its
+    /// `Loading` entry, so co-requesters park rather than spin).
+    fn claim(&self, pid: PageId) -> Option<Vec<u8>> {
+        let mut st = self.state.lock().expect("ct mutex poisoned");
+        // The gate only blocks serves the tier would actually answer;
+        // a fault for a page the tier does not hold proceeds to the
+        // disk unhindered even while the gate is held.
+        while st.gate_held && st.entries.contains_key(&pid) {
+            st = self.work_cv.wait(st).expect("ct mutex poisoned");
+        }
+        let enc = st.entries.remove(&pid)?;
+        st.bytes -= enc.len();
+        Some(enc)
+    }
+
+    /// Drops any stored entry and cancels any pending demotion job for
+    /// `pid`. Every load calls this at publish time: the resident frame
+    /// is now the authority, and a job queued before the page's last
+    /// absence would admit stale bytes.
+    fn invalidate(&self, pid: PageId) {
+        let mut st = self.state.lock().expect("ct mutex poisoned");
+        if let Some(enc) = st.entries.remove(&pid) {
+            st.bytes -= enc.len();
+        }
+        st.jobs.remove(&pid);
+    }
+
+    /// Admits a finished encoding, evicting oldest entries until it
+    /// fits the budget. Called by the compressor with the state lock
+    /// held and the job's token already validated and retired.
+    fn admit(&self, st: &mut CtState, pid: PageId, raw_len: usize, enc: Vec<u8>) {
+        if enc.len() > self.budget {
+            return;
+        }
+        while st.bytes + enc.len() > self.budget {
+            let Some(old) = st.order.pop_front() else { break };
+            if let Some(gone) = st.entries.remove(&old) {
+                st.bytes -= gone.len();
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        self.ratio_num.fetch_add(raw_len as u64, Ordering::Relaxed);
+        self.ratio_den.fetch_add(enc.len() as u64, Ordering::Relaxed);
+        st.bytes += enc.len();
+        st.entries.insert(pid, enc);
+        st.order.push_back(pid);
+    }
+
+    /// The compressor thread: pops demotions, encodes them off-lock,
+    /// and admits results whose job token is still live. Parks when
+    /// idle or while the test gate is held; exits on shutdown.
+    fn run(ct: Arc<CompressedTier>) {
+        let mut st = ct.state.lock().expect("ct mutex poisoned");
+        loop {
+            if st.gate_held && !st.shutdown {
+                st = ct.work_cv.wait(st).expect("ct mutex poisoned");
+                continue;
+            }
+            if let Some((pid, page, token)) = st.queue.pop_front() {
+                st.inflight += 1;
+                drop(st);
+                let enc = pagecodec::compress(page.bytes());
+                st = ct.state.lock().expect("ct mutex poisoned");
+                if st.jobs.get(&pid) == Some(&token) {
+                    st.jobs.remove(&pid);
+                    ct.admit(&mut st, pid, page.bytes().len(), enc);
+                }
+                st.inflight -= 1;
+                ct.done_cv.notify_all();
+                continue;
+            }
+            if st.shutdown {
+                return;
+            }
+            st = ct.work_cv.wait(st).expect("ct mutex poisoned");
+        }
+    }
+
+    /// Waits until every queued and in-flight demotion has been
+    /// processed. `flush_all` runs this so a barrier leaves no
+    /// compression limbo behind (deterministic for tests; the entries
+    /// themselves are cache, not durability state). Waits forever if
+    /// the test gate is held — release the gate first.
+    fn drain(&self) {
+        let mut st = self.state.lock().expect("ct mutex poisoned");
+        while !st.queue.is_empty() || st.inflight > 0 {
+            st = self.done_cv.wait(st).expect("ct mutex poisoned");
+        }
+    }
+
+    /// Gauges: entries held and stored bytes right now.
+    fn occupancy(&self) -> (u64, u64) {
+        let st = self.state.lock().expect("ct mutex poisoned");
+        (st.entries.len() as u64, st.bytes as u64)
+    }
+}
+
 /// Fixed-capacity page cache over a shared disk, striped into shards,
-/// with overlapped faults and write-behind eviction.
+/// with overlapped faults, write-behind eviction, and an optional
+/// compressed frame tier.
 pub struct BufferPool {
     disk: Arc<dyn DiskManager>,
     shards: Box<[Shard]>,
     wb: Option<Arc<WriteBehind>>,
     flusher: Option<std::thread::JoinHandle<()>>,
+    ct: Option<Arc<CompressedTier>>,
+    compressor: Option<std::thread::JoinHandle<()>>,
 }
 
 impl BufferPool {
@@ -637,14 +886,17 @@ impl BufferPool {
     /// # Panics
     /// Panics if `capacity == 0`.
     pub fn new_sharded(disk: Arc<dyn DiskManager>, capacity: usize, shards: usize) -> Self {
-        Self::with_options(disk, capacity, shards, DEFAULT_WRITE_BEHIND)
+        Self::with_options(disk, capacity, shards, DEFAULT_WRITE_BEHIND, 0)
     }
 
     /// Full-control constructor: exact shard count (clamped to
-    /// `[1, capacity]`) and write-behind queue depth. `write_behind = 0`
-    /// disables the queue and its flusher thread — every dirty eviction
-    /// pays a synchronous [`DiskManager::write`], the pre-write-behind
-    /// behavior, which benches use as the baseline.
+    /// `[1, capacity]`), write-behind queue depth, and compressed-tier
+    /// budget. `write_behind = 0` disables the queue and its flusher
+    /// thread — every dirty eviction pays a synchronous
+    /// [`DiskManager::write`], the pre-write-behind behavior, which
+    /// benches use as the baseline. `compressed_budget_bytes = 0`
+    /// disables the compressed frame tier and its compressor thread;
+    /// nonzero bounds the *stored* (encoded) bytes the tier may hold.
     ///
     /// # Panics
     /// Panics if `capacity == 0`.
@@ -653,6 +905,7 @@ impl BufferPool {
         capacity: usize,
         shards: usize,
         write_behind: usize,
+        compressed_budget_bytes: usize,
     ) -> Self {
         assert!(capacity > 0, "buffer pool needs at least one frame");
         let nshards = shards.clamp(1, capacity);
@@ -693,7 +946,16 @@ impl BufferPool {
                 .spawn(move || WriteBehind::run(wb))
                 .expect("spawn write-behind flusher")
         });
-        BufferPool { disk, shards, wb, flusher }
+        let ct = (compressed_budget_bytes > 0)
+            .then(|| Arc::new(CompressedTier::new(compressed_budget_bytes)));
+        let compressor = ct.as_ref().map(|ct| {
+            let ct = Arc::clone(ct);
+            std::thread::Builder::new()
+                .name("nbb-compressor".into())
+                .spawn(move || CompressedTier::run(ct))
+                .expect("spawn compressor")
+        });
+        BufferPool { disk, shards, wb, flusher, ct, compressor }
     }
 
     /// Shard owning `id`.
@@ -716,6 +978,28 @@ impl BufferPool {
     /// evictions write synchronously).
     pub fn write_behind(&self) -> usize {
         self.wb.as_ref().map_or(0, |wb| wb.capacity)
+    }
+
+    /// Configured compressed-tier budget in stored bytes (0 = the tier
+    /// is disabled and evicted pages are simply dropped).
+    pub fn compressed_budget(&self) -> usize {
+        self.ct.as_ref().map_or(0, |ct| ct.budget)
+    }
+
+    /// Test hook: while `held`, the compressor thread parks and faults
+    /// served from the compressed tier block before decompressing —
+    /// used by tests and harnesses to observe demotions queue up or to
+    /// pile co-requesters onto one in-flight decompress fault. Release
+    /// the gate before calling [`BufferPool::flush_all`] (its drain
+    /// waits for the compressor). No-op when the tier is disabled.
+    pub fn set_compression_gate(&self, held: bool) {
+        let Some(ct) = &self.ct else { return };
+        let mut st = ct.state.lock().expect("ct mutex poisoned");
+        st.gate_held = held;
+        drop(st);
+        if !held {
+            ct.work_cv.notify_all();
+        }
     }
 
     /// The disk this pool fronts.
@@ -871,6 +1155,7 @@ impl BufferPool {
             return Err(StorageError::BufferPoolExhausted);
         }
         self.retire_victim(shard, frame, id)?;
+        self.demote_victim(frame, id);
         map.table.remove(&id);
         map.resident[idx] = None;
         map.free.push(idx);
@@ -905,6 +1190,13 @@ impl BufferPool {
     fn flush_all_locked_out(&self) -> Result<()> {
         if let Some(wb) = &self.wb {
             wb.drain()?;
+        }
+        if let Some(ct) = &self.ct {
+            // Nothing here is durability state (entries are redundant
+            // with the disk/queue by construction), but the barrier
+            // promises a quiesced pool: no compression limbo survives
+            // it, so post-flush observers see settled tier gauges.
+            ct.drain();
         }
         for shard in self.shards.iter() {
             let mut loading: Vec<(PageId, Arc<InFlight>)> = Vec::new();
@@ -956,6 +1248,16 @@ impl BufferPool {
             out.wb_sync_fallbacks = wb.sync_fallbacks.load(Ordering::Relaxed);
             out.wb_pending = wb.pending();
         }
+        if let Some(ct) = &self.ct {
+            out.compressed_hits = ct.hits.load(Ordering::Relaxed);
+            out.compressed_evictions = ct.evictions.load(Ordering::Relaxed);
+            out.decompress_stalls = ct.stalls.load(Ordering::Relaxed);
+            out.compressed_ratio_num = ct.ratio_num.load(Ordering::Relaxed);
+            out.compressed_ratio_den = ct.ratio_den.load(Ordering::Relaxed);
+            let (pages, bytes) = ct.occupancy();
+            out.compressed_pages = pages;
+            out.compressed_bytes = bytes;
+        }
         out
     }
 
@@ -974,6 +1276,13 @@ impl BufferPool {
             wb.enqueued.store(0, Ordering::Relaxed);
             wb.flushed.store(0, Ordering::Relaxed);
             wb.sync_fallbacks.store(0, Ordering::Relaxed);
+        }
+        if let Some(ct) = &self.ct {
+            ct.hits.store(0, Ordering::Relaxed);
+            ct.evictions.store(0, Ordering::Relaxed);
+            ct.stalls.store(0, Ordering::Relaxed);
+            ct.ratio_num.store(0, Ordering::Relaxed);
+            ct.ratio_den.store(0, Ordering::Relaxed);
         }
     }
 
@@ -1009,6 +1318,20 @@ impl BufferPool {
         frame.dirty.store(false, Ordering::Release);
         shard.stats.writebacks.fetch_add(1, Ordering::Relaxed);
         Ok(())
+    }
+
+    /// Offers a just-retired (clean) victim to the compressed tier.
+    /// Runs strictly after [`BufferPool::retire_victim`], so a dirty
+    /// victim's bytes are already on disk or in the write-behind queue
+    /// — the tier entry is pure cache and durability ordering is
+    /// untouched. Infallible and non-blocking: at worst the demotion
+    /// is skipped (full queue) and the eviction proceeds as always.
+    fn demote_victim(&self, frame: &Frame, pid: PageId) {
+        let Some(ct) = &self.ct else { return };
+        // Clone outside the tier lock (the `WriteBehind::enqueue`
+        // argument: under the shared lock only pointers should move).
+        let copy = frame.data.read().clone();
+        ct.enqueue_demotion(pid, copy);
     }
 
     /// Pins `id` into a frame of its shard: a hit pins the resident
@@ -1050,6 +1373,7 @@ impl BufferPool {
         if let Some(old) = map.resident[idx] {
             // On error the victim stays resident and dirty — consistent.
             self.retire_victim(shard, frame, old)?;
+            self.demote_victim(frame, old);
             map.table.remove(&old);
             map.resident[idx] = None;
             shard.stats.evictions.fetch_add(1, Ordering::Relaxed);
@@ -1065,13 +1389,28 @@ impl BufferPool {
         // If the disk panics instead of erroring, unwind like a failed
         // read: free the frame, poison the waiters, no zombie entry.
         let mut abort = LoadAbortGuard { shard, id, idx, inflight: &inflight, armed: true };
+        let mut decompressed = false;
         let loaded: Result<bool> = {
             let mut guard = frame.data.write();
-            // The write-behind store may hold newer bytes than the disk;
-            // a page re-faulted from it re-enters memory dirty.
+            // Storage hierarchy for a fault: the write-behind store may
+            // hold newer bytes than the disk (a page re-faulted from it
+            // re-enters memory dirty); below it, the compressed tier
+            // serves the load as an in-memory decode; the disk is last.
             match &self.wb {
                 Some(wb) if wb.serve_fault(id, &mut guard) => Ok(true),
-                _ => self.disk.read(id, &mut guard).map(|()| false),
+                _ => match self.ct.as_ref().and_then(|ct| ct.claim(id)) {
+                    Some(enc) => match pagecodec::decompress(&enc, guard.bytes_mut()) {
+                        Ok(()) => {
+                            decompressed = true;
+                            Ok(false)
+                        }
+                        // The entry was already claimed off the tier, so
+                        // the retry this poisons everyone into will read
+                        // the disk — a corrupt entry heals, never wedges.
+                        Err(e) => Err(StorageError::Io(format!("decompress page {id}: {e}"))),
+                    },
+                    None => self.disk.read(id, &mut guard).map(|()| false),
+                },
             }
         };
         abort.armed = false;
@@ -1082,6 +1421,17 @@ impl BufferPool {
         let joiners = inflight.joiners.load(Ordering::Relaxed);
         match loaded {
             Ok(dirty) => {
+                if let Some(ct) = &self.ct {
+                    // The frame is the authority now: drop any stored
+                    // entry (wb- and disk-served loads may shadow a
+                    // staler one) and cancel any pending demotion job
+                    // queued before this page's last absence.
+                    ct.invalidate(id);
+                    if decompressed {
+                        ct.hits.fetch_add(1, Ordering::Relaxed);
+                        ct.stalls.fetch_add(u64::from(joiners), Ordering::Relaxed);
+                    }
+                }
                 frame.dirty.store(dirty, Ordering::Release);
                 // One pin for us plus one pre-granted to each parked
                 // waiter: none of them can lose the frame to eviction
@@ -1148,8 +1498,21 @@ impl Drop for BufferPool {
     /// reach the disk by drop at the latest. (Resident dirty frames are
     /// — as before — the caller's to flush via
     /// [`BufferPool::flush_all`].) Errors are swallowed; the
-    /// error-visible barrier is `flush_all`.
+    /// error-visible barrier is `flush_all`. The compressor thread is
+    /// simply shut down and joined — its store is cache, nothing to
+    /// persist (a shutdown flag also unjams a worker parked on a test
+    /// gate someone forgot to release).
     fn drop(&mut self) {
+        if let Some(ct) = &self.ct {
+            {
+                let mut st = ct.state.lock().expect("ct mutex poisoned");
+                st.shutdown = true;
+                ct.work_cv.notify_all();
+            }
+            if let Some(h) = self.compressor.take() {
+                let _ = h.join();
+            }
+        }
         let Some(wb) = &self.wb else { return };
         {
             let mut st = wb.state.lock().expect("wb mutex poisoned");
@@ -1308,7 +1671,7 @@ mod tests {
     #[test]
     fn write_behind_disabled_writes_synchronously() {
         let disk = Arc::new(InMemoryDisk::new(256));
-        let pool = BufferPool::with_options(Arc::clone(&disk) as Arc<dyn DiskManager>, 2, 1, 0);
+        let pool = BufferPool::with_options(Arc::clone(&disk) as Arc<dyn DiskManager>, 2, 1, 0, 0);
         assert_eq!(pool.write_behind(), 0);
         let a = pool.new_page().unwrap();
         pool.with_page_mut(a, |p| p.bytes_mut()[0] = 9).unwrap();
@@ -1352,6 +1715,7 @@ mod tests {
             16,
             1,
             64,
+            0,
         ));
         let ids: Vec<PageId> = (0..PAGES).map(|_| pool.new_page().unwrap()).collect();
         for (i, id) in ids.iter().enumerate() {
@@ -1387,8 +1751,13 @@ mod tests {
         // Queue depth 1: the second distinct dirty eviction must fall
         // back to a synchronous write — the documented stall regime —
         // and the new counter must make it observable.
-        let pool =
-            Arc::new(BufferPool::with_options(Arc::clone(&disk) as Arc<dyn DiskManager>, 4, 1, 1));
+        let pool = Arc::new(BufferPool::with_options(
+            Arc::clone(&disk) as Arc<dyn DiskManager>,
+            4,
+            1,
+            1,
+            0,
+        ));
         let a = pool.new_page().unwrap();
         let b = pool.new_page().unwrap();
         pool.with_page_mut(a, |p| p.bytes_mut()[0] = 1).unwrap();
@@ -1809,7 +2178,7 @@ mod tests {
             inner: InMemoryDisk::new(256),
             panic_next: AtomicBool::new(true),
         });
-        let pool = BufferPool::with_options(Arc::clone(&disk) as Arc<dyn DiskManager>, 2, 1, 64);
+        let pool = BufferPool::with_options(Arc::clone(&disk) as Arc<dyn DiskManager>, 2, 1, 64, 0);
         let a = pool.new_page().unwrap();
         pool.with_page_mut(a, |p| p.bytes_mut()[0] = 5).unwrap();
         pool.evict_page(a).unwrap(); // enqueued; the flusher's write panics
@@ -1842,8 +2211,13 @@ mod tests {
         // test can freeze the flusher mid-write and provably interleave
         // an eviction with an active flush barrier.
         let disk = Arc::new(GatedWriteDisk::new(256, true));
-        let pool =
-            Arc::new(BufferPool::with_options(Arc::clone(&disk) as Arc<dyn DiskManager>, 4, 1, 64));
+        let pool = Arc::new(BufferPool::with_options(
+            Arc::clone(&disk) as Arc<dyn DiskManager>,
+            4,
+            1,
+            64,
+            0,
+        ));
         let a = pool.new_page().unwrap();
         let b = pool.new_page().unwrap();
         pool.with_page_mut(a, |p| p.bytes_mut()[0] = 1).unwrap();
@@ -1886,5 +2260,152 @@ mod tests {
         disk.inner.read(b, &mut raw).unwrap();
         assert_eq!(raw.bytes()[0], 2);
         assert_eq!(pool.stats().wb_pending, 0);
+    }
+
+    // -----------------------------------------------------------------
+    // Compressed frame tier
+    // -----------------------------------------------------------------
+
+    /// Pool with the compressed tier on (write-behind off, so disk-read
+    /// accounting in these tests is exact).
+    fn cpool(cap: usize, budget: usize) -> (Arc<BufferPool>, Arc<InMemoryDisk>) {
+        let disk = Arc::new(InMemoryDisk::new(256));
+        let pool = Arc::new(BufferPool::with_options(
+            Arc::clone(&disk) as Arc<dyn DiskManager>,
+            cap,
+            1,
+            0,
+            budget,
+        ));
+        (pool, disk)
+    }
+
+    #[test]
+    fn demoted_page_refaults_without_a_disk_read() {
+        let (pool, disk) = cpool(2, 4096);
+        assert_eq!(pool.compressed_budget(), 4096);
+        let a = pool.new_page().unwrap();
+        pool.with_page_mut(a, |p| p.bytes_mut()[3] = 9).unwrap();
+        pool.evict_page(a).unwrap();
+        // The barrier drains the compressor, so the demotion is settled.
+        pool.flush_all().unwrap();
+        let s = pool.stats();
+        assert_eq!(s.compressed_pages, 1, "demotion admitted");
+        assert!(s.compressed_bytes > 0 && s.compressed_bytes < 256, "mostly-zero page shrank");
+        assert!(s.compression_ratio() > 1.0);
+
+        disk.reset_stats();
+        assert_eq!(pool.with_page(a, |p| p.bytes()[3]).unwrap(), 9);
+        let s = pool.stats();
+        assert_eq!(disk.stats().reads, 0, "fault served by decompression, not the disk");
+        assert_eq!(s.compressed_hits, 1);
+        assert_eq!(s.compressed_pages, 0, "the entry was claimed by the fault");
+    }
+
+    #[test]
+    fn budget_evicts_oldest_entries() {
+        // Zero-ish 256-byte pages encode to ~25 bytes; a 60-byte budget
+        // holds two, so the third admission evicts the oldest.
+        let (pool, _) = cpool(2, 60);
+        let ids: Vec<PageId> = (0..3).map(|_| pool.new_page().unwrap()).collect();
+        for id in &ids {
+            pool.with_page(*id, |_| ()).unwrap();
+            pool.evict_page(*id).unwrap();
+        }
+        pool.flush_all().unwrap();
+        let s = pool.stats();
+        assert!(s.compressed_evictions >= 1, "third entry must push one out");
+        assert!(s.compressed_bytes <= 60, "stored bytes respect the budget");
+        assert_eq!(s.compressed_pages, 2);
+    }
+
+    #[test]
+    fn zero_budget_disables_the_tier_exactly() {
+        let (pool, disk) = cpool(2, 0);
+        assert_eq!(pool.compressed_budget(), 0);
+        pool.set_compression_gate(true); // must be a no-op
+        let a = pool.new_page().unwrap();
+        pool.with_page_mut(a, |p| p.bytes_mut()[0] = 5).unwrap();
+        pool.evict_page(a).unwrap();
+        pool.flush_all().unwrap();
+        disk.reset_stats();
+        assert_eq!(pool.with_page(a, |p| p.bytes()[0]).unwrap(), 5);
+        assert_eq!(disk.stats().reads, 1, "re-fault reads the disk, as always");
+        let s = pool.stats();
+        assert_eq!(
+            (s.compressed_hits, s.compressed_pages, s.compressed_bytes, s.compressed_ratio_den),
+            (0, 0, 0, 0),
+            "no tier counter may move with the tier disabled"
+        );
+    }
+
+    #[test]
+    fn poisoned_decompress_heals_on_retry() {
+        let (pool, disk) = cpool(2, 4096);
+        let a = pool.new_page().unwrap();
+        pool.with_page_mut(a, |p| p.bytes_mut()[7] = 42).unwrap();
+        pool.evict_page(a).unwrap();
+        pool.flush_all().unwrap();
+        // Corrupt the stored entry in place: the next fault's decode
+        // must fail (poisoning that load), and because the claim already
+        // removed the entry, the retry falls through to the disk.
+        {
+            let ct = pool.ct.as_ref().unwrap();
+            let mut st = ct.state.lock().unwrap();
+            let enc = st.entries.get_mut(&a).expect("entry admitted");
+            enc[0] ^= 0xFF; // break the codec magic
+        }
+        let err = pool.with_page(a, |_| ()).unwrap_err();
+        assert!(format!("{err}").contains("decompress"), "fault surfaces the decode error: {err}");
+        disk.reset_stats();
+        assert_eq!(pool.with_page(a, |p| p.bytes()[7]).unwrap(), 42, "retry heals from disk");
+        assert_eq!(disk.stats().reads, 1);
+        assert_eq!(pool.stats().compressed_hits, 0, "a poisoned decode is not a hit");
+    }
+
+    #[test]
+    fn publish_cancels_stale_demotion_jobs() {
+        // Gate the compressor, evict (job queued, not yet compressed),
+        // re-fault and re-dirty the page, then let the compressor run:
+        // the job's token died at publish, so its stale snapshot must
+        // not be admitted over the newer truth.
+        let (pool, _) = cpool(2, 4096);
+        let a = pool.new_page().unwrap();
+        pool.with_page_mut(a, |p| p.bytes_mut()[0] = 1).unwrap();
+        pool.set_compression_gate(true);
+        pool.evict_page(a).unwrap();
+        pool.with_page_mut(a, |p| p.bytes_mut()[0] = 2).unwrap();
+        pool.set_compression_gate(false);
+        pool.flush_all().unwrap();
+        let s = pool.stats();
+        assert_eq!(s.compressed_pages, 0, "cancelled job must not admit stale bytes");
+        // And the tier still works afterwards: a fresh demotion of the
+        // new bytes round-trips.
+        pool.evict_page(a).unwrap();
+        pool.flush_all().unwrap();
+        assert_eq!(pool.stats().compressed_pages, 1);
+        assert_eq!(pool.with_page(a, |p| p.bytes()[0]).unwrap(), 2);
+    }
+
+    #[test]
+    fn incompressible_pages_are_stored_raw_not_inflated() {
+        let (pool, _) = cpool(2, 4096);
+        let a = pool.new_page().unwrap();
+        // LCG noise fills the page; the codec's gate must fall back to
+        // raw storage (256 + 12 header bytes), never more.
+        pool.with_page_mut(a, |p| {
+            let mut x = 0x243F_6A88_85A3_08D3u64;
+            for b in p.bytes_mut() {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                *b = (x >> 56) as u8;
+            }
+        })
+        .unwrap();
+        pool.evict_page(a).unwrap();
+        pool.flush_all().unwrap();
+        let s = pool.stats();
+        assert_eq!(s.compressed_pages, 1);
+        assert_eq!(s.compressed_bytes, 256 + 12, "raw fallback pays only the header");
+        assert!(s.compression_ratio() < 1.0, "honest ratio accounting for a raw entry");
     }
 }

@@ -18,7 +18,14 @@
 //!   load instead of duplicating it, and dirty evictions hand their
 //!   bytes to a write-behind queue drained by a background flusher —
 //!   so one stripe overlaps frames-many faults and victim reclaim never
-//!   waits on the device.
+//!   waits on the device. A byte-budgeted **compressed frame tier**
+//!   (`compressed_budget_bytes` in [`buffer::BufferPool::with_options`])
+//!   catches clock victims on their way out: a background worker
+//!   compresses the evicted bytes ([`nbb_encoding::pagecodec`]) and a
+//!   later fault on the page decompresses instead of touching the disk —
+//!   trading spare CPU for an effectively larger pool, the crate's
+//!   "no bits left behind" answer for memory itself. Budget 0 (the
+//!   default) disables the tier bit-for-bit.
 //!   [`buffer::BufferPool::with_page_cache_write`] provides the paper's
 //!   §2.1.1 contract: page writes that never dirty the frame and give up
 //!   under latch contention, so index caching adds zero I/O.

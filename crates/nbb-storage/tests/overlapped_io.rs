@@ -121,7 +121,7 @@ fn same_page_fault_storm_issues_exactly_one_read() {
     const THREADS: usize = 8;
     let disk = Arc::new(GateDisk::new(512));
     let pool =
-        Arc::new(BufferPool::with_options(Arc::clone(&disk) as Arc<dyn DiskManager>, 8, 1, 64));
+        Arc::new(BufferPool::with_options(Arc::clone(&disk) as Arc<dyn DiskManager>, 8, 1, 64, 0));
     let id = pool.new_page().unwrap();
     let mut page = Page::new(512);
     page.bytes_mut()[0] = 123;
@@ -158,7 +158,7 @@ fn poisoned_load_fails_every_waiter_then_retry_succeeds() {
     const THREADS: usize = 6;
     let disk = Arc::new(GateDisk::new(512));
     let pool =
-        Arc::new(BufferPool::with_options(Arc::clone(&disk) as Arc<dyn DiskManager>, 8, 1, 64));
+        Arc::new(BufferPool::with_options(Arc::clone(&disk) as Arc<dyn DiskManager>, 8, 1, 64, 0));
     let id = pool.new_page().unwrap();
     let mut page = Page::new(512);
     page.bytes_mut()[0] = 77;
@@ -210,7 +210,7 @@ fn distinct_cold_faults_overlap_within_one_stripe() {
     let disk =
         Arc::new(LatencyDisk::new(512, DiskModel { read_ns: READ_MS * 1_000_000, write_ns: 0 }));
     let pool =
-        Arc::new(BufferPool::with_options(Arc::clone(&disk) as Arc<dyn DiskManager>, 16, 1, 64));
+        Arc::new(BufferPool::with_options(Arc::clone(&disk) as Arc<dyn DiskManager>, 16, 1, 64, 0));
     assert_eq!(pool.shards(), 1);
     let ids: Vec<PageId> = (0..K).map(|_| pool.new_page().unwrap()).collect();
     for (i, id) in ids.iter().enumerate() {
@@ -262,8 +262,13 @@ fn dirty_victim_reclaim_skips_the_synchronous_write() {
     // dirtying every page: each fault must reclaim a dirty victim.
     let run = |write_behind: usize| -> (Duration, u64) {
         let disk = Arc::new(LatencyDisk::new(512, model));
-        let pool =
-            BufferPool::with_options(Arc::clone(&disk) as Arc<dyn DiskManager>, 4, 1, write_behind);
+        let pool = BufferPool::with_options(
+            Arc::clone(&disk) as Arc<dyn DiskManager>,
+            4,
+            1,
+            write_behind,
+            0,
+        );
         let ids: Vec<PageId> = (0..PAGES).map(|_| pool.new_page().unwrap()).collect();
         let start = Instant::now();
         for (i, id) in ids.iter().enumerate() {
@@ -303,7 +308,7 @@ fn fault_storm_over_write_behind_store_skips_the_disk() {
     // so "served from the store" is deterministic.
     let disk = Arc::new(GateDisk::new(512));
     let pool =
-        Arc::new(BufferPool::with_options(Arc::clone(&disk) as Arc<dyn DiskManager>, 4, 1, 64));
+        Arc::new(BufferPool::with_options(Arc::clone(&disk) as Arc<dyn DiskManager>, 4, 1, 64, 0));
     let id = pool.new_page().unwrap();
     pool.with_page_mut(id, |p| p.bytes_mut()[0] = 55).unwrap();
     disk.hold_writes();
@@ -337,7 +342,7 @@ fn panicking_load_poisons_waiters_and_frees_the_frame() {
     const THREADS: usize = 4;
     let disk = Arc::new(GateDisk::new(512));
     let pool =
-        Arc::new(BufferPool::with_options(Arc::clone(&disk) as Arc<dyn DiskManager>, 8, 1, 64));
+        Arc::new(BufferPool::with_options(Arc::clone(&disk) as Arc<dyn DiskManager>, 8, 1, 64, 0));
     let id = pool.new_page().unwrap();
     let mut page = Page::new(512);
     page.bytes_mut()[0] = 44;

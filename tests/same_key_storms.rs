@@ -107,7 +107,7 @@ fn observed_parked_storm_serializes_same_key_updates() {
     // write path and the storm's heap access must *read* through the
     // gate — freezing the intent holder mid-fault.
     let heap_pool =
-        Arc::new(BufferPool::with_options(Arc::clone(&gate) as Arc<dyn DiskManager>, 4, 1, 0));
+        Arc::new(BufferPool::with_options(Arc::clone(&gate) as Arc<dyn DiskManager>, 4, 1, 0, 0));
     let index_disk: Arc<dyn DiskManager> = Arc::new(InMemoryDisk::new(4096));
     let index_pool = Arc::new(BufferPool::new(index_disk, 64));
     let t = Table::create("t", 24, heap_pool, index_pool).unwrap();
