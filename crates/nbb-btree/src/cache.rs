@@ -240,6 +240,7 @@ impl<'a> CacheViewMut<'a> {
         }
         // Evict from the outermost (peripheral) occupied bucket.
         let view = self.ro();
+        // nbb-lint: allow(unwrap, eviction scan runs only when occupancy > 0)
         let peripheral = (first..last).max_by_key(|&s| view.bucket_of(s)).expect("nonempty");
         let max_bucket = view.bucket_of(peripheral);
         let victims: Vec<usize> =

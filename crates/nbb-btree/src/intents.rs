@@ -29,19 +29,20 @@
 //! releases that passed ownership to a waiter — both surface in
 //! [`super::tree::WriteStats`].
 //!
-//! Deadlock discipline: intents order **before** every tree and pool
-//! lock (a writer acquires its whole intent set, sorted and deduplicated
-//! by [`KeyIntents::acquire_many`], before touching a page), and no code
-//! path acquires an intent while holding a tree or pool lock. Two
-//! batches acquiring overlapping key sets therefore collide in sorted
-//! order and cannot cycle.
+//! Deadlock discipline: the stripe and slot locks sit at ranks 20/25 of
+//! the workspace lock lattice — strictly before every tree and pool
+//! lock — and [`KeyIntents::acquire_many`] sorts and deduplicates each
+//! writer's key set before any page is touched. `CONCURRENCY.md` at the
+//! repo root documents the full lattice, the handoff pattern, and the
+//! rank checker that enforces both on every debug test run.
 
-use parking_lot::Mutex;
+use nbb_storage::lockrank;
+use parking_lot::{Condvar, Mutex};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex as StdMutex};
+use std::sync::Arc;
 
 /// Default stripe count for a tree's intent table; the `DbConfig`
 /// `intent_stripes` knob overrides it per database. Like the leaf-latch
@@ -51,7 +52,7 @@ pub const DEFAULT_INTENT_STRIPES: usize = 64;
 
 /// One in-flight write intent; racing same-key writers park here.
 struct IntentSlot {
-    state: StdMutex<SlotState>,
+    state: Mutex<SlotState>,
     cv: Condvar,
 }
 
@@ -68,7 +69,10 @@ struct SlotState {
 
 impl IntentSlot {
     fn new() -> Self {
-        IntentSlot { state: StdMutex::new(SlotState::default()), cv: Condvar::new() }
+        IntentSlot {
+            state: Mutex::with_rank(lockrank::INTENT_SLOT, SlotState::default()),
+            cv: Condvar::new(),
+        }
     }
 }
 
@@ -93,7 +97,9 @@ impl KeyIntents {
     pub fn new(stripes: usize) -> Self {
         let n = if stripes == 0 { DEFAULT_INTENT_STRIPES } else { stripes };
         KeyIntents {
-            stripes: (0..n).map(|_| Mutex::new(HashMap::new())).collect(),
+            stripes: (0..n)
+                .map(|_| Mutex::with_rank(lockrank::INTENT_STRIPE, HashMap::new()))
+                .collect(),
             parks: AtomicU64::new(0),
             handoffs: AtomicU64::new(0),
         }
@@ -127,15 +133,15 @@ impl KeyIntents {
                     let slot = Arc::clone(slot);
                     // Register under the stripe lock, so a concurrent
                     // release cannot miss us and retire the slot.
-                    slot.state.lock().expect("intent mutex poisoned").waiters += 1;
+                    slot.state.lock().waiters += 1;
                     slot
                 }
             }
         };
         self.parks.fetch_add(1, Ordering::Relaxed);
-        let mut st = slot.state.lock().expect("intent mutex poisoned");
+        let mut st = slot.state.lock();
         while st.grants == 0 {
-            st = slot.cv.wait(st).expect("intent mutex poisoned");
+            slot.cv.wait(&mut st);
         }
         st.grants -= 1;
         drop(st);
@@ -158,8 +164,9 @@ impl KeyIntents {
     /// slot. Called by [`IntentGuard::drop`].
     fn release(&self, key: &[u8]) {
         let mut map = self.stripes[self.stripe_of(key)].lock();
+        // nbb-lint: allow(unwrap, release only runs from a guard whose acquire installed the slot)
         let slot = Arc::clone(map.get(key).expect("released intent must be installed"));
-        let mut st = slot.state.lock().expect("intent mutex poisoned");
+        let mut st = slot.state.lock();
         if st.waiters > 0 {
             st.waiters -= 1;
             st.grants += 1;
@@ -274,7 +281,7 @@ mod tests {
         const THREADS: usize = 8;
         const ROUNDS: usize = 200;
         let intents = Arc::new(KeyIntents::new(1));
-        let counter = Arc::new(StdMutex::new(0usize)); // mutex only to satisfy Sync; never contended under the intent
+        let counter = Arc::new(Mutex::new(0usize)); // mutex only to satisfy Sync; never contended under the intent
         std::thread::scope(|s| {
             for _ in 0..THREADS {
                 let intents = Arc::clone(&intents);
@@ -288,7 +295,7 @@ mod tests {
                 });
             }
         });
-        assert_eq!(*counter.lock().unwrap(), THREADS * ROUNDS);
+        assert_eq!(*counter.lock(), THREADS * ROUNDS);
         assert!(intents.is_idle());
         assert_eq!(intents.parks(), intents.handoffs(), "every park resolves via a handoff");
     }

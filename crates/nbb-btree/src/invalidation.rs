@@ -16,6 +16,7 @@
 //! is zeroed. The watermark (stored in the leaf header) keeps re-scans
 //! amortized: a page only examines each predicate once.
 
+use nbb_storage::lockrank;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -69,7 +70,7 @@ impl InvalidationState {
     pub fn new(threshold: usize) -> Self {
         InvalidationState {
             csn_idx: AtomicU64::new(1),
-            log: Mutex::new(Vec::new()),
+            log: Mutex::with_rank(lockrank::TREE_INVALIDATION_LOG, Vec::new()),
             next_seq: AtomicU64::new(1),
             threshold: threshold.max(1),
             full_invalidations: AtomicU64::new(0),

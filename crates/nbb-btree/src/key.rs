@@ -21,6 +21,7 @@ pub fn encode_u64(v: u64) -> [u8; 8] {
 /// Decodes the result of [`encode_u64`].
 #[inline]
 pub fn decode_u64(b: &[u8]) -> u64 {
+    // nbb-lint: allow(unwrap, slice width is the codec's documented contract)
     u64::from_be_bytes(b[..8].try_into().expect("u64 key needs 8 bytes"))
 }
 
@@ -33,6 +34,7 @@ pub fn encode_u32(v: u32) -> [u8; 4] {
 /// Decodes the result of [`encode_u32`].
 #[inline]
 pub fn decode_u32(b: &[u8]) -> u32 {
+    // nbb-lint: allow(unwrap, slice width is the codec's documented contract)
     u32::from_be_bytes(b[..4].try_into().expect("u32 key needs 4 bytes"))
 }
 
@@ -45,6 +47,7 @@ pub fn encode_i64(v: i64) -> [u8; 8] {
 /// Decodes the result of [`encode_i64`].
 #[inline]
 pub fn decode_i64(b: &[u8]) -> i64 {
+    // nbb-lint: allow(unwrap, slice width is the codec's documented contract)
     (u64::from_be_bytes(b[..8].try_into().expect("i64 key needs 8 bytes")) ^ (1 << 63)) as i64
 }
 

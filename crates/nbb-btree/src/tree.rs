@@ -54,6 +54,14 @@
 //! the page once it publishes — but it can rely on cold batched reads
 //! not serializing per stripe, and on a storm of descents through the
 //! same cold interior page costing one disk read.
+//!
+//! Every lock above sits in the workspace lock-order lattice
+//! (`CONCURRENCY.md` at the repo root): structure at rank 30, leaf
+//! latches at 40 — deliberately *not* re-entrant, so the rank checker
+//! enforces the one-leaf-latch-at-a-time crabbing promise — and the
+//! tree's frame-nested state (invalidation log, promotion RNG) above
+//! the pool's frame rank. Debug test runs verify the whole order at
+//! runtime; `cargo run -p nbb-lint` verifies no lock escapes it.
 
 use crate::cache::{CacheConfig, CacheView, CacheViewMut, StoreOutcome};
 use crate::intents::KeyIntents;
@@ -61,6 +69,7 @@ use crate::invalidation::{InvalidateOutcome, InvalidationState};
 use crate::node::{node_capacity, InsertOutcome, Node, NodeMut};
 use nbb_storage::buffer::BufferPool;
 use nbb_storage::error::{Result, StorageError};
+use nbb_storage::lockrank;
 use nbb_storage::page::PageId;
 use parking_lot::{Mutex, MutexGuard, RwLock};
 use rand::rngs::SmallRng;
@@ -96,7 +105,11 @@ struct LeafLatches {
 
 impl LeafLatches {
     fn new() -> Self {
-        LeafLatches { stripes: (0..LEAF_LATCH_STRIPES).map(|_| Mutex::new(())).collect() }
+        LeafLatches {
+            stripes: (0..LEAF_LATCH_STRIPES)
+                .map(|_| Mutex::with_rank(lockrank::LEAF_LATCH, ()))
+                .collect(),
+        }
     }
 
     fn lock(&self, leaf: PageId) -> MutexGuard<'_, ()> {
@@ -307,10 +320,13 @@ impl BTree {
             key_size,
             latches: LeafLatches::new(),
             intents: KeyIntents::new(opts.intent_stripes),
-            root: RwLock::new(root),
+            root: RwLock::with_rank(lockrank::TREE_STRUCTURE, root),
             opts,
             inv: InvalidationState::new(threshold),
-            rng: Mutex::new(SmallRng::seed_from_u64(seed ^ 0x006e_6262_7472_6565)),
+            rng: Mutex::with_rank(
+                lockrank::TREE_RNG,
+                SmallRng::seed_from_u64(seed ^ 0x006e_6262_7472_6565),
+            ),
             stats: CacheStatsAtomic::default(),
             wstats: WriteStatsAtomic::default(),
         })
@@ -346,10 +362,13 @@ impl BTree {
             key_size,
             latches: LeafLatches::new(),
             intents: KeyIntents::new(opts.intent_stripes),
-            root: RwLock::new(root),
+            root: RwLock::with_rank(lockrank::TREE_STRUCTURE, root),
             opts,
             inv: InvalidationState::new(threshold),
-            rng: Mutex::new(SmallRng::seed_from_u64(seed ^ 0x006e_6262_7472_6565)),
+            rng: Mutex::with_rank(
+                lockrank::TREE_RNG,
+                SmallRng::seed_from_u64(seed ^ 0x006e_6262_7472_6565),
+            ),
             stats: CacheStatsAtomic::default(),
             wstats: WriteStatsAtomic::default(),
         };
@@ -412,6 +431,7 @@ impl BTree {
                 current = Some(pid);
                 count_in_node = 0;
             }
+            // nbb-lint: allow(unwrap, current is seeded before the first iteration)
             let pid = current.expect("set above");
             pool.with_page_mut(pid, |p| {
                 let r = NodeMut::new(p, key_size).append_sorted(&key, value);
@@ -452,10 +472,13 @@ impl BTree {
             key_size,
             latches: LeafLatches::new(),
             intents: KeyIntents::new(opts.intent_stripes),
-            root: RwLock::new(level_nodes[0].1),
+            root: RwLock::with_rank(lockrank::TREE_STRUCTURE, level_nodes[0].1),
             opts,
             inv: InvalidationState::new(threshold),
-            rng: Mutex::new(SmallRng::seed_from_u64(seed ^ 0x006e_6262_7472_6565)),
+            rng: Mutex::with_rank(
+                lockrank::TREE_RNG,
+                SmallRng::seed_from_u64(seed ^ 0x006e_6262_7472_6565),
+            ),
             stats: CacheStatsAtomic::default(),
             wstats: WriteStatsAtomic::default(),
         })
@@ -642,6 +665,7 @@ impl BTree {
     /// [`BTree::insert_many`].
     pub fn insert(&self, key: &[u8], value: u64) -> Result<Option<u64>> {
         let mut r = self.insert_many(&[(key, value)])?;
+        // nbb-lint: allow(unwrap, insert_many returns one result per input entry)
         Ok(r.pop().expect("one entry in, one result out"))
     }
 
@@ -866,6 +890,7 @@ impl BTree {
             let mut node = if is_leaf {
                 NodeMut::init_leaf(p, self.key_size)
             } else {
+                // nbb-lint: allow(unwrap, internal levels always carry a right-leftmost child)
                 NodeMut::init_internal(p, self.key_size, level, PageId(right_leftmost.unwrap()))
             };
             for (k, v) in right_entries {
@@ -893,6 +918,7 @@ impl BTree {
     /// this leaves behind is precisely what the index cache recycles.
     pub fn delete(&self, key: &[u8]) -> Result<Option<u64>> {
         let mut r = self.delete_many(&[key])?;
+        // nbb-lint: allow(unwrap, delete_many returns one result per input key)
         Ok(r.pop().expect("one key in, one result out"))
     }
 
@@ -1187,6 +1213,7 @@ impl BTree {
         }
         if let Some((slot, payload)) = out.probe {
             self.stats.hits.fetch_add(1, Ordering::Relaxed);
+            // nbb-lint: allow(unwrap, a probe hit always carries its value)
             let value = out.value.expect("probe implies value");
             let promoted = self.pool.with_page_cache_write(leaf, |p| {
                 let mut rng = self.rng.lock();
@@ -1308,6 +1335,7 @@ impl BTree {
             if !hits.is_empty() {
                 // All of this leaf's promotions ride one latch attempt.
                 let promoted = self.pool.with_page_cache_write(leaf, |p| {
+                    // nbb-lint: allow(unwrap, hits are only collected when a cache config exists)
                     let cfg = cfg.as_ref().expect("hits imply cache config");
                     let mut rng = self.rng.lock();
                     let mut n = NodeMut::new(p, self.key_size);
@@ -1347,6 +1375,7 @@ impl BTree {
             }
             i += g.consumed;
         }
+        // nbb-lint: allow(unwrap, the group loop visits every key exactly once)
         Ok(out.into_iter().map(|c| c.expect("every key visited")).collect())
     }
 
@@ -1510,9 +1539,9 @@ impl BTree {
     /// touched — so racing same-key writers serialize by parking on the
     /// in-flight intent with a pre-granted handoff. Readers never touch
     /// this table; disjoint-key writers pass through a stripe-map
-    /// lookup and nothing more. Intents order strictly before tree and
-    /// pool locks (see the module docs), so holding one across a tree
-    /// operation is deadlock-free.
+    /// lookup and nothing more. Intents rank strictly before tree and
+    /// pool locks in the lattice (`CONCURRENCY.md`), so holding one
+    /// across a tree operation is deadlock-free.
     pub fn intents(&self) -> &KeyIntents {
         &self.intents
     }
@@ -1684,6 +1713,7 @@ impl BTree {
             return Ok(Ok(()));
         }
         // Internal: recurse with refined bounds.
+        // nbb-lint: allow(unwrap, internal nodes always store a leftmost child)
         let lm = leftmost.expect("internal node has leftmost");
         let first_sep = entries.first().map(|(k, _)| k.as_slice());
         let r = self.check_node(lm, lower, first_sep, depth + 1, leaf_depth)?;

@@ -78,12 +78,15 @@ impl<'a> Reader<'a> {
         Ok(s)
     }
     fn u16(&mut self) -> Result<u16> {
+        // nbb-lint: allow(unwrap, take() returned exactly that many bytes)
         Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2 bytes")))
     }
     fn u32(&mut self) -> Result<u32> {
+        // nbb-lint: allow(unwrap, take() returned exactly that many bytes)
         Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
     }
     fn u64(&mut self) -> Result<u64> {
+        // nbb-lint: allow(unwrap, take() returned exactly that many bytes)
         Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
     }
     fn str(&mut self) -> Result<String> {

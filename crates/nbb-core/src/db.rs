@@ -3,6 +3,7 @@
 use crate::table::Table;
 use nbb_storage::disk::{DiskManager, DiskModel, InMemoryDisk, SimulatedDisk};
 use nbb_storage::error::{Result, StorageError};
+use nbb_storage::lockrank;
 use nbb_storage::stats::{IoStats, PoolStats};
 use nbb_storage::BufferPool;
 use parking_lot::RwLock;
@@ -105,7 +106,9 @@ impl Database {
         let heap_disk = Self::fresh_disk(&config);
         let index_disk = Self::fresh_disk(&config);
         let db = Self::attach_disks(config, heap_disk, index_disk)
+            // nbb-lint: allow(unwrap, fresh in-memory disks cannot fail validation)
             .expect("fresh in-memory disks are always attachable");
+        // nbb-lint: allow(unwrap, fresh in-memory disks cannot fail allocation)
         db.reserve_catalog_header().expect("fresh in-memory disks always allocate");
         db
     }
@@ -157,7 +160,7 @@ impl Database {
             index_pool,
             heap_disk,
             index_disk,
-            tables: RwLock::new(HashMap::new()),
+            tables: RwLock::with_rank(lockrank::DB_TABLES, HashMap::new()),
         })
     }
 
@@ -230,6 +233,7 @@ impl Database {
         let mut header = nbb_storage::Page::new(page_size);
         header.write_u32(0, 0x6E62_6200);
         header.write_u64(4, payload.len() as u64);
+        // nbb-lint: allow(unwrap, nchunks >= 1 so the loop set first_chunk)
         header.write_u64(12, first_chunk.expect("at least one chunk").0);
         header.write_u32(20, nchunks as u32);
         self.heap_disk.write(nbb_storage::PageId(0), &header)?;

@@ -40,6 +40,7 @@ impl PageCache {
         let Some((&victim, _)) = self.entries.iter().min_by_key(|(_, (_, t))| *t) else {
             return false;
         };
+        // nbb-lint: allow(unwrap, victim key was just produced by the scan above)
         let (payload, _) = self.entries.remove(&victim).expect("present");
         self.used -= entry_cost(&payload);
         true

@@ -143,6 +143,7 @@ impl<'t> IndexRef<'t> {
     /// one-tuple [`IndexRef::put_many`].
     pub fn put(&self, tuple: &[u8]) -> Result<RecordId> {
         let mut rids = self.put_many(std::slice::from_ref(&tuple))?;
+        // nbb-lint: allow(unwrap, put_many returns one rid per input tuple)
         Ok(rids.pop().expect("one tuple in, one rid out"))
     }
 

@@ -57,6 +57,7 @@
 use nbb_btree::{BTree, BTreeOptions, CacheConfig};
 use nbb_storage::error::{Result, StorageError};
 use nbb_storage::heap::HeapFile;
+use nbb_storage::lockrank;
 use nbb_storage::rid::RecordId;
 use nbb_storage::BufferPool;
 use parking_lot::RwLock;
@@ -272,7 +273,7 @@ impl Table {
             name: name.to_string(),
             tuple_width,
             heap: HeapFile::create(heap_pool)?,
-            indexes: RwLock::new(HashMap::new()),
+            indexes: RwLock::with_rank(lockrank::TABLE_INDEXES, HashMap::new()),
             index_pool,
             intent_stripes: 0,
             index_only_answers: AtomicU64::new(0),
@@ -303,7 +304,7 @@ impl Table {
             name: name.to_string(),
             tuple_width,
             heap,
-            indexes: RwLock::new(HashMap::new()),
+            indexes: RwLock::with_rank(lockrank::TABLE_INDEXES, HashMap::new()),
             index_pool,
             intent_stripes,
             index_only_answers: AtomicU64::new(0),
@@ -507,6 +508,7 @@ impl Table {
     /// one-tuple [`Table::insert_many`].
     pub fn insert(&self, tuple: &[u8]) -> Result<RecordId> {
         let mut rids = self.insert_many(std::slice::from_ref(&tuple))?;
+        // nbb-lint: allow(unwrap, insert_many returns one rid per input tuple)
         Ok(rids.pop().expect("one tuple in, one rid out"))
     }
 
@@ -659,6 +661,7 @@ impl Table {
     /// Single-pair wrapper over [`Table::update_many_with`].
     pub(crate) fn update_with(&self, idx: &Index, key: &[u8], tuple: &[u8]) -> Result<bool> {
         let mut r = self.update_many_with(idx, &[(key, tuple)])?;
+        // nbb-lint: allow(unwrap, update_many_with returns one result per pair)
         Ok(r.pop().expect("one pair in, one result out"))
     }
 
@@ -868,6 +871,7 @@ impl Table {
     /// Single-key wrapper over [`Table::delete_many_with`].
     pub(crate) fn delete_with(&self, idx: &Index, key: &[u8]) -> Result<bool> {
         let mut r = self.delete_many_with(idx, std::slice::from_ref(&key))?;
+        // nbb-lint: allow(unwrap, delete_many_with returns one result per key)
         Ok(r.pop().expect("one key in, one result out"))
     }
 

@@ -109,7 +109,7 @@ pub struct VerticalTable {
 /// for single-writer usage (the simulation inserts from one thread).
 mod parking_lot_free_directory {
     use nbb_storage::rid::RecordId;
-    use std::sync::Mutex;
+    use parking_lot::Mutex;
 
     #[derive(Default)]
     pub struct RowDirectory {
@@ -118,17 +118,17 @@ mod parking_lot_free_directory {
 
     impl RowDirectory {
         pub fn push(&self, rids: Vec<RecordId>) -> usize {
-            let mut g = self.inner.lock().expect("poisoned");
+            let mut g = self.inner.lock();
             g.push(rids);
             g.len() - 1
         }
 
         pub fn get(&self, row: usize) -> Option<Vec<RecordId>> {
-            self.inner.lock().expect("poisoned").get(row).cloned()
+            self.inner.lock().get(row).cloned()
         }
 
         pub fn len(&self) -> usize {
-            self.inner.lock().expect("poisoned").len()
+            self.inner.lock().len()
         }
     }
 }

@@ -14,6 +14,7 @@
 //!   want actual I/O syscalls.
 
 use crate::error::{Result, StorageError};
+use crate::lockrank;
 use crate::page::{Page, PageId};
 use crate::stats::{AtomicIoStats, IoStats};
 use parking_lot::Mutex;
@@ -131,7 +132,11 @@ pub struct InMemoryDisk {
 impl InMemoryDisk {
     /// Creates an empty disk with the given page size.
     pub fn new(page_size: usize) -> Self {
-        InMemoryDisk { page_size, pages: Mutex::new(Vec::new()), stats: AtomicIoStats::new() }
+        InMemoryDisk {
+            page_size,
+            pages: Mutex::with_rank(lockrank::DISK_IO, Vec::new()),
+            stats: AtomicIoStats::new(),
+        }
     }
 }
 
@@ -334,7 +339,7 @@ impl FileDisk {
             file,
             next_page: AtomicU64::new(0),
             stats: AtomicIoStats::new(),
-            io_lock: Mutex::new(()),
+            io_lock: Mutex::with_rank(lockrank::DISK_IO, ()),
         })
     }
 

@@ -9,6 +9,7 @@
 
 use crate::buffer::BufferPool;
 use crate::error::{Result, StorageError};
+use crate::lockrank;
 use crate::page::PageId;
 use crate::rid::RecordId;
 use crate::slotted::{SlottedPage, SlottedPageRef};
@@ -24,7 +25,8 @@ pub struct HeapFile {
 impl HeapFile {
     /// Creates an empty heap file on `pool`.
     pub fn create(pool: Arc<BufferPool>) -> Result<Self> {
-        let heap = HeapFile { pool, pages: RwLock::new(Vec::new()) };
+        let heap =
+            HeapFile { pool, pages: RwLock::with_rank(lockrank::HEAP_DIRECTORY, Vec::new()) };
         heap.grow()?;
         Ok(heap)
     }
@@ -39,7 +41,7 @@ impl HeapFile {
         for pid in &pages {
             pool.with_page(*pid, |p| SlottedPageRef::attach(p).map(|_| ()))??;
         }
-        Ok(HeapFile { pool, pages: RwLock::new(pages) })
+        Ok(HeapFile { pool, pages: RwLock::with_rank(lockrank::HEAP_DIRECTORY, pages) })
     }
 
     fn grow(&self) -> Result<PageId> {
@@ -69,6 +71,7 @@ impl HeapFile {
     ///
     /// Tries the tail page first; allocates a new tail when full.
     pub fn insert(&self, tuple: &[u8]) -> Result<RecordId> {
+        // nbb-lint: allow(unwrap, heaps are created with one page and never shrink)
         let tail = *self.pages.read().last().expect("heap always has >= 1 page");
         let res = self.pool.with_page_mut(tail, |p| {
             let mut sp = SlottedPage::attach(p)?;
@@ -113,6 +116,7 @@ impl HeapFile {
         while out.len() < tuples.len() {
             let tail = match next_tail.take() {
                 Some(pid) => pid,
+                // nbb-lint: allow(unwrap, heaps are created with one page and never shrink)
                 None => *self.pages.read().last().expect("heap always has >= 1 page"),
             };
             let done = out.len();

@@ -41,6 +41,7 @@ pub mod buffer;
 pub mod disk;
 pub mod error;
 pub mod heap;
+pub mod lockrank;
 pub mod page;
 pub mod rid;
 pub mod slotted;

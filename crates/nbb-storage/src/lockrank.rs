@@ -1,0 +1,204 @@
+//! The workspace-wide lock-order lattice.
+//!
+//! Every blocking lock in the engine crates (`nbb-storage`,
+//! `nbb-btree`, `nbb-core`) is constructed with one of these ranks via
+//! [`parking_lot::Mutex::with_rank`] / [`parking_lot::RwLock::with_rank`].
+//! In debug builds the shim keeps a thread-local stack of held ranks
+//! and panics — naming both locks — on any acquisition that does not
+//! strictly ascend this order, so the whole test suite doubles as a
+//! lock-order model check. In release builds the ranks are compiled
+//! out entirely.
+//!
+//! The lattice, lowest (acquire first) to highest (acquire last):
+//!
+//! | level | rank                     | guards                                        |
+//! |------:|--------------------------|-----------------------------------------------|
+//! |    10 | [`DB_TABLES`]            | `Database.tables` registry                     |
+//! |    15 | [`TABLE_INDEXES`]        | `Table.indexes` registry                       |
+//! |    20 | [`INTENT_STRIPE`]        | `KeyIntents` stripe maps                       |
+//! |    25 | [`INTENT_SLOT`]          | per-key `IntentSlot` state                     |
+//! |    30 | [`TREE_STRUCTURE`]       | B+tree structure lock (`BTree.root`)           |
+//! |    40 | [`LEAF_LATCH`]           | striped per-leaf write latches                 |
+//! |    50 | [`HEAP_DIRECTORY`]       | `HeapFile` page-id directory                   |
+//! |    60 | [`POOL_SHARD_MAP`]       | buffer-pool shard residency maps               |
+//! |    65 | [`POOL_FRAME`]           | per-frame page latches (multi: latch coupling) |
+//! |    66 | [`TREE_INVALIDATION_LOG`]| cache invalidation predicate log               |
+//! |    67 | [`POOL_INFLIGHT`]        | per-fault `InFlight` coalescing state          |
+//! |    68 | [`TREE_RNG`]             | cache-promotion RNG                            |
+//! |    70 | [`POOL_WRITE_BEHIND`]    | write-behind queue state                       |
+//! |    75 | [`POOL_COMPRESSED_TIER`] | compressed cold-frame tier state               |
+//! |    90 | [`DISK_IO`]              | disk backends (multi: wrapper disks may nest)  |
+//!
+//! Two placements look surprising but are forced by real acquisition
+//! paths: the invalidation log and the promotion RNG are *tree*-level
+//! state, yet they rank **above** the pool frame latch because the tree
+//! locks them from inside `with_page` / `with_page_cache_write`
+//! callbacks, i.e. while a frame latch is held. See `CONCURRENCY.md`
+//! at the repo root for the full walk-through of every path.
+//!
+//! The constants live here (not in the `parking_lot` shim) because
+//! `nbb-storage` is the lowest engine crate every other engine crate
+//! already depends on; the shim provides only the mechanism.
+
+pub use parking_lot::Rank;
+
+/// `Database.tables`: the table registry. Held briefly for lookup /
+/// create; `create_table` and `reopen` hold the write side across
+/// table construction, which reaches every rank below.
+pub const DB_TABLES: Rank = Rank::new(10, "db.tables");
+
+/// `Table.indexes`: the per-table index registry. The read side is
+/// held across multi-index maintenance loops (tree inserts/deletes),
+/// so everything the tree touches must rank above it.
+pub const TABLE_INDEXES: Rank = Rank::new(15, "table.indexes");
+
+/// `KeyIntents` stripe maps. Intents order strictly before tree and
+/// pool locks: writers stage all key intents *before* descending.
+/// Releasing an intent re-locks its stripe, so holding any higher rank
+/// while dropping an `IntentGuard` is flagged too.
+pub const INTENT_STRIPE: Rank = Rank::new(20, "btree.intent_stripe");
+
+/// Per-key `IntentSlot` state, locked nested inside its stripe during
+/// install/handoff and alone while parked on the slot condvar.
+pub const INTENT_SLOT: Rank = Rank::new(25, "btree.intent_slot");
+
+/// The B+tree structure lock (`BTree.root`): read side for crabbing
+/// descents, write side for escalated splits.
+pub const TREE_STRUCTURE: Rank = Rank::new(30, "btree.structure");
+
+/// Striped per-leaf write latches. Not `multi`: a thread holds at most
+/// one leaf latch at a time (the documented crabbing discipline), and
+/// the rank check now enforces that promise.
+pub const LEAF_LATCH: Rank = Rank::new(40, "btree.leaf_latch");
+
+/// `HeapFile`'s directory of allocated page ids. Guards are transient
+/// (never held across pool calls), but scans take it before faulting
+/// pages in, so it ranks below the pool.
+pub const HEAP_DIRECTORY: Rank = Rank::new(50, "heap.directory");
+
+/// Buffer-pool shard residency maps. Dropped across disk reads on the
+/// fault path; held across frame-latch acquisition when publishing,
+/// retiring, and in the sync write fallback.
+pub const POOL_SHARD_MAP: Rank = Rank::new(60, "pool.shard_map");
+
+/// Per-frame page latches. Loaders hold the write side across
+/// write-behind drains, compressed-tier claims, and disk reads.
+///
+/// `multi`: user closures run under a frame latch and may re-enter the
+/// pool for a *distinct* page (nested `with_page` — latch coupling),
+/// so one thread legitimately holds several frame latches at once.
+/// Same-page re-entry would self-deadlock regardless of ranks; the
+/// pin protocol, not the lattice, is what keeps coupling safe (see
+/// `CONCURRENCY.md` §frame/map exemption).
+pub const POOL_FRAME: Rank = Rank::new_multi(65, "pool.frame");
+
+/// Per-fault `InFlight` coalescing state (loser threads park here
+/// while one loader faults the page in). Above [`POOL_FRAME`] because
+/// a nested fault parks on — and a nested loader resolves — the slot
+/// while the caller's outer frame latch is still held.
+pub const POOL_INFLIGHT: Rank = Rank::new(67, "pool.inflight");
+
+/// The tree's cache-invalidation predicate log. Above [`POOL_FRAME`]
+/// because `check_page` locks it from inside a `with_page` callback.
+pub const TREE_INVALIDATION_LOG: Rank = Rank::new(66, "btree.invalidation_log");
+
+/// The tree's cache-promotion RNG. Above [`POOL_FRAME`] because
+/// promotion decisions run inside `with_page_cache_write` callbacks
+/// (under the frame's write try-latch).
+pub const TREE_RNG: Rank = Rank::new(68, "btree.cache_rng");
+
+/// Write-behind queue state (bounded queue, flusher handshake,
+/// drain/serve-fault barriers).
+pub const POOL_WRITE_BEHIND: Rank = Rank::new(70, "pool.write_behind");
+
+/// Compressed cold-frame tier state (demotion queue, slot directory,
+/// compressor handshake).
+pub const POOL_COMPRESSED_TIER: Rank = Rank::new(75, "pool.compressed_tier");
+
+/// Disk backends: `InMemoryDisk`'s page vector and `FileDisk`'s
+/// non-unix positional-I/O lock. Terminal — nothing is ever acquired
+/// under a disk lock — and `multi` because wrapper disks (latency /
+/// fault injection) delegate to an inner disk's lock of the same rank.
+pub const DISK_IO: Rank = Rank::new_multi(90, "disk.io");
+
+// The checker itself is unit-tested in the `parking_lot` shim; these
+// tests pin the *engine's* lattice — the constants above, by name —
+// so a rank renumbering that breaks the documented order fails here.
+#[cfg(all(test, debug_assertions))]
+mod tests {
+    use super::*;
+    use parking_lot::{Mutex, RwLock};
+
+    #[test]
+    fn full_lattice_descends_in_order() {
+        let tables = RwLock::with_rank(DB_TABLES, ());
+        let stripe = Mutex::with_rank(INTENT_STRIPE, ());
+        let slot = Mutex::with_rank(INTENT_SLOT, ());
+        let root = RwLock::with_rank(TREE_STRUCTURE, ());
+        let leaf = Mutex::with_rank(LEAF_LATCH, ());
+        let dir = RwLock::with_rank(HEAP_DIRECTORY, ());
+        let map = Mutex::with_rank(POOL_SHARD_MAP, ());
+        let frame = RwLock::with_rank(POOL_FRAME, ());
+        let disk = Mutex::with_rank(DISK_IO, ());
+
+        let _a = tables.read();
+        let _b = stripe.lock();
+        let _c = slot.lock();
+        let _d = root.read();
+        let _e = leaf.lock();
+        let _f = dir.write();
+        let _g = map.lock();
+        let _h = frame.write();
+        let _i = disk.lock();
+        assert_eq!(parking_lot::held_rank_count(), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "acquiring 'db.tables' (rank 10) while holding 'disk.io' (rank 90)")]
+    fn inverted_acquisition_panics_naming_both_locks() {
+        let disk = Mutex::with_rank(DISK_IO, ());
+        let tables = RwLock::with_rank(DB_TABLES, ());
+        let _held = disk.lock();
+        let _boom = tables.write();
+    }
+
+    #[test]
+    #[should_panic(expected = "acquiring 'pool.shard_map' (rank 60) while holding 'pool.frame'")]
+    fn frame_to_map_nesting_requires_the_exemption() {
+        // The pin()-path direction: a plain `lock()` under a frame
+        // latch must trip the checker — only `lock_unordered()` (with
+        // its written justification) may take this edge.
+        let frame = RwLock::with_rank(POOL_FRAME, ());
+        let map = Mutex::with_rank(POOL_SHARD_MAP, ());
+        let _latch = frame.read();
+        let _boom = map.lock();
+    }
+
+    #[test]
+    #[should_panic(
+        expected = "acquiring 'btree.leaf_latch' (rank 40) while holding 'btree.leaf_latch'"
+    )]
+    fn leaf_latches_do_not_nest() {
+        // The crabbing promise (tree.rs module docs): a thread holds at
+        // most one leaf latch at a time. LEAF_LATCH is deliberately not
+        // `multi`, so the checker enforces it.
+        let a = Mutex::with_rank(LEAF_LATCH, ());
+        let b = Mutex::with_rank(LEAF_LATCH, ());
+        let _first = a.lock();
+        let _boom = b.lock();
+    }
+
+    #[test]
+    fn multi_ranks_permit_same_level_nesting() {
+        // Latch coupling (nested with_page on distinct pages) and
+        // wrapper disks delegating to inner disks are legal.
+        let outer = RwLock::with_rank(POOL_FRAME, ());
+        let inner = RwLock::with_rank(POOL_FRAME, ());
+        let _o = outer.write();
+        let _i = inner.read();
+        let wrapper = Mutex::with_rank(DISK_IO, ());
+        let inner_disk = Mutex::with_rank(DISK_IO, ());
+        let _w = wrapper.lock();
+        let _d = inner_disk.lock();
+    }
+}

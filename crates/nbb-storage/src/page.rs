@@ -90,6 +90,7 @@ impl Page {
     /// Reads a little-endian `u16` at `off`.
     #[inline]
     pub fn read_u16(&self, off: usize) -> u16 {
+        // nbb-lint: allow(unwrap, slice is exactly the integer's width)
         u16::from_le_bytes(self.data[off..off + 2].try_into().unwrap())
     }
 
@@ -102,6 +103,7 @@ impl Page {
     /// Reads a little-endian `u32` at `off`.
     #[inline]
     pub fn read_u32(&self, off: usize) -> u32 {
+        // nbb-lint: allow(unwrap, slice is exactly the integer's width)
         u32::from_le_bytes(self.data[off..off + 4].try_into().unwrap())
     }
 
@@ -114,6 +116,7 @@ impl Page {
     /// Reads a little-endian `u64` at `off`.
     #[inline]
     pub fn read_u64(&self, off: usize) -> u64 {
+        // nbb-lint: allow(unwrap, slice is exactly the integer's width)
         u64::from_le_bytes(self.data[off..off + 8].try_into().unwrap())
     }
 

@@ -17,8 +17,9 @@ use nbb_storage::disk::{DiskManager, DiskModel, InMemoryDisk, LatencyDisk};
 use nbb_storage::error::{Result, StorageError};
 use nbb_storage::stats::IoStats;
 use nbb_storage::{BufferPool, Page, PageId};
+use parking_lot::{Condvar, Mutex};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Barrier, Condvar, Mutex};
+use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 
 /// Disk whose reads and writes can each be held at a gate until the
@@ -48,20 +49,20 @@ impl GateDisk {
     }
 
     fn hold_reads(&self) {
-        self.held.lock().unwrap().0 = true;
+        self.held.lock().0 = true;
     }
 
     fn release_reads(&self) {
-        self.held.lock().unwrap().0 = false;
+        self.held.lock().0 = false;
         self.cv.notify_all();
     }
 
     fn hold_writes(&self) {
-        self.held.lock().unwrap().1 = true;
+        self.held.lock().1 = true;
     }
 
     fn release_writes(&self) {
-        self.held.lock().unwrap().1 = false;
+        self.held.lock().1 = false;
         self.cv.notify_all();
     }
 }
@@ -75,9 +76,9 @@ impl DiskManager for GateDisk {
     }
     fn read(&self, id: PageId, buf: &mut Page) -> Result<()> {
         self.read_attempts.fetch_add(1, Ordering::Relaxed);
-        let mut held = self.held.lock().unwrap();
+        let mut held = self.held.lock();
         while held.0 {
-            held = self.cv.wait(held).unwrap();
+            self.cv.wait(&mut held);
         }
         drop(held);
         if self.panic_reads.load(Ordering::Relaxed) {
@@ -89,9 +90,9 @@ impl DiskManager for GateDisk {
         self.inner.read(id, buf)
     }
     fn write(&self, id: PageId, page: &Page) -> Result<()> {
-        let mut held = self.held.lock().unwrap();
+        let mut held = self.held.lock();
         while held.1 {
-            held = self.cv.wait(held).unwrap();
+            self.cv.wait(&mut held);
         }
         drop(held);
         self.inner.write(id, page)

@@ -41,6 +41,21 @@
 //! the per-leaf latches. `DbConfig::intent_stripes` sizes the intent
 //! table; `TableStats::intent_parks`/`intent_handoffs` (printed below)
 //! meter the contention it absorbed.
+//!
+//! All of this concurrency is *checked*, not just promised — see
+//! `CONCURRENCY.md` at the repo root for the lock-order lattice. To run
+//! the verification locally:
+//!
+//! ```sh
+//! cargo run -p nbb-lint      # static rules L1-L6 (unranked locks,
+//!                            # std::sync leaks, unjustified unwraps...)
+//! cargo test --workspace     # debug profile arms the runtime rank
+//!                            # checker: any lock-order inversion panics
+//!                            # naming both locks
+//! ```
+//!
+//! Release builds (`--release`, the benches) compile the rank layer out
+//! entirely, so the discipline costs nothing on the measured paths.
 
 use nbb::core::db::{Database, DbConfig};
 use nbb::core::query::Batch;

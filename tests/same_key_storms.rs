@@ -27,9 +27,10 @@ use nbb::storage::disk::{DiskManager, DiskModel, InMemoryDisk, LatencyDisk};
 use nbb::storage::error::Result;
 use nbb::storage::stats::IoStats;
 use nbb::storage::{BufferPool, Page, PageId};
+use parking_lot::{Condvar, Mutex};
 use std::sync::atomic::AtomicU64;
 use std::sync::atomic::Ordering;
-use std::sync::{Arc, Barrier, Condvar, Mutex};
+use std::sync::{Arc, Barrier};
 
 /// Disk whose reads block at a gate until released (the overlapped_io
 /// technique), so a writer can be frozen mid-heap-fault while the test
@@ -50,11 +51,11 @@ impl GateDisk {
     }
 
     fn hold_reads(&self) {
-        *self.reads_held.lock().unwrap() = true;
+        *self.reads_held.lock() = true;
     }
 
     fn release_reads(&self) {
-        *self.reads_held.lock().unwrap() = false;
+        *self.reads_held.lock() = false;
         self.cv.notify_all();
     }
 }
@@ -67,9 +68,9 @@ impl DiskManager for GateDisk {
         self.inner.allocate()
     }
     fn read(&self, id: PageId, buf: &mut Page) -> Result<()> {
-        let mut held = self.reads_held.lock().unwrap();
+        let mut held = self.reads_held.lock();
         while *held {
-            held = self.cv.wait(held).unwrap();
+            self.cv.wait(&mut held);
         }
         drop(held);
         self.inner.read(id, buf)
