@@ -1,0 +1,300 @@
+//! Shifting-workload harness for the self-tuning free-space
+//! controller: can one adaptive policy beat every *static* split of
+//! the same spare-byte budget?
+//!
+//! The rig builds one table with two cached secondary indexes, `a`
+//! (primary key) and `b` (an offset unique attribute), and a fixed
+//! total leaf-cache byte budget `T` split between them. The workload
+//! runs two phases and shifts mid-run on both axes the paper cares
+//! about:
+//!
+//! * **projection-mix flip** — phase 1 sends 80% of projections
+//!   through `a`, phase 2 sends 80% through `b`;
+//! * **hot-set migration** — the keys being probed move to a disjoint
+//!   range at the phase boundary.
+//!
+//! Policies: `a`-heavy, `b`-heavy, and even static splits (applied
+//! once, never changed), versus the tuner (starts even, then
+//! [`nbb_core::db::Database::tuning_tick`] runs after every chunk).
+//! Each phase scores only its post-warmup chunks, so static policies
+//! are measured at their steady state too — the tuner gets no scoring
+//! favors, it just has to converge inside the warmup window.
+//!
+//! Hits are the deterministic score (same seed → same counts, no
+//! wall-clock in the metric); wall-clock ops/s is also recorded for
+//! the JSON artifact.
+
+use nbb_core::db::{Database, DbConfig};
+use nbb_core::table::{FieldSpec, IndexSpec};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::time::{Duration, Instant};
+
+/// How a run spends the shared leaf-cache byte budget.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SpendPolicy {
+    /// 7/8 of the budget to index `a`, 1/8 to `b`, fixed.
+    StaticA,
+    /// 7/8 of the budget to index `b`, 1/8 to `a`, fixed.
+    StaticB,
+    /// Even split, fixed.
+    StaticEven,
+    /// Even split at start, then the controller reallocates online.
+    Tuned,
+}
+
+impl SpendPolicy {
+    /// Stable lowercase name for tables and JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpendPolicy::StaticA => "static-a",
+            SpendPolicy::StaticB => "static-b",
+            SpendPolicy::StaticEven => "static-even",
+            SpendPolicy::Tuned => "tuned",
+        }
+    }
+
+    /// Every policy the rig compares.
+    pub const ALL: [SpendPolicy; 4] =
+        [SpendPolicy::StaticA, SpendPolicy::StaticB, SpendPolicy::StaticEven, SpendPolicy::Tuned];
+}
+
+/// Workload dimensions. [`TuningScale::full`] is the bench shape;
+/// [`TuningScale::short`] keeps debug-mode test runs fast.
+#[derive(Clone, Copy, Debug)]
+pub struct TuningScale {
+    /// Rows loaded before the read phases.
+    pub rows: u64,
+    /// Projections per chunk (the tuner ticks once per chunk).
+    pub lookups_per_chunk: u64,
+    /// Chunks per phase, warmup included.
+    pub chunks_per_phase: usize,
+    /// Leading chunks per phase excluded from scoring.
+    pub warmup_chunks: usize,
+    /// Total leaf-cache bytes split between the two indexes.
+    pub budget_bytes: usize,
+}
+
+impl TuningScale {
+    /// Bench scale: enough chunks for the controller's bounded step
+    /// to cross the budget gap inside each phase's warmup.
+    pub fn full() -> Self {
+        TuningScale {
+            rows: 3000,
+            lookups_per_chunk: 3000,
+            chunks_per_phase: 30,
+            warmup_chunks: 22,
+            // Scarce on purpose: an even split must NOT fit either
+            // phase's hot projections — otherwise every policy
+            // saturates and the split stops mattering.
+            budget_bytes: 32 * 1024,
+        }
+    }
+
+    /// Test scale: same shape, minutes → seconds in debug builds.
+    pub fn short() -> Self {
+        TuningScale {
+            rows: 1200,
+            lookups_per_chunk: 1000,
+            chunks_per_phase: 18,
+            warmup_chunks: 13,
+            budget_bytes: 20 * 1024,
+        }
+    }
+}
+
+/// One phase's post-warmup score for one policy.
+#[derive(Clone, Copy, Debug)]
+pub struct PhaseScore {
+    /// Leaf-cache hits (both indexes) during the scored chunks.
+    pub hits: u64,
+    /// Projections issued during the scored chunks.
+    pub lookups: u64,
+    /// Wall-clock time of the scored chunks.
+    pub elapsed: Duration,
+}
+
+impl PhaseScore {
+    /// Projections per second over the scored window.
+    pub fn ops_per_s(&self) -> f64 {
+        self.lookups as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+}
+
+/// A full two-phase run of one policy.
+#[derive(Clone, Debug)]
+pub struct PolicyScore {
+    /// Which spend policy ran.
+    pub policy: SpendPolicy,
+    /// Post-warmup score per phase, in phase order.
+    pub phases: Vec<PhaseScore>,
+    /// The tuner's decision trace (empty for static policies).
+    pub decisions: Vec<String>,
+}
+
+impl PolicyScore {
+    /// Total post-warmup hits across phases.
+    pub fn total_hits(&self) -> u64 {
+        self.phases.iter().map(|p| p.hits).sum()
+    }
+}
+
+/// Unique `b`-key for row `k`: order-preserving and offset, so both
+/// indexes have the same tree shape and the experiment isolates the
+/// *budget split* (not structural asymmetry between the trees).
+fn b_key(k: u64) -> u64 {
+    1_000_000 + k
+}
+
+/// Runs the two-phase shifting workload under one policy.
+pub fn run_policy(policy: SpendPolicy, scale: &TuningScale) -> PolicyScore {
+    let tuned = policy == SpendPolicy::Tuned;
+    let db = Database::open(DbConfig {
+        heap_frames: 256,
+        index_frames: 256,
+        // An hour: the background thread never fires mid-run, so the
+        // controller advances only at the deterministic per-chunk
+        // tuning_tick() calls below.
+        tuning_interval: tuned.then(|| Duration::from_secs(3600)),
+        ..DbConfig::default()
+    });
+    let t = db.create_table("t", 24).unwrap();
+    t.create_index(IndexSpec::cached("a", FieldSpec::new(0, 8), vec![FieldSpec::new(16, 8)]))
+        .unwrap();
+    t.create_index(IndexSpec::cached("b", FieldSpec::new(8, 8), vec![FieldSpec::new(16, 8)]))
+        .unwrap();
+    for k in 0..scale.rows {
+        let mut tu = Vec::with_capacity(24);
+        tu.extend_from_slice(&k.to_be_bytes());
+        tu.extend_from_slice(&b_key(k).to_be_bytes());
+        tu.extend_from_slice(&(k * 3).to_le_bytes());
+        t.insert(&tu).unwrap();
+    }
+
+    // Apply the starting split as per-leaf targets.
+    let (share_a, share_b) = match policy {
+        SpendPolicy::StaticA => (scale.budget_bytes * 7 / 8, scale.budget_bytes / 8),
+        SpendPolicy::StaticB => (scale.budget_bytes / 8, scale.budget_bytes * 7 / 8),
+        SpendPolicy::StaticEven | SpendPolicy::Tuned => {
+            (scale.budget_bytes / 2, scale.budget_bytes / 2)
+        }
+    };
+    for (name, share) in [("a", share_a), ("b", share_b)] {
+        let handle = t.index_tree(name).unwrap();
+        let tree = handle.tree();
+        let leaves = tree.index_stats().unwrap().leaf_pages.max(1);
+        tree.set_cache_space_target(Some(share / leaves));
+    }
+
+    let ia = t.index("a").unwrap();
+    let ib = t.index("b").unwrap();
+    let cache_hits = || {
+        t.index_tree("a").unwrap().tree().cache_stats().hits
+            + t.index_tree("b").unwrap().tree().cache_stats().hits
+    };
+
+    let mut rng = SmallRng::seed_from_u64(42);
+    let mut phases = Vec::with_capacity(2);
+    for phase in 0..2u64 {
+        // Phase 1: 80% via `a`, hot keys in the low third.
+        // Phase 2: 80% via `b`, hot keys migrated to the high third.
+        let a_pct = if phase == 0 { 80 } else { 20 };
+        let hot_base = if phase == 0 { 0 } else { scale.rows * 2 / 3 };
+        let hot_span = scale.rows / 3;
+        let mut hits = 0u64;
+        let mut lookups = 0u64;
+        let mut elapsed = Duration::ZERO;
+        for chunk in 0..scale.chunks_per_phase {
+            let before = cache_hits();
+            let start = Instant::now();
+            for _ in 0..scale.lookups_per_chunk {
+                let k = hot_base + rng.gen::<u64>() % hot_span;
+                if rng.gen::<u64>() % 100 < a_pct {
+                    ia.project(&k.to_be_bytes()).unwrap().unwrap();
+                } else {
+                    ib.project(&b_key(k).to_be_bytes()).unwrap().unwrap();
+                }
+            }
+            let took = start.elapsed();
+            if tuned {
+                db.tuning_tick();
+            }
+            if chunk >= scale.warmup_chunks {
+                hits += cache_hits() - before;
+                lookups += scale.lookups_per_chunk;
+                elapsed += took;
+            }
+        }
+        phases.push(PhaseScore { hits, lookups, elapsed });
+    }
+    PolicyScore { policy, phases, decisions: db.tuner_decisions() }
+}
+
+/// Runs every policy at `scale`.
+pub fn run_all(scale: &TuningScale) -> Vec<PolicyScore> {
+    SpendPolicy::ALL.iter().map(|&p| run_policy(p, scale)).collect()
+}
+
+/// The acceptance gate: the tuner must beat (or tie) the best static
+/// policy on total post-warmup hits, and stay within `slack` (e.g.
+/// 0.10) of each phase's winning static policy. Panics with the full
+/// scoreboard on violation.
+pub fn assert_tuned_beats_static(results: &[PolicyScore], slack: f64) {
+    let tuned = results
+        .iter()
+        .find(|r| r.policy == SpendPolicy::Tuned)
+        .expect("results must include the tuned policy");
+    let statics: Vec<&PolicyScore> =
+        results.iter().filter(|r| r.policy != SpendPolicy::Tuned).collect();
+    let scoreboard = || {
+        results
+            .iter()
+            .map(|r| {
+                format!(
+                    "{:>12}: total {:>8} hits, per-phase {:?}",
+                    r.policy.name(),
+                    r.total_hits(),
+                    r.phases.iter().map(|p| p.hits).collect::<Vec<_>>()
+                )
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+
+    let best_static = statics.iter().map(|r| r.total_hits()).max().unwrap();
+    assert!(
+        tuned.total_hits() >= best_static,
+        "tuned ({}) lost to the best static policy ({best_static}) overall\n{}",
+        tuned.total_hits(),
+        scoreboard()
+    );
+    for phase in 0..tuned.phases.len() {
+        let winner = statics.iter().map(|r| r.phases[phase].hits).max().unwrap();
+        let floor = (winner as f64 * (1.0 - slack)) as u64;
+        assert!(
+            tuned.phases[phase].hits >= floor,
+            "tuned phase {} ({}) below {:.0}% of the per-phase winner ({winner})\n{}",
+            phase + 1,
+            tuned.phases[phase].hits,
+            (1.0 - slack) * 100.0,
+            scoreboard()
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Debug-mode smoke of the full acceptance gate at test scale.
+    /// Everything is deterministic (seeded RNG, manual ticks, no
+    /// background thread), so the same slack as the bench holds.
+    #[test]
+    fn tuned_beats_every_static_split_at_test_scale() {
+        let results = run_all(&TuningScale::short());
+        assert_eq!(results.len(), SpendPolicy::ALL.len());
+        let tuned = results.iter().find(|r| r.policy == SpendPolicy::Tuned).unwrap();
+        assert!(!tuned.decisions.is_empty(), "the tuner must actually have moved bytes");
+        assert_tuned_beats_static(&results, 0.10);
+    }
+}

@@ -63,7 +63,7 @@
 //! the pool's frame rank. Debug test runs verify the whole order at
 //! runtime; `cargo run -p nbb-lint` verifies no lock escapes it.
 
-use crate::cache::{CacheConfig, CacheView, CacheViewMut, StoreOutcome};
+use crate::cache::{CacheConfig, CacheView, CacheViewMut, StoreOutcome, CACHE_CAP_UNLIMITED};
 use crate::intents::KeyIntents;
 use crate::invalidation::{InvalidateOutcome, InvalidationState};
 use crate::node::{node_capacity, InsertOutcome, Node, NodeMut};
@@ -75,7 +75,7 @@ use parking_lot::{Mutex, MutexGuard, RwLock};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::ops::Bound;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Stripes in the per-leaf latch table. Collisions between distinct
@@ -296,6 +296,13 @@ pub struct BTree {
     rng: Mutex<SmallRng>,
     stats: CacheStatsAtomic,
     wstats: WriteStatsAtomic,
+    /// Per-leaf cache-space target in bytes ([`CACHE_CAP_UNLIMITED`] =
+    /// every free-region slot is usable). Set at runtime by the tuner
+    /// via [`BTree::set_cache_space_target`] and honored lazily: each
+    /// cache view built after the store reads the new value, so the cap
+    /// takes effect at the next leaf touch with no stop-the-world
+    /// rewrite.
+    cache_cap: AtomicUsize,
 }
 
 impl BTree {
@@ -329,6 +336,7 @@ impl BTree {
             ),
             stats: CacheStatsAtomic::default(),
             wstats: WriteStatsAtomic::default(),
+            cache_cap: AtomicUsize::new(CACHE_CAP_UNLIMITED),
         })
     }
 
@@ -371,6 +379,7 @@ impl BTree {
             ),
             stats: CacheStatsAtomic::default(),
             wstats: WriteStatsAtomic::default(),
+            cache_cap: AtomicUsize::new(CACHE_CAP_UNLIMITED),
         };
         // Fresh epoch strictly above every persisted CSNp, so cache
         // bytes surviving on disk can never false-validate.
@@ -481,6 +490,7 @@ impl BTree {
             ),
             stats: CacheStatsAtomic::default(),
             wstats: WriteStatsAtomic::default(),
+            cache_cap: AtomicUsize::new(CACHE_CAP_UNLIMITED),
         })
     }
 
@@ -497,6 +507,33 @@ impl BTree {
     /// Cache configuration, if caching is enabled.
     pub fn cache_config(&self) -> Option<&CacheConfig> {
         self.opts.cache.as_ref()
+    }
+
+    /// Sets the per-leaf cache-space target in bytes (`None` =
+    /// unlimited, the default: every free-region slot is usable). The
+    /// tuner's runtime-resize hook. Honored **lazily** at the next
+    /// leaf touch — each cache view built afterwards clamps its usable
+    /// slots to a window of this many bytes around the stable point —
+    /// so no leaf is rewritten eagerly. Shrinking strands entries
+    /// outside the window (harmless: they are unreachable, and
+    /// invalidation still zeroes the full natural range); growing
+    /// re-exposes only slots that invalidation kept honest.
+    pub fn set_cache_space_target(&self, bytes_per_leaf: Option<usize>) {
+        self.cache_cap.store(bytes_per_leaf.unwrap_or(CACHE_CAP_UNLIMITED), Ordering::Relaxed);
+    }
+
+    /// The per-leaf cache-space target, if one was set.
+    pub fn cache_space_target(&self) -> Option<usize> {
+        match self.cache_cap.load(Ordering::Relaxed) {
+            CACHE_CAP_UNLIMITED => None,
+            b => Some(b),
+        }
+    }
+
+    /// The cap every cache view is built with.
+    #[inline]
+    fn cache_cap_bytes(&self) -> usize {
+        self.cache_cap.load(Ordering::Relaxed)
     }
 
     fn check_key(&self, key: &[u8]) -> Result<()> {
@@ -1087,7 +1124,9 @@ impl BTree {
                     self.inv.check_page(n.csn(), n.log_watermark(), range)
                 });
                 let cache_valid = verdict.is_some_and(|v| v.cache_valid);
-                let view = cfg.as_ref().map(|c| CacheView::new(p, self.key_size, c));
+                let view = cfg
+                    .as_ref()
+                    .map(|c| CacheView::new_capped(p, self.key_size, c, self.cache_cap_bytes()));
                 let from = match lower {
                     Bound::Included(k) => match n.search(k) {
                         Ok(i) | Err(i) => i,
@@ -1196,7 +1235,7 @@ impl BTree {
             let verdict = self.inv.check_page(n.csn(), n.log_watermark(), range);
             let probe = if verdict.cache_valid {
                 value.and_then(|v| {
-                    CacheView::new(p, self.key_size, &cfg)
+                    CacheView::new_capped(p, self.key_size, &cfg, self.cache_cap_bytes())
                         .probe(Self::tuple_id(v))
                         .map(|(slot, pl)| (slot, pl.to_vec()))
                 })
@@ -1218,7 +1257,7 @@ impl BTree {
             let promoted = self.pool.with_page_cache_write(leaf, |p| {
                 let mut rng = self.rng.lock();
                 let mut n = NodeMut::new(p, self.key_size);
-                CacheViewMut::new(n.page_mut(), self.key_size, &cfg)
+                CacheViewMut::new_capped(n.page_mut(), self.key_size, &cfg, self.cache_cap_bytes())
                     .promote(slot, Self::tuple_id(value), &mut *rng)
                     .is_some()
             })?;
@@ -1286,7 +1325,9 @@ impl BTree {
                     self.inv.check_page(n.csn(), n.log_watermark(), range)
                 });
                 let cache_valid = verdict.is_some_and(|v| v.cache_valid);
-                let view = cfg.as_ref().map(|c| CacheView::new(p, self.key_size, c));
+                let view = cfg
+                    .as_ref()
+                    .map(|c| CacheView::new_capped(p, self.key_size, c, self.cache_cap_bytes()));
                 let mut g = Group { consumed: 0, found: Vec::new(), absent: Vec::new(), verdict };
                 while i + g.consumed < order.len() {
                     let pos = order[i + g.consumed];
@@ -1343,9 +1384,14 @@ impl BTree {
                     for (slot, v) in &hits {
                         // promote re-verifies the slot still holds the
                         // entry, so earlier swaps cannot misdirect it.
-                        if CacheViewMut::new(n.page_mut(), self.key_size, cfg)
-                            .promote(*slot, Self::tuple_id(*v), &mut *rng)
-                            .is_some()
+                        if CacheViewMut::new_capped(
+                            n.page_mut(),
+                            self.key_size,
+                            cfg,
+                            self.cache_cap_bytes(),
+                        )
+                        .promote(*slot, Self::tuple_id(*v), &mut *rng)
+                        .is_some()
                         {
                             done += 1;
                         }
@@ -1400,7 +1446,8 @@ impl BTree {
                         n.set_log_watermark(wm);
                     }
                 }
-                CacheViewMut::new(n.page_mut(), self.key_size, &cfg).zero();
+                CacheViewMut::new_capped(n.page_mut(), self.key_size, &cfg, self.cache_cap_bytes())
+                    .zero();
             })?;
             if wrote.is_none() {
                 self.stats.latch_giveups.fetch_add(1, Ordering::Relaxed);
@@ -1463,14 +1510,12 @@ impl BTree {
                 let wm = self.inv.newest_seq();
                 n.set_csn(token.csn);
                 n.set_log_watermark(wm);
-                CacheViewMut::new(n.page_mut(), self.key_size, &cfg).zero();
+                CacheViewMut::new_capped(n.page_mut(), self.key_size, &cfg, self.cache_cap_bytes())
+                    .zero();
             }
             let mut rng = self.rng.lock();
-            CacheViewMut::new(n.page_mut(), self.key_size, &cfg).store(
-                Self::tuple_id(value),
-                payload,
-                &mut *rng,
-            )
+            CacheViewMut::new_capped(n.page_mut(), self.key_size, &cfg, self.cache_cap_bytes())
+                .store(Self::tuple_id(value), payload, &mut *rng)
         })?;
         match stored {
             Some(StoreOutcome::Stored) => {
@@ -1626,13 +1671,14 @@ impl BTree {
     pub fn index_stats(&self) -> Result<IndexStats> {
         let mut s = IndexStats::default();
         let cfg = self.opts.cache;
+        let cap_bytes = self.cache_cap_bytes();
         self.for_each_leaf(|n| {
             s.leaf_pages += 1;
             s.keys += n.nkeys();
             s.fill_sum += n.fill_factor();
             s.free_bytes += n.free_bytes();
             if let Some(cfg) = cfg.as_ref() {
-                let v = CacheView::new_from_node(&n, cfg);
+                let v = CacheView::new_from_node_capped(&n, cfg, cap_bytes);
                 s.cache_slots += v.capacity();
                 s.cache_occupied += v.occupied();
             }
@@ -1770,5 +1816,11 @@ impl<'a> CacheView<'a> {
     /// the header in aggregate walks).
     pub fn new_from_node(node: &Node<'a>, cfg: &CacheConfig) -> Self {
         CacheView::new(node.page(), node.key_size_of(), cfg)
+    }
+
+    /// [`CacheView::new_from_node`] with a cache-space cap (see
+    /// [`CacheView::new_capped`]).
+    pub fn new_from_node_capped(node: &Node<'a>, cfg: &CacheConfig, cap_bytes: usize) -> Self {
+        CacheView::new_capped(node.page(), node.key_size_of(), cfg, cap_bytes)
     }
 }

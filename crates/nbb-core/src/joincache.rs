@@ -15,10 +15,18 @@
 use nbb_storage::page::PageId;
 use std::collections::HashMap;
 
-/// Per-page join-result cache with a free-space-derived byte budget.
+/// Per-page join-result cache with a free-space-derived byte budget,
+/// plus an optional cache-wide byte budget the tuner resizes at
+/// runtime (`None` = unbounded, the pre-tuner behavior).
 #[derive(Debug, Default)]
 pub struct JoinCache {
     pages: HashMap<PageId, PageCache>,
+    /// Global monotonic use clock. One clock (rather than one per
+    /// page) keeps per-page LRU ordering intact *and* makes ticks
+    /// comparable across pages, which the global-budget eviction needs.
+    clock: u64,
+    total_budget: Option<usize>,
+    total_used: usize,
     hits: u64,
     misses: u64,
     insertions: u64,
@@ -30,20 +38,20 @@ pub struct JoinCache {
 struct PageCache {
     budget: usize,
     used: usize,
-    clock: u64,
     /// fk -> (payload, last-use tick)
     entries: HashMap<u64, (Vec<u8>, u64)>,
 }
 
 impl PageCache {
-    fn evict_lru(&mut self) -> bool {
-        let Some((&victim, _)) = self.entries.iter().min_by_key(|(_, (_, t))| *t) else {
-            return false;
-        };
+    /// Evicts the page's least-recently-used entry, returning its cost
+    /// (`None` when the page is empty).
+    fn evict_lru(&mut self) -> Option<usize> {
+        let (&victim, _) = self.entries.iter().min_by_key(|(_, (_, t))| *t)?;
         // nbb-lint: allow(unwrap, victim key was just produced by the scan above)
         let (payload, _) = self.entries.remove(&victim).expect("present");
-        self.used -= entry_cost(&payload);
-        true
+        let cost = entry_cost(&payload);
+        self.used -= cost;
+        Some(cost)
     }
 }
 
@@ -78,18 +86,58 @@ impl JoinCache {
         let pc = self.pages.entry(pid).or_default();
         pc.budget = budget;
         while pc.used > pc.budget {
-            if !pc.evict_lru() {
-                break;
-            }
+            let Some(cost) = pc.evict_lru() else { break };
+            self.total_used -= cost;
             self.evictions += 1;
         }
     }
 
+    /// Sets (or clears) the cache-wide byte bound — the tuner's resize
+    /// hook. Shrinking evicts globally-least-recently-used entries,
+    /// regardless of page, until the cache fits.
+    pub fn set_total_budget(&mut self, budget: Option<usize>) {
+        self.total_budget = budget;
+        if let Some(bound) = budget {
+            while self.total_used > bound {
+                if !self.evict_global_lru() {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// The cache-wide byte bound (`None` = unbounded).
+    pub fn total_budget(&self) -> Option<usize> {
+        self.total_budget
+    }
+
+    /// Bytes cached across all pages.
+    pub fn total_used(&self) -> usize {
+        self.total_used
+    }
+
+    /// Evicts the oldest entry across every page. Returns false when
+    /// the cache is empty.
+    fn evict_global_lru(&mut self) -> bool {
+        let victim_page = self
+            .pages
+            .iter()
+            .filter_map(|(pid, pc)| pc.entries.values().map(|(_, t)| *t).min().map(|t| (*pid, t)))
+            .min_by_key(|&(_, t)| t)
+            .map(|(pid, _)| pid);
+        let Some(pid) = victim_page else { return false };
+        // nbb-lint: allow(unwrap, pid was just produced by the scan above)
+        let cost = self.pages.get_mut(&pid).and_then(PageCache::evict_lru).expect("non-empty");
+        self.total_used -= cost;
+        self.evictions += 1;
+        true
+    }
+
     /// Looks up the joined payload for `fk` cached on page `pid`.
     pub fn lookup(&mut self, pid: PageId, fk: u64) -> Option<Vec<u8>> {
+        self.clock += 1;
+        let clock = self.clock;
         let pc = self.pages.get_mut(&pid)?;
-        pc.clock += 1;
-        let clock = pc.clock;
         match pc.entries.get_mut(&fk) {
             Some((payload, tick)) => {
                 *tick = clock;
@@ -103,27 +151,43 @@ impl JoinCache {
         }
     }
 
-    /// Caches `fk → payload` on page `pid`, evicting LRU entries to fit.
-    /// Returns false when the payload exceeds the whole budget.
+    /// Caches `fk → payload` on page `pid`, evicting LRU entries to fit
+    /// the page budget and (when set) the cache-wide budget. Returns
+    /// false when the payload exceeds either whole budget.
     pub fn insert(&mut self, pid: PageId, fk: u64, payload: &[u8]) -> bool {
-        let pc = self.pages.entry(pid).or_default();
         let cost = entry_cost(payload);
+        if self.total_budget.is_some_and(|b| cost > b) {
+            return false;
+        }
+        let pc = self.pages.entry(pid).or_default();
         if cost > pc.budget {
             return false;
         }
         if let Some((old, _)) = pc.entries.remove(&fk) {
-            pc.used -= entry_cost(&old);
+            let freed = entry_cost(&old);
+            pc.used -= freed;
+            self.total_used -= freed;
         }
         while pc.used + cost > pc.budget {
-            if !pc.evict_lru() {
-                break;
-            }
+            let Some(freed) = pc.evict_lru() else { break };
+            self.total_used -= freed;
             self.evictions += 1;
         }
-        pc.clock += 1;
-        let clock = pc.clock;
+        if let Some(bound) = self.total_budget {
+            while self.total_used + cost > bound {
+                if !self.evict_global_lru() {
+                    break;
+                }
+            }
+        }
+        self.clock += 1;
+        let clock = self.clock;
+        // evict_global_lru never drops a PageCache, only entries, so the
+        // nbb-lint: allow(unwrap, `pid` entry created above persists)
+        let pc = self.pages.get_mut(&pid).expect("page entry created above");
         pc.entries.insert(fk, (payload.to_vec(), clock));
         pc.used += cost;
+        self.total_used += cost;
         self.insertions += 1;
         true
     }
@@ -133,7 +197,9 @@ impl JoinCache {
     pub fn invalidate_fk(&mut self, fk: u64) {
         for pc in self.pages.values_mut() {
             if let Some((payload, _)) = pc.entries.remove(&fk) {
-                pc.used -= entry_cost(&payload);
+                let cost = entry_cost(&payload);
+                pc.used -= cost;
+                self.total_used -= cost;
                 self.invalidations += 1;
             }
         }
@@ -144,6 +210,7 @@ impl JoinCache {
         if let Some(pc) = self.pages.get_mut(&pid) {
             self.invalidations += pc.entries.len() as u64;
             pc.entries.clear();
+            self.total_used -= pc.used;
             pc.used = 0;
         }
     }
@@ -265,5 +332,58 @@ mod tests {
         jc.set_budget(pid(1), 0);
         assert!(!jc.insert(pid(1), 1, b"x"));
         assert!(jc.lookup(pid(1), 1).is_none());
+    }
+
+    #[test]
+    fn total_budget_evicts_globally_lru_across_pages() {
+        let mut jc = JoinCache::new();
+        jc.set_budget(pid(1), 128);
+        jc.set_budget(pid(2), 128);
+        // Two 16-byte entries per page; total budget fits exactly three.
+        jc.set_total_budget(Some(48));
+        assert!(jc.insert(pid(1), 1, &[1u8; 8]));
+        assert!(jc.insert(pid(2), 2, &[2u8; 8]));
+        assert!(jc.insert(pid(2), 3, &[3u8; 8]));
+        // Touch the oldest so page 2's fk=2 becomes the global LRU.
+        jc.lookup(pid(1), 1);
+        assert!(jc.insert(pid(1), 4, &[4u8; 8]));
+        assert!(jc.lookup(pid(2), 2).is_none(), "global LRU crossed a page boundary");
+        assert!(jc.lookup(pid(1), 1).is_some());
+        assert!(jc.lookup(pid(2), 3).is_some());
+        assert!(jc.total_used() <= 48);
+    }
+
+    #[test]
+    fn shrinking_total_budget_evicts_and_clearing_unbounds() {
+        let mut jc = JoinCache::new();
+        jc.set_budget(pid(1), 256);
+        for k in 0..8u64 {
+            jc.insert(pid(1), k, &[k as u8; 8]);
+        }
+        assert_eq!(jc.total_used(), 128);
+        jc.set_total_budget(Some(32));
+        assert!(jc.total_used() <= 32, "shrink evicted down to the bound");
+        assert!(jc.lookup(pid(1), 7).is_some(), "newest entries survive the shrink");
+        jc.set_total_budget(None);
+        assert_eq!(jc.total_budget(), None);
+        for k in 10..16u64 {
+            assert!(jc.insert(pid(1), k, &[k as u8; 8]));
+        }
+        assert!(jc.total_used() > 32, "unbounded again after clearing");
+    }
+
+    #[test]
+    fn total_used_tracks_invalidations() {
+        let mut jc = JoinCache::new();
+        jc.set_budget(pid(1), 128);
+        jc.set_budget(pid(2), 128);
+        jc.insert(pid(1), 7, b"abc");
+        jc.insert(pid(2), 7, b"abc");
+        jc.insert(pid(2), 8, b"d");
+        assert_eq!(jc.total_used(), (8 + 3) * 2 + (8 + 1));
+        jc.invalidate_fk(7);
+        assert_eq!(jc.total_used(), 8 + 1);
+        jc.invalidate_page(pid(2));
+        assert_eq!(jc.total_used(), 0);
     }
 }

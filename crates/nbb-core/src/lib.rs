@@ -50,7 +50,13 @@
 //! * [`waste`] — the §1 vision of "tools that automate waste
 //!   detection": one audit spanning unused space, locality, and
 //!   encoding waste;
-//! * [`joincache`] — the §2.2 data-page join-result cache extension.
+//! * [`joincache`] — the §2.2 data-page join-result cache extension;
+//! * [`tuner`] — the self-tuning free-space controller: opt in via
+//!   [`db::DbConfig::tuning_interval`] and a background thread walks
+//!   the waste metrics, scores each spare-byte consumer's hits per
+//!   KiB, and reallocates bytes online (leaf cache space ↔ join cache
+//!   ↔ compressed tier), recording every decision in a ring the waste
+//!   report renders.
 //!
 //! The string-keyed `Table::*_via_index` methods remain as thin
 //! compatibility wrappers over the handle paths.
@@ -134,6 +140,7 @@ pub mod joincache;
 pub mod query;
 pub mod row;
 pub mod table;
+pub mod tuner;
 pub mod waste;
 
 pub use db::{Database, DbConfig};
@@ -143,4 +150,5 @@ pub use query::{
 };
 pub use row::RowSchema;
 pub use table::{FieldSpec, IndexSpec, Projection, Table, TableStats};
+pub use tuner::{ConsumerId, ConsumerSample, Controller, TunedSurface, TunerConfig, TunerDecision};
 pub use waste::{audit, audit_encoding, audit_locality, audit_unused, WasteReport};

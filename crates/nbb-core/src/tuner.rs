@@ -1,0 +1,500 @@
+//! The self-tuning free-space controller — "close the loop on waste".
+//!
+//! The engine *measures* how every spare byte is spent (waste report,
+//! per-index cache stats, pool counters); this module makes the
+//! allocation adaptive. A [`Controller`] periodically receives one
+//! [`ConsumerSample`] per spare-byte consumer — each index's leaf
+//! promotion-cache space, the §2.2 join cache, the pool's compressed
+//! tier — computes the observed **hit value per spare KiB** since the
+//! last tick, and moves a bounded step of bytes from the
+//! lowest-value consumer to the highest. Decisions land in a bounded
+//! [`DecisionRing`] the waste report renders, so the controller is
+//! observable and debuggable.
+//!
+//! The controller is deliberately a pure function of its samples: the
+//! database feeds it through the [`TunedSurface`] trait (sample +
+//! resize hooks), and tests feed it scripts. Anti-oscillation is
+//! two-fold: a move only happens when the best consumer's value beats
+//! the worst's by a configured hysteresis factor, and each move is
+//! followed by a cooldown (letting the new allocation show results)
+//! during which an exact reversal is additionally refused.
+//!
+//! Lock order: the ring's mutex is [`nbb_storage::lockrank::TUNER`],
+//! the lowest rank in the lattice — the tuner thread holds it while
+//! sampling (which reaches every engine lock below), and nothing in
+//! the engine ever locks tuner state from inside an engine lock.
+
+use nbb_storage::lockrank;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::fmt;
+use std::time::Duration;
+
+/// A spare-byte consumer the controller can grow or shrink.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum ConsumerId {
+    /// Leaf promotion-cache space of one index (by index name).
+    LeafCache(String),
+    /// The §2.2 data-page join cache (one cache-wide budget).
+    JoinCache,
+    /// The buffer pool's compressed cold-frame tier.
+    CompressedTier,
+}
+
+impl fmt::Display for ConsumerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConsumerId::LeafCache(idx) => write!(f, "leaf-cache idx={idx}"),
+            ConsumerId::JoinCache => write!(f, "join-cache"),
+            ConsumerId::CompressedTier => write!(f, "compressed-tier"),
+        }
+    }
+}
+
+/// One consumer's state at a sampling instant.
+#[derive(Clone, Debug)]
+pub struct ConsumerSample {
+    /// Which consumer.
+    pub id: ConsumerId,
+    /// *Cumulative* hits served by this consumer's bytes (the
+    /// controller differences successive samples itself).
+    pub hits: u64,
+    /// Bytes currently allocated to the consumer.
+    pub bytes: usize,
+}
+
+/// Controller knobs. `Default` is the production shape; tests tighten
+/// the numbers.
+#[derive(Clone, Debug)]
+pub struct TunerConfig {
+    /// Wall-clock pause between background ticks (ignored by manual
+    /// [`crate::db::Database::tuning_tick`] calls).
+    pub interval: Duration,
+    /// Upper bound on bytes moved per decision.
+    pub step_bytes: usize,
+    /// The best consumer's hit value must exceed the worst's by this
+    /// factor before a move happens (damps churn on near-ties).
+    pub hysteresis: f64,
+    /// Ticks to sit out after a move, letting the new allocation
+    /// produce evidence before the next decision.
+    pub cooldown_ticks: u32,
+    /// Bounded decision-ring capacity.
+    pub ring: usize,
+    /// Floor below which a consumer is never shrunk.
+    pub min_bytes: usize,
+}
+
+impl Default for TunerConfig {
+    fn default() -> Self {
+        TunerConfig {
+            interval: Duration::from_millis(100),
+            step_bytes: 4096,
+            hysteresis: 1.5,
+            cooldown_ticks: 2,
+            ring: 64,
+            min_bytes: 4096,
+        }
+    }
+}
+
+/// What the controller tunes: a stats source plus resize hooks. The
+/// database is the production implementation; tests script one.
+pub trait TunedSurface {
+    /// Snapshot every consumer's cumulative hits and current bytes.
+    fn sample(&self) -> Vec<ConsumerSample>;
+    /// Apply a new byte allocation to one consumer.
+    fn resize(&self, id: &ConsumerId, new_bytes: usize);
+}
+
+/// One reallocation decision, in the shape the ring renders.
+#[derive(Clone, Debug)]
+pub struct TunerDecision {
+    /// Controller tick (1-based) the decision fired on.
+    pub tick: u64,
+    /// Bytes moved.
+    pub moved_bytes: usize,
+    /// Shrunk consumer.
+    pub from: ConsumerId,
+    /// Grown consumer.
+    pub to: ConsumerId,
+    /// Donor's observed hit value (hits per spare KiB this interval).
+    pub from_value: f64,
+    /// Recipient's observed hit value.
+    pub to_value: f64,
+    /// Donor's allocation after the move.
+    pub from_bytes: usize,
+    /// Recipient's allocation after the move.
+    pub to_bytes: usize,
+}
+
+impl fmt::Display for TunerDecision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "tuner: moved {} KiB {} \u{2192} {}, value {:.1}\u{2192}{:.1} hits/KiB",
+            self.moved_bytes / 1024,
+            self.from,
+            self.to,
+            self.from_value,
+            self.to_value,
+        )
+    }
+}
+
+/// The decision core: differences successive samples, scores hit value
+/// per spare KiB, and proposes one bounded move per tick. Pure — it
+/// never touches the engine; callers apply decisions through their
+/// [`TunedSurface`].
+#[derive(Debug)]
+pub struct Controller {
+    cfg: TunerConfig,
+    tick: u64,
+    /// Last cumulative hit count seen per consumer.
+    last_hits: HashMap<ConsumerId, u64>,
+    /// Ticks remaining before the next move is allowed.
+    cooldown: u32,
+    /// The previous move's (from, to), refused in reverse while
+    /// `reverse_ttl` is warm.
+    last_move: Option<(ConsumerId, ConsumerId)>,
+    /// Ticks the reversal guard stays armed. A freshly-moved pair may
+    /// not trade straight back on its first post-cooldown reading
+    /// (that is noise chasing), but the guard must *expire* — a real
+    /// regime change is allowed to reverse an old move one window
+    /// later.
+    reverse_ttl: u32,
+}
+
+impl Controller {
+    /// A controller with `cfg`'s knobs and no history.
+    pub fn new(cfg: TunerConfig) -> Self {
+        Controller {
+            cfg,
+            tick: 0,
+            last_hits: HashMap::new(),
+            cooldown: 0,
+            last_move: None,
+            reverse_ttl: 0,
+        }
+    }
+
+    /// The knobs this controller runs with.
+    pub fn config(&self) -> &TunerConfig {
+        &self.cfg
+    }
+
+    /// Ingests one sampling round and proposes at most one move.
+    ///
+    /// The first sighting of a consumer only records its baseline (a
+    /// cumulative counter needs two points to yield a rate), so no
+    /// move can fire before the second tick.
+    pub fn tick(&mut self, samples: &[ConsumerSample]) -> Option<TunerDecision> {
+        self.tick += 1;
+        // Score every consumer that has a baseline; always refresh
+        // baselines (even through cooldowns) so rates stay per-interval.
+        let mut scored: Vec<(usize, f64)> = Vec::with_capacity(samples.len());
+        for (i, s) in samples.iter().enumerate() {
+            if let Some(prev) = self.last_hits.insert(s.id.clone(), s.hits) {
+                let delta = s.hits.saturating_sub(prev);
+                let kib = (s.bytes.max(1)) as f64 / 1024.0;
+                scored.push((i, delta as f64 / kib));
+            }
+        }
+        self.reverse_ttl = self.reverse_ttl.saturating_sub(1);
+        if self.cooldown > 0 {
+            self.cooldown -= 1;
+            return None;
+        }
+        // Recipient: highest value anywhere. Donor: lowest value among
+        // consumers still shrinkable (above the floor).
+        let &(to_i, to_value) = scored.iter().max_by(|a, b| a.1.total_cmp(&b.1))?;
+        let &(from_i, from_value) = scored
+            .iter()
+            .filter(|&&(i, _)| i != to_i && samples[i].bytes > self.cfg.min_bytes)
+            .min_by(|a, b| a.1.total_cmp(&b.1))?;
+        if to_value <= from_value * self.cfg.hysteresis || to_value <= 0.0 {
+            return None;
+        }
+        let (from, to) = (samples[from_i].id.clone(), samples[to_i].id.clone());
+        if self.reverse_ttl > 0 && self.last_move.as_ref() == Some(&(to.clone(), from.clone())) {
+            // An exact reversal of a *fresh* move: the two consumers
+            // are trading places on noise — hold still this window. If
+            // the advantage persists, the guard has expired by the next
+            // decision tick and the reversal goes through.
+            return None;
+        }
+        let step = self.cfg.step_bytes.min(samples[from_i].bytes - self.cfg.min_bytes);
+        if step == 0 {
+            return None;
+        }
+        self.cooldown = self.cfg.cooldown_ticks;
+        self.last_move = Some((from.clone(), to.clone()));
+        // Armed through the cooldown plus the first decision tick after
+        // it — exactly one fresh-evidence window.
+        self.reverse_ttl = self.cfg.cooldown_ticks + 2;
+        Some(TunerDecision {
+            tick: self.tick,
+            moved_bytes: step,
+            from_bytes: samples[from_i].bytes - step,
+            to_bytes: samples[to_i].bytes + step,
+            from,
+            to,
+            from_value,
+            to_value,
+        })
+    }
+}
+
+/// Bounded, thread-shared log of rendered decisions (newest last) —
+/// the waste report's `tuner:` lines.
+#[derive(Debug)]
+pub struct DecisionRing {
+    cap: usize,
+    inner: Mutex<VecDeque<String>>,
+}
+
+impl DecisionRing {
+    /// A ring keeping at most `cap` decisions.
+    pub fn new(cap: usize) -> Self {
+        DecisionRing { cap: cap.max(1), inner: Mutex::with_rank(lockrank::TUNER, VecDeque::new()) }
+    }
+
+    /// Records a rendered decision, dropping the oldest past capacity.
+    pub fn push(&self, line: String) {
+        let mut ring = self.inner.lock();
+        if ring.len() == self.cap {
+            ring.pop_front();
+        }
+        ring.push_back(line);
+    }
+
+    /// Snapshot, oldest first.
+    pub fn snapshot(&self) -> Vec<String> {
+        self.inner.lock().iter().cloned().collect()
+    }
+}
+
+/// Runs one sample → decide → resize → record round against `surface`.
+/// Shared by the background tuner thread and the synchronous
+/// [`crate::db::Database::tuning_tick`] test/bench hook.
+pub fn run_tick(
+    controller: &mut Controller,
+    surface: &dyn TunedSurface,
+    ring: &DecisionRing,
+) -> Option<TunerDecision> {
+    let samples = surface.sample();
+    let decision = controller.tick(&samples)?;
+    surface.resize(&decision.from, decision.from_bytes);
+    surface.resize(&decision.to, decision.to_bytes);
+    ring.push(decision.to_string());
+    Some(decision)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+
+    fn cfg() -> TunerConfig {
+        TunerConfig {
+            step_bytes: 4096,
+            hysteresis: 1.5,
+            cooldown_ticks: 2,
+            min_bytes: 4096,
+            ..TunerConfig::default()
+        }
+    }
+
+    fn leaf(name: &str) -> ConsumerId {
+        ConsumerId::LeafCache(name.into())
+    }
+
+    fn sample(id: &ConsumerId, hits: u64, bytes: usize) -> ConsumerSample {
+        ConsumerSample { id: id.clone(), hits, bytes }
+    }
+
+    /// A scripted surface: per-tick hit *rates* per consumer, bytes
+    /// tracked through resize calls so the controller sees its own
+    /// moves take effect.
+    struct Scripted {
+        bytes: RefCell<HashMap<ConsumerId, usize>>,
+        hits: RefCell<HashMap<ConsumerId, u64>>,
+        /// hits gained per tick per consumer (the workload).
+        rates: RefCell<HashMap<ConsumerId, u64>>,
+    }
+
+    impl Scripted {
+        fn new(init: &[(ConsumerId, usize, u64)]) -> Self {
+            let s = Scripted {
+                bytes: RefCell::new(HashMap::new()),
+                hits: RefCell::new(HashMap::new()),
+                rates: RefCell::new(HashMap::new()),
+            };
+            for (id, bytes, rate) in init {
+                s.bytes.borrow_mut().insert(id.clone(), *bytes);
+                s.hits.borrow_mut().insert(id.clone(), 0);
+                s.rates.borrow_mut().insert(id.clone(), *rate);
+            }
+            s
+        }
+
+        fn set_rate(&self, id: &ConsumerId, rate: u64) {
+            self.rates.borrow_mut().insert(id.clone(), rate);
+        }
+
+        fn bytes_of(&self, id: &ConsumerId) -> usize {
+            self.bytes.borrow()[id]
+        }
+    }
+
+    impl TunedSurface for Scripted {
+        fn sample(&self) -> Vec<ConsumerSample> {
+            let mut hits = self.hits.borrow_mut();
+            let rates = self.rates.borrow();
+            let bytes = self.bytes.borrow();
+            let mut ids: Vec<&ConsumerId> = bytes.keys().collect();
+            ids.sort_by_key(|id| id.to_string());
+            ids.iter()
+                .map(|id| {
+                    let h = hits.get_mut(id).expect("scripted consumer");
+                    *h += rates[*id];
+                    ConsumerSample { id: (*id).clone(), hits: *h, bytes: bytes[*id] }
+                })
+                .collect()
+        }
+
+        fn resize(&self, id: &ConsumerId, new_bytes: usize) {
+            self.bytes.borrow_mut().insert(id.clone(), new_bytes);
+        }
+    }
+
+    #[test]
+    fn starved_high_value_consumer_gains_bytes_within_k_ticks() {
+        // "pk" is rich but cold; "by_len" is starved but hot. Within a
+        // few intervals the controller must have moved bytes to it.
+        let surface =
+            Scripted::new(&[(leaf("pk"), 64 * 1024, 10), (leaf("by_len"), 8 * 1024, 400)]);
+        let mut c = Controller::new(cfg());
+        let ring = DecisionRing::new(16);
+        let start = surface.bytes_of(&leaf("by_len"));
+        let mut moves = 0;
+        for _ in 0..10 {
+            if run_tick(&mut c, &surface, &ring).is_some() {
+                moves += 1;
+            }
+        }
+        assert!(moves >= 2, "expected repeated corrections, got {moves}");
+        assert!(
+            surface.bytes_of(&leaf("by_len")) >= start + 2 * 4096,
+            "starved consumer must gain bytes: {} -> {}",
+            start,
+            surface.bytes_of(&leaf("by_len"))
+        );
+        assert!(surface.bytes_of(&leaf("pk")) >= 4096, "donor never shrinks below the floor");
+        let trace = ring.snapshot();
+        assert!(!trace.is_empty());
+        assert!(
+            trace[0].contains("leaf-cache idx=pk \u{2192} leaf-cache idx=by_len"),
+            "ring renders the move: {}",
+            trace[0]
+        );
+    }
+
+    #[test]
+    fn near_ties_inside_hysteresis_do_not_move() {
+        // Values 1.0 vs 1.2 hits/KiB: inside the 1.5× band, so the
+        // controller must hold still forever.
+        let surface = Scripted::new(&[(leaf("a"), 100 * 1024, 100), (leaf("b"), 100 * 1024, 120)]);
+        let mut c = Controller::new(cfg());
+        let ring = DecisionRing::new(16);
+        for _ in 0..20 {
+            assert!(run_tick(&mut c, &surface, &ring).is_none());
+        }
+        assert_eq!(surface.bytes_of(&leaf("a")), 100 * 1024);
+        assert_eq!(surface.bytes_of(&leaf("b")), 100 * 1024);
+        assert!(ring.snapshot().is_empty());
+    }
+
+    #[test]
+    fn alternating_advantage_is_damped_not_chased() {
+        // The hot consumer flips every tick. Cooldown + the reversal
+        // guard must keep the controller from thrashing bytes back and
+        // forth: allow at most one move per cooldown window, and never
+        // an immediate A→B, B→A pair.
+        let (a, b) = (leaf("a"), leaf("b"));
+        let surface = Scripted::new(&[(a.clone(), 64 * 1024, 0), (b.clone(), 64 * 1024, 0)]);
+        let mut c = Controller::new(cfg());
+        let ring = DecisionRing::new(64);
+        let mut decisions: Vec<TunerDecision> = Vec::new();
+        for t in 0..12 {
+            if t % 2 == 0 {
+                surface.set_rate(&a, 1000);
+                surface.set_rate(&b, 10);
+            } else {
+                surface.set_rate(&a, 10);
+                surface.set_rate(&b, 1000);
+            }
+            decisions.extend(run_tick(&mut c, &surface, &ring));
+        }
+        for pair in decisions.windows(2) {
+            assert!(
+                !(pair[1].from == pair[0].to
+                    && pair[1].to == pair[0].from
+                    && pair[1].tick == pair[0].tick + 1),
+                "back-to-back reversal slipped through: {:?}",
+                pair
+            );
+        }
+        assert!(
+            decisions.len() <= 4,
+            "cooldown must bound churn to one move per window, got {}",
+            decisions.len()
+        );
+    }
+
+    #[test]
+    fn first_tick_only_baselines() {
+        let mut c = Controller::new(cfg());
+        let (a, b) = (leaf("a"), leaf("b"));
+        assert!(
+            c.tick(&[sample(&a, 1_000_000, 64 * 1024), sample(&b, 0, 64 * 1024)]).is_none(),
+            "cumulative counters need two points"
+        );
+        // Second tick: "a" gained nothing, "b" surged — now it moves.
+        let d = c
+            .tick(&[sample(&a, 1_000_000, 64 * 1024), sample(&b, 5_000, 64 * 1024)])
+            .expect("second tick has rates");
+        assert_eq!(d.from, a);
+        assert_eq!(d.to, b);
+        assert_eq!(d.moved_bytes, 4096);
+        assert_eq!(d.from_bytes, 64 * 1024 - 4096);
+        assert_eq!(d.to_bytes, 64 * 1024 + 4096);
+    }
+
+    #[test]
+    fn decision_ring_is_bounded() {
+        let ring = DecisionRing::new(3);
+        for i in 0..10 {
+            ring.push(format!("d{i}"));
+        }
+        assert_eq!(ring.snapshot(), vec!["d7", "d8", "d9"]);
+    }
+
+    #[test]
+    fn decision_display_matches_report_format() {
+        let d = TunerDecision {
+            tick: 3,
+            moved_bytes: 4096,
+            from: leaf("pk"),
+            to: ConsumerId::JoinCache,
+            from_value: 0.84,
+            to_value: 2.31,
+            from_bytes: 60 * 1024,
+            to_bytes: 68 * 1024,
+        };
+        assert_eq!(
+            d.to_string(),
+            "tuner: moved 4 KiB leaf-cache idx=pk \u{2192} join-cache, value 0.8\u{2192}2.3 hits/KiB"
+        );
+    }
+}

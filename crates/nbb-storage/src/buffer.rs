@@ -131,7 +131,9 @@
 //! the pin protocol — blocking frame latches taken under a map only
 //! ever target unpinned victims, and closure-held frames are pinned.
 //! `CONCURRENCY.md` §"The frame/map exemption" carries the full
-//! argument, including the `flush_all` sweep caveat.
+//! argument. (`flush_all`'s sweep, once the one map-holder that
+//! latched pinned frames, now snapshots residency under the map and
+//! latches after dropping it.)
 
 use crate::disk::DiskManager;
 use crate::error::{Result, StorageError};
@@ -141,7 +143,7 @@ use crate::stats::PoolStats;
 use nbb_encoding::pagecodec;
 use parking_lot::{Condvar, Mutex, RwLock};
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Default shard count for pools large enough to support it.
@@ -717,8 +719,10 @@ struct CompressedTier {
     work_cv: Condvar,
     /// Signals drainers that a job completed.
     done_cv: Condvar,
-    /// Stored-bytes bound for `entries`.
-    budget: usize,
+    /// Stored-bytes bound for `entries`. Atomic so the tuner can resize
+    /// it at runtime ([`CompressedTier::set_budget`]); `admit` reads it
+    /// once per admission.
+    budget: AtomicUsize,
     hits: AtomicU64,
     evictions: AtomicU64,
     stalls: AtomicU64,
@@ -745,7 +749,7 @@ impl CompressedTier {
             ),
             work_cv: Condvar::new(),
             done_cv: Condvar::new(),
-            budget,
+            budget: AtomicUsize::new(budget),
             hits: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             stalls: AtomicU64::new(0),
@@ -810,10 +814,11 @@ impl CompressedTier {
     /// fits the budget. Called by the compressor with the state lock
     /// held and the job's token already validated and retired.
     fn admit(&self, st: &mut CtState, pid: PageId, raw_len: usize, enc: Vec<u8>) {
-        if enc.len() > self.budget {
+        let budget = self.budget.load(Ordering::Relaxed);
+        if enc.len() > budget {
             return;
         }
-        while st.bytes + enc.len() > self.budget {
+        while st.bytes + enc.len() > budget {
             let Some(old) = st.order.pop_front() else { break };
             if let Some(gone) = st.entries.remove(&old) {
                 st.bytes -= gone.len();
@@ -869,6 +874,22 @@ impl CompressedTier {
         }
     }
 
+    /// Resizes the stored-bytes budget at runtime (the tuner's resize
+    /// hook). Shrinking evicts oldest entries until the store fits;
+    /// growing takes effect at the next admission. Entries are cache,
+    /// never durability state, so eviction here is always safe.
+    fn set_budget(&self, bytes: usize) {
+        self.budget.store(bytes, Ordering::Relaxed);
+        let mut st = self.state.lock();
+        while st.bytes > bytes {
+            let Some(old) = st.order.pop_front() else { break };
+            if let Some(gone) = st.entries.remove(&old) {
+                st.bytes -= gone.len();
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
     /// Gauges: entries held and stored bytes right now.
     fn occupancy(&self) -> (u64, u64) {
         let st = self.state.lock();
@@ -883,9 +904,40 @@ pub struct BufferPool {
     disk: Arc<dyn DiskManager>,
     shards: Box<[Shard]>,
     wb: Option<Arc<WriteBehind>>,
-    flusher: Option<std::thread::JoinHandle<()>>,
+    flushers: Vec<std::thread::JoinHandle<()>>,
     ct: Option<Arc<CompressedTier>>,
     compressor: Option<std::thread::JoinHandle<()>>,
+}
+
+/// Construction knobs for [`BufferPool::with_pool_options`]. The
+/// positional constructors delegate here; `Default` reproduces
+/// [`BufferPool::new`]'s behavior except for the shard clamp (callers
+/// of `new` get [`clamp_shards`] applied first).
+#[derive(Clone, Debug)]
+pub struct PoolOptions {
+    /// Lock-striped shard count, clamped to `[1, capacity]`.
+    pub shards: usize,
+    /// Write-behind queue depth; 0 disables the queue (synchronous
+    /// dirty evictions) and spawns no flusher threads.
+    pub write_behind: usize,
+    /// Number of write-behind drainer threads (min 1 when the queue is
+    /// enabled). Per-page ordering is held by the gen-stamped
+    /// `flushing` claim in [`WbSlot`], so drainers never race on a
+    /// page: `pop_jobs` hands each slot to exactly one thread.
+    pub flusher_threads: usize,
+    /// Compressed-tier stored-bytes budget; 0 disables the tier.
+    pub compressed_budget_bytes: usize,
+}
+
+impl Default for PoolOptions {
+    fn default() -> Self {
+        PoolOptions {
+            shards: DEFAULT_POOL_SHARDS,
+            write_behind: DEFAULT_WRITE_BEHIND,
+            flusher_threads: 1,
+            compressed_budget_bytes: 0,
+        }
+    }
 }
 
 impl BufferPool {
@@ -930,6 +982,25 @@ impl BufferPool {
         write_behind: usize,
         compressed_budget_bytes: usize,
     ) -> Self {
+        Self::with_pool_options(
+            disk,
+            capacity,
+            PoolOptions { shards, write_behind, flusher_threads: 1, compressed_budget_bytes },
+        )
+    }
+
+    /// Struct-form constructor: everything [`BufferPool::with_options`]
+    /// takes plus [`PoolOptions::flusher_threads`], which spawns N
+    /// drainers over the one write-behind queue.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn with_pool_options(
+        disk: Arc<dyn DiskManager>,
+        capacity: usize,
+        opts: PoolOptions,
+    ) -> Self {
+        let PoolOptions { shards, write_behind, flusher_threads, compressed_budget_bytes } = opts;
         assert!(capacity > 0, "buffer pool needs at least one frame");
         let nshards = shards.clamp(1, capacity);
         let page_size = disk.page_size();
@@ -965,14 +1036,19 @@ impl BufferPool {
             .collect();
         let wb =
             (write_behind > 0).then(|| Arc::new(WriteBehind::new(Arc::clone(&disk), write_behind)));
-        let flusher = wb.as_ref().map(|wb| {
-            let wb = Arc::clone(wb);
-            std::thread::Builder::new()
-                .name("nbb-wb-flusher".into())
-                .spawn(move || WriteBehind::run(wb))
-                // nbb-lint: allow(unwrap, thread spawn at pool construction; OS exhaustion is fatal)
-                .expect("spawn write-behind flusher")
-        });
+        let flushers = match &wb {
+            Some(wb) => (0..flusher_threads.max(1))
+                .map(|i| {
+                    let wb = Arc::clone(wb);
+                    std::thread::Builder::new()
+                        .name(format!("nbb-wb-flusher-{i}"))
+                        .spawn(move || WriteBehind::run(wb))
+                        // nbb-lint: allow(unwrap, thread spawn at pool construction; OS exhaustion is fatal)
+                        .expect("spawn write-behind flusher")
+                })
+                .collect(),
+            None => Vec::new(),
+        };
         let ct = (compressed_budget_bytes > 0)
             .then(|| Arc::new(CompressedTier::new(compressed_budget_bytes)));
         let compressor = ct.as_ref().map(|ct| {
@@ -983,7 +1059,7 @@ impl BufferPool {
                 // nbb-lint: allow(unwrap, thread spawn at pool construction; OS exhaustion is fatal)
                 .expect("spawn compressor")
         });
-        BufferPool { disk, shards, wb, flusher, ct, compressor }
+        BufferPool { disk, shards, wb, flushers, ct, compressor }
     }
 
     /// Shard owning `id`.
@@ -1008,10 +1084,31 @@ impl BufferPool {
         self.wb.as_ref().map_or(0, |wb| wb.capacity)
     }
 
+    /// Number of write-behind drainer threads (0 when the queue is
+    /// disabled).
+    pub fn flusher_threads(&self) -> usize {
+        self.flushers.len()
+    }
+
     /// Configured compressed-tier budget in stored bytes (0 = the tier
     /// is disabled and evicted pages are simply dropped).
     pub fn compressed_budget(&self) -> usize {
-        self.ct.as_ref().map_or(0, |ct| ct.budget)
+        self.ct.as_ref().map_or(0, |ct| ct.budget.load(Ordering::Relaxed))
+    }
+
+    /// Resizes the compressed tier's stored-bytes budget at runtime
+    /// (the tuner's resize hook). Shrinking evicts oldest entries until
+    /// the store fits. Returns `false` when the tier is disabled —
+    /// whether the tier (and its compressor thread) exists is fixed at
+    /// construction; this only moves the byte bound.
+    pub fn set_compressed_budget(&self, bytes: usize) -> bool {
+        match &self.ct {
+            Some(ct) => {
+                ct.set_budget(bytes);
+                true
+            }
+            None => false,
+        }
     }
 
     /// Test hook: while `held`, the compressor thread parks and faults
@@ -1238,12 +1335,13 @@ impl BufferPool {
             ct.drain();
         }
         for shard in self.shards.iter() {
+            let mut resident: Vec<(PageId, usize)> = Vec::new();
             let mut loading: Vec<(PageId, Arc<InFlight>)> = Vec::new();
             {
                 let map = shard.map.lock();
                 for (idx, res) in map.resident.iter().enumerate() {
                     if let Some(pid) = res {
-                        self.write_back_if_dirty(shard, &shard.frames[idx], *pid)?;
+                        resident.push((*pid, idx));
                     }
                 }
                 for (pid, entry) in map.table.iter() {
@@ -1251,6 +1349,13 @@ impl BufferPool {
                         loading.push((*pid, Arc::clone(inflight)));
                     }
                 }
+            }
+            // Map lock dropped: latching a pinned frame below can block
+            // behind an arbitrarily long page writer without stalling
+            // every pin/unpin on the shard (the old sweep latched under
+            // the map — the hazard CONCURRENCY.md used to carve out).
+            for (pid, idx) in resident {
+                self.flush_frame_revalidated(shard, idx, pid)?;
             }
             // A load serviced from the write-behind store cancels its
             // queue slot and publishes a *dirty* frame; if it was
@@ -1260,12 +1365,52 @@ impl BufferPool {
             // merely cost the wait) and flush whatever landed dirty.
             for (pid, inflight) in loading {
                 inflight.await_resolved();
-                let map = shard.map.lock();
-                if let Some(&Residency::Resident(idx)) = map.table.get(&pid) {
-                    self.write_back_if_dirty(shard, &shard.frames[idx], pid)?;
+                let target = {
+                    let map = shard.map.lock();
+                    match map.table.get(&pid) {
+                        Some(&Residency::Resident(idx)) => Some(idx),
+                        _ => None,
+                    }
+                };
+                if let Some(idx) = target {
+                    self.flush_frame_revalidated(shard, idx, pid)?;
                 }
             }
         }
+        Ok(())
+    }
+
+    /// Flushes frame `idx` iff it is dirty *and still holds `pid`*,
+    /// without holding the shard map across the frame latch. The read
+    /// latch is taken first; residency is then re-checked under a
+    /// non-blocking map probe, because between snapshotting `(pid, idx)`
+    /// and latching, an eviction may have recycled the frame for
+    /// another page. That race is benign for durability — the
+    /// write-behind barrier is up, so a concurrent evictor writes the
+    /// departing dirty page synchronously itself — but writing the
+    /// frame's *new* tenant under the old `pid` would corrupt the disk,
+    /// hence the revalidation.
+    fn flush_frame_revalidated(&self, shard: &Shard, idx: usize, pid: PageId) -> Result<()> {
+        let frame = &shard.frames[idx];
+        if !frame.dirty.load(Ordering::Acquire) {
+            return Ok(());
+        }
+        let guard = frame.data.read();
+        {
+            // rank-exempt: frame(65) -> map(60) residency probe; read-only
+            // and never blocks a map-holder (see CONCURRENCY.md §frame/map
+            // exemption — same shape as unpin's bounded publish step).
+            let map = shard.map.lock_unordered();
+            if map.resident[idx] != Some(pid) {
+                return Ok(());
+            }
+        }
+        // Residency re-confirmed while we hold the read latch: loaders
+        // need the write latch to recycle this frame, so it stays `pid`'s
+        // until `guard` drops. Same protocol as `write_back_if_dirty`.
+        self.disk.write(pid, &guard)?;
+        frame.dirty.store(false, Ordering::Release);
+        shard.stats.writebacks.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
 
@@ -1325,22 +1470,6 @@ impl BufferPool {
         }
     }
 
-    /// Synchronously writes the frame back iff dirty (the flush path —
-    /// eviction uses [`BufferPool::retire_victim`]). The dirty bit is
-    /// only cleared after the disk write succeeds, so a failed write
-    /// leaves the frame dirty (and its bytes intact) for a later retry.
-    fn write_back_if_dirty(&self, shard: &Shard, frame: &Frame, pid: PageId) -> Result<()> {
-        if frame.dirty.load(Ordering::Acquire) {
-            let guard = frame.data.read();
-            self.disk.write(pid, &guard)?;
-            // Still under the read latch: no writer can have mutated the
-            // page (or re-set the bit) since the bytes we just wrote.
-            frame.dirty.store(false, Ordering::Release);
-            shard.stats.writebacks.fetch_add(1, Ordering::Relaxed);
-        }
-        Ok(())
-    }
-
     /// Takes a dirty victim off the eviction path: enqueues its bytes to
     /// write-behind (a memcpy) instead of a synchronous device write.
     /// Falls back to the synchronous write when write-behind is disabled
@@ -1391,9 +1520,10 @@ impl BufferPool {
         // map-under-frame acquisition cannot deadlock because the only
         // *blocking* frame latches taken under a map lock target
         // unpinned victims (`retire_victim`/`demote_victim`), and a
-        // closure-held frame is pinned by definition. `flush_all`'s
-        // sweep is the one map-holder that latches pinned frames; see
-        // CONCURRENCY.md for why that is ordered, not exempt.
+        // closure-held frame is pinned by definition. (`flush_all`'s
+        // sweep used to be the one map-holder latching pinned frames;
+        // it now snapshots under the map and latches after dropping it
+        // — `flush_frame_revalidated`.)
         let mut map = shard.map.lock_unordered();
         match map.table.get(&id) {
             Some(&Residency::Resident(idx)) => {
@@ -1570,10 +1700,10 @@ impl Drop for BufferPool {
             st.shutdown = true;
             wb.work_cv.notify_all();
         }
-        if let Some(h) = self.flusher.take() {
+        for h in self.flushers.drain(..) {
             let _ = h.join();
         }
-        // The flusher drained everything flushable; give parked
+        // The flushers drained everything flushable; give parked
         // failures one last synchronous attempt.
         let mut st = wb.state.lock();
         let remaining: Vec<PageId> = st.slots.keys().copied().collect();
@@ -2459,5 +2589,142 @@ mod tests {
         assert_eq!(s.compressed_pages, 1);
         assert_eq!(s.compressed_bytes, 256 + 12, "raw fallback pays only the header");
         assert!(s.compression_ratio() < 1.0, "honest ratio accounting for a raw entry");
+    }
+
+    #[test]
+    fn runtime_compressed_budget_resize_evicts_to_fit() {
+        // Three zero-ish entries (~25 stored bytes each) fit a 4 KiB
+        // budget; shrinking to 60 bytes must evict down to two, and
+        // growing back re-opens admission for future demotions.
+        let (pool, _) = cpool(2, 4096);
+        let ids: Vec<PageId> = (0..3).map(|_| pool.new_page().unwrap()).collect();
+        for id in &ids {
+            pool.with_page(*id, |_| ()).unwrap();
+            pool.evict_page(*id).unwrap();
+        }
+        pool.flush_all().unwrap();
+        assert_eq!(pool.stats().compressed_pages, 3);
+
+        assert!(pool.set_compressed_budget(60), "tier present: resize applies");
+        assert_eq!(pool.compressed_budget(), 60);
+        let s = pool.stats();
+        assert!(s.compressed_bytes <= 60, "shrink evicted down to the new budget");
+        assert_eq!(s.compressed_pages, 2, "oldest entry went first");
+
+        assert!(pool.set_compressed_budget(4096));
+        let d = pool.new_page().unwrap();
+        pool.with_page(d, |_| ()).unwrap();
+        pool.evict_page(d).unwrap();
+        pool.flush_all().unwrap();
+        assert_eq!(pool.stats().compressed_pages, 3, "regrown budget admits again");
+
+        let plain_disk = Arc::new(InMemoryDisk::new(256));
+        let plain = BufferPool::new(plain_disk as Arc<dyn DiskManager>, 2);
+        assert!(!plain.set_compressed_budget(1024), "no tier at construction: resize is a no-op");
+        assert_eq!(plain.compressed_budget(), 0);
+    }
+
+    #[test]
+    fn multiple_flusher_threads_drain_the_queue_correctly() {
+        // Four drainers race over one queue while a 4-frame pool churns
+        // 32 pages through repeated dirty evictions. The gen-stamped
+        // `flushing` claim means a superseded write can never land over
+        // a newer one, so the final disk image must equal the last
+        // value written to every page.
+        let disk = Arc::new(InMemoryDisk::new(256));
+        let pool = BufferPool::with_pool_options(
+            Arc::clone(&disk) as Arc<dyn DiskManager>,
+            4,
+            PoolOptions {
+                shards: 1,
+                write_behind: 8,
+                flusher_threads: 4,
+                compressed_budget_bytes: 0,
+            },
+        );
+        assert_eq!(pool.flusher_threads(), 4);
+        let ids: Vec<PageId> = (0..32).map(|_| pool.new_page().unwrap()).collect();
+        for round in 0..=3u8 {
+            for (i, id) in ids.iter().enumerate() {
+                pool.with_page_mut(*id, |p| p.bytes_mut()[0] = (i as u8).wrapping_add(round))
+                    .unwrap();
+            }
+        }
+        pool.flush_all().unwrap();
+        let mut buf = Page::new(256);
+        for (i, id) in ids.iter().enumerate() {
+            disk.read(*id, &mut buf).unwrap();
+            assert_eq!(buf.bytes()[0], (i as u8).wrapping_add(3), "page {i} holds its last write");
+        }
+    }
+
+    #[test]
+    fn flush_all_sweep_does_not_hold_the_map_across_frame_latches() {
+        // Regression for the CONCURRENCY.md sweep caveat: a flush
+        // blocked behind a long page writer must not stall unrelated
+        // pins on the same shard (the old sweep latched under the shard
+        // map, so every pin/unpin queued behind the stuck writer).
+        let disk = Arc::new(InMemoryDisk::new(256));
+        let pool =
+            Arc::new(BufferPool::new_sharded(Arc::clone(&disk) as Arc<dyn DiskManager>, 4, 1));
+        let a = pool.new_page().unwrap();
+        let b = pool.new_page().unwrap();
+        pool.with_page_mut(b, |p| p.bytes_mut()[0] = 7).unwrap();
+
+        let gate = Arc::new((Mutex::new(true), Condvar::new()));
+        let entered = Arc::new(AtomicBool::new(false));
+        let writer = {
+            let (pool, gate, entered) =
+                (Arc::clone(&pool), Arc::clone(&gate), Arc::clone(&entered));
+            std::thread::spawn(move || {
+                pool.with_page_mut(a, |p| {
+                    p.bytes_mut()[0] = 9;
+                    entered.store(true, Ordering::Release);
+                    let mut held = gate.0.lock();
+                    while *held {
+                        gate.1.wait(&mut held);
+                    }
+                })
+                .unwrap();
+            })
+        };
+        while !entered.load(Ordering::Acquire) {
+            std::thread::yield_now();
+        }
+        // Frame `a` (snapshot order: index 0) is dirty and write-latched,
+        // so the sweep parks on its read latch with the map *dropped*.
+        let flusher = {
+            let pool = Arc::clone(&pool);
+            std::thread::spawn(move || pool.flush_all().unwrap())
+        };
+        // An unrelated pin on the same shard must still go through
+        // while the sweep is parked.
+        let pinned = Arc::new(AtomicBool::new(false));
+        let pin_thread = {
+            let (pool, pinned) = (Arc::clone(&pool), Arc::clone(&pinned));
+            std::thread::spawn(move || {
+                assert_eq!(pool.with_page(b, |p| p.bytes()[0]).unwrap(), 7);
+                pinned.store(true, Ordering::Release);
+            })
+        };
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while !pinned.load(Ordering::Acquire) {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "pin stalled behind the flush sweep: the map is being held across a frame latch"
+            );
+            std::thread::yield_now();
+        }
+        {
+            let mut held = gate.0.lock();
+            *held = false;
+            gate.1.notify_all();
+        }
+        writer.join().unwrap();
+        flusher.join().unwrap();
+        pin_thread.join().unwrap();
+        let mut buf = Page::new(256);
+        disk.read(a, &mut buf).unwrap();
+        assert_eq!(buf.bytes()[0], 9, "the sweep flushed the writer's bytes once it got the latch");
     }
 }

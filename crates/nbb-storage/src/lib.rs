@@ -48,7 +48,8 @@ pub mod slotted;
 pub mod stats;
 
 pub use buffer::{
-    clamp_shards, BufferPool, DEFAULT_POOL_SHARDS, DEFAULT_WRITE_BEHIND, MIN_FRAMES_PER_SHARD,
+    clamp_shards, BufferPool, PoolOptions, DEFAULT_POOL_SHARDS, DEFAULT_WRITE_BEHIND,
+    MIN_FRAMES_PER_SHARD,
 };
 pub use disk::{DiskManager, DiskModel, FileDisk, InMemoryDisk, LatencyDisk, SimulatedDisk};
 pub use error::{Result, StorageError};

@@ -13,6 +13,7 @@
 //!
 //! | level | rank                     | guards                                        |
 //! |------:|--------------------------|-----------------------------------------------|
+//! |     5 | [`TUNER`]                | tuner decision ring + controller state         |
 //! |    10 | [`DB_TABLES`]            | `Database.tables` registry                     |
 //! |    15 | [`TABLE_INDEXES`]        | `Table.indexes` registry                       |
 //! |    20 | [`INTENT_STRIPE`]        | `KeyIntents` stripe maps                       |
@@ -20,6 +21,7 @@
 //! |    30 | [`TREE_STRUCTURE`]       | B+tree structure lock (`BTree.root`)           |
 //! |    40 | [`LEAF_LATCH`]           | striped per-leaf write latches                 |
 //! |    50 | [`HEAP_DIRECTORY`]       | `HeapFile` page-id directory                   |
+//! |    55 | [`JOIN_CACHE`]           | §2.2 join cache (page budgets + entries)       |
 //! |    60 | [`POOL_SHARD_MAP`]       | buffer-pool shard residency maps               |
 //! |    65 | [`POOL_FRAME`]           | per-frame page latches (multi: latch coupling) |
 //! |    66 | [`TREE_INVALIDATION_LOG`]| cache invalidation predicate log               |
@@ -41,6 +43,15 @@
 //! already depends on; the shim provides only the mechanism.
 
 pub use parking_lot::Rank;
+
+/// The free-space tuner's controller state and decision ring. Lowest
+/// rank in the lattice — acquired *first*, above every engine lock —
+/// because the tuner thread holds it while sampling stats (which walks
+/// tables, trees, and pool gauges, reaching every rank below) and
+/// while applying resize hooks. Conversely nothing in the engine ever
+/// locks tuner state from inside an engine lock: readers of the
+/// decision ring (the waste report) take it as their first lock too.
+pub const TUNER: Rank = Rank::new(5, "core.tuner");
 
 /// `Database.tables`: the table registry. Held briefly for lookup /
 /// create; `create_table` and `reopen` hold the write side across
@@ -75,6 +86,11 @@ pub const LEAF_LATCH: Rank = Rank::new(40, "btree.leaf_latch");
 /// (never held across pool calls), but scans take it before faulting
 /// pages in, so it ranks below the pool.
 pub const HEAP_DIRECTORY: Rank = Rank::new(50, "heap.directory");
+
+/// The §2.2 join cache (per-page budgets, entry maps, global clock).
+/// Below the pool ranks because a guard-holder may call into the pool
+/// (e.g. sizing decisions that read pool gauges), never the reverse.
+pub const JOIN_CACHE: Rank = Rank::new(55, "core.join_cache");
 
 /// Buffer-pool shard residency maps. Dropped across disk reads on the
 /// fault path; held across frame-latch acquisition when publishing,
@@ -131,26 +147,30 @@ mod tests {
 
     #[test]
     fn full_lattice_descends_in_order() {
+        let tuner = Mutex::with_rank(TUNER, ());
         let tables = RwLock::with_rank(DB_TABLES, ());
         let stripe = Mutex::with_rank(INTENT_STRIPE, ());
         let slot = Mutex::with_rank(INTENT_SLOT, ());
         let root = RwLock::with_rank(TREE_STRUCTURE, ());
         let leaf = Mutex::with_rank(LEAF_LATCH, ());
         let dir = RwLock::with_rank(HEAP_DIRECTORY, ());
+        let jc = Mutex::with_rank(JOIN_CACHE, ());
         let map = Mutex::with_rank(POOL_SHARD_MAP, ());
         let frame = RwLock::with_rank(POOL_FRAME, ());
         let disk = Mutex::with_rank(DISK_IO, ());
 
+        let _t = tuner.lock();
         let _a = tables.read();
         let _b = stripe.lock();
         let _c = slot.lock();
         let _d = root.read();
         let _e = leaf.lock();
         let _f = dir.write();
+        let _j = jc.lock();
         let _g = map.lock();
         let _h = frame.write();
         let _i = disk.lock();
-        assert_eq!(parking_lot::held_rank_count(), 9);
+        assert_eq!(parking_lot::held_rank_count(), 11);
     }
 
     #[test]

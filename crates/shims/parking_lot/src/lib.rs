@@ -379,6 +379,30 @@ impl Condvar {
         }
     }
 
+    /// Atomically releases the mutex and parks until notified or
+    /// `timeout` elapses (matching real parking_lot's `wait_for`). The
+    /// mutex is re-acquired before returning. Spurious wakeups are
+    /// possible: callers must re-check their predicate in a loop.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: std::time::Duration,
+    ) -> WaitTimeoutResult {
+        #[cfg(debug_assertions)]
+        let paused: Option<Rank> = guard.token.take().map(held::release);
+        // SAFETY: same contract as `wait` — the inner guard is taken
+        // out for the std condvar and unconditionally restored below.
+        let inner = unsafe { ManuallyDrop::take(&mut guard.inner) };
+        let (inner, result) =
+            self.0.wait_timeout(inner, timeout).unwrap_or_else(sync::PoisonError::into_inner);
+        guard.inner = ManuallyDrop::new(inner);
+        #[cfg(debug_assertions)]
+        {
+            guard.token = paused.map(|r| held::acquire(r, true));
+        }
+        WaitTimeoutResult(result.timed_out())
+    }
+
     /// Wakes one waiter.
     pub fn notify_one(&self) {
         self.0.notify_one();
@@ -393,6 +417,18 @@ impl Condvar {
 impl fmt::Debug for Condvar {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str("Condvar")
+    }
+}
+
+/// Outcome of [`Condvar::wait_for`].
+#[derive(Clone, Copy, Debug)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// True when the wait returned because the timeout elapsed rather
+    /// than a notification.
+    pub fn timed_out(&self) -> bool {
+        self.0
     }
 }
 

@@ -21,8 +21,10 @@ fn degenerate_config() -> DbConfig {
         index_frames: 32,
         pool_shards: 1,
         write_behind: 0,
+        flusher_threads: 1,
         intent_stripes: 1,
         compressed_budget_bytes: 0,
+        tuning_interval: None,
         disk_model: None,
     }
 }
@@ -204,6 +206,99 @@ fn compression_axis_budget_zero_is_bit_identical_and_budget_on_serves_faults() {
             assert_eq!(a.bytes(), b.bytes(), "{name} page {id} diverged under compression");
         }
     }
+}
+
+/// The flusher axis: a real write-behind queue drained by *several*
+/// claimer threads, composed with every other knob at its degenerate
+/// value. Each queued slot must be written exactly once no matter which
+/// thread claims it, and close() must remain a full drain barrier, so a
+/// reopen sees the last version of every row.
+#[test]
+fn flusher_axis_many_threads_drain_every_queued_write() {
+    use nbb::storage::{DiskManager, InMemoryDisk};
+    use std::sync::Arc;
+    let heap: Arc<dyn DiskManager> = Arc::new(InMemoryDisk::new(4096));
+    let index: Arc<dyn DiskManager> = Arc::new(InMemoryDisk::new(4096));
+    let config = DbConfig { write_behind: 8, flusher_threads: 4, ..degenerate_config() };
+    let db = Database::with_disks(config.clone(), Arc::clone(&heap), Arc::clone(&index)).unwrap();
+    assert_eq!(db.heap_pool().flusher_threads(), 4);
+    let t = db.create_table("t", 24).unwrap();
+    t.create_index(IndexSpec::plain("pk", FieldSpec::new(0, 8))).unwrap();
+    // Insert, then overwrite every row: the 32-frame pool evicts dirty
+    // pages through the queue repeatedly, and only the *last* version
+    // of each row may survive the drain.
+    for k in 0..2000u64 {
+        t.insert(&tuple(k, 0, k)).unwrap();
+    }
+    let pk = t.index("pk").unwrap();
+    for k in 0..2000u64 {
+        pk.update(&k.to_be_bytes(), &tuple(k, 1, k * 2)).unwrap();
+    }
+    db.close().unwrap();
+
+    let db = Database::reopen(config, heap, index).unwrap();
+    let t = db.table("t").unwrap();
+    let mut rows = 0u64;
+    let mut sum = 0u64;
+    t.scan(|_, tuple| {
+        rows += 1;
+        sum += u64::from_le_bytes(tuple[16..24].try_into().unwrap());
+        true
+    })
+    .unwrap();
+    assert_eq!(rows, 2000, "multi-threaded drain lost rows");
+    assert_eq!(sum, (0..2000u64).map(|k| k * 2).sum::<u64>(), "a stale version survived");
+}
+
+/// The tuning axis: the background controller live (1 ms interval)
+/// underneath a mixed read/write workload, with multiple flushers and
+/// every other knob degenerate. The tuner may only move cache-space
+/// budgets — correctness of every read and every durable byte must be
+/// untouched while it reallocates under our feet.
+#[test]
+fn tuning_axis_controller_runs_under_a_live_workload() {
+    use std::time::Duration;
+    let config = DbConfig {
+        flusher_threads: 2,
+        write_behind: 4,
+        tuning_interval: Some(Duration::from_millis(1)),
+        ..degenerate_config()
+    };
+    let db = Database::open(config);
+    let t = db.create_table("t", 24).unwrap();
+    t.create_index(IndexSpec::cached("pk", FieldSpec::new(0, 8), vec![FieldSpec::new(16, 8)]))
+        .unwrap();
+    t.create_index(IndexSpec::cached("grp", FieldSpec::new(8, 8), vec![FieldSpec::new(16, 8)]))
+        .unwrap();
+    let pk = t.index("pk").unwrap();
+    let mut model: HashMap<u64, u64> = HashMap::new();
+    let mut x = 13u64;
+    for step in 0..3000u64 {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let id = x % 150;
+        match x % 6 {
+            0 | 1 => {
+                let v = x % 10_000;
+                pk.put(&tuple(id, id, v)).unwrap();
+                model.insert(id, v);
+            }
+            2 => {
+                let existed = pk.delete(&id.to_be_bytes()).unwrap();
+                assert_eq!(existed, model.remove(&id).is_some(), "step {step}");
+            }
+            _ => {
+                let got = pk.project(&id.to_be_bytes()).unwrap();
+                match (got, model.get(&id)) {
+                    (Some(p), Some(v)) => assert_eq!(p.payload, v.to_le_bytes(), "step {step}"),
+                    (None, None) => {}
+                    (g, m) => panic!("step {step} id {id}: {:?} vs {m:?}", g.map(|p| p.payload)),
+                }
+            }
+        }
+    }
+    assert_eq!(t.heap().live_tuple_count().unwrap(), model.len());
+    // Shutdown while the tuner is mid-interval must not hang or panic.
+    drop(db);
 }
 
 #[test]
