@@ -1,0 +1,159 @@
+//! Cold sequential range scans with and without cursor readahead, as a
+//! CI-archivable experiment: the `benches/range_scans.rs` comparison at
+//! binary scale, with the numbers written to `BENCH_scans.json` (rows/s,
+//! device round-trips, and prefetch verdict counters per configuration)
+//! so trajectories can be tracked per commit. Pass `--smoke` for the
+//! quick CI gate scale.
+//!
+//! The device is a [`LatencyDisk`] charging a fixed latency per
+//! round-trip — per *batch*, not per page, the way a real device
+//! amortizes a queue of adjacent requests — so the printed speedup is
+//! the round-trip amortization of the batched read path, not CPU noise.
+
+use nbb_bench::report::{f, print_table};
+use nbb_core::db::{Database, DbConfig};
+use nbb_core::table::{FieldSpec, IndexSpec};
+use nbb_storage::{DiskManager, DiskModel, LatencyDisk, PageId, PoolStats};
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const PAGE_SIZE: usize = 4096;
+const READ_NS: u64 = 250_000;
+
+/// 24-byte tuple: key(8) | value(8) | filler(8).
+fn tuple(key: u64, value: u64) -> Vec<u8> {
+    let mut t = Vec::with_capacity(24);
+    t.extend_from_slice(&key.to_be_bytes());
+    t.extend_from_slice(&value.to_le_bytes());
+    t.extend_from_slice(&[0u8; 8]);
+    t
+}
+
+struct Run {
+    readahead: usize,
+    elapsed: Duration,
+    rows: u64,
+    stats: PoolStats,
+}
+
+impl Run {
+    fn rows_per_s(&self) -> f64 {
+        self.rows as f64 / self.elapsed.as_secs_f64()
+    }
+}
+
+/// Builds the table over free writes, pre-warms every cache line, sweeps
+/// the index pool cold, and times one full ordered projected scan
+/// against the latency-charging reads. (Mirrors the bench in
+/// `benches/range_scans.rs`; see there for why the warm pass matters.)
+fn cold_scan(rows: u64, readahead: usize) -> Run {
+    let model = DiskModel { read_ns: READ_NS, write_ns: 0 };
+    let heap = Arc::new(LatencyDisk::new(PAGE_SIZE, model));
+    let index = Arc::new(LatencyDisk::new(PAGE_SIZE, model));
+    let config = DbConfig { page_size: PAGE_SIZE, readahead, ..DbConfig::default() };
+    let db = Database::with_disks(
+        config,
+        Arc::clone(&heap) as Arc<dyn DiskManager>,
+        Arc::clone(&index) as Arc<dyn DiskManager>,
+    )
+    .expect("fresh latency disks attach");
+    let t = db.create_table("t", 24).expect("create table");
+    t.create_index(IndexSpec::cached("pk", FieldSpec::new(0, 8), vec![FieldSpec::new(8, 8)]))
+        .expect("create index");
+    for k in 0..rows {
+        t.insert(&tuple(k, k.wrapping_mul(3))).expect("insert");
+    }
+
+    let pk = t.index("pk").expect("index handle");
+    assert_eq!(pk.range_projected_all().filter(|r| r.is_ok()).count() as u64, rows);
+
+    let index_pool = db.index_pool();
+    index_pool.flush_all().expect("flush index pool");
+    for id in 0..index_pool.disk().num_pages() {
+        let _ = index_pool.evict_page(PageId(id));
+    }
+    index_pool.reset_stats();
+
+    let start = Instant::now();
+    let scanned = pk.range_projected_all().filter(|r| r.is_ok()).count() as u64;
+    let elapsed = start.elapsed();
+    let stats = index_pool.stats();
+    assert_eq!(scanned, rows, "scan must visit every row");
+    Run { readahead, elapsed, rows: scanned, stats }
+}
+
+/// Renders the runs as the `BENCH_scans.json` body. Hand-rolled (the
+/// workspace has no serde): stable key order, numbers only.
+fn scans_json(scale_name: &str, rows: u64, runs: &[Run], speedup: f64) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"benchmark\": \"range_scans\",");
+    let _ = writeln!(out, "  \"scale\": \"{scale_name}\",");
+    let _ = writeln!(
+        out,
+        "  \"workload\": {{\"rows\": {rows}, \"read_ns\": {READ_NS}, \"page_size\": {PAGE_SIZE}}},"
+    );
+    let _ = writeln!(out, "  \"speedup\": {speedup:.3},");
+    out.push_str("  \"runs\": [\n");
+    for (i, r) in runs.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{\"readahead\": {}, \"rows_per_s\": {:.1}, \"elapsed_ms\": {:.3}, \
+             \"read_pages\": {}, \"read_batches\": {}, \"prefetch_issued\": {}, \
+             \"prefetch_hits\": {}, \"prefetch_wasted\": {}}}{}",
+            r.readahead,
+            r.rows_per_s(),
+            r.elapsed.as_secs_f64() * 1e3,
+            r.stats.read_pages,
+            r.stats.read_batches,
+            r.stats.prefetch_issued,
+            r.stats.prefetch_hits,
+            r.stats.prefetch_wasted,
+            if i + 1 < runs.len() { "," } else { "" }
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (scale_name, rows) = if smoke { ("smoke", 10_000u64) } else { ("full", 50_000u64) };
+
+    let runs: Vec<Run> = [0usize, 8, 32].iter().map(|&k| cold_scan(rows, k)).collect();
+
+    let mut table = Vec::new();
+    for r in &runs {
+        table.push(vec![
+            r.readahead.to_string(),
+            f(r.rows_per_s() / 1000.0, 1),
+            f(r.elapsed.as_secs_f64() * 1e3, 1),
+            r.stats.read_pages.to_string(),
+            r.stats.read_batches.to_string(),
+            format!(
+                "{}/{}/{}",
+                r.stats.prefetch_issued, r.stats.prefetch_hits, r.stats.prefetch_wasted
+            ),
+        ]);
+    }
+    print_table(
+        &format!(
+            "cold sequential scan, {rows} rows @ {} us/round-trip ({scale_name} scale)",
+            READ_NS / 1000
+        ),
+        &["readahead", "krows_s", "ms", "pages", "batches", "issued/hit/wasted"],
+        &table,
+    );
+
+    // Headline: the largest-readahead run against the readahead-off run.
+    let speedup = runs[runs.len() - 1].rows_per_s() / runs[0].rows_per_s();
+    println!("\nspeedup: {speedup:.1}x (readahead {} vs none)", runs[runs.len() - 1].readahead);
+    assert!(
+        speedup >= 3.0,
+        "cursor readahead must deliver >= 3x cold scan throughput, got {speedup:.2}x"
+    );
+
+    let json = scans_json(scale_name, rows, &runs, speedup);
+    std::fs::write("BENCH_scans.json", &json).expect("write BENCH_scans.json");
+    println!("wrote BENCH_scans.json ({} runs, {scale_name} scale)", runs.len());
+}

@@ -1183,6 +1183,53 @@ impl BTree {
         }
     }
 
+    /// Collects up to `k` page ids worth prefetching for a scan that
+    /// just consumed leaf `from` — the feeder for
+    /// [`BufferPool::prefetch`]-driven cursor readahead.
+    ///
+    /// The walk follows the sibling chain through **already-resident**
+    /// leaves only (each hop is a pool hit, zero I/O) until it meets the
+    /// first non-resident leaf: that frontier page is the scan's next
+    /// real fault, and the `k` ids returned are the frontier plus its
+    /// physical successors. Extending by physical adjacency rather than
+    /// chasing pointers is deliberate — reading a non-resident leaf to
+    /// learn its successor would cost exactly the serial fault the
+    /// readahead exists to avoid, while sequentially built trees (bulk
+    /// load, ascending inserts) lay leaves out in allocation order, so
+    /// adjacent ids are overwhelmingly the right guess. A wrong guess
+    /// is cheap by construction: prefetched-untouched frames are the
+    /// clock's first-choice victims.
+    ///
+    /// Returns an empty vec when `k == 0`, when the next `2k` chain
+    /// hops are all resident (nothing to speculate about), or on any
+    /// read error — speculation never surfaces failures.
+    pub fn readahead_targets(&self, from: PageId, k: usize) -> Vec<PageId> {
+        if k == 0 {
+            return Vec::new();
+        }
+        // No structure lock: a concurrent split can at worst make the
+        // guess stale, and stale speculation only costs a wasted frame.
+        let num_pages = self.pool.disk().num_pages();
+        let mut cur = from;
+        for _ in 0..=(2 * k) {
+            if !cur.is_valid() {
+                return Vec::new();
+            }
+            if !self.pool.contains(cur) {
+                return (0..k as u64)
+                    .map(|i| PageId(cur.0 + i))
+                    .filter(|p| p.0 < num_pages)
+                    .collect();
+            }
+            let Ok(next) = self.pool.with_page(cur, |p| Node::new(p, self.key_size).next_leaf())
+            else {
+                return Vec::new();
+            };
+            cur = next;
+        }
+        Vec::new()
+    }
+
     /// Number of keys in the tree (walks every leaf).
     pub fn len(&self) -> Result<usize> {
         let mut n = 0usize;

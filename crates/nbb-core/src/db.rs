@@ -78,6 +78,26 @@ pub struct DbConfig {
     /// deterministically with [`Database::tuning_tick`] (use a long
     /// interval so the background thread stays out of the way).
     pub tuning_interval: Option<Duration>,
+    /// Upper bound on bytes the tuner moves per decision (see
+    /// [`crate::tuner::TunerConfig::step_bytes`]; only read when
+    /// `tuning_interval` is `Some`).
+    pub tuner_step_bytes: usize,
+    /// Tuner hysteresis factor: the best consumer's hit value must
+    /// exceed the worst's by this factor before bytes move (see
+    /// [`crate::tuner::TunerConfig::hysteresis`]).
+    pub tuner_hysteresis: f64,
+    /// Ticks the tuner sits out after each move (see
+    /// [`crate::tuner::TunerConfig::cooldown_ticks`]).
+    pub tuner_cooldown_ticks: u32,
+    /// Cursor readahead depth: leaves each range cursor speculatively
+    /// batch-loads past the resident frontier on every refill, riding
+    /// the pool's `prefetch`/`read_many` path. `0` (the default) is
+    /// **off** — scans fault serially exactly as before, byte for
+    /// byte. Speculative frames are the clock's first-choice victims,
+    /// so any nonzero depth can cost wasted reads but never evicts the
+    /// demand-paged working set; `TableStats::pool_prefetch_*` meters
+    /// the win rate.
+    pub readahead: usize,
     /// Disk latency model; `None` = plain in-memory disk.
     pub disk_model: Option<DiskModel>,
 }
@@ -94,6 +114,10 @@ impl Default for DbConfig {
             compressed_budget_bytes: 0,
             flusher_threads: 1,
             tuning_interval: None,
+            tuner_step_bytes: TunerConfig::default().step_bytes,
+            tuner_hysteresis: TunerConfig::default().hysteresis,
+            tuner_cooldown_ticks: TunerConfig::default().cooldown_ticks,
+            readahead: 0,
             disk_model: None,
         }
     }
@@ -329,7 +353,13 @@ impl Database {
 
     /// Spawns the background free-space controller (tuning is on).
     fn start_tuner(&mut self, interval: Duration) {
-        let cfg = TunerConfig { interval, ..TunerConfig::default() };
+        let cfg = TunerConfig {
+            interval,
+            step_bytes: self.config.tuner_step_bytes,
+            hysteresis: self.config.tuner_hysteresis,
+            cooldown_ticks: self.config.tuner_cooldown_ticks,
+            ..TunerConfig::default()
+        };
         let ring_cap = cfg.ring;
         let shared = Arc::new(TunerShared {
             controller: Mutex::with_rank(lockrank::TUNER, Controller::new(cfg)),
@@ -484,7 +514,7 @@ impl Database {
         let db = Self::attach_disks(config, heap_disk, index_disk)?;
         for entry in catalog.tables {
             let heap = nbb_storage::HeapFile::attach(Arc::clone(&db.heap_pool), entry.heap_pages)?;
-            let table = Table::attach(
+            let mut table = Table::attach(
                 &entry.name,
                 entry.tuple_width as usize,
                 heap,
@@ -492,6 +522,7 @@ impl Database {
                 entry.indexes,
                 db.config.intent_stripes,
             )?;
+            table.set_readahead(db.config.readahead);
             db.tables.write().insert(entry.name, Arc::new(table));
         }
         Ok(db)
@@ -515,6 +546,7 @@ impl Database {
             Arc::clone(&self.index_pool),
         )?;
         table.set_intent_stripes(self.config.intent_stripes);
+        table.set_readahead(self.config.readahead);
         let t = Arc::new(table);
         tables.insert(name.to_string(), Arc::clone(&t));
         Ok(t)
@@ -784,6 +816,30 @@ mod tests {
         })
         .unwrap();
         assert_eq!(rows, 500, "the tier never substitutes for durability");
+    }
+
+    #[test]
+    fn readahead_knob_threads_through_create_and_reopen() {
+        use nbb_storage::InMemoryDisk;
+        let db = Database::open(DbConfig::default());
+        let t = db.create_table("t", 16).unwrap();
+        assert_eq!(t.readahead(), 0, "default is off");
+
+        let heap: Arc<dyn DiskManager> = Arc::new(InMemoryDisk::new(4096));
+        let index: Arc<dyn DiskManager> = Arc::new(InMemoryDisk::new(4096));
+        let config = DbConfig { page_size: 4096, readahead: 8, ..DbConfig::default() };
+        let db =
+            Database::with_disks(config.clone(), Arc::clone(&heap), Arc::clone(&index)).unwrap();
+        let t = db.create_table("t", 16).unwrap();
+        assert_eq!(t.readahead(), 8);
+        for i in 0..100u64 {
+            let mut tu = i.to_be_bytes().to_vec();
+            tu.extend_from_slice(&[7u8; 8]);
+            t.insert(&tu).unwrap();
+        }
+        db.close().unwrap();
+        let db = Database::reopen(config, heap, index).unwrap();
+        assert_eq!(db.table("t").unwrap().readahead(), 8, "reopen threads the knob");
     }
 
     #[test]

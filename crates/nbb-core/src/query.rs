@@ -283,6 +283,18 @@ impl<'t> RangeState<'t> {
         self.token = Some(chunk.token);
         self.exhausted = chunk.exhausted;
         self.buf = chunk.entries.into();
+        // Cursor readahead: with `DbConfig::readahead = K > 0`, each
+        // refill speculatively batch-loads the next K leaves past the
+        // resident frontier so the next refills hit memory instead of
+        // serially faulting. With K = 0 this is dead code — scans are
+        // byte-for-byte identical to the pre-readahead behavior.
+        let k = self.table.readahead();
+        if k > 0 && !self.exhausted {
+            let targets = self.idx.tree.readahead_targets(self.leaf, k);
+            if !targets.is_empty() {
+                self.idx.tree.pool().prefetch(&targets);
+            }
+        }
         Ok(())
     }
 

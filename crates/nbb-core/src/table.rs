@@ -229,6 +229,21 @@ pub struct TableStats {
     pub pool_decompress_stalls: u64,
     /// Pages held compressed in the pools' tiers right now (a gauge).
     pub pool_compressed_pages: u64,
+    /// Speculative page loads issued by cursor readahead (summed over
+    /// the heap and index pools; zero with `DbConfig::readahead = 0`).
+    pub pool_prefetch_issued: u64,
+    /// Prefetched pages a requester went on to touch — speculation that
+    /// paid off.
+    pub pool_prefetch_hits: u64,
+    /// Prefetched pages evicted untouched — speculation that missed.
+    pub pool_prefetch_wasted: u64,
+    /// Batched disk reads issued by the pools' batch-fault path (one
+    /// per `read_many` call, however many pages it carried).
+    pub pool_read_batches: u64,
+    /// Pages carried by those batched reads;
+    /// `pool_read_pages / pool_read_batches` is the achieved read
+    /// coalescing factor.
+    pub pool_read_pages: u64,
     /// Writers that found their key's write intent held by a racing
     /// same-key writer and parked on it, summed over this table's
     /// indexes — the contention the intent table absorbs.
@@ -248,6 +263,8 @@ pub struct Table {
     /// Stripe count for each index's key-intent table (0 = the btree
     /// default); applied to indexes created or attached afterwards.
     intent_stripes: usize,
+    /// Leaves of cursor readahead per range-scan refill (0 = off).
+    readahead: usize,
     index_only_answers: AtomicU64,
     heap_fetches: AtomicU64,
     inserts: AtomicU64,
@@ -276,6 +293,7 @@ impl Table {
             indexes: RwLock::with_rank(lockrank::TABLE_INDEXES, HashMap::new()),
             index_pool,
             intent_stripes: 0,
+            readahead: 0,
             index_only_answers: AtomicU64::new(0),
             heap_fetches: AtomicU64::new(0),
             inserts: AtomicU64::new(0),
@@ -307,6 +325,7 @@ impl Table {
             indexes: RwLock::with_rank(lockrank::TABLE_INDEXES, HashMap::new()),
             index_pool,
             intent_stripes,
+            readahead: 0,
             index_only_answers: AtomicU64::new(0),
             heap_fetches: AtomicU64::new(0),
             inserts: AtomicU64::new(0),
@@ -344,6 +363,20 @@ impl Table {
     /// The configured key-intent stripe count (0 = the btree default).
     pub fn intent_stripes(&self) -> usize {
         self.intent_stripes
+    }
+
+    /// Sets the cursor readahead depth: how many leaves ahead of a
+    /// range cursor each refill speculatively prefetches (0 = off —
+    /// scans behave byte-for-byte as before). [`crate::db::Database`]
+    /// threads its `DbConfig::readahead` knob through here before the
+    /// table is shared.
+    pub fn set_readahead(&mut self, leaves: usize) {
+        self.readahead = leaves;
+    }
+
+    /// The configured cursor readahead depth (0 = off).
+    pub fn readahead(&self) -> usize {
+        self.readahead
     }
 
     /// Every index's declaration and current root page — the catalog
@@ -1233,6 +1266,11 @@ impl Table {
                 + index_pool.compressed_evictions,
             pool_decompress_stalls: heap_pool.decompress_stalls + index_pool.decompress_stalls,
             pool_compressed_pages: heap_pool.compressed_pages + index_pool.compressed_pages,
+            pool_prefetch_issued: heap_pool.prefetch_issued + index_pool.prefetch_issued,
+            pool_prefetch_hits: heap_pool.prefetch_hits + index_pool.prefetch_hits,
+            pool_prefetch_wasted: heap_pool.prefetch_wasted + index_pool.prefetch_wasted,
+            pool_read_batches: heap_pool.read_batches + index_pool.read_batches,
+            pool_read_pages: heap_pool.read_pages + index_pool.read_pages,
             intent_parks,
             intent_handoffs,
         }

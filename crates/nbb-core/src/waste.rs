@@ -143,6 +143,22 @@ impl WasteReport {
                     i.pool.compressed_evictions,
                 ));
             }
+            if i.pool.read_batches > 0 {
+                out.push_str(&format!(
+                    "    batched reads: {} pages in {} batches \
+                     ({:.1} pages/read — device round-trips amortized)\n",
+                    i.pool.read_pages,
+                    i.pool.read_batches,
+                    i.pool.read_pages as f64 / i.pool.read_batches as f64,
+                ));
+            }
+            if i.pool.prefetch_issued > 0 {
+                out.push_str(&format!(
+                    "    readahead: {} pages prefetched, {} hit, {} wasted \
+                     (speculation win rate of the spare frames)\n",
+                    i.pool.prefetch_issued, i.pool.prefetch_hits, i.pool.prefetch_wasted,
+                ));
+            }
         }
         if let Some(l) = &self.locality {
             out.push_str(&format!(
@@ -374,5 +390,31 @@ mod tests {
         assert!(text.contains("[locality]"));
         assert!(text.contains("[encoding]"));
         assert!(text.contains("audit_me"));
+    }
+
+    #[test]
+    fn readahead_counters_render_when_nonzero() {
+        let t = table();
+        let mut rep = audit(&t, &["pk"], None, None).unwrap();
+        let zero = rep.render();
+        assert!(
+            !zero.contains("batched reads") && !zero.contains("readahead:"),
+            "quiet counters must render nothing:\n{zero}"
+        );
+        let pool = &mut rep.unused.indexes[0].pool;
+        pool.read_batches = 3;
+        pool.read_pages = 24;
+        pool.prefetch_issued = 24;
+        pool.prefetch_hits = 20;
+        pool.prefetch_wasted = 2;
+        let text = rep.render();
+        assert!(
+            text.contains("batched reads: 24 pages in 3 batches (8.0 pages/read"),
+            "batch coalescing line missing:\n{text}"
+        );
+        assert!(
+            text.contains("readahead: 24 pages prefetched, 20 hit, 2 wasted"),
+            "speculation verdict line missing:\n{text}"
+        );
     }
 }

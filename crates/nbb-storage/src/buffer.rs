@@ -44,6 +44,27 @@
 //!   back to the free list unpinned, every parked waiter gets the
 //!   error, and a later retry faults afresh. No zombie frames.
 //!
+//! ## Batch faults (`fault_many` / `prefetch`)
+//!
+//! The batched read path runs the same state machine for N pages at
+//! once: misses are grouped per shard, and each shard group reserves
+//! its frames and installs all its `Loading` entries under **one** map
+//! acquisition, drops the lock, then issues **one**
+//! [`DiskManager::read_many`] for every page the write-behind store and
+//! compressed tier couldn't serve — so a cold scan pays one device
+//! round-trip per batch instead of one per page
+//! ([`PoolStats::read_batches`] / [`PoolStats::read_pages`] meter the
+//! coalescing). Every per-page guarantee above is preserved:
+//! concurrent requesters join the individual `InFlight`s exactly as
+//! they would a point fault, and a failed page poisons only its own
+//! entry (a batch-level read error falls back to per-page reads so
+//! siblings still publish). Speculative batches (`prefetch`) publish
+//! their frames *unpinned, unreferenced, and flagged*: a frame nobody
+//! touched yet is the clock's first-choice victim, so readahead can
+//! never evict the working set — it only ever spends frames that were
+//! idle ([`PoolStats::prefetch_issued`]/`prefetch_hits`/
+//! `prefetch_wasted` meter the speculation).
+//!
 //! # Write-behind eviction
 //!
 //! Evicting a dirty victim no longer pays a synchronous
@@ -174,6 +195,12 @@ struct Frame {
     pin: AtomicU32,
     dirty: AtomicBool,
     refbit: AtomicBool,
+    /// Published by a speculative [`BufferPool::prefetch`] and not yet
+    /// touched by any requester. Such frames are the clock's
+    /// first-choice victims; the flag is cleared (under the shard map
+    /// lock) on the first demand access, which is also when
+    /// `prefetch_hits` counts the speculation as paid off.
+    prefetched: AtomicBool,
 }
 
 /// One page's state of an in-flight load, parked on by co-waiters.
@@ -264,6 +291,69 @@ impl Drop for LoadAbortGuard<'_> {
     }
 }
 
+/// Batch-fault twin of [`LoadAbortGuard`]: unwind insurance covering
+/// every `Loading` entry a batch reserved. Entries are cleared once the
+/// batch publishes; if a `DiskManager` panics mid-`read_many`, dropping
+/// this guard frees every still-reserved frame and poisons its waiters
+/// exactly like the per-page guard would.
+struct BatchAbortGuard<'a> {
+    shards: &'a [Shard],
+    /// `(page, shard index, frame index, its Loading entry)`, grouped
+    /// contiguously by shard in ascending order (reservation order).
+    entries: Vec<(PageId, usize, usize, Arc<InFlight>)>,
+}
+
+impl Drop for BatchAbortGuard<'_> {
+    fn drop(&mut self) {
+        if self.entries.is_empty() {
+            return;
+        }
+        let mut k = 0;
+        while k < self.entries.len() {
+            let si = self.entries[k].1;
+            let shard = &self.shards[si];
+            // rank-exempt: unwinds out of a (possibly nested) batch
+            // fault, so the caller may still hold outer frame latches;
+            // see `LoadAbortGuard`. One shard map at a time, ascending.
+            let mut map = shard.map.lock_unordered();
+            while k < self.entries.len() && self.entries[k].1 == si {
+                let (id, _, idx, _) = &self.entries[k];
+                let frame = &shard.frames[*idx];
+                frame.dirty.store(false, Ordering::Release);
+                frame.pin.store(0, Ordering::Release);
+                frame.prefetched.store(false, Ordering::Relaxed);
+                map.table.remove(id);
+                map.free.push(*idx);
+                k += 1;
+            }
+        }
+        for (id, _, _, inflight) in &self.entries {
+            inflight.resolve(Err(StorageError::Io(format!(
+                "page {id} load panicked in DiskManager::read_many"
+            ))));
+        }
+    }
+}
+
+/// Per-position outcome of one `BufferPool::fault_batch` call.
+enum BatchSlot {
+    /// Demand-faulted (or joined mid-flight) and pinned for the caller;
+    /// the caller owes one `unpin`.
+    Pinned(Arc<Frame>),
+    /// This page's load failed. Sibling pages in the batch are
+    /// unaffected — each slot carries its own verdict.
+    Failed(StorageError),
+    /// Nothing was done for this page: the shard had no victim to
+    /// reserve (demand callers fall back to the serial point path,
+    /// which surfaces `BufferPoolExhausted` properly), or the page was
+    /// already resident/loading in a speculative batch.
+    Skipped,
+}
+
+/// A published batch entry's `InFlight` and its outcome, resolved after
+/// the shard map drops.
+type Resolution = (Arc<InFlight>, std::result::Result<Arc<Frame>, StorageError>);
+
 enum LoadState {
     Pending,
     Ready(Arc<Frame>),
@@ -300,6 +390,11 @@ struct ShardStats {
     writebacks: AtomicU64,
     faults: AtomicU64,
     fault_joins: AtomicU64,
+    prefetch_issued: AtomicU64,
+    prefetch_hits: AtomicU64,
+    prefetch_wasted: AtomicU64,
+    read_batches: AtomicU64,
+    read_pages: AtomicU64,
 }
 
 struct Shard {
@@ -1014,6 +1109,7 @@ impl BufferPool {
                             pin: AtomicU32::new(0),
                             dirty: AtomicBool::new(false),
                             refbit: AtomicBool::new(false),
+                            prefetched: AtomicBool::new(false),
                         })
                     })
                     .collect();
@@ -1213,13 +1309,11 @@ impl BufferPool {
                     for &i in part {
                         if let Some(&Residency::Resident(idx)) = map.table.get(&ids[i]) {
                             let frame = &shard.frames[idx];
-                            frame.pin.fetch_add(1, Ordering::AcqRel);
-                            frame.refbit.store(true, Ordering::Relaxed);
-                            shard.stats.hits.fetch_add(1, Ordering::Relaxed);
+                            Self::touch_resident(shard, frame);
                             pinned.push((i, Arc::clone(frame)));
                         } else {
-                            // Absent or Loading: take the point path,
-                            // which faults or parks as appropriate.
+                            // Absent or Loading: collected for the
+                            // batch fault pass below.
                             missed.push(i);
                         }
                     }
@@ -1233,14 +1327,111 @@ impl BufferPool {
                     Self::unpin(&frame);
                 }
             }
-            for i in missed {
-                let frame = self.pin(ids[i])?;
-                out[i] = Some(f(i, &frame.data.read()));
-                Self::unpin(&frame);
+            // Fault the misses of each chunk as one group: every absent
+            // page reserves in one map acquisition, the disk leftovers
+            // ride one `read_many`, mid-flight loads are joined — the
+            // serial per-page fallback only remains for pages the group
+            // could not reserve a frame for.
+            for part in missed.chunks(chunk) {
+                let part_ids: Vec<PageId> = part.iter().map(|&i| ids[i]).collect();
+                let mut first_err: Option<StorageError> = None;
+                for (slot, &i) in self.fault_batch(&part_ids, false).into_iter().zip(part) {
+                    match slot {
+                        BatchSlot::Pinned(frame) => {
+                            // Keep draining pins after an error so no
+                            // sibling frame leaks a pin count.
+                            if first_err.is_none() {
+                                out[i] = Some(f(i, &frame.data.read()));
+                            }
+                            Self::unpin(&frame);
+                        }
+                        BatchSlot::Failed(e) => {
+                            if first_err.is_none() {
+                                first_err = Some(e);
+                            }
+                        }
+                        BatchSlot::Skipped => {
+                            if first_err.is_none() {
+                                match self.pin(ids[i]) {
+                                    Ok(frame) => {
+                                        out[i] = Some(f(i, &frame.data.read()));
+                                        Self::unpin(&frame);
+                                    }
+                                    Err(e) => first_err = Some(e),
+                                }
+                            }
+                        }
+                    }
+                }
+                if let Some(e) = first_err {
+                    return Err(e);
+                }
             }
         }
         // nbb-lint: allow(unwrap, the hit and miss passes cover every index)
         Ok(out.into_iter().map(|r| r.expect("every id visited")).collect())
+    }
+
+    /// Chunk bound for pool-level batch faults: even if every id in a
+    /// chunk lands in the same shard, the group never pins more than
+    /// half that shard's frames at once (N point calls hold at most one
+    /// pin each; the bound keeps the batch within what any shard can
+    /// always absorb).
+    fn batch_chunk(&self) -> usize {
+        let min = self.shards.iter().map(|s| s.frames.len()).min().unwrap_or(1);
+        (min / 2).max(1)
+    }
+
+    /// Demand-faults every page in `ids` in batched groups — the
+    /// eager form of [`BufferPool::with_page_batch`] for callers that
+    /// want residency, not bytes. Each bounded chunk reserves its
+    /// misses per shard (ascending order, one map acquisition each)
+    /// and rides **one** [`DiskManager::read_many`] spanning the whole
+    /// chunk, so adjacent ids coalesce even though they stripe across
+    /// shards. Pages land resident, referenced, and unpinned. Returns
+    /// the first per-page error (remaining pages are still faulted —
+    /// per-page independence, as everywhere in the batch path).
+    pub fn fault_many(&self, ids: &[PageId]) -> Result<()> {
+        let mut first_err: Option<StorageError> = None;
+        for part in ids.chunks(self.batch_chunk()) {
+            for (slot, id) in self.fault_batch(part, false).into_iter().zip(part) {
+                match slot {
+                    BatchSlot::Pinned(frame) => Self::unpin(&frame),
+                    BatchSlot::Failed(e) => {
+                        if first_err.is_none() {
+                            first_err = Some(e);
+                        }
+                    }
+                    BatchSlot::Skipped => match self.pin(*id) {
+                        Ok(frame) => Self::unpin(&frame),
+                        Err(e) => {
+                            if first_err.is_none() {
+                                first_err = Some(e);
+                            }
+                        }
+                    },
+                }
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Speculatively loads `ids` into spare frames — the readahead
+    /// entry point. Best-effort and silent: pages already resident,
+    /// already loading, unreservable, or failing their read are simply
+    /// skipped (a scan that outruns its readahead demand-faults as
+    /// usual). Loaded frames are published unpinned, unreferenced, and
+    /// flagged `prefetched`, making them the clock's **first-choice
+    /// victims**: speculation can never push out the demand-paged
+    /// working set. Counters: `prefetch_issued` now, `prefetch_hits` /
+    /// `prefetch_wasted` when each page's verdict lands.
+    pub fn prefetch(&self, ids: &[PageId]) {
+        for part in ids.chunks(self.batch_chunk()) {
+            let _ = self.fault_batch(part, true);
+        }
     }
 
     /// Runs `f` with exclusive access *without* dirtying the frame, and
@@ -1292,6 +1483,7 @@ impl BufferPool {
         }
         self.retire_victim(shard, frame, id)?;
         self.demote_victim(frame, id);
+        Self::settle_evicted(shard, frame);
         map.table.remove(&id);
         map.resident[idx] = None;
         map.free.push(idx);
@@ -1425,6 +1617,11 @@ impl BufferPool {
             out.writebacks += s.stats.writebacks.load(Ordering::Relaxed);
             out.faults += s.stats.faults.load(Ordering::Relaxed);
             out.fault_joins += s.stats.fault_joins.load(Ordering::Relaxed);
+            out.prefetch_issued += s.stats.prefetch_issued.load(Ordering::Relaxed);
+            out.prefetch_hits += s.stats.prefetch_hits.load(Ordering::Relaxed);
+            out.prefetch_wasted += s.stats.prefetch_wasted.load(Ordering::Relaxed);
+            out.read_batches += s.stats.read_batches.load(Ordering::Relaxed);
+            out.read_pages += s.stats.read_pages.load(Ordering::Relaxed);
         }
         if let Some(wb) = &self.wb {
             out.wb_enqueued = wb.enqueued.load(Ordering::Relaxed);
@@ -1455,6 +1652,11 @@ impl BufferPool {
             s.stats.writebacks.store(0, Ordering::Relaxed);
             s.stats.faults.store(0, Ordering::Relaxed);
             s.stats.fault_joins.store(0, Ordering::Relaxed);
+            s.stats.prefetch_issued.store(0, Ordering::Relaxed);
+            s.stats.prefetch_hits.store(0, Ordering::Relaxed);
+            s.stats.prefetch_wasted.store(0, Ordering::Relaxed);
+            s.stats.read_batches.store(0, Ordering::Relaxed);
+            s.stats.read_pages.store(0, Ordering::Relaxed);
         }
         if let Some(wb) = &self.wb {
             wb.enqueued.store(0, Ordering::Relaxed);
@@ -1502,6 +1704,31 @@ impl BufferPool {
         ct.enqueue_demotion(pid, copy);
     }
 
+    /// Hit-path bookkeeping shared by the point and batch paths: pin,
+    /// reference, count the hit, and settle a pending prefetch verdict
+    /// (first demand touch of a speculative frame = `prefetch_hits`).
+    /// Caller holds the shard map lock.
+    #[inline]
+    fn touch_resident(shard: &Shard, frame: &Frame) {
+        frame.pin.fetch_add(1, Ordering::AcqRel);
+        frame.refbit.store(true, Ordering::Relaxed);
+        if frame.prefetched.load(Ordering::Relaxed) {
+            frame.prefetched.store(false, Ordering::Relaxed);
+            shard.stats.prefetch_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        shard.stats.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Eviction-path prefetch verdict: a speculative frame evicted
+    /// before anyone touched it was wasted readahead. Caller holds the
+    /// shard map lock.
+    #[inline]
+    fn settle_evicted(shard: &Shard, frame: &Frame) {
+        if frame.prefetched.swap(false, Ordering::Relaxed) {
+            shard.stats.prefetch_wasted.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
     /// Pins `id` into a frame of its shard: a hit pins the resident
     /// frame, a request for a page mid-load parks on it, and a true miss
     /// becomes the loader — it reserves a frame, installs `Loading`,
@@ -1528,9 +1755,7 @@ impl BufferPool {
         match map.table.get(&id) {
             Some(&Residency::Resident(idx)) => {
                 let frame = &shard.frames[idx];
-                frame.pin.fetch_add(1, Ordering::AcqRel);
-                frame.refbit.store(true, Ordering::Relaxed);
-                shard.stats.hits.fetch_add(1, Ordering::Relaxed);
+                Self::touch_resident(shard, frame);
                 return Ok(Arc::clone(frame));
             }
             Some(Residency::Loading(inflight)) => {
@@ -1552,6 +1777,7 @@ impl BufferPool {
             // On error the victim stays resident and dirty — consistent.
             self.retire_victim(shard, frame, old)?;
             self.demote_victim(frame, old);
+            Self::settle_evicted(shard, frame);
             map.table.remove(&old);
             map.resident[idx] = None;
             shard.stats.evictions.fetch_add(1, Ordering::Relaxed);
@@ -1619,6 +1845,7 @@ impl BufferPool {
                 // between wake-up and use.
                 frame.pin.store(1 + joiners, Ordering::Release);
                 frame.refbit.store(true, Ordering::Relaxed);
+                frame.prefetched.store(false, Ordering::Relaxed);
                 map.table.insert(id, Residency::Resident(idx));
                 map.resident[idx] = Some(id);
                 drop(map);
@@ -1640,18 +1867,319 @@ impl BufferPool {
         }
     }
 
+    /// Faults a batch of pages — any mix of shards — with **one** map
+    /// acquisition *per shard* to reserve the misses (shards visited in
+    /// ascending order, never held together), **one** `read_many`
+    /// spanning the whole batch for the pages no memory tier could
+    /// serve, and one map acquisition per shard to publish. Keeping the
+    /// disk batch pool-wide is what lets adjacent page ids — which
+    /// stripe one-per-shard — still coalesce into a single device
+    /// round-trip. The per-page guarantees of [`BufferPool::pin`] are
+    /// preserved exactly: concurrent requesters join each page's own
+    /// `InFlight`, a failed page poisons only its own entry, and a
+    /// panicking disk unwinds through [`BatchAbortGuard`] like a failed
+    /// read.
+    ///
+    /// Demand mode (`speculative == false`) returns one [`BatchSlot`]
+    /// per input position; already-resident pages are pinned (hit
+    /// bookkeeping), mid-load pages are joined (the waits run *after*
+    /// this batch publishes, so a batch can never deadlock on its own
+    /// duplicates). Speculative mode touches nothing already resident
+    /// or loading, publishes loaded frames unpinned with the
+    /// `prefetched` flag set (first-choice victims), and reports
+    /// nothing — every slot comes back `Skipped`.
+    fn fault_batch(&self, ids: &[PageId], speculative: bool) -> Vec<BatchSlot> {
+        let mut slots: Vec<BatchSlot> = ids.iter().map(|_| BatchSlot::Skipped).collect();
+        let nshards = self.shards.len();
+        let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); nshards];
+        for (pos, id) in ids.iter().enumerate() {
+            by_shard[(id.0 % nshards as u64) as usize].push(pos);
+        }
+        // (position, page, shard index, frame index, its Loading entry)
+        // per reserved miss, contiguous by shard in ascending order.
+        let mut reserved: Vec<(usize, PageId, usize, usize, Arc<InFlight>)> = Vec::new();
+        // (position, in-flight load) per mid-flight join; parked on last.
+        let mut joins: Vec<(usize, Arc<InFlight>)> = Vec::new();
+        for (si, group) in by_shard.iter().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            let shard = &self.shards[si];
+            // rank-exempt: batch twin of the `pin` entry acquisition,
+            // re-enterable from user closures holding frame latches.
+            // One shard map at a time, ascending — never two at once.
+            let mut map = shard.map.lock_unordered();
+            for &pos in group {
+                let id = ids[pos];
+                match map.table.get(&id) {
+                    Some(&Residency::Resident(idx)) => {
+                        if !speculative {
+                            let frame = &shard.frames[idx];
+                            Self::touch_resident(shard, frame);
+                            slots[pos] = BatchSlot::Pinned(Arc::clone(frame));
+                        }
+                    }
+                    Some(Residency::Loading(inflight)) => {
+                        if !speculative {
+                            let inflight = Arc::clone(inflight);
+                            inflight.joiners.fetch_add(1, Ordering::Relaxed);
+                            shard.stats.misses.fetch_add(1, Ordering::Relaxed);
+                            shard.stats.fault_joins.fetch_add(1, Ordering::Relaxed);
+                            joins.push((pos, inflight));
+                        }
+                    }
+                    None => {
+                        // A shard out of victims degrades gracefully:
+                        // this page is skipped, the rest of the batch
+                        // proceeds.
+                        let Ok(idx) = Self::find_victim(shard, &mut map) else {
+                            continue;
+                        };
+                        let frame = &shard.frames[idx];
+                        if let Some(old) = map.resident[idx] {
+                            match self.retire_victim(shard, frame, old) {
+                                Ok(()) => {}
+                                // Victim stays resident and dirty, same
+                                // as the point path.
+                                Err(e) => {
+                                    if !speculative {
+                                        slots[pos] = BatchSlot::Failed(e);
+                                    }
+                                    continue;
+                                }
+                            }
+                            self.demote_victim(frame, old);
+                            Self::settle_evicted(shard, frame);
+                            map.table.remove(&old);
+                            map.resident[idx] = None;
+                            shard.stats.evictions.fetch_add(1, Ordering::Relaxed);
+                        }
+                        frame.pin.store(1, Ordering::Release);
+                        let inflight = Arc::new(InFlight::new());
+                        map.table.insert(id, Residency::Loading(Arc::clone(&inflight)));
+                        shard.stats.misses.fetch_add(1, Ordering::Relaxed);
+                        shard.stats.faults.fetch_add(1, Ordering::Relaxed);
+                        if speculative {
+                            shard.stats.prefetch_issued.fetch_add(1, Ordering::Relaxed);
+                        }
+                        reserved.push((pos, id, si, idx, inflight));
+                    }
+                }
+            }
+        }
+
+        if !reserved.is_empty() {
+            // Armed before the frame latches below so an unwind drops
+            // the latches first, then frees the reservations.
+            let mut abort = BatchAbortGuard {
+                shards: &self.shards,
+                entries: reserved
+                    .iter()
+                    .map(|(_, id, si, idx, inf)| (*id, *si, *idx, Arc::clone(inf)))
+                    .collect(),
+            };
+
+            // Latch every reserved frame at once (frame latches are a
+            // multi rank, and a just-reserved frame — pinned, mapped to
+            // nothing — has no other suitor), then walk the storage
+            // hierarchy per page; only the leftovers ride the disk batch.
+            enum Serve {
+                Loaded { dirty: bool, decompressed: bool },
+                NeedsDisk,
+                Failed(StorageError),
+            }
+            let mut guards: Vec<_> = reserved
+                .iter()
+                .map(|(_, _, si, idx, _)| self.shards[*si].frames[*idx].data.write())
+                .collect();
+            let mut serves: Vec<Serve> = Vec::with_capacity(reserved.len());
+            for (k, (_, id, _, _, _)) in reserved.iter().enumerate() {
+                let guard = &mut guards[k];
+                if let Some(wb) = &self.wb {
+                    if wb.serve_fault(*id, guard) {
+                        serves.push(Serve::Loaded { dirty: true, decompressed: false });
+                        continue;
+                    }
+                }
+                match self.ct.as_ref().and_then(|ct| ct.claim(*id)) {
+                    Some(enc) => match pagecodec::decompress(&enc, guard.bytes_mut()) {
+                        Ok(()) => serves.push(Serve::Loaded { dirty: false, decompressed: true }),
+                        Err(e) => serves.push(Serve::Failed(StorageError::Io(format!(
+                            "decompress page {id}: {e}"
+                        )))),
+                    },
+                    None => serves.push(Serve::NeedsDisk),
+                }
+            }
+            let mut batch_ks: Vec<usize> = Vec::new();
+            {
+                let mut batch: Vec<(PageId, &mut Page)> = Vec::new();
+                for (k, guard) in guards.iter_mut().enumerate() {
+                    if matches!(serves[k], Serve::NeedsDisk) {
+                        batch.push((reserved[k].1, &mut **guard));
+                        batch_ks.push(k);
+                    }
+                }
+                if !batch.is_empty() {
+                    // One device round-trip for the whole batch: the
+                    // batch count lands on the first page's shard, each
+                    // page on its own (aggregation sums the shards, so
+                    // the pool-level ratio stays pages-per-round-trip).
+                    self.shards[reserved[batch_ks[0]].2]
+                        .stats
+                        .read_batches
+                        .fetch_add(1, Ordering::Relaxed);
+                    for &k in &batch_ks {
+                        self.shards[reserved[k].2].stats.read_pages.fetch_add(1, Ordering::Relaxed);
+                    }
+                    let res = self.disk.read_many(&mut batch);
+                    drop(batch);
+                    match res {
+                        Ok(()) => {
+                            for &k in &batch_ks {
+                                serves[k] = Serve::Loaded { dirty: false, decompressed: false };
+                            }
+                        }
+                        // A batch error makes no claim about which pages
+                        // landed; re-read each one (idempotent by the
+                        // `read_many` contract) so only the genuinely
+                        // failing pages poison their entries.
+                        Err(_) => {
+                            for &k in &batch_ks {
+                                serves[k] = match self.disk.read(reserved[k].1, &mut guards[k]) {
+                                    Ok(()) => Serve::Loaded { dirty: false, decompressed: false },
+                                    Err(e) => Serve::Failed(e),
+                                };
+                            }
+                        }
+                    }
+                }
+            }
+            drop(guards);
+
+            let mut resolutions: Vec<Resolution> = Vec::with_capacity(reserved.len());
+            // Publish shard by shard in reservation (ascending) order;
+            // `reserved` is contiguous per shard, so each run is one
+            // map acquisition. Guard entries parallel `reserved` — the
+            // published prefix is drained before the shard's map drops,
+            // so an unwind can never double-free a published frame.
+            let mut iter = reserved.into_iter().zip(serves).peekable();
+            while let Some(((_, _, next_si, _, _), _)) = iter.peek() {
+                let si = *next_si;
+                let shard = &self.shards[si];
+                // rank-exempt: batch twin of `pin`'s publish
+                // acquisition; may be nested under the caller's outer
+                // frame latches. One shard map at a time, ascending.
+                let mut map = shard.map.lock_unordered();
+                let mut published = 0usize;
+                loop {
+                    match iter.peek() {
+                        Some(((_, _, s, _, _), _)) if *s == si => {}
+                        _ => break,
+                    }
+                    let Some(((pos, id, _, idx, inflight), serve)) = iter.next() else {
+                        break;
+                    };
+                    published += 1;
+                    let frame = &shard.frames[idx];
+                    // Only this batch resolves these entries, so the
+                    // joiner counts are final once the entries leave
+                    // the table.
+                    let joiners = inflight.joiners.load(Ordering::Relaxed);
+                    match serve {
+                        Serve::Loaded { dirty, decompressed } => {
+                            if let Some(ct) = &self.ct {
+                                ct.invalidate(id);
+                                if decompressed {
+                                    ct.hits.fetch_add(1, Ordering::Relaxed);
+                                    ct.stalls.fetch_add(u64::from(joiners), Ordering::Relaxed);
+                                }
+                            }
+                            frame.dirty.store(dirty, Ordering::Release);
+                            if speculative {
+                                // No requester yet: published unpinned (bar
+                                // pins pre-granted to mid-flight joiners),
+                                // unreferenced, and flagged first-choice
+                                // victim. A joiner *is* a requester — the
+                                // speculation already paid off.
+                                frame.pin.store(joiners, Ordering::Release);
+                                if joiners > 0 {
+                                    frame.refbit.store(true, Ordering::Relaxed);
+                                    frame.prefetched.store(false, Ordering::Relaxed);
+                                    shard.stats.prefetch_hits.fetch_add(1, Ordering::Relaxed);
+                                } else {
+                                    frame.refbit.store(false, Ordering::Relaxed);
+                                    frame.prefetched.store(true, Ordering::Relaxed);
+                                }
+                            } else {
+                                frame.pin.store(1 + joiners, Ordering::Release);
+                                frame.refbit.store(true, Ordering::Relaxed);
+                                frame.prefetched.store(false, Ordering::Relaxed);
+                            }
+                            map.table.insert(id, Residency::Resident(idx));
+                            map.resident[idx] = Some(id);
+                            if !speculative {
+                                slots[pos] = BatchSlot::Pinned(Arc::clone(frame));
+                            }
+                            resolutions.push((inflight, Ok(Arc::clone(frame))));
+                        }
+                        Serve::Failed(e) => {
+                            frame.dirty.store(false, Ordering::Release);
+                            frame.pin.store(0, Ordering::Release);
+                            frame.prefetched.store(false, Ordering::Relaxed);
+                            map.table.remove(&id);
+                            map.free.push(idx);
+                            if !speculative {
+                                slots[pos] = BatchSlot::Failed(e.clone());
+                            }
+                            resolutions.push((inflight, Err(e)));
+                        }
+                        // nbb-lint: allow(unwrap, every NeedsDisk was rewritten by the batch or fallback reads)
+                        Serve::NeedsDisk => unreachable!("NeedsDisk survived the disk pass"),
+                    }
+                }
+                abort.entries.drain(..published);
+                drop(map);
+            }
+            for (inflight, outcome) in resolutions {
+                inflight.resolve(outcome);
+            }
+        }
+
+        // Park on the joins only now that our own batch has published —
+        // a duplicate id in one batch joins its own first occurrence.
+        for (pos, inflight) in joins {
+            slots[pos] = match inflight.wait() {
+                Ok(frame) => BatchSlot::Pinned(frame),
+                Err(e) => BatchSlot::Failed(e),
+            };
+        }
+        slots
+    }
+
     #[inline]
     fn unpin(frame: &Frame) {
         frame.pin.fetch_sub(1, Ordering::AcqRel);
     }
 
     /// Clock (second-chance) victim selection over the shard's unpinned
-    /// frames; free frames are taken from the free list first. Frames
+    /// frames; free frames are taken from the free list first, then
+    /// untouched prefetched frames, then the clock sweep. Frames
     /// reserved by an in-flight load are pinned, so the clock never
     /// steals them.
     fn find_victim(shard: &Shard, map: &mut ShardMap) -> Result<usize> {
         if let Some(idx) = map.free.pop() {
             return Ok(idx);
+        }
+        // Speculation goes first: a prefetched frame nobody touched is
+        // reclaimed before the clock disturbs the demand-paged set, so
+        // readahead can never evict working-set pages to make room for
+        // more readahead. (Flag transitions all happen under the shard
+        // map lock, so the scan is race-free.)
+        for (idx, frame) in shard.frames.iter().enumerate() {
+            if frame.prefetched.load(Ordering::Relaxed) && frame.pin.load(Ordering::Acquire) == 0 {
+                return Ok(idx);
+            }
         }
         let n = shard.frames.len();
         // Two sweeps: the first clears reference bits, the second takes
@@ -2726,5 +3254,123 @@ mod tests {
         let mut buf = Page::new(256);
         disk.read(a, &mut buf).unwrap();
         assert_eq!(buf.bytes()[0], 9, "the sweep flushed the writer's bytes once it got the latch");
+    }
+
+    /// Writes `n` pages with recognizable content through one pool,
+    /// flushes, and returns a **cold** pool over the same disk plus the
+    /// page ids — the setup every batch-read test starts from.
+    fn cold_pool(cap: usize, n: usize) -> (Arc<BufferPool>, Arc<InMemoryDisk>, Vec<PageId>) {
+        let disk = Arc::new(InMemoryDisk::new(256));
+        let warm = BufferPool::new(Arc::clone(&disk) as Arc<dyn DiskManager>, cap.max(n));
+        let mut ids = Vec::new();
+        for i in 0..n {
+            let (id, ()) = warm.new_page_with(|p| p.bytes_mut()[0] = i as u8 + 1).unwrap();
+            ids.push(id);
+        }
+        warm.flush_all().unwrap();
+        drop(warm);
+        let pool = Arc::new(BufferPool::new(Arc::clone(&disk) as Arc<dyn DiskManager>, cap));
+        (pool, disk, ids)
+    }
+
+    #[test]
+    fn prefetch_loads_in_one_batch_and_publishes_unpinned() {
+        let (pool, disk, ids) = cold_pool(8, 4);
+        disk.reset_stats();
+        pool.prefetch(&ids);
+        for &id in &ids {
+            assert!(pool.contains(id), "prefetched page {id} should be resident");
+        }
+        assert_eq!(disk.stats().reads, 4, "per-page read accounting preserved");
+        let s = pool.stats();
+        assert_eq!(s.prefetch_issued, 4);
+        assert_eq!(s.faults, 4, "prefetches run the full fault machinery");
+        assert_eq!(s.read_batches, 1, "one read_many for the whole group");
+        assert_eq!(s.read_pages, 4);
+        assert_eq!(s.prefetch_hits, 0);
+        // Unpinned: a forced eviction succeeds immediately.
+        pool.evict_page(ids[0]).unwrap();
+        assert_eq!(pool.stats().prefetch_wasted, 1, "evicted untouched = wasted speculation");
+        // A demand touch settles the verdict the other way.
+        let got = pool.with_page(ids[1], |p| p.bytes()[0]).unwrap();
+        assert_eq!(got, 2);
+        let s = pool.stats();
+        assert_eq!(s.prefetch_hits, 1);
+        assert_eq!(s.hits, 1, "the demand touch was an ordinary hit");
+    }
+
+    #[test]
+    fn prefetch_skips_resident_and_loading_pages() {
+        let (pool, disk, ids) = cold_pool(8, 3);
+        pool.fault_many(&ids).unwrap();
+        disk.reset_stats();
+        pool.prefetch(&ids);
+        assert_eq!(disk.stats().reads, 0, "nothing to do: all resident");
+        assert_eq!(pool.stats().prefetch_issued, 0);
+    }
+
+    #[test]
+    fn prefetched_frames_are_first_choice_victims() {
+        // Four frames: three demand-paged, one speculative. The next
+        // miss must reclaim the speculative one, not touch the working
+        // set.
+        let (pool, _disk, ids) = cold_pool(4, 5);
+        let (hot, spec, fresh) = (&ids[0..3], ids[3], ids[4]);
+        for &id in hot {
+            pool.with_page(id, |_| ()).unwrap();
+        }
+        pool.prefetch(&[spec]);
+        assert!(pool.contains(spec));
+        pool.with_page(fresh, |_| ()).unwrap();
+        assert!(!pool.contains(spec), "speculative frame must be the first victim");
+        for &id in hot {
+            assert!(pool.contains(id), "demand-paged working set survived");
+        }
+        assert_eq!(pool.stats().prefetch_wasted, 1);
+    }
+
+    #[test]
+    fn fault_many_batches_reads_and_leaves_pages_resident() {
+        let (pool, disk, ids) = cold_pool(8, 4);
+        disk.reset_stats();
+        pool.fault_many(&ids).unwrap();
+        let s = pool.stats();
+        assert_eq!(s.faults, 4);
+        assert_eq!(s.read_batches, 1);
+        assert_eq!(s.read_pages, 4);
+        assert_eq!(s.prefetch_issued, 0, "demand faults are not speculation");
+        for (i, &id) in ids.iter().enumerate() {
+            assert!(pool.contains(id));
+            assert_eq!(pool.with_page(id, |p| p.bytes()[0]).unwrap(), i as u8 + 1);
+        }
+        // No pin leaked: every page can be forced out.
+        for &id in &ids {
+            pool.evict_page(id).unwrap();
+        }
+        // A second fault_many over resident pages is all hits.
+        pool.fault_many(&ids).unwrap();
+        pool.reset_stats();
+        pool.fault_many(&ids).unwrap();
+        let s = pool.stats();
+        assert_eq!(s.hits, 4);
+        assert_eq!(s.read_batches, 0);
+    }
+
+    #[test]
+    fn with_page_batch_faults_misses_in_one_read_batch() {
+        let (pool, disk, ids) = cold_pool(8, 4);
+        // Warm half the batch so the group mixes hits and misses.
+        pool.with_page(ids[0], |_| ()).unwrap();
+        pool.with_page(ids[2], |_| ()).unwrap();
+        disk.reset_stats();
+        pool.reset_stats();
+        let got = pool.with_page_batch(&ids, |_, p| p.bytes()[0]).unwrap();
+        assert_eq!(got, vec![1, 2, 3, 4]);
+        let s = pool.stats();
+        assert_eq!(s.hits, 2);
+        assert_eq!(s.faults, 2);
+        assert_eq!(s.read_batches, 1, "both misses rode one read_many");
+        assert_eq!(s.read_pages, 2);
+        assert_eq!(disk.stats().reads, 2);
     }
 }

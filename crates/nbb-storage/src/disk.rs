@@ -82,6 +82,27 @@ pub trait DiskManager: Send + Sync {
         Ok(())
     }
 
+    /// Reads a batch of pages, each into its paired buffer. The default
+    /// implementation issues one [`DiskManager::read`] per entry,
+    /// stopping at the first error; implementations with a cheaper bulk
+    /// path (one lock acquisition, one syscall, one device round-trip)
+    /// override it — the buffer pool's batch-fault path drains its
+    /// misses through this, so an override directly amortizes cold
+    /// scans and multi-point lookups.
+    ///
+    /// Contract (the read-side twin of [`DiskManager::write_many`]):
+    /// callers never repeat a page id within one batch (the pool claims
+    /// each `Loading` slot before batching), and a batch error makes no
+    /// claim about which buffers were filled — callers must treat every
+    /// page in the batch as unread and retry; page reads are
+    /// idempotent, so re-reading a page that did land is harmless.
+    fn read_many(&self, pages: &mut [(PageId, &mut Page)]) -> Result<()> {
+        for (id, buf) in pages.iter_mut() {
+            self.read(*id, buf)?;
+        }
+        Ok(())
+    }
+
     /// Number of allocated pages.
     fn num_pages(&self) -> u64;
 
@@ -177,6 +198,18 @@ impl DiskManager for InMemoryDisk {
             let dst = store.get_mut(id.0 as usize).ok_or(StorageError::PageNotFound(id.0))?;
             dst.copy_from_slice(page.bytes());
             self.stats.record_write(0);
+        }
+        Ok(())
+    }
+
+    /// Bulk override: the whole batch is served under **one** store-lock
+    /// acquisition instead of one per page, mirroring `write_many`.
+    fn read_many(&self, pages: &mut [(PageId, &mut Page)]) -> Result<()> {
+        let store = self.pages.lock();
+        for (id, buf) in pages.iter_mut() {
+            let src = store.get(id.0 as usize).ok_or(StorageError::PageNotFound(id.0))?;
+            buf.bytes_mut().copy_from_slice(src);
+            self.stats.record_read(0);
         }
         Ok(())
     }
@@ -296,6 +329,20 @@ impl DiskManager for LatencyDisk {
         self.inner.read(id, buf)?;
         Self::block_for(self.model.read_ns);
         self.stats.record_read(self.model.read_ns);
+        Ok(())
+    }
+
+    /// Bulk override modeling seek amortization: the whole batch blocks
+    /// for **one** device latency instead of one per page (a single
+    /// seek + sequential transfer). Accounting stays per page (`reads`
+    /// climbs by the batch size) but only the first page carries the
+    /// simulated latency, so `sim_read_ns` reflects the one seek.
+    fn read_many(&self, pages: &mut [(PageId, &mut Page)]) -> Result<()> {
+        self.inner.read_many(pages)?;
+        Self::block_for(self.model.read_ns);
+        for (i, _) in pages.iter().enumerate() {
+            self.stats.record_read(if i == 0 { self.model.read_ns } else { 0 });
+        }
         Ok(())
     }
 
@@ -445,6 +492,55 @@ impl DiskManager for FileDisk {
             }
             for _ in run {
                 self.stats.record_write(0);
+            }
+            run_start = run_end;
+        }
+        Ok(())
+    }
+
+    /// Bulk override mirroring `write_many`: sorts the batch by page id
+    /// and coalesces each run of *adjacent* ids into one contiguous
+    /// staging buffer filled with a single positioned read — one seek +
+    /// one syscall per run instead of one per page (cold scans fault
+    /// leaves in allocation order, so sequential workloads produce long
+    /// runs). The copy out of the staging buffer is the price of the
+    /// vectored read; gaps break a run and start a new one. Validation
+    /// happens up front so a bad id fails the batch before any buffer
+    /// is touched.
+    fn read_many(&self, pages: &mut [(PageId, &mut Page)]) -> Result<()> {
+        let next = self.next_page.load(Ordering::SeqCst);
+        for (id, _) in pages.iter() {
+            if id.0 >= next {
+                return Err(StorageError::PageNotFound(id.0));
+            }
+        }
+        // Sort indices, not the entries: the buffers are mutable
+        // borrows, so runs are discovered through an index permutation.
+        let mut order: Vec<usize> = (0..pages.len()).collect();
+        order.sort_by_key(|&i| pages[i].0);
+        let mut run_start = 0;
+        while run_start < order.len() {
+            let mut run_end = run_start + 1;
+            while run_end < order.len()
+                && pages[order[run_end]].0 .0 == pages[order[run_end - 1]].0 .0 + 1
+            {
+                run_end += 1;
+            }
+            let run = &order[run_start..run_end];
+            if run.len() == 1 {
+                let (id, buf) = &mut pages[run[0]];
+                self.pread(id.0 * self.page_size as u64, buf.bytes_mut())?;
+            } else {
+                let first = pages[run[0]].0 .0;
+                let mut staging = vec![0u8; run.len() * self.page_size];
+                self.pread(first * self.page_size as u64, &mut staging)?;
+                for (k, &i) in run.iter().enumerate() {
+                    let chunk = &staging[k * self.page_size..(k + 1) * self.page_size];
+                    pages[i].1.bytes_mut().copy_from_slice(chunk);
+                }
+            }
+            for _ in run {
+                self.stats.record_read(0);
             }
             run_start = run_end;
         }
@@ -607,6 +703,119 @@ mod tests {
         let p = Page::new(512);
         let batch = vec![(a, &p), (PageId(99), &p)];
         assert!(matches!(d.write_many(&batch), Err(StorageError::PageNotFound(99))));
+    }
+
+    #[test]
+    fn read_many_matches_point_reads() {
+        // The InMemoryDisk override and the trait's default (exercised
+        // through SimulatedDisk, which does not override) must both
+        // fill every buffer and count every read.
+        let disks: [&dyn DiskManager; 2] = [
+            &InMemoryDisk::new(512),
+            &SimulatedDisk::new(512, DiskModel { read_ns: 5, write_ns: 0 }),
+        ];
+        for disk in disks {
+            let ids: Vec<PageId> = (0..4).map(|_| disk.allocate().unwrap()).collect();
+            for (i, id) in ids.iter().enumerate() {
+                let mut p = Page::new(512);
+                p.bytes_mut()[0] = 100 + i as u8;
+                disk.write(*id, &p).unwrap();
+            }
+            let mut bufs: Vec<Page> = (0..4).map(|_| Page::new(512)).collect();
+            let mut batch: Vec<(PageId, &mut Page)> =
+                ids.iter().copied().zip(bufs.iter_mut()).collect();
+            disk.reset_stats();
+            disk.read_many(&mut batch).unwrap();
+            assert_eq!(disk.stats().reads, 4, "every batched read counted");
+            for (i, buf) in bufs.iter().enumerate() {
+                assert_eq!(buf.bytes()[0], 100 + i as u8);
+            }
+        }
+    }
+
+    #[test]
+    fn file_disk_read_many_coalesces_adjacent_runs() {
+        // Gap/run mix, submitted unsorted: ids {0,1,2}, {5}, {7,8} must
+        // be served as three coalesced positioned reads covering every
+        // page (read accounting stays per page), and each buffer must
+        // receive its own page's bytes — not a neighbour's.
+        let dir = std::env::temp_dir().join(format!("nbb_disk_test_rm_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("coalesce_read.db");
+        let d = FileDisk::create(&path, 512).unwrap();
+        for _ in 0..9 {
+            d.allocate().unwrap();
+        }
+        for id in 0u64..9 {
+            let mut p = Page::new(512);
+            p.bytes_mut()[0] = 0x40 + id as u8;
+            p.bytes_mut()[511] = id as u8;
+            d.write(PageId(id), &p).unwrap();
+        }
+        let batch_ids = [7u64, 0, 8, 2, 5, 1]; // unsorted on purpose
+        let mut bufs: Vec<Page> = batch_ids.iter().map(|_| Page::new(512)).collect();
+        let mut batch: Vec<(PageId, &mut Page)> =
+            batch_ids.iter().map(|&id| PageId(id)).zip(bufs.iter_mut()).collect();
+        d.reset_stats();
+        d.read_many(&mut batch).unwrap();
+        assert_eq!(d.stats().reads, 6, "accounting stays per page");
+        for (k, &id) in batch_ids.iter().enumerate() {
+            assert_eq!(bufs[k].bytes()[0], 0x40 + id as u8, "page {id}");
+            assert_eq!(bufs[k].bytes()[511], id as u8, "page {id} tail");
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn file_disk_read_many_rejects_unallocated_ids_up_front() {
+        let dir = std::env::temp_dir().join(format!("nbb_disk_test_rmv_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("validate_read.db");
+        let d = FileDisk::create(&path, 512).unwrap();
+        let a = d.allocate().unwrap();
+        let mut p1 = Page::new(512);
+        let mut p2 = Page::new(512);
+        let mut batch = vec![(a, &mut p1), (PageId(42), &mut p2)];
+        assert!(matches!(d.read_many(&mut batch), Err(StorageError::PageNotFound(42))));
+        assert_eq!(d.stats().reads, 0, "validation fails before any read lands");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn read_many_of_unallocated_page_errors() {
+        let d = InMemoryDisk::new(512);
+        let a = d.allocate().unwrap();
+        let mut p1 = Page::new(512);
+        let mut p2 = Page::new(512);
+        let mut batch = vec![(a, &mut p1), (PageId(99), &mut p2)];
+        assert!(matches!(d.read_many(&mut batch), Err(StorageError::PageNotFound(99))));
+    }
+
+    #[test]
+    fn latency_disk_read_many_charges_one_latency_per_batch() {
+        let d = LatencyDisk::new(512, DiskModel { read_ns: 2_000_000, write_ns: 0 });
+        let ids: Vec<PageId> = (0..4).map(|_| d.allocate().unwrap()).collect();
+        for (i, id) in ids.iter().enumerate() {
+            let mut p = Page::new(512);
+            p.bytes_mut()[0] = i as u8 + 1;
+            d.write(*id, &p).unwrap();
+        }
+        d.reset_stats();
+        let mut bufs: Vec<Page> = (0..4).map(|_| Page::new(512)).collect();
+        let mut batch: Vec<(PageId, &mut Page)> =
+            ids.iter().copied().zip(bufs.iter_mut()).collect();
+        let start = std::time::Instant::now();
+        d.read_many(&mut batch).unwrap();
+        assert!(
+            start.elapsed() >= std::time::Duration::from_millis(2),
+            "batch must block for one modeled latency"
+        );
+        for (i, buf) in bufs.iter().enumerate() {
+            assert_eq!(buf.bytes()[0], i as u8 + 1);
+        }
+        let s = d.stats();
+        assert_eq!(s.reads, 4, "accounting stays per page");
+        assert_eq!(s.sim_read_ns, 2_000_000, "one seek charged for the whole batch");
     }
 
     #[test]

@@ -128,6 +128,27 @@ pub struct PoolStats {
     pub compressed_pages: u64,
     /// Bytes currently held compressed (a gauge, like `wb_pending`).
     pub compressed_bytes: u64,
+    /// Speculative loads started by `BufferPool::prefetch` (pages a
+    /// readahead batch pulled in ahead of any requester). Also counted
+    /// in `faults`/`misses` — the frame machinery ran in full.
+    pub prefetch_issued: u64,
+    /// Prefetched pages a requester went on to touch: the speculation
+    /// that paid off. Counted once per prefetched page, on its first
+    /// demand access (or when a demand requester joined the speculative
+    /// load mid-flight).
+    pub prefetch_hits: u64,
+    /// Prefetched pages evicted untouched: the speculation that missed.
+    /// `prefetch_issued - prefetch_hits - prefetch_wasted` pages are
+    /// still resident awaiting a verdict.
+    pub prefetch_wasted: u64,
+    /// Batched disk reads issued by the pool's batch-fault path (each
+    /// one [`crate::disk::DiskManager::read_many`] call, however many
+    /// pages it carried).
+    pub read_batches: u64,
+    /// Pages carried by those batched reads;
+    /// `read_pages / read_batches` is the achieved read coalescing
+    /// factor.
+    pub read_pages: u64,
 }
 
 impl PoolStats {

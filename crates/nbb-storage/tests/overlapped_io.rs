@@ -32,8 +32,15 @@ struct GateDisk {
     held: Mutex<(bool, bool)>,
     cv: Condvar,
     fail_reads: AtomicBool,
+    /// Fail any read touching exactly this page id (`u64::MAX` =
+    /// none). A `read_many` batch containing it fails **as a whole** —
+    /// exercising the contract's "a batch error makes no claim about
+    /// which pages landed" clause and the pool's per-page fallback.
+    fail_page: AtomicU64,
     panic_reads: AtomicBool,
     read_attempts: AtomicU64,
+    /// Sizes of the `read_many` batches that reached the disk.
+    read_batches: Mutex<Vec<usize>>,
 }
 
 impl GateDisk {
@@ -43,8 +50,10 @@ impl GateDisk {
             held: Mutex::new((false, false)),
             cv: Condvar::new(),
             fail_reads: AtomicBool::new(false),
+            fail_page: AtomicU64::new(u64::MAX),
             panic_reads: AtomicBool::new(false),
             read_attempts: AtomicU64::new(0),
+            read_batches: Mutex::new(Vec::new()),
         }
     }
 
@@ -84,10 +93,30 @@ impl DiskManager for GateDisk {
         if self.panic_reads.load(Ordering::Relaxed) {
             panic!("injected read panic");
         }
-        if self.fail_reads.load(Ordering::Relaxed) {
+        if self.fail_reads.load(Ordering::Relaxed) || self.fail_page.load(Ordering::Relaxed) == id.0
+        {
             return Err(StorageError::Io("injected read failure".into()));
         }
         self.inner.read(id, buf)
+    }
+    fn read_many(&self, pages: &mut [(PageId, &mut Page)]) -> Result<()> {
+        self.read_batches.lock().push(pages.len());
+        let mut held = self.held.lock();
+        while held.0 {
+            self.cv.wait(&mut held);
+        }
+        drop(held);
+        if self.panic_reads.load(Ordering::Relaxed) {
+            panic!("injected read panic");
+        }
+        let fail = self.fail_page.load(Ordering::Relaxed);
+        if self.fail_reads.load(Ordering::Relaxed) || pages.iter().any(|(id, _)| id.0 == fail) {
+            return Err(StorageError::Io("injected batch read failure".into()));
+        }
+        for (id, buf) in pages.iter_mut() {
+            self.inner.read(*id, buf)?;
+        }
+        Ok(())
     }
     fn write(&self, id: PageId, page: &Page) -> Result<()> {
         let mut held = self.held.lock();
@@ -385,4 +414,93 @@ fn panicking_load_poisons_waiters_and_frees_the_frame() {
         let p2 = pool.new_page().unwrap();
         pool.with_page(p2, |_| ()).unwrap();
     }
+}
+
+/// Allocates `n` cold pages on `disk` with recognizable content
+/// (`id + 1` at byte 0), without warming the pool.
+fn seed_cold_pages(disk: &GateDisk, n: usize) -> Vec<PageId> {
+    (0..n)
+        .map(|i| {
+            let id = disk.allocate().unwrap();
+            let mut page = Page::new(disk.page_size());
+            page.bytes_mut()[0] = i as u8 + 1;
+            disk.write(id, &page).unwrap();
+            id
+        })
+        .collect()
+}
+
+#[test]
+fn failing_page_in_batch_poisons_only_its_own_entry() {
+    let disk = Arc::new(GateDisk::new(512));
+    let pool =
+        Arc::new(BufferPool::with_options(Arc::clone(&disk) as Arc<dyn DiskManager>, 8, 1, 64, 0));
+    let ids = seed_cold_pages(&disk, 4);
+    let bad = ids[2];
+    disk.fail_page.store(bad.0, Ordering::Relaxed);
+
+    // The whole batch rides one read_many, which fails as a unit; the
+    // pool's per-page fallback must then land every sibling and pin
+    // the failure on the one genuinely bad page.
+    let err = pool.fault_many(&ids).unwrap_err();
+    assert!(matches!(err, StorageError::Io(_)), "the bad page's error surfaces: {err:?}");
+    assert_eq!(disk.read_batches.lock().as_slice(), &[4], "one batch carried all four pages");
+    for &id in &ids {
+        if id == bad {
+            assert!(!pool.contains(id), "the failed page must not publish");
+        } else {
+            assert!(pool.contains(id), "sibling {id} must publish despite the batch error");
+        }
+    }
+    let s = pool.stats();
+    assert_eq!(s.read_batches, 1);
+    assert_eq!(s.read_pages, 4);
+
+    // Retry heals: no zombie Loading entry, no leaked frame.
+    disk.fail_page.store(u64::MAX, Ordering::Relaxed);
+    assert_eq!(pool.with_page(bad, |p| p.bytes()[0]).unwrap(), 3);
+}
+
+#[test]
+fn batch_fault_failure_poisons_only_its_own_parked_joiners() {
+    let disk = Arc::new(GateDisk::new(512));
+    let pool =
+        Arc::new(BufferPool::with_options(Arc::clone(&disk) as Arc<dyn DiskManager>, 8, 1, 64, 0));
+    let ids = seed_cold_pages(&disk, 2);
+    let (good, bad) = (ids[0], ids[1]);
+    disk.fail_page.store(bad.0, Ordering::Relaxed);
+    disk.hold_reads();
+
+    // The batch thread reserves both Loading entries, then blocks at
+    // the read gate inside read_many.
+    let batcher = {
+        let pool = Arc::clone(&pool);
+        let ids = ids.clone();
+        std::thread::spawn(move || pool.fault_many(&ids))
+    };
+    // One joiner per page parks on the batch's in-flight entries; the
+    // gate only opens once both are provably parked.
+    let join_good = {
+        let pool = Arc::clone(&pool);
+        std::thread::spawn(move || pool.with_page(good, |p| p.bytes()[0]))
+    };
+    let join_bad = {
+        let pool = Arc::clone(&pool);
+        std::thread::spawn(move || pool.with_page(bad, |p| p.bytes()[0]))
+    };
+    await_joins(&pool, 2);
+    disk.release_reads();
+
+    assert!(batcher.join().unwrap().is_err(), "the batch surfaces the bad page's error");
+    assert_eq!(join_good.join().unwrap().unwrap(), 1, "the good page's joiner got its bytes");
+    let err = join_bad.join().unwrap().unwrap_err();
+    assert!(matches!(err, StorageError::Io(_)), "the bad page's joiner was poisoned: {err:?}");
+    let s = pool.stats();
+    assert_eq!(s.fault_joins, 2, "both joiners parked instead of re-reading");
+    assert!(pool.contains(good));
+    assert!(!pool.contains(bad));
+
+    // Retry heals the poisoned page.
+    disk.fail_page.store(u64::MAX, Ordering::Relaxed);
+    assert_eq!(pool.with_page(bad, |p| p.bytes()[0]).unwrap(), 2);
 }

@@ -25,7 +25,8 @@ fn degenerate_config() -> DbConfig {
         intent_stripes: 1,
         compressed_budget_bytes: 0,
         tuning_interval: None,
-        disk_model: None,
+        readahead: 0,
+        ..DbConfig::default()
     }
 }
 
