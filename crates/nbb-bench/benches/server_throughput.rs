@@ -1,0 +1,55 @@
+//! End-to-end pipelining comparison over the network front door: the
+//! same connection fleet at depth 1 (strict request/response) versus
+//! deeper pipelines, against a latency-modeled disk. Depth-K lets K
+//! faults' device waits overlap across the server's worker pool where
+//! depth-1 pays them serially — the wire twin of the engine's batched
+//! read amortization.
+//!
+//! `cargo bench -p nbb-bench --bench server_throughput`
+
+use nbb_bench::report::{f, print_table};
+use nbb_bench::serverload::{run, LoadSpec, READ_NS};
+
+fn main() {
+    let base = LoadSpec {
+        rows: 50_000,
+        conns: 2,
+        depth: 1,
+        ops_per_conn: 200,
+        keys_per_op: 4,
+        workers: 8,
+    };
+    let runs: Vec<_> =
+        [1usize, 4, 16].iter().map(|&depth| run(LoadSpec { depth, ..base })).collect();
+
+    let mut table = Vec::new();
+    for r in &runs {
+        table.push(vec![
+            r.spec.depth.to_string(),
+            f(r.requests_per_s(), 1),
+            f(r.rows_per_s(), 1),
+            f(r.elapsed.as_secs_f64() * 1e3, 1),
+            r.stats.queue_full_parks.to_string(),
+        ]);
+    }
+    print_table(
+        &format!(
+            "pipelined get_many over loopback, {} conns x {} ops @ {} us/fault",
+            base.conns,
+            base.ops_per_conn,
+            READ_NS / 1000
+        ),
+        &["depth", "req_s", "rows_s", "ms", "parks"],
+        &table,
+    );
+
+    let ratio = runs[runs.len() - 1].requests_per_s() / runs[0].requests_per_s();
+    println!(
+        "\npipelining speedup: {ratio:.1}x (depth {} vs depth 1, equal conns)",
+        runs[runs.len() - 1].spec.depth
+    );
+    assert!(
+        ratio >= 2.0,
+        "depth-16 pipelining must deliver >= 2x depth-1 throughput, got {ratio:.2}x"
+    );
+}

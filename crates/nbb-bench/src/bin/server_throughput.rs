@@ -1,0 +1,63 @@
+//! End-to-end network front-door throughput as a CI-archivable
+//! experiment: pipelined client fleets against `nbb-server` over
+//! loopback TCP, depth 1 versus depth 16 at equal connection count,
+//! with the numbers written to `BENCH_server.json` so trajectories can
+//! be tracked per commit. Pass `--smoke` for the quick CI gate scale.
+//!
+//! The acceptance gate asserts here: depth-16 pipelining must deliver
+//! at least 2x the depth-1 throughput, because K in-flight requests'
+//! modeled disk waits overlap across the worker pool where depth-1
+//! pays one full round trip (wire + fault) per request.
+
+use nbb_bench::report::{f, print_table};
+use nbb_bench::serverload::{run, server_json, LoadSpec, READ_NS};
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    // Both scales run 2 connections: depth-1 at M conns already
+    // overlaps M faults across the fleet, so a small conn count is
+    // what isolates the *pipelining* overlap the gate asserts on.
+    let (scale_name, conns, ops_per_conn) =
+        if smoke { ("smoke", 2usize, 300usize) } else { ("full", 2usize, 3000usize) };
+
+    let base = LoadSpec { rows: 50_000, conns, depth: 1, ops_per_conn, keys_per_op: 4, workers: 8 };
+    let runs: Vec<_> =
+        [1usize, 4, 16].iter().map(|&depth| run(LoadSpec { depth, ..base })).collect();
+
+    let mut table = Vec::new();
+    for r in &runs {
+        table.push(vec![
+            r.spec.conns.to_string(),
+            r.spec.depth.to_string(),
+            f(r.requests_per_s(), 1),
+            f(r.rows_per_s(), 1),
+            f(r.elapsed.as_secs_f64() * 1e3, 1),
+            r.stats.queue_full_parks.to_string(),
+        ]);
+    }
+    print_table(
+        &format!(
+            "pipelined get_many over loopback, {conns} conns x {ops_per_conn} ops @ {} us/fault \
+             ({scale_name} scale)",
+            READ_NS / 1000
+        ),
+        &["conns", "depth", "req_s", "rows_s", "ms", "parks"],
+        &table,
+    );
+
+    // Headline: deepest pipeline against depth 1 at equal conn count.
+    let deep = &runs[runs.len() - 1];
+    let ratio = deep.requests_per_s() / runs[0].requests_per_s();
+    println!(
+        "\npipelining speedup: {ratio:.1}x (depth {} vs depth 1, {} conns each)",
+        deep.spec.depth, deep.spec.conns
+    );
+    assert!(
+        ratio >= 2.0,
+        "depth-16 pipelining must deliver >= 2x depth-1 throughput, got {ratio:.2}x"
+    );
+
+    let json = server_json(scale_name, &runs, ratio);
+    std::fs::write("BENCH_server.json", &json).expect("write BENCH_server.json");
+    println!("wrote BENCH_server.json ({} runs, {scale_name} scale)", runs.len());
+}

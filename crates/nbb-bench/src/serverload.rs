@@ -1,0 +1,253 @@
+//! Shared harness for the end-to-end server throughput experiments:
+//! M pipelined connections × depth-K `get_many` requests over loopback
+//! TCP against a [`LatencyDisk`]-backed database, so the measured
+//! speedup is *fault overlap across the worker pool* — pipelining lets
+//! K requests' disk waits run concurrently where depth-1 pays them
+//! serially — not CPU noise.
+//!
+//! Used by `benches/server_throughput.rs` (quick comparison) and
+//! `src/bin/server_throughput.rs` (the self-asserting CI artifact that
+//! writes `BENCH_server.json`).
+
+use nbb_client::{Client, ClientConfig};
+use nbb_core::db::{Database, DbConfig};
+use nbb_core::table::{FieldSpec, IndexSpec};
+use nbb_proto::{RequestOp, ResponseBody, WireServerStats};
+use nbb_server::{Server, ServerConfig};
+use nbb_storage::{DiskManager, DiskModel, InMemoryDisk, LatencyDisk};
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Latency charged per heap-disk round trip (one charge per batch, the
+/// way a real device amortizes a queue of requests).
+pub const READ_NS: u64 = 150_000;
+const PAGE_SIZE: usize = 4096;
+const TUPLE_WIDTH: usize = 24;
+/// Small relative to the table's page count (~22% resident at the
+/// default row count): most `get_many` requests must fault, so request
+/// latency is dominated by the modeled device and pipelining has real
+/// waits to overlap. Not *too* small — a worker pins up to
+/// `keys_per_op` frames mid-batch, and 8 workers' pins must all fit.
+const HEAP_FRAMES: usize = 64;
+
+/// One workload configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct LoadSpec {
+    /// Rows loaded into the table.
+    pub rows: u64,
+    /// Concurrent client connections.
+    pub conns: usize,
+    /// Pipelining depth per connection (1 = strict request/response).
+    pub depth: usize,
+    /// `get_many` requests each connection issues.
+    pub ops_per_conn: usize,
+    /// Keys per `get_many` request.
+    pub keys_per_op: usize,
+    /// Server worker threads.
+    pub workers: usize,
+}
+
+/// One measured run.
+#[derive(Debug, Clone, Copy)]
+pub struct LoadRun {
+    /// The spec that produced this run.
+    pub spec: LoadSpec,
+    /// Total requests completed (conns × ops_per_conn).
+    pub requests: u64,
+    /// Total rows found across all responses.
+    pub rows_found: u64,
+    /// Wall time for the whole fleet.
+    pub elapsed: Duration,
+    /// Server counters at the end of the run.
+    pub stats: WireServerStats,
+}
+
+impl LoadRun {
+    /// Completed requests per second across the fleet.
+    pub fn requests_per_s(&self) -> f64 {
+        self.requests as f64 / self.elapsed.as_secs_f64()
+    }
+
+    /// Rows served per second across the fleet.
+    pub fn rows_per_s(&self) -> f64 {
+        self.rows_found as f64 / self.elapsed.as_secs_f64()
+    }
+}
+
+/// 24-byte tuple: key(8) | value(8) | filler(8).
+fn tuple(key: u64, value: u64) -> Vec<u8> {
+    let mut t = Vec::with_capacity(TUPLE_WIDTH);
+    t.extend_from_slice(&key.to_be_bytes());
+    t.extend_from_slice(&value.to_le_bytes());
+    t.extend_from_slice(&[0u8; 8]);
+    t
+}
+
+/// Deterministic per-connection key stream (xorshift64*): every thread
+/// draws a distinct, repeatable sequence with no shared RNG lock.
+struct KeyStream {
+    state: u64,
+    rows: u64,
+}
+
+impl KeyStream {
+    fn new(seed: u64, rows: u64) -> Self {
+        KeyStream { state: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1, rows }
+    }
+
+    fn next_key(&mut self) -> Vec<u8> {
+        self.state ^= self.state << 13;
+        self.state ^= self.state >> 7;
+        self.state ^= self.state << 17;
+        let k = self.state.wrapping_mul(0x2545_F491_4F6C_DD1D) % self.rows;
+        k.to_be_bytes().to_vec()
+    }
+}
+
+/// Builds a fresh latency-backed database with `rows` rows in table
+/// `t` (u64 big-endian primary key at offset 0), starts a server over
+/// it, and runs the full fleet to completion.
+///
+/// Self-asserting: every response must carry exactly `keys_per_op`
+/// results and every key must be found (all keys are in range), so a
+/// wrong answer fails the run rather than skewing the number.
+pub fn run(spec: LoadSpec) -> LoadRun {
+    // Heap rides the latency model; the index disk is free so the
+    // measured wait is heap faults, which is what get_many amortizes.
+    let model = DiskModel { read_ns: READ_NS, write_ns: 0 };
+    let heap = Arc::new(LatencyDisk::new(PAGE_SIZE, model));
+    let index: Arc<dyn DiskManager> = Arc::new(InMemoryDisk::new(PAGE_SIZE));
+    let config = DbConfig { page_size: PAGE_SIZE, heap_frames: HEAP_FRAMES, ..DbConfig::default() };
+    let db = Arc::new(
+        Database::with_disks(config, Arc::clone(&heap) as Arc<dyn DiskManager>, index)
+            .expect("fresh disks attach"),
+    );
+    let t = db.create_table("t", TUPLE_WIDTH).expect("create table");
+    t.create_index(IndexSpec::cached("pk", FieldSpec::new(0, 8), vec![FieldSpec::new(8, 8)]))
+        .expect("create index");
+    let load: Vec<Vec<u8>> = (0..spec.rows).map(|k| tuple(k, k.wrapping_mul(3))).collect();
+    t.insert_many(&load).expect("load rows");
+    // Writes go through the pool too: flush so the measured phase
+    // starts from a clean, read-only steady state.
+    db.heap_pool().flush_all().expect("flush heap");
+
+    let server = Server::start(
+        Arc::clone(&db),
+        ServerConfig { workers: spec.workers, ..ServerConfig::default() },
+    )
+    .expect("server start");
+    let addr = server.local_addr();
+
+    let start = Instant::now();
+    let threads: Vec<_> = (0..spec.conns)
+        .map(|c| {
+            std::thread::spawn(move || {
+                let client = Client::connect(
+                    addr,
+                    ClientConfig { depth: spec.depth, ..ClientConfig::default() },
+                )
+                .expect("client connect");
+                let mut keys = KeyStream::new(c as u64 + 1, spec.rows);
+                let mut window: VecDeque<nbb_client::Ticket> = VecDeque::new();
+                let mut rows_found = 0u64;
+                let redeem = |ticket, window_len: usize| -> u64 {
+                    let body = client.redeem(ticket).expect("response");
+                    match body {
+                        ResponseBody::GetMany { rows } => {
+                            assert_eq!(
+                                rows.len(),
+                                spec.keys_per_op,
+                                "response must answer every key"
+                            );
+                            let found = rows.iter().filter(|r| r.is_some()).count() as u64;
+                            assert_eq!(
+                                found, spec.keys_per_op as u64,
+                                "all keys are in range and must be found (window {window_len})"
+                            );
+                            found
+                        }
+                        other => panic!("expected get_many body, got {other:?}"),
+                    }
+                };
+                for _ in 0..spec.ops_per_conn {
+                    let op = RequestOp::GetMany {
+                        table: "t".into(),
+                        index: "pk".into(),
+                        keys: (0..spec.keys_per_op).map(|_| keys.next_key()).collect(),
+                    };
+                    let ticket = client.submit(op).expect("submit");
+                    window.push_back(ticket);
+                    // Keep `depth` requests in flight; redeem the oldest
+                    // once the window is full.
+                    if window.len() >= spec.depth {
+                        let oldest = window.pop_front().expect("non-empty window");
+                        rows_found += redeem(oldest, window.len());
+                    }
+                }
+                while let Some(ticket) = window.pop_front() {
+                    rows_found += redeem(ticket, window.len());
+                }
+                rows_found
+            })
+        })
+        .collect();
+
+    let mut rows_found = 0u64;
+    for th in threads {
+        rows_found += th.join().expect("client thread");
+    }
+    let elapsed = start.elapsed();
+    let stats = server.stats();
+    server.shutdown();
+
+    let requests = (spec.conns * spec.ops_per_conn) as u64;
+    assert_eq!(
+        rows_found,
+        requests * spec.keys_per_op as u64,
+        "every key of every request must be served"
+    );
+    assert_eq!(stats.decode_errors, 0, "clean protocol run");
+    LoadRun { spec, requests, rows_found, elapsed, stats }
+}
+
+/// Renders runs as the `BENCH_server.json` body. Hand-rolled (the
+/// workspace has no serde): stable key order, numbers only.
+pub fn server_json(scale_name: &str, runs: &[LoadRun], ratio: f64) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"benchmark\": \"server_throughput\",");
+    let _ = writeln!(out, "  \"scale\": \"{scale_name}\",");
+    let _ = writeln!(
+        out,
+        "  \"workload\": {{\"read_ns\": {READ_NS}, \"page_size\": {PAGE_SIZE}, \
+         \"heap_frames\": {HEAP_FRAMES}}},"
+    );
+    let _ = writeln!(out, "  \"pipelining_speedup\": {ratio:.3},");
+    out.push_str("  \"runs\": [\n");
+    for (i, r) in runs.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{\"conns\": {}, \"depth\": {}, \"workers\": {}, \"keys_per_op\": {}, \
+             \"requests\": {}, \"requests_per_s\": {:.1}, \"rows_per_s\": {:.1}, \
+             \"elapsed_ms\": {:.3}, \"frames_in\": {}, \"frames_out\": {}, \
+             \"bytes_in\": {}, \"bytes_out\": {}, \"queue_full_parks\": {}}}{}",
+            r.spec.conns,
+            r.spec.depth,
+            r.spec.workers,
+            r.spec.keys_per_op,
+            r.requests,
+            r.requests_per_s(),
+            r.rows_per_s(),
+            r.elapsed.as_secs_f64() * 1e3,
+            r.stats.frames_in,
+            r.stats.frames_out,
+            r.stats.bytes_in,
+            r.stats.bytes_out,
+            r.stats.queue_full_parks,
+            if i + 1 < runs.len() { "," } else { "" }
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}

@@ -1,0 +1,359 @@
+//! # nbb-client — a pipelined client for the nbb wire protocol
+//!
+//! Keeps up to [`ClientConfig::depth`] requests in flight on one
+//! connection. [`Client::submit`] assigns a request id, registers it in
+//! the pending table, and writes the frame; a background reader thread
+//! completes pending entries as responses arrive — **in whatever order
+//! the server finishes them** — and [`Client::redeem`] blocks until a
+//! specific ticket's response lands. Pipelining is therefore free at
+//! the call site: submit K tickets, then wait on them in any order.
+//!
+//! Depth gating is the client-side half of the end-to-end backpressure
+//! story: `submit` parks while `depth` requests are unresolved, so a
+//! slow server throttles producers instead of growing an unbounded
+//! pending table.
+//!
+//! ## Lock discipline
+//!
+//! Two locks, ranked in the workspace lattice's client band
+//! ([`nbb_storage::lockrank::CLIENT_PENDING`],
+//! [`nbb_storage::lockrank::CLIENT_WRITE`]): the pending table is
+//! **always released before** the socket write. Holding it across
+//! `write_all` could deadlock distributed backpressure: a full TCP send
+//! buffer blocks the writer while the reader thread needs the pending
+//! lock to drain responses and free the send window.
+
+#![warn(missing_docs)]
+
+use nbb_proto::{Framer, Request, RequestOp, Response, ResponseBody, WireServerStats};
+use nbb_storage::lockrank;
+use parking_lot::{Condvar, Mutex};
+use std::collections::HashMap;
+use std::fmt;
+use std::io::{Read, Write};
+use std::net::{Shutdown, TcpStream, ToSocketAddrs};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Client-side failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientError {
+    /// Socket-level failure.
+    Io(String),
+    /// The peer sent bytes that do not decode as the protocol.
+    Protocol(String),
+    /// The server executed the request and reported an error
+    /// ([`ResponseBody::Error`]), e.g. an unknown table name.
+    Server(String),
+    /// The connection is gone (EOF, reset, or a prior protocol error);
+    /// the message says why.
+    Closed(String),
+    /// The server answered with a body of the wrong kind for the
+    /// request (a typed-helper mismatch — indicates a server bug).
+    UnexpectedBody,
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(m) => write!(f, "io error: {m}"),
+            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+            ClientError::Server(m) => write!(f, "server error: {m}"),
+            ClientError::Closed(m) => write!(f, "connection closed: {m}"),
+            ClientError::UnexpectedBody => write!(f, "response body kind mismatched the request"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// Result alias for client calls.
+pub type Result<T> = std::result::Result<T, ClientError>;
+
+/// Tuning knobs for [`Client::connect`].
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Max requests in flight before [`Client::submit`] parks.
+    pub depth: usize,
+    /// Frame payload cap enforced on inbound responses.
+    pub max_frame: usize,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig { depth: 16, max_frame: nbb_proto::DEFAULT_MAX_FRAME }
+    }
+}
+
+/// A submitted request's claim ticket; redeem with [`Client::redeem`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Ticket(u64);
+
+impl Ticket {
+    /// The request id this ticket rides on.
+    pub fn id(&self) -> u64 {
+        self.0
+    }
+}
+
+/// One pending entry: `None` while in flight, `Some` once the reader
+/// thread delivered the response.
+struct Pending {
+    map: HashMap<u64, Option<Response>>,
+    in_flight: usize,
+    next_id: u64,
+    closed: Option<String>,
+}
+
+struct Shared {
+    pending: Mutex<Pending>,
+    pending_cv: Condvar,
+    write: Mutex<TcpStream>,
+    depth: usize,
+}
+
+/// A pipelined connection to an `nbb-server`.
+pub struct Client {
+    shared: Arc<Shared>,
+    stream: TcpStream,
+    reader: Option<JoinHandle<()>>,
+}
+
+impl Client {
+    /// Connects and spawns the response-reader thread.
+    pub fn connect<A: ToSocketAddrs>(addr: A, cfg: ClientConfig) -> Result<Client> {
+        let stream = TcpStream::connect(addr).map_err(|e| ClientError::Io(e.to_string()))?;
+        // A depth-K pipeline writes K small frames back to back; with
+        // Nagle on, frames after the first sit in the kernel buffer
+        // until the server's (possibly delayed) ACK, serializing the
+        // pipeline. Disable it so every submit hits the wire at once.
+        stream.set_nodelay(true).map_err(|e| ClientError::Io(e.to_string()))?;
+        let write_half = stream.try_clone().map_err(|e| ClientError::Io(e.to_string()))?;
+        let read_half = stream.try_clone().map_err(|e| ClientError::Io(e.to_string()))?;
+
+        let shared = Arc::new(Shared {
+            pending: Mutex::with_rank(
+                lockrank::CLIENT_PENDING,
+                Pending { map: HashMap::new(), in_flight: 0, next_id: 1, closed: None },
+            ),
+            pending_cv: Condvar::new(),
+            write: Mutex::with_rank(lockrank::CLIENT_WRITE, write_half),
+            depth: cfg.depth.max(1),
+        });
+
+        let reader = {
+            let s = Arc::clone(&shared);
+            let max_frame = cfg.max_frame;
+            std::thread::Builder::new()
+                .name("nbb-client-read".to_string())
+                .spawn(move || reader_loop(&s, read_half, max_frame))
+                .map_err(|e| ClientError::Io(e.to_string()))?
+        };
+
+        Ok(Client { shared, stream, reader: Some(reader) })
+    }
+
+    /// Sends one request without waiting for its response. Parks while
+    /// the configured depth of requests is already in flight.
+    pub fn submit(&self, op: RequestOp) -> Result<Ticket> {
+        let id = {
+            let mut pending = self.shared.pending.lock();
+            while pending.closed.is_none() && pending.in_flight >= self.shared.depth {
+                self.shared.pending_cv.wait(&mut pending);
+            }
+            if let Some(why) = &pending.closed {
+                return Err(ClientError::Closed(why.clone()));
+            }
+            let id = pending.next_id;
+            pending.next_id += 1;
+            pending.map.insert(id, None);
+            pending.in_flight += 1;
+            id
+        };
+        // The pending lock is released before this blocking write (see
+        // the module docs for the deadlock it would otherwise create).
+        let frame = nbb_proto::encode_request(&Request { id, op });
+        let write_result = {
+            let mut stream = self.shared.write.lock();
+            stream.write_all(&frame)
+        };
+        if let Err(e) = write_result {
+            let mut pending = self.shared.pending.lock();
+            pending.map.remove(&id);
+            pending.in_flight = pending.in_flight.saturating_sub(1);
+            self.shared.pending_cv.notify_all();
+            return Err(ClientError::Io(e.to_string()));
+        }
+        Ok(Ticket(id))
+    }
+
+    /// Blocks until `ticket`'s response arrives and returns its body.
+    pub fn redeem(&self, ticket: Ticket) -> Result<ResponseBody> {
+        let mut pending = self.shared.pending.lock();
+        loop {
+            match pending.map.get(&ticket.0) {
+                Some(Some(_)) => {
+                    // Completed: take it out of the table.
+                    let resp = pending
+                        .map
+                        .remove(&ticket.0)
+                        .flatten()
+                        .ok_or(ClientError::UnexpectedBody)?;
+                    return Ok(resp.body);
+                }
+                Some(None) => {
+                    if let Some(why) = &pending.closed {
+                        return Err(ClientError::Closed(why.clone()));
+                    }
+                    self.shared.pending_cv.wait(&mut pending);
+                }
+                None => {
+                    return Err(ClientError::Closed(
+                        "ticket unknown: already redeemed or never submitted".to_string(),
+                    ))
+                }
+            }
+        }
+    }
+
+    /// [`Client::submit`] + [`Client::redeem`] in one round trip.
+    pub fn call(&self, op: RequestOp) -> Result<ResponseBody> {
+        let t = self.submit(op)?;
+        self.redeem(t)
+    }
+
+    /// Unwraps an ok body, promoting a wire error to [`ClientError::Server`].
+    fn expect_ok(body: ResponseBody) -> Result<ResponseBody> {
+        match body {
+            ResponseBody::Error { message } => Err(ClientError::Server(message)),
+            ok => Ok(ok),
+        }
+    }
+
+    /// Batched point lookup: tuples per key, `None` when absent.
+    pub fn get_many(
+        &self,
+        table: &str,
+        index: &str,
+        keys: Vec<Vec<u8>>,
+    ) -> Result<Vec<Option<Vec<u8>>>> {
+        let body = self.call(RequestOp::GetMany {
+            table: table.to_string(),
+            index: index.to_string(),
+            keys,
+        })?;
+        match Self::expect_ok(body)? {
+            ResponseBody::GetMany { rows } => Ok(rows),
+            _ => Err(ClientError::UnexpectedBody),
+        }
+    }
+
+    /// Batched heap insert; returns packed record ids.
+    pub fn insert_many(&self, table: &str, tuples: Vec<Vec<u8>>) -> Result<Vec<u64>> {
+        let body = self.call(RequestOp::InsertMany { table: table.to_string(), tuples })?;
+        match Self::expect_ok(body)? {
+            ResponseBody::InsertMany { rids } => Ok(rids),
+            _ => Err(ClientError::UnexpectedBody),
+        }
+    }
+
+    /// Batched upsert through `index`; returns packed record ids.
+    pub fn put_many(&self, table: &str, index: &str, tuples: Vec<Vec<u8>>) -> Result<Vec<u64>> {
+        let body = self.call(RequestOp::PutMany {
+            table: table.to_string(),
+            index: index.to_string(),
+            tuples,
+        })?;
+        match Self::expect_ok(body)? {
+            ResponseBody::PutMany { rids } => Ok(rids),
+            _ => Err(ClientError::UnexpectedBody),
+        }
+    }
+
+    /// One page of an ordered range scan; returns `(rows, more, resume)`.
+    #[allow(clippy::type_complexity)]
+    pub fn range(
+        &self,
+        table: &str,
+        index: &str,
+        lo: nbb_proto::WireBound,
+        hi: nbb_proto::WireBound,
+        limit: u32,
+    ) -> Result<(Vec<(Vec<u8>, Vec<u8>)>, bool, Option<Vec<u8>>)> {
+        let body = self.call(RequestOp::Range {
+            table: table.to_string(),
+            index: index.to_string(),
+            lo,
+            hi,
+            limit,
+        })?;
+        match Self::expect_ok(body)? {
+            ResponseBody::Range { rows, more, resume } => Ok((rows, more, resume)),
+            _ => Err(ClientError::UnexpectedBody),
+        }
+    }
+
+    /// The server's counter snapshot.
+    pub fn stats(&self) -> Result<WireServerStats> {
+        match Self::expect_ok(self.call(RequestOp::Stats)?)? {
+            ResponseBody::Stats(s) => Ok(s),
+            _ => Err(ClientError::UnexpectedBody),
+        }
+    }
+}
+
+impl Drop for Client {
+    fn drop(&mut self) {
+        let _ = self.stream.shutdown(Shutdown::Both);
+        if let Some(h) = self.reader.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Completes pending entries as response frames arrive, in arrival
+/// order (which is the server's completion order, not submit order).
+fn reader_loop(shared: &Arc<Shared>, mut stream: TcpStream, max_frame: usize) {
+    let mut framer = Framer::with_max(max_frame);
+    let mut buf = vec![0u8; 64 * 1024];
+    let why = 'read: loop {
+        let n = match stream.read(&mut buf) {
+            Ok(0) => {
+                break 'read match framer.eof_error() {
+                    Some(e) => format!("eof mid-frame: {e}"),
+                    None => "server closed the connection".to_string(),
+                }
+            }
+            Ok(n) => n,
+            Err(ref e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => break 'read format!("read failed: {e}"),
+        };
+        framer.extend(&buf[..n]);
+        loop {
+            match framer.next_payload() {
+                Ok(None) => break,
+                Ok(Some(payload)) => match nbb_proto::decode_response(&payload) {
+                    Ok(resp) => {
+                        let mut pending = shared.pending.lock();
+                        if let Some(slot) = pending.map.get_mut(&resp.id) {
+                            let was_in_flight = slot.is_none();
+                            *slot = Some(resp);
+                            if was_in_flight {
+                                pending.in_flight = pending.in_flight.saturating_sub(1);
+                            }
+                            shared.pending_cv.notify_all();
+                        }
+                        // An unknown id is ignored: its waiter already
+                        // gave up (or it is server misbehavior that
+                        // harms nothing).
+                    }
+                    Err(e) => break 'read format!("undecodable response: {e}"),
+                },
+                Err(e) => break 'read format!("bad frame: {e}"),
+            }
+        }
+    };
+    let mut pending = shared.pending.lock();
+    pending.closed = Some(why);
+    shared.pending_cv.notify_all();
+}

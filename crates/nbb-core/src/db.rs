@@ -638,10 +638,34 @@ impl Database {
     /// Runs the full waste audit on `table` and attaches the tuner's
     /// decision trace, so one report shows both the measured waste and
     /// what the controller did about it.
+    ///
+    /// When cursor readahead is on and has been exercised, the trace
+    /// also carries an advice line grading the speculation's win rate
+    /// (hits against evicted-unused pages), so the report points at the
+    /// knob worth moving rather than just printing counters.
     pub fn waste_report(&self, table: &str, index_names: &[&str]) -> Result<crate::WasteReport> {
         let t = self.table(table)?;
         let mut report = crate::waste::audit(&t, index_names, None, None)?;
         report.tuner = self.tuner_decisions();
+        let k = t.readahead();
+        if k > 0 {
+            let s = t.stats();
+            // Only prefetches whose fate is known grade the knob: hits
+            // served a later demand read, wasted were evicted untouched.
+            // Still-resident speculation is undecided and not counted.
+            let judged = s.pool_prefetch_hits + s.pool_prefetch_wasted;
+            if judged > 0 {
+                let useful = s.pool_prefetch_hits as f64 / judged as f64 * 100.0;
+                let advice = if useful >= 80.0 {
+                    "consider raising"
+                } else if useful <= 30.0 {
+                    "consider lowering"
+                } else {
+                    "keep"
+                };
+                report.tuner.push(format!("readahead K={k}: {useful:.0}% useful — {advice}"));
+            }
+        }
         Ok(report)
     }
 }

@@ -26,7 +26,10 @@
 //! * [`rowcodec`] — the fixed-width row layout a schema's declared
 //!   types imply, with order-preserving column codecs so tuple bytes
 //!   double as `memcmp`-ordered index keys (the typed bridge used by
-//!   `nbb-core`'s `RowSchema`).
+//!   `nbb-core`'s `RowSchema`);
+//! * [`wire`] — the order-preserving fixed-width integer codecs the
+//!   network protocol (`nbb-proto`) frames ids, counts, and lengths
+//!   with, so wire bytes share the engine's one encoding convention.
 
 #![warn(missing_docs)]
 
@@ -39,6 +42,7 @@ pub mod rowcodec;
 pub mod schema;
 pub mod semantic_id;
 pub mod timestamp;
+pub mod wire;
 
 pub use bitpack::{min_bits, pack, unpack, BitPacked};
 pub use delta::DeltaColumn;

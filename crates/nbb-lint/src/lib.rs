@@ -63,7 +63,8 @@ impl fmt::Display for Finding {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FileClass {
     /// Non-test source of an engine crate (`crates/nbb-{storage,btree,
-    /// core}/src`): additionally subject to L1 and L4.
+    /// core,proto,server,client}/src`): additionally subject to L1 and
+    /// L4.
     pub engine_src: bool,
 }
 
@@ -75,9 +76,19 @@ pub fn classify(rel_path: &str) -> Option<FileClass> {
     if p.starts_with("crates/shims/") || p.starts_with("target/") {
         return None;
     }
-    let engine_src = ["crates/nbb-storage/src/", "crates/nbb-btree/src/", "crates/nbb-core/src/"]
-        .iter()
-        .any(|pre| p.starts_with(pre));
+    // The wire tier (proto/server/client) holds locks across the same
+    // engine calls it multiplexes, so it lives under the same rules as
+    // the engine proper: every lock ranked, every unwrap justified.
+    let engine_src = [
+        "crates/nbb-storage/src/",
+        "crates/nbb-btree/src/",
+        "crates/nbb-core/src/",
+        "crates/nbb-proto/src/",
+        "crates/nbb-server/src/",
+        "crates/nbb-client/src/",
+    ]
+    .iter()
+    .any(|pre| p.starts_with(pre));
     Some(FileClass { engine_src })
 }
 
@@ -604,7 +615,11 @@ mod tests {
     fn classify_scopes_rules_by_path() {
         assert!(classify("crates/shims/parking_lot/src/lib.rs").is_none());
         assert!(classify("crates/nbb-storage/src/buffer.rs").unwrap().engine_src);
+        assert!(classify("crates/nbb-proto/src/lib.rs").unwrap().engine_src);
+        assert!(classify("crates/nbb-server/src/lib.rs").unwrap().engine_src);
+        assert!(classify("crates/nbb-client/src/lib.rs").unwrap().engine_src);
         assert!(!classify("crates/nbb-storage/tests/overlapped_io.rs").unwrap().engine_src);
+        assert!(!classify("crates/nbb-server/tests/server_integration.rs").unwrap().engine_src);
         assert!(!classify("tests/lock_order.rs").unwrap().engine_src);
         assert!(!classify("crates/nbb-lint/src/lib.rs").unwrap().engine_src);
     }

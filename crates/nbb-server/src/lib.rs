@@ -1,0 +1,725 @@
+//! # nbb-server — the engine's loopback-TCP front door
+//!
+//! Serves [`nbb_proto`] frames over TCP, multiplexing any number of
+//! pipelined connections onto a small worker pool that executes
+//! requests against a shared [`Database`] through its batched fast
+//! paths (`get_many`, `insert_many`, `Table::execute`, …). One network
+//! round-trip carries a whole batch, so the per-request framing cost
+//! amortizes exactly like the engine amortizes lock acquisitions.
+//!
+//! ## Thread anatomy
+//!
+//! ```text
+//!             accept thread ── registers conns, enforces max_connections
+//!   per conn: reader thread ── frames bytes, decodes, reserves a
+//!             │                response slot, submits a Job
+//!             ▼
+//!         shared work queue ──► N worker threads ── execute against the
+//!             ▲                 Database (no server lock held), push the
+//!             │                 encoded response
+//!   per conn: writer thread ── drains the bounded response queue
+//! ```
+//!
+//! Responses complete **out of order**: a fast request submitted after
+//! a slow one returns first, matched by the client via the echoed
+//! request id. Backpressure is per connection — a reader that finds all
+//! [`ServerConfig::response_queue`] slots reserved parks on a condvar
+//! (counted in [`nbb_proto::WireServerStats::queue_full_parks`]) until
+//! the writer drains, so a slow consumer throttles only itself.
+//!
+//! Malformed frames never poison anything: the reader answers with a
+//! best-effort error response naming the [`nbb_proto::DecodeError`],
+//! closes that one connection, and the `Database` and every other
+//! connection continue untouched.
+//!
+//! All locks carry ranks from the workspace lattice
+//! ([`nbb_storage::lockrank`], server band 1–4); workers provably hold
+//! no server lock while touching the engine.
+
+#![warn(missing_docs)]
+
+use nbb_core::db::Database;
+use nbb_core::query::Batch;
+use nbb_core::table::Projection;
+use nbb_core::BatchOutput;
+use nbb_proto::{
+    DecodeError, Framer, Request, RequestOp, Response, ResponseBody, WireBatchOp, WireBatchOutput,
+    WireBound, WireProjection, WireServerStats,
+};
+use nbb_storage::lockrank;
+use parking_lot::{Condvar, Mutex};
+use std::collections::{HashMap, VecDeque};
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::ops::Bound;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Tuning knobs for [`Server::start`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; `127.0.0.1:0` picks an ephemeral loopback port
+    /// (read it back from [`Server::local_addr`]).
+    pub addr: String,
+    /// Worker threads executing requests against the database.
+    pub workers: usize,
+    /// Connections beyond this are refused at accept (counted in
+    /// [`WireServerStats::connections_refused`]).
+    pub max_connections: usize,
+    /// Response slots per connection: the pipelining depth the server
+    /// buffers before the reader parks (the backpressure bound).
+    pub response_queue: usize,
+    /// Frame payload cap enforced on inbound frames.
+    pub max_frame: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            max_connections: 64,
+            response_queue: 64,
+            max_frame: nbb_proto::DEFAULT_MAX_FRAME,
+        }
+    }
+}
+
+/// Monotonic server counters (the live side of [`WireServerStats`]).
+#[derive(Debug, Default)]
+struct Stats {
+    frames_in: AtomicU64,
+    frames_out: AtomicU64,
+    bytes_in: AtomicU64,
+    bytes_out: AtomicU64,
+    batches_executed: AtomicU64,
+    queue_full_parks: AtomicU64,
+    active_connections: AtomicU64,
+    connections_opened: AtomicU64,
+    connections_refused: AtomicU64,
+    decode_errors: AtomicU64,
+}
+
+impl Stats {
+    fn snapshot(&self) -> WireServerStats {
+        WireServerStats {
+            frames_in: self.frames_in.load(Ordering::Relaxed),
+            frames_out: self.frames_out.load(Ordering::Relaxed),
+            bytes_in: self.bytes_in.load(Ordering::Relaxed),
+            bytes_out: self.bytes_out.load(Ordering::Relaxed),
+            batches_executed: self.batches_executed.load(Ordering::Relaxed),
+            queue_full_parks: self.queue_full_parks.load(Ordering::Relaxed),
+            active_connections: self.active_connections.load(Ordering::Relaxed),
+            connections_opened: self.connections_opened.load(Ordering::Relaxed),
+            connections_refused: self.connections_refused.load(Ordering::Relaxed),
+            decode_errors: self.decode_errors.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Per-connection response state, guarded at `SERVER_CONN_RESP`.
+///
+/// A slot is *reserved* when the reader admits a request and *filled*
+/// when a worker pushes the encoded response; `reserved + queue.len()`
+/// never exceeds the configured bound, which is what makes the queue
+/// an end-to-end backpressure signal rather than an unbounded buffer.
+#[derive(Debug)]
+struct RespState {
+    queue: VecDeque<Vec<u8>>,
+    reserved: usize,
+    reader_done: bool,
+    closed: bool,
+}
+
+#[derive(Debug)]
+struct Conn {
+    id: u64,
+    stream: TcpStream,
+    resp: Mutex<RespState>,
+    /// Writer parks here for new responses (or teardown conditions).
+    resp_cv: Condvar,
+    /// Reader parks here for a free response slot.
+    slot_cv: Condvar,
+}
+
+impl Conn {
+    /// Worker-side completion: releases the reservation and, unless the
+    /// connection already died, queues the encoded response frame.
+    fn complete(&self, frame: Vec<u8>) {
+        let mut resp = self.resp.lock();
+        resp.reserved = resp.reserved.saturating_sub(1);
+        if !resp.closed {
+            resp.queue.push_back(frame);
+        }
+        self.resp_cv.notify_one();
+        self.slot_cv.notify_one();
+    }
+}
+
+struct Job {
+    conn: Arc<Conn>,
+    req: Request,
+}
+
+struct WorkQueue {
+    queue: VecDeque<Job>,
+    shutdown: bool,
+}
+
+struct Lifecycle {
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    conn_threads: Vec<JoinHandle<()>>,
+}
+
+struct Shared {
+    db: Arc<Database>,
+    cfg: ServerConfig,
+    stats: Stats,
+    shutting_down: AtomicBool,
+    work: Mutex<WorkQueue>,
+    work_cv: Condvar,
+    conns: Mutex<HashMap<u64, Arc<Conn>>>,
+    conns_cv: Condvar,
+    lifecycle: Mutex<Lifecycle>,
+}
+
+/// A running server; dropping it (or calling [`Server::shutdown`])
+/// stops accepting, drains in-flight requests, and joins every thread.
+pub struct Server {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+}
+
+impl Server {
+    /// Binds `cfg.addr`, spawns the worker pool and accept thread, and
+    /// returns once the server is reachable.
+    pub fn start(db: Arc<Database>, cfg: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+
+        let shared = Arc::new(Shared {
+            db,
+            cfg,
+            stats: Stats::default(),
+            shutting_down: AtomicBool::new(false),
+            work: Mutex::with_rank(
+                lockrank::SERVER_WORK_QUEUE,
+                WorkQueue { queue: VecDeque::new(), shutdown: false },
+            ),
+            work_cv: Condvar::new(),
+            conns: Mutex::with_rank(lockrank::SERVER_CONNS, HashMap::new()),
+            conns_cv: Condvar::new(),
+            lifecycle: Mutex::with_rank(
+                lockrank::SERVER_LIFECYCLE,
+                Lifecycle { accept: None, workers: Vec::new(), conn_threads: Vec::new() },
+            ),
+        });
+
+        {
+            let mut lc = shared.lifecycle.lock();
+            for i in 0..shared.cfg.workers.max(1) {
+                let s = Arc::clone(&shared);
+                lc.workers.push(
+                    std::thread::Builder::new()
+                        .name(format!("nbb-server-worker-{i}"))
+                        .spawn(move || worker_loop(&s))?,
+                );
+            }
+            let s = Arc::clone(&shared);
+            lc.accept = Some(
+                std::thread::Builder::new()
+                    .name("nbb-server-accept".to_string())
+                    .spawn(move || accept_loop(&s, listener))?,
+            );
+        }
+
+        Ok(Server { shared, local_addr })
+    }
+
+    /// The bound address (the real port when `addr` asked for `:0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// A point-in-time snapshot of the server counters (the same block
+    /// the wire `Stats` op returns).
+    pub fn stats(&self) -> WireServerStats {
+        self.shared.stats.snapshot()
+    }
+
+    /// Graceful stop: refuses new connections, lets every in-flight
+    /// request finish and its response flush, then joins all threads.
+    /// Idempotent; also invoked by `Drop`.
+    pub fn shutdown(&self) {
+        if self.shared.shutting_down.swap(true, Ordering::SeqCst) {
+            return;
+        }
+
+        // 1. Stop the accept loop (it polls the flag).
+        let accept = self.shared.lifecycle.lock().accept.take();
+        if let Some(h) = accept {
+            let _ = h.join();
+        }
+
+        // 2. Nudge every connection's reader with a read-side shutdown:
+        // it sees EOF, stops admitting requests, and the writer still
+        // drains everything already in flight before closing.
+        let conns: Vec<Arc<Conn>> = self.shared.conns.lock().values().cloned().collect();
+        for conn in conns {
+            let _ = conn.stream.shutdown(Shutdown::Read);
+        }
+
+        // 3. Wait for the connection table to drain (writers deregister
+        // after their last flush). Workers are still running, so queued
+        // jobs complete rather than being dropped.
+        {
+            let mut conns = self.shared.conns.lock();
+            while !conns.is_empty() {
+                self.shared.conns_cv.wait_for(&mut conns, Duration::from_millis(50));
+            }
+        }
+
+        // 4. Now the queue can only shrink: stop the workers.
+        {
+            let mut work = self.shared.work.lock();
+            work.shutdown = true;
+            self.shared.work_cv.notify_all();
+        }
+
+        // 5. Join everything. Handles are moved out before joining so
+        // no lock is held across a join.
+        let (workers, conn_threads) = {
+            let mut lc = self.shared.lifecycle.lock();
+            (std::mem::take(&mut lc.workers), std::mem::take(&mut lc.conn_threads))
+        };
+        for h in workers.into_iter().chain(conn_threads) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+// ---- Accept ---------------------------------------------------------
+
+fn accept_loop(shared: &Arc<Shared>, listener: TcpListener) {
+    let mut next_id: u64 = 0;
+    while !shared.shutting_down.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let active = shared.stats.active_connections.load(Ordering::Relaxed);
+                if active >= shared.cfg.max_connections as u64 {
+                    shared.stats.connections_refused.fetch_add(1, Ordering::Relaxed);
+                    // Dropping the stream closes it; the client sees
+                    // EOF/reset before any frame arrives.
+                    continue;
+                }
+                next_id += 1;
+                if let Err(_e) = spawn_connection(shared, stream, next_id) {
+                    // Thread spawn failed (resource exhaustion): treat
+                    // like a refused connection.
+                    shared.stats.connections_refused.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(2)),
+        }
+    }
+}
+
+fn spawn_connection(shared: &Arc<Shared>, stream: TcpStream, id: u64) -> std::io::Result<()> {
+    // Pipelined small frames must not sit in Nagle's buffer waiting for
+    // the peer's delayed ACK — that turns a depth-K pipeline back into
+    // ACK-gated request/response. Responses go out the moment they are
+    // written.
+    stream.set_nodelay(true)?;
+    let write_stream = stream.try_clone()?;
+    let conn = Arc::new(Conn {
+        id,
+        stream,
+        resp: Mutex::with_rank(
+            lockrank::SERVER_CONN_RESP,
+            RespState { queue: VecDeque::new(), reserved: 0, reader_done: false, closed: false },
+        ),
+        resp_cv: Condvar::new(),
+        slot_cv: Condvar::new(),
+    });
+
+    shared.conns.lock().insert(id, Arc::clone(&conn));
+    shared.stats.active_connections.fetch_add(1, Ordering::Relaxed);
+    shared.stats.connections_opened.fetch_add(1, Ordering::Relaxed);
+
+    let reader = {
+        let s = Arc::clone(shared);
+        let c = Arc::clone(&conn);
+        std::thread::Builder::new()
+            .name(format!("nbb-server-read-{id}"))
+            .spawn(move || reader_loop(&s, &c))
+    };
+    let writer = {
+        let s = Arc::clone(shared);
+        let c = Arc::clone(&conn);
+        std::thread::Builder::new()
+            .name(format!("nbb-server-write-{id}"))
+            .spawn(move || writer_loop(&s, &c, write_stream))
+    };
+
+    match (reader, writer) {
+        (Ok(r), Ok(w)) => {
+            let mut lc = shared.lifecycle.lock();
+            lc.conn_threads.push(r);
+            lc.conn_threads.push(w);
+            Ok(())
+        }
+        (r, w) => {
+            // Partial spawn: mark the connection dead so whichever
+            // thread did start unwinds through the normal teardown.
+            {
+                let mut resp = conn.resp.lock();
+                resp.reader_done = true;
+                resp.closed = true;
+                conn.resp_cv.notify_all();
+                conn.slot_cv.notify_all();
+            }
+            let mut lc = shared.lifecycle.lock();
+            let mut err = None;
+            for h in [r, w] {
+                match h {
+                    Ok(h) => lc.conn_threads.push(h),
+                    Err(e) => err = Some(e),
+                }
+            }
+            drop(lc);
+            err.map_or(Ok(()), Err)
+        }
+    }
+}
+
+// ---- Reader ---------------------------------------------------------
+
+/// Reader outcome for one decoded payload.
+enum Admit {
+    Submitted,
+    ConnClosed,
+}
+
+fn reader_loop(shared: &Arc<Shared>, conn: &Arc<Conn>) {
+    let mut framer = Framer::with_max(shared.cfg.max_frame);
+    let mut buf = vec![0u8; 64 * 1024];
+    // try_clone only to satisfy Read's &mut self; both handles share
+    // the one OS socket.
+    let mut stream = match conn.stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => {
+            finish_reader(conn);
+            return;
+        }
+    };
+
+    loop {
+        let n = match stream.read(&mut buf) {
+            Ok(0) => break, // EOF
+            Ok(n) => n,
+            Err(ref e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => break,
+        };
+        shared.stats.bytes_in.fetch_add(n as u64, Ordering::Relaxed);
+        framer.extend(&buf[..n]);
+        loop {
+            match framer.next_payload() {
+                Ok(None) => break,
+                Ok(Some(payload)) => match decode_and_submit(shared, conn, &payload) {
+                    Admit::Submitted => {}
+                    Admit::ConnClosed => {
+                        finish_reader(conn);
+                        return;
+                    }
+                },
+                Err(e) => {
+                    // Oversize length prefix: answer by name, then
+                    // close — the stream position is unrecoverable.
+                    reject(shared, conn, 0, &e);
+                    finish_reader(conn);
+                    return;
+                }
+            }
+        }
+    }
+
+    // EOF mid-frame is a named protocol error too.
+    if let Some(e) = framer.eof_error() {
+        let id = 0; // no parsable id in a cut-off header
+        reject(shared, conn, id, &e);
+    }
+    finish_reader(conn);
+}
+
+/// Decodes one payload and either submits it to the worker pool
+/// (reserving a response slot, parking while the queue is full) or —
+/// on a malformed frame — sends a named error and reports the
+/// connection closed.
+fn decode_and_submit(shared: &Arc<Shared>, conn: &Arc<Conn>, payload: &[u8]) -> Admit {
+    let req = match nbb_proto::decode_request(payload) {
+        Ok(req) => req,
+        Err(e) => {
+            let id = nbb_proto::request_id_hint(payload).unwrap_or(0);
+            reject(shared, conn, id, &e);
+            return Admit::ConnClosed;
+        }
+    };
+    shared.stats.frames_in.fetch_add(1, Ordering::Relaxed);
+
+    // Reserve a response slot; park while the pipeline is full. One
+    // park episode counts once no matter how many spurious wakeups.
+    {
+        let mut resp = conn.resp.lock();
+        let cap = shared.cfg.response_queue.max(1);
+        let mut parked = false;
+        while !resp.closed && resp.reserved + resp.queue.len() >= cap {
+            if !parked {
+                parked = true;
+                shared.stats.queue_full_parks.fetch_add(1, Ordering::Relaxed);
+            }
+            conn.slot_cv.wait(&mut resp);
+        }
+        if resp.closed {
+            return Admit::ConnClosed;
+        }
+        resp.reserved += 1;
+    }
+
+    let mut work = shared.work.lock();
+    if work.shutdown {
+        // Raced with shutdown: release the reservation so the writer's
+        // drain condition stays accurate.
+        drop(work);
+        let mut resp = conn.resp.lock();
+        resp.reserved = resp.reserved.saturating_sub(1);
+        conn.resp_cv.notify_one();
+        return Admit::ConnClosed;
+    }
+    work.queue.push_back(Job { conn: Arc::clone(conn), req });
+    shared.work_cv.notify_one();
+    Admit::Submitted
+}
+
+/// Best-effort error response for a frame that could not be decoded:
+/// bypasses slot reservation (the request was never admitted) and
+/// counts the decode error.
+fn reject(shared: &Arc<Shared>, conn: &Arc<Conn>, id: u64, e: &DecodeError) {
+    shared.stats.decode_errors.fetch_add(1, Ordering::Relaxed);
+    let frame = nbb_proto::encode_response(&Response {
+        id,
+        body: ResponseBody::Error { message: format!("protocol error: {e}") },
+    });
+    let mut resp = conn.resp.lock();
+    if !resp.closed {
+        resp.queue.push_back(frame);
+        conn.resp_cv.notify_one();
+    }
+}
+
+/// Marks the reader finished so the writer can complete its drain.
+fn finish_reader(conn: &Conn) {
+    let mut resp = conn.resp.lock();
+    resp.reader_done = true;
+    conn.resp_cv.notify_all();
+}
+
+// ---- Writer ---------------------------------------------------------
+
+fn writer_loop(shared: &Arc<Shared>, conn: &Arc<Conn>, mut stream: TcpStream) {
+    loop {
+        let frame = {
+            let mut resp = conn.resp.lock();
+            loop {
+                if let Some(f) = resp.queue.pop_front() {
+                    conn.slot_cv.notify_one();
+                    break Some(f);
+                }
+                if resp.closed || (resp.reader_done && resp.reserved == 0) {
+                    break None;
+                }
+                conn.resp_cv.wait(&mut resp);
+            }
+        };
+        let Some(frame) = frame else { break };
+        // The socket write happens with no lock held: a slow client
+        // stalls only this writer, and backpressure reaches its reader
+        // through the un-drained queue.
+        if stream.write_all(&frame).is_err() {
+            break;
+        }
+        shared.stats.frames_out.fetch_add(1, Ordering::Relaxed);
+        shared.stats.bytes_out.fetch_add(frame.len() as u64, Ordering::Relaxed);
+    }
+    teardown(shared, conn);
+}
+
+/// Writer-side teardown: the single place a connection dies. Marks the
+/// state closed (unblocking the reader and any completing workers),
+/// closes the socket, and deregisters from the connection table.
+fn teardown(shared: &Arc<Shared>, conn: &Arc<Conn>) {
+    {
+        let mut resp = conn.resp.lock();
+        resp.closed = true;
+        conn.resp_cv.notify_all();
+        conn.slot_cv.notify_all();
+    }
+    let _ = conn.stream.shutdown(Shutdown::Both);
+    {
+        let mut conns = shared.conns.lock();
+        conns.remove(&conn.id);
+        shared.conns_cv.notify_all();
+    }
+    shared.stats.active_connections.fetch_sub(1, Ordering::Relaxed);
+}
+
+// ---- Workers --------------------------------------------------------
+
+fn worker_loop(shared: &Arc<Shared>) {
+    loop {
+        let job = {
+            let mut work = shared.work.lock();
+            loop {
+                if let Some(job) = work.queue.pop_front() {
+                    break Some(job);
+                }
+                if work.shutdown {
+                    break None;
+                }
+                shared.work_cv.wait(&mut work);
+            }
+        };
+        let Some(Job { conn, req }) = job else { break };
+        // All server locks are released here: the engine call below
+        // acquires ranks 5..90 from a clean stack (the lattice's server
+        // band sits below the engine band precisely to prove this).
+        let body = execute(shared, req.op);
+        shared.stats.batches_executed.fetch_add(1, Ordering::Relaxed);
+        let frame = nbb_proto::encode_response(&Response { id: req.id, body });
+        conn.complete(frame);
+    }
+}
+
+// ---- Request execution ----------------------------------------------
+
+fn wire_bound(b: WireBound) -> Bound<Vec<u8>> {
+    match b {
+        WireBound::Unbounded => Bound::Unbounded,
+        WireBound::Included(k) => Bound::Included(k),
+        WireBound::Excluded(k) => Bound::Excluded(k),
+    }
+}
+
+fn wire_projection(p: Projection) -> WireProjection {
+    WireProjection { payload: p.payload, index_only: p.index_only }
+}
+
+/// Executes one request op against the database, mapping every engine
+/// error to a wire [`ResponseBody::Error`] (the connection survives;
+/// only this response reports failure).
+fn execute(shared: &Shared, op: RequestOp) -> ResponseBody {
+    let r = try_execute(shared, op);
+    r.unwrap_or_else(|e| ResponseBody::Error { message: e.to_string() })
+}
+
+fn try_execute(
+    shared: &Shared,
+    op: RequestOp,
+) -> Result<ResponseBody, nbb_storage::error::StorageError> {
+    let db = &shared.db;
+    Ok(match op {
+        RequestOp::GetMany { table, index, keys } => {
+            let t = db.table(&table)?;
+            let rows = t.index(&index)?.get_many(&keys)?;
+            ResponseBody::GetMany { rows }
+        }
+        RequestOp::ProjectMany { table, index, keys } => {
+            let t = db.table(&table)?;
+            let rows = t.index(&index)?.project_many(&keys)?;
+            ResponseBody::ProjectMany {
+                rows: rows.into_iter().map(|r| r.map(wire_projection)).collect(),
+            }
+        }
+        RequestOp::InsertMany { table, tuples } => {
+            let t = db.table(&table)?;
+            let rids = t.insert_many(&tuples)?;
+            ResponseBody::InsertMany { rids: rids.into_iter().map(|r| r.to_u64()).collect() }
+        }
+        RequestOp::PutMany { table, index, tuples } => {
+            let t = db.table(&table)?;
+            let rids = t.index(&index)?.put_many(&tuples)?;
+            ResponseBody::PutMany { rids: rids.into_iter().map(|r| r.to_u64()).collect() }
+        }
+        RequestOp::UpdateMany { table, index, pairs } => {
+            let t = db.table(&table)?;
+            let applied = t.index(&index)?.update_many(&pairs)?;
+            ResponseBody::UpdateMany { applied }
+        }
+        RequestOp::DeleteMany { table, index, keys } => {
+            let t = db.table(&table)?;
+            let applied = t.index(&index)?.delete_many(&keys)?;
+            ResponseBody::DeleteMany { applied }
+        }
+        RequestOp::Range { table, index, lo, hi, limit } => {
+            let t = db.table(&table)?;
+            let idx = t.index(&index)?;
+            let mut cursor = idx.range((wire_bound(lo), wire_bound(hi)));
+            let mut rows: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
+            while rows.len() < limit as usize {
+                match cursor.next() {
+                    Some(row) => {
+                        let row = row?;
+                        rows.push((row.key, row.tuple));
+                    }
+                    None => break,
+                }
+            }
+            // Probe one row past the page so `more` is authoritative
+            // (a failed probe still proves more rows exist).
+            let more = rows.len() == limit as usize && cursor.next().is_some();
+            let resume = rows.last().map(|(k, _)| k.clone());
+            ResponseBody::Range { rows, more, resume }
+        }
+        RequestOp::Batch { table, ops } => {
+            let t = db.table(&table)?;
+            let mut batch = Batch::new();
+            for op in &ops {
+                batch = match op {
+                    WireBatchOp::Get { index, key } => batch.get(index, key),
+                    WireBatchOp::Project { index, key } => batch.project(index, key),
+                    WireBatchOp::Put { index, tuple } => batch.put(index, tuple),
+                    WireBatchOp::Update { index, key, tuple } => batch.update(index, key, tuple),
+                    WireBatchOp::Delete { index, key } => batch.delete(index, key),
+                };
+            }
+            let outputs = t.execute(batch)?;
+            ResponseBody::Batch {
+                outputs: outputs
+                    .into_iter()
+                    .map(|o| match o {
+                        BatchOutput::Tuple(t) => WireBatchOutput::Tuple(t),
+                        BatchOutput::Projection(p) => {
+                            WireBatchOutput::Projection(p.map(wire_projection))
+                        }
+                        BatchOutput::Put(rid) => WireBatchOutput::Put(rid.to_u64()),
+                        BatchOutput::Updated(b) => WireBatchOutput::Updated(b),
+                        BatchOutput::Deleted(b) => WireBatchOutput::Deleted(b),
+                    })
+                    .collect(),
+            }
+        }
+        RequestOp::Stats => ResponseBody::Stats(shared.stats.snapshot()),
+    })
+}

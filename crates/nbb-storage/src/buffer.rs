@@ -1268,9 +1268,11 @@ impl BufferPool {
     /// every resident member of a group is pinned under **one** shard
     /// map lock, instead of one acquisition per page as N
     /// [`BufferPool::with_page`] calls would take. Non-resident pages —
-    /// including pages another thread is still loading — fall back to
-    /// the ordinary fault path one at a time (each may evict, or park on
-    /// the in-flight load).
+    /// including pages another thread is still loading — are collected
+    /// across **all** shards and faulted in bounded chunks, each chunk
+    /// riding one [`DiskManager::read_many`] no matter how its pages
+    /// stripe over shards: a batch whose misses land on four shards pays
+    /// one device round trip, not four.
     ///
     /// `f` receives `(position_in_ids, &Page)` and may be called in any
     /// order; the returned vector is indexed like `ids`. Duplicate ids
@@ -1287,6 +1289,10 @@ impl BufferPool {
             by_shard[(id.0 % self.shards.len() as u64) as usize].push(i);
         }
         let mut out: Vec<Option<R>> = ids.iter().map(|_| None).collect();
+        // Misses from every shard, deferred past the hit pass so a
+        // cross-shard group still coalesces into one device round trip
+        // per chunk (the per-shard loop below only pins residents).
+        let mut missed: Vec<usize> = Vec::new();
         for (si, group) in by_shard.iter().enumerate() {
             if group.is_empty() {
                 continue;
@@ -1300,7 +1306,6 @@ impl BufferPool {
             // a factor the shard can always absorb).
             let chunk = (shard.frames.len() / 2).max(1);
             let mut pinned: Vec<(usize, Arc<Frame>)> = Vec::with_capacity(chunk);
-            let mut missed: Vec<usize> = Vec::new();
             for part in group.chunks(chunk) {
                 {
                     // rank-exempt: pool entry point, re-enterable from
@@ -1327,45 +1332,48 @@ impl BufferPool {
                     Self::unpin(&frame);
                 }
             }
-            // Fault the misses of each chunk as one group: every absent
-            // page reserves in one map acquisition, the disk leftovers
-            // ride one `read_many`, mid-flight loads are joined — the
-            // serial per-page fallback only remains for pages the group
-            // could not reserve a frame for.
-            for part in missed.chunks(chunk) {
-                let part_ids: Vec<PageId> = part.iter().map(|&i| ids[i]).collect();
-                let mut first_err: Option<StorageError> = None;
-                for (slot, &i) in self.fault_batch(&part_ids, false).into_iter().zip(part) {
-                    match slot {
-                        BatchSlot::Pinned(frame) => {
-                            // Keep draining pins after an error so no
-                            // sibling frame leaks a pin count.
-                            if first_err.is_none() {
-                                out[i] = Some(f(i, &frame.data.read()));
-                            }
-                            Self::unpin(&frame);
+        }
+        // Fault the misses of every shard as chunked groups: each chunk
+        // reserves its absent pages in one map acquisition per shard,
+        // the disk leftovers ride one `read_many` **spanning shards**,
+        // and mid-flight loads are joined — the serial per-page fallback
+        // only remains for pages the group could not reserve a frame
+        // for. The chunk bound keeps simultaneous reservations within
+        // what the smallest shard can always absorb (see
+        // [`BufferPool::batch_chunk`]).
+        for part in missed.chunks(self.batch_chunk()) {
+            let part_ids: Vec<PageId> = part.iter().map(|&i| ids[i]).collect();
+            let mut first_err: Option<StorageError> = None;
+            for (slot, &i) in self.fault_batch(&part_ids, false).into_iter().zip(part) {
+                match slot {
+                    BatchSlot::Pinned(frame) => {
+                        // Keep draining pins after an error so no
+                        // sibling frame leaks a pin count.
+                        if first_err.is_none() {
+                            out[i] = Some(f(i, &frame.data.read()));
                         }
-                        BatchSlot::Failed(e) => {
-                            if first_err.is_none() {
-                                first_err = Some(e);
-                            }
+                        Self::unpin(&frame);
+                    }
+                    BatchSlot::Failed(e) => {
+                        if first_err.is_none() {
+                            first_err = Some(e);
                         }
-                        BatchSlot::Skipped => {
-                            if first_err.is_none() {
-                                match self.pin(ids[i]) {
-                                    Ok(frame) => {
-                                        out[i] = Some(f(i, &frame.data.read()));
-                                        Self::unpin(&frame);
-                                    }
-                                    Err(e) => first_err = Some(e),
+                    }
+                    BatchSlot::Skipped => {
+                        if first_err.is_none() {
+                            match self.pin(ids[i]) {
+                                Ok(frame) => {
+                                    out[i] = Some(f(i, &frame.data.read()));
+                                    Self::unpin(&frame);
                                 }
+                                Err(e) => first_err = Some(e),
                             }
                         }
                     }
                 }
-                if let Some(e) = first_err {
-                    return Err(e);
-                }
+            }
+            if let Some(e) = first_err {
+                return Err(e);
             }
         }
         // nbb-lint: allow(unwrap, the hit and miss passes cover every index)
@@ -3372,5 +3380,32 @@ mod tests {
         assert_eq!(s.read_batches, 1, "both misses rode one read_many");
         assert_eq!(s.read_pages, 2);
         assert_eq!(disk.stats().reads, 2);
+    }
+
+    #[test]
+    fn with_page_batch_coalesces_misses_across_shards() {
+        // 4 shards × 16 frames; pages 0..8 stripe over every shard, so
+        // a per-shard fault pass would pay 4 read batches. The miss
+        // pass must collect across shards: one read_many total (8 ≤
+        // batch_chunk = 16/2, so the whole group is one chunk).
+        let disk = Arc::new(InMemoryDisk::new(256));
+        let warm = BufferPool::new(Arc::clone(&disk) as Arc<dyn DiskManager>, 64);
+        let ids: Vec<PageId> = (0..8)
+            .map(|i| warm.new_page_with(|p| p.bytes_mut()[0] = i as u8 + 1).unwrap().0)
+            .collect();
+        warm.flush_all().unwrap();
+        drop(warm);
+        let pool = BufferPool::new_sharded(Arc::clone(&disk) as Arc<dyn DiskManager>, 64, 4);
+        assert!(
+            (0..4).all(|s| ids.iter().any(|id| id.0 % 4 == s)),
+            "test premise: the batch touches every shard"
+        );
+        disk.reset_stats();
+        let got = pool.with_page_batch(&ids, |_, p| p.bytes()[0]).unwrap();
+        assert_eq!(got, (1..=8).collect::<Vec<u8>>());
+        let s = pool.stats();
+        assert_eq!(s.faults, 8);
+        assert_eq!(s.read_batches, 1, "cross-shard misses must share one read_many");
+        assert_eq!(s.read_pages, 8);
     }
 }

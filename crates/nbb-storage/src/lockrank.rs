@@ -13,6 +13,10 @@
 //!
 //! | level | rank                     | guards                                        |
 //! |------:|--------------------------|-----------------------------------------------|
+//! |     1 | [`SERVER_LIFECYCLE`]     | `nbb-server` thread registry + shutdown flag   |
+//! |     2 | [`SERVER_CONNS`]         | `nbb-server` connection table                  |
+//! |     3 | [`SERVER_WORK_QUEUE`]    | `nbb-server` shared work queue                 |
+//! |     4 | [`SERVER_CONN_RESP`]     | `nbb-server` per-connection response queue     |
 //! |     5 | [`TUNER`]                | tuner decision ring + controller state         |
 //! |    10 | [`DB_TABLES`]            | `Database.tables` registry                     |
 //! |    15 | [`TABLE_INDEXES`]        | `Table.indexes` registry                       |
@@ -31,6 +35,16 @@
 //! |    75 | [`POOL_COMPRESSED_TIER`] | compressed cold-frame tier state               |
 //! |    90 | [`DISK_IO`]              | disk backends (multi: wrapper disks may nest)  |
 //!
+//! The server band (1–4) sits *below* every engine rank because server
+//! threads call into the engine — a worker that still held a server
+//! lock while executing a batched op would need that lock to order
+//! before `TUNER` and everything above it. (By design workers drop all
+//! server locks before touching the `Database`; the band makes the
+//! checker prove it.) The client band ([`CLIENT_PENDING`] 6,
+//! [`CLIENT_WRITE`] 7) is standalone: client threads never take engine
+//! locks, the numbering only keeps the two client locks ordered with
+//! respect to each other.
+//!
 //! Two placements look surprising but are forced by real acquisition
 //! paths: the invalidation log and the promotion RNG are *tree*-level
 //! state, yet they rank **above** the pool frame latch because the tree
@@ -43,6 +57,37 @@
 //! already depends on; the shim provides only the mechanism.
 
 pub use parking_lot::Rank;
+
+/// `nbb-server`'s lifecycle state: the worker/acceptor thread registry
+/// and the shutdown flag. First lock a shutdown caller takes, released
+/// before joining any thread.
+pub const SERVER_LIFECYCLE: Rank = Rank::new(1, "server.lifecycle");
+
+/// `nbb-server`'s connection table. Held briefly to register /
+/// deregister a connection; shutdown waits on its condvar for the
+/// table to drain.
+pub const SERVER_CONNS: Rank = Rank::new(2, "server.conns");
+
+/// `nbb-server`'s shared work queue feeding the worker pool. Workers
+/// release it before executing a job against the `Database`.
+pub const SERVER_WORK_QUEUE: Rank = Rank::new(3, "server.work_queue");
+
+/// `nbb-server`'s per-connection response queue (the backpressure
+/// point: readers park on its slot condvar when the queue is full).
+/// Highest server rank — nothing else is acquired under it, and engine
+/// calls never happen while it is held.
+pub const SERVER_CONN_RESP: Rank = Rank::new(4, "server.conn_resp");
+
+/// `nbb-client`'s pending-request map (id → completed response slot).
+/// Client band: client threads never take engine locks; this orders
+/// only against [`CLIENT_WRITE`].
+pub const CLIENT_PENDING: Rank = Rank::new(6, "client.pending");
+
+/// `nbb-client`'s socket write lock. Above [`CLIENT_PENDING`] in
+/// number but acquired with the pending map already *released* — the
+/// send path must never hold the pending map across a blocking socket
+/// write (see `CONCURRENCY.md`).
+pub const CLIENT_WRITE: Rank = Rank::new(7, "client.write");
 
 /// The free-space tuner's controller state and decision ring. Lowest
 /// rank in the lattice — acquired *first*, above every engine lock —
@@ -147,6 +192,10 @@ mod tests {
 
     #[test]
     fn full_lattice_descends_in_order() {
+        let lifecycle = Mutex::with_rank(SERVER_LIFECYCLE, ());
+        let conns = Mutex::with_rank(SERVER_CONNS, ());
+        let work = Mutex::with_rank(SERVER_WORK_QUEUE, ());
+        let resp = Mutex::with_rank(SERVER_CONN_RESP, ());
         let tuner = Mutex::with_rank(TUNER, ());
         let tables = RwLock::with_rank(DB_TABLES, ());
         let stripe = Mutex::with_rank(INTENT_STRIPE, ());
@@ -159,6 +208,10 @@ mod tests {
         let frame = RwLock::with_rank(POOL_FRAME, ());
         let disk = Mutex::with_rank(DISK_IO, ());
 
+        let _s1 = lifecycle.lock();
+        let _s2 = conns.lock();
+        let _s3 = work.lock();
+        let _s4 = resp.lock();
         let _t = tuner.lock();
         let _a = tables.read();
         let _b = stripe.lock();
@@ -170,7 +223,20 @@ mod tests {
         let _g = map.lock();
         let _h = frame.write();
         let _i = disk.lock();
-        assert_eq!(parking_lot::held_rank_count(), 11);
+        assert_eq!(parking_lot::held_rank_count(), 15);
+    }
+
+    #[test]
+    #[should_panic(
+        expected = "acquiring 'server.conn_resp' (rank 4) while holding 'core.tuner' (rank 5)"
+    )]
+    fn engine_locks_never_nest_server_locks() {
+        // The server band sits below the engine: a thread inside an
+        // engine lock must never reach back into server state.
+        let tuner = Mutex::with_rank(TUNER, ());
+        let resp = Mutex::with_rank(SERVER_CONN_RESP, ());
+        let _held = tuner.lock();
+        let _boom = resp.lock();
     }
 
     #[test]

@@ -14,10 +14,13 @@
 //! (2) the write side of `Batch` (`put`/`update`/`delete` grouped per
 //! index, reads observing the batch's writes), (3) a locality audit
 //! before and after hot/cold clustering, (4) the schema advisor
-//! finding encoding waste, and (5) the self-tuning free-space
+//! finding encoding waste, (5) the self-tuning free-space
 //! controller (`DbConfig::tuning_interval`) scoring every spare-byte
 //! consumer's hits per KiB and reallocating bytes online — its
-//! decision trace is printed and also rides along in the waste report.
+//! decision trace is printed and also rides along in the waste report —
+//! and (6) the `nbb-proto` wire frame layout that carries all of these
+//! operations over loopback TCP (`examples/server_roundtrip.rs` runs
+//! the live client/server pair).
 //!
 //! Beneath all of it sits the overlapped-I/O buffer pool: a page fault
 //! releases its pool-stripe lock across the disk read (concurrent
@@ -317,6 +320,48 @@ fn main() {
     );
     assert!(ps.prefetch_issued > 0, "a cold ordered scan must trigger readahead");
     assert!(ps.read_batches < ps.read_pages, "batches must coalesce multiple pages");
+
+    // --- Over the wire: the nbb-proto frame layout --------------------
+    println!("\n--- 6. the network front door's frame layout ---");
+    // Everything above is also reachable over loopback TCP through
+    // `nbb-server` (see `examples/server_roundtrip.rs`). The wire unit
+    // is a length-prefixed frame:
+    //
+    //   [u32 BE payload length] [payload]
+    //
+    // and every request payload starts the same way:
+    //
+    //   [u64 BE request id] [u8 op tag] [op-specific fields...]
+    //
+    // Variable-length fields are length-prefixed in turn (names and
+    // keys: u32 BE length + bytes; lists: u32 BE count, then each
+    // element), integers are big-endian — the same order-preserving
+    // convention as `nbb-encoding`'s key codecs, so a key's wire form
+    // IS its index form; the server compares and routes without
+    // re-encoding. Responses echo the request id so a pipelined
+    // connection may complete out of order; the id is the correlation
+    // key, arrival position means nothing.
+    let frame = nbb_proto::encode_request(&nbb_proto::Request {
+        id: 7,
+        op: nbb_proto::RequestOp::GetMany {
+            table: "t".into(),
+            index: "id".into(),
+            keys: vec![vec![0xAB, 0xCD]],
+        },
+    });
+    let hex: Vec<String> = frame.iter().map(|b| format!("{b:02x}")).collect();
+    println!("get_many frame ({} bytes): {}", frame.len(), hex.join(" "));
+    println!("               [len u32 | id u64 | tag u8 | \"t\" | \"id\" | 1 key: ab cd]");
+    // The layout is load-bearing: decode must invert encode exactly,
+    // and the length prefix is what lets a reader reassemble frames
+    // from arbitrary TCP chunk boundaries.
+    let decoded = nbb_proto::decode_request(&frame[nbb_proto::HEADER_LEN..]).expect("round-trip");
+    assert_eq!(decoded.id, 7);
+    assert_eq!(
+        u32::from_be_bytes(frame[..4].try_into().expect("4-byte header")) as usize,
+        frame.len() - nbb_proto::HEADER_LEN,
+        "the prefix counts payload bytes, not the prefix itself"
+    );
 
     // --- Beneath it all: the overlapped-I/O buffer pool ---------------
     let s = t.stats();
